@@ -1,0 +1,38 @@
+//! Criterion end-to-end benchmarks: engine throughput per benchmark under
+//! the baseline and automatically-selected configurations (the wall-clock
+//! side of Figures 5-1/5-3, in bench form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use streamlin_bench::{configure, Config};
+use streamlin_runtime::measure::profile;
+use streamlin_runtime::MatMulStrategy;
+
+fn bench_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for bench in [
+        streamlin_benchmarks::fir(256),
+        streamlin_benchmarks::rate_convert(),
+        streamlin_benchmarks::filter_bank(),
+        streamlin_benchmarks::oversampler(),
+    ] {
+        let outputs = (bench.default_outputs() / 4).max(64);
+        for config in [Config::Baseline, Config::AutoSel] {
+            let opt = configure(&bench, config);
+            group.bench_with_input(
+                BenchmarkId::new(bench.name(), config.label()),
+                &outputs,
+                |b, &n| {
+                    b.iter(|| {
+                        black_box(profile(black_box(&opt), n, MatMulStrategy::Unrolled).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

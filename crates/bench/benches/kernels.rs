@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks of the computational kernels: the three
+//! matrix-multiply strategies (§5.4) and the two FFT tiers (§5.8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use streamlin_core::node::LinearNode;
+use streamlin_fft::{FftKind, RealFft};
+use streamlin_runtime::linear_exec::{LinearExec, MatMulStrategy};
+use streamlin_support::OpCounter;
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec");
+    for taps in [16usize, 64, 256] {
+        let weights: Vec<f64> = (0..taps).map(|i| (i as f64 * 0.37).sin()).collect();
+        let node = LinearNode::fir(&weights);
+        let window: Vec<f64> = (0..taps).map(|i| i as f64).collect();
+        for strategy in [
+            MatMulStrategy::Unrolled,
+            MatMulStrategy::Diagonal,
+            MatMulStrategy::Blocked,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), taps),
+                &taps,
+                |b, _| {
+                    let mut exec = LinearExec::new(node.clone(), strategy);
+                    let mut ops = OpCounter::new();
+                    b.iter(|| black_box(exec.fire(black_box(&window), &mut ops)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("real_fft");
+    for n in [64usize, 512, 4096] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        for kind in [FftKind::Simple, FftKind::Tuned] {
+            group.bench_with_input(BenchmarkId::new(format!("{kind:?}"), n), &n, |b, _| {
+                let fft = RealFft::new(kind, n).unwrap();
+                let mut ops = OpCounter::new();
+                b.iter(|| black_box(fft.forward(black_box(&x), &mut ops)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec, bench_fft);
+
+// Appended ablations: the §5.6 redundancy executor vs. plain matvec, and
+// the §5.8 frequency-strategy grid at a fixed size.
+mod ablations {
+    use super::*;
+    use streamlin_core::frequency::{FreqExec, FreqSpec, FreqStrategy};
+    use streamlin_core::redundancy::{RedundExec, RedundSpec};
+
+    pub fn bench_redundancy(c: &mut Criterion) {
+        let mut group = c.benchmark_group("redundancy_vs_direct");
+        for taps in [16usize, 64] {
+            // Symmetric weights: maximal reuse.
+            let weights: Vec<f64> = (0..taps).map(|i| (1 + i.min(taps - 1 - i)) as f64).collect();
+            let node = LinearNode::fir(&weights);
+            let input: Vec<f64> = (0..taps + 256).map(|i| i as f64).collect();
+            group.bench_with_input(BenchmarkId::new("direct", taps), &taps, |b, _| {
+                let mut exec = LinearExec::new(node.clone(), MatMulStrategy::Unrolled);
+                let mut ops = OpCounter::new();
+                b.iter(|| black_box(exec.run_over(black_box(&input), &mut ops)));
+            });
+            group.bench_with_input(BenchmarkId::new("redund", taps), &taps, |b, _| {
+                let spec = RedundSpec::new(&node);
+                let mut ops = OpCounter::new();
+                b.iter(|| {
+                    let mut exec = RedundExec::new(spec.clone());
+                    black_box(exec.run_over(black_box(&input), &mut ops))
+                });
+            });
+        }
+        group.finish();
+    }
+
+    pub fn bench_freq_strategies(c: &mut Criterion) {
+        let mut group = c.benchmark_group("freq_strategy");
+        let node = LinearNode::fir(&(0..128).map(|i| (i as f64 * 0.1).sin()).collect::<Vec<_>>());
+        let input: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).cos()).collect();
+        for (label, strategy, kind) in [
+            ("naive+simple", FreqStrategy::Naive, FftKind::Simple),
+            ("opt+simple", FreqStrategy::Optimized, FftKind::Simple),
+            ("opt+tuned", FreqStrategy::Optimized, FftKind::Tuned),
+        ] {
+            group.bench_function(label, |b| {
+                let spec = FreqSpec::new(&node, strategy, kind, None).unwrap();
+                let mut ops = OpCounter::new();
+                b.iter(|| {
+                    let mut exec = FreqExec::new(spec.clone());
+                    black_box(exec.run_over(black_box(&input), &mut ops))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    ablation_benches,
+    ablations::bench_redundancy,
+    ablations::bench_freq_strategies
+);
+criterion_main!(benches, ablation_benches);

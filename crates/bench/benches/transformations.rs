@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the compile-time analyses and transformations:
+//! extraction (§3.2), pipeline combination (§3.3.2), splitjoin combination
+//! (§3.3.3), and the selection DP (§4.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use streamlin_core::combine::analyze_graph;
+use streamlin_core::cost::CostModel;
+use streamlin_core::node::LinearNode;
+use streamlin_core::pipeline::combine_pipeline;
+use streamlin_core::select::{select, SelectOptions};
+use streamlin_core::splitjoin::combine_splitjoin;
+use streamlin_graph::ir::Splitter;
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract");
+    for (name, bench) in [
+        ("FIR-256", streamlin_benchmarks::fir(256)),
+        ("FMRadio", streamlin_benchmarks::fm_radio()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(analyze_graph(black_box(bench.graph()))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_combination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine_pipeline");
+    for taps in [16usize, 64, 256] {
+        let w: Vec<f64> = (0..taps).map(|i| i as f64).collect();
+        let f1 = LinearNode::fir(&w);
+        let f2 = LinearNode::fir(&w);
+        group.bench_with_input(BenchmarkId::from_parameter(taps), &taps, |b, _| {
+            b.iter(|| black_box(combine_pipeline(black_box(&f1), black_box(&f2)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_splitjoin_combination(c: &mut Criterion) {
+    let children: Vec<LinearNode> = (0..8)
+        .map(|k| LinearNode::fir(&(0..64).map(|i| (i + k) as f64).collect::<Vec<_>>()))
+        .collect();
+    let weights = vec![1usize; 8];
+    c.bench_function("combine_splitjoin/8x64", |b| {
+        b.iter(|| {
+            black_box(
+                combine_splitjoin(&Splitter::Duplicate, black_box(&children), &weights).unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let bench = streamlin_benchmarks::fm_radio();
+    let analysis = analyze_graph(bench.graph());
+    let model = CostModel::default();
+    let opts = SelectOptions::default();
+    c.bench_function("select/FMRadio", |b| {
+        b.iter(|| black_box(select(bench.graph(), &analysis, &model, &opts).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_extraction,
+    bench_pipeline_combination,
+    bench_splitjoin_combination,
+    bench_selection
+);
+criterion_main!(benches);

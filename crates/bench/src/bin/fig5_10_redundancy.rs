@@ -1,0 +1,24 @@
+//! Figure 5-10: multiplications remaining (top) and speedup (bottom) after
+//! redundancy replacement as a function of FIR size — including the
+//! even/odd zig-zag from the symmetric weights.
+
+use streamlin_bench::{f1, run, speedup_pct, Config, Table};
+
+fn main() {
+    println!("Figure 5-10: redundancy elimination on the FIR benchmark\n");
+    let mut t = Table::new(&["taps", "mults% remaining", "speedup%"]);
+    let n = 2048;
+    for taps in [3, 4, 7, 8, 15, 16, 31, 32, 63, 64, 95, 96, 127, 128] {
+        let b = streamlin_benchmarks::fir(taps);
+        let base = run(&b, Config::Baseline, n);
+        let red = run(&b, Config::Redund, n);
+        t.row(vec![
+            taps.to_string(),
+            f1(100.0 * red.mults_per_output() / base.mults_per_output()),
+            f1(speedup_pct(base.nanos_per_output(), red.nanos_per_output())),
+        ]);
+    }
+    t.print();
+    println!("\npaper: ~50%+ of multiplications removed (even sizes reuse everything,");
+    println!("odd sizes keep the center tap), but caching overhead makes it *slower* (§5.6)");
+}

@@ -1,0 +1,27 @@
+//! Figure 5-11: multiplication reduction with maximal linear replacement
+//! as a function of the Radar problem size (channels x beams).
+
+use streamlin_bench::{f1, pct_removed, run, Config, Table};
+
+fn main() {
+    println!("Figure 5-11: Radar mult reduction % under maximal linear replacement\n");
+    let mut t = Table::new(&["channels", "beams=1", "beams=2", "beams=4", "beams=8"]);
+    let n = 128;
+    for channels in [4, 8, 12] {
+        let mut row = vec![channels.to_string()];
+        for beams in [1, 2, 4, 8] {
+            eprintln!("measuring radar({channels}, {beams})...");
+            let b = streamlin_benchmarks::radar(channels, beams);
+            let base = run(&b, Config::Baseline, n);
+            let lin = run(&b, Config::Linear, n);
+            row.push(f1(pct_removed(
+                base.mults_per_output(),
+                lin.mults_per_output(),
+            )));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\npaper: linear replacement degrades as the problem grows, and growing");
+    println!("the number of beams hurts much more than growing the channels (§5.7)");
+}

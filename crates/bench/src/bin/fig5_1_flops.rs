@@ -1,0 +1,28 @@
+//! Figure 5-1: elimination of floating point operations by maximal linear
+//! replacement, maximal frequency replacement, and automatic optimization
+//! selection.
+
+use streamlin_bench::{arg_scale, f1, overall_results, pct_removed, Table};
+
+fn main() {
+    println!("Figure 5-1: % of FLOPS removed (negative = increased)\n");
+    let mut t = Table::new(&["benchmark", "linear", "freq", "autosel"]);
+    let rows = overall_results(arg_scale());
+    let mut sums = [0.0f64; 3];
+    for r in &rows {
+        let base = r.baseline.ops.flops() as f64 / r.baseline.outputs.len() as f64;
+        let vals = [
+            pct_removed(base, r.linear.ops.flops() as f64 / r.linear.outputs.len() as f64),
+            pct_removed(base, r.freq.ops.flops() as f64 / r.freq.outputs.len() as f64),
+            pct_removed(base, r.autosel.ops.flops() as f64 / r.autosel.outputs.len() as f64),
+        ];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        t.row(vec![r.name.clone(), f1(vals[0]), f1(vals[1]), f1(vals[2])]);
+    }
+    let n = rows.len() as f64;
+    t.row(vec!["AVERAGE".into(), f1(sums[0] / n), f1(sums[1] / n), f1(sums[2] / n)]);
+    t.print();
+    println!("\npaper: autosel removes 86% of FLOPS on average (abstract, §5.2)");
+}

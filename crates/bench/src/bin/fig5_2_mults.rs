@@ -1,0 +1,26 @@
+//! Figure 5-2: elimination of floating point multiplications (the
+//! fmul/fdiv families) by linear, frequency, and automatic replacement.
+
+use streamlin_bench::{arg_scale, f1, overall_results, pct_removed, Table};
+
+fn main() {
+    println!("Figure 5-2: % of multiplications removed (negative = increased)\n");
+    let mut t = Table::new(&["benchmark", "linear", "freq", "autosel"]);
+    let rows = overall_results(arg_scale());
+    let mut sums = [0.0f64; 3];
+    for r in &rows {
+        let base = r.baseline.mults_per_output();
+        let vals = [
+            pct_removed(base, r.linear.mults_per_output()),
+            pct_removed(base, r.freq.mults_per_output()),
+            pct_removed(base, r.autosel.mults_per_output()),
+        ];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        t.row(vec![r.name.clone(), f1(vals[0]), f1(vals[1]), f1(vals[2])]);
+    }
+    let n = rows.len() as f64;
+    t.row(vec!["AVERAGE".into(), f1(sums[0] / n), f1(sums[1] / n), f1(sums[2] / n)]);
+    t.print();
+}

@@ -1,0 +1,27 @@
+//! Figure 5-3: execution speedup (%) for maximal linear replacement,
+//! maximal frequency replacement, and automatic optimization selection.
+
+use streamlin_bench::{arg_scale, f1, overall_results, speedup_pct, Table};
+
+fn main() {
+    println!("Figure 5-3: execution speedup %, (t_base/t_opt - 1) * 100\n");
+    let mut t = Table::new(&["benchmark", "linear", "freq", "autosel"]);
+    let rows = overall_results(arg_scale());
+    let mut sums = [0.0f64; 3];
+    for r in &rows {
+        let base = r.baseline.nanos_per_output();
+        let vals = [
+            speedup_pct(base, r.linear.nanos_per_output()),
+            speedup_pct(base, r.freq.nanos_per_output()),
+            speedup_pct(base, r.autosel.nanos_per_output()),
+        ];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        t.row(vec![r.name.clone(), f1(vals[0]), f1(vals[1]), f1(vals[2])]);
+    }
+    let n = rows.len() as f64;
+    t.row(vec!["AVERAGE".into(), f1(sums[0] / n), f1(sums[1] / n), f1(sums[2] / n)]);
+    t.print();
+    println!("\npaper: average 450%, best case 800% (abstract)");
+}

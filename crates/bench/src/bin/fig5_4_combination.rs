@@ -1,0 +1,48 @@
+//! Figures 5-4 and 5-5: multiplication removal and speedup for linear and
+//! frequency replacement with and without combination ("(nc)").
+
+use streamlin_bench::{arg_scale, f1, pct_removed, run, speedup_pct, Config, Table};
+
+fn main() {
+    println!("Figure 5-4/5-5: effect of combination (\"(nc)\" = no combination)\n");
+    let mut t = Table::new(&[
+        "benchmark",
+        "mult% lin(nc)",
+        "mult% lin",
+        "mult% freq(nc)",
+        "mult% freq",
+        "speedup% lin",
+        "speedup% freq",
+        "dSpd lin",
+        "dSpd freq",
+    ]);
+    let scale = arg_scale();
+    for b in streamlin_benchmarks::all_default() {
+        let n = ((b.default_outputs() as f64 * scale) as usize).max(32);
+        eprintln!("measuring {} ({n} outputs)...", b.name());
+        let base = run(&b, Config::Baseline, n);
+        let lin_nc = run(&b, Config::LinearNc, n);
+        let lin = run(&b, Config::Linear, n);
+        let freq_nc = run(&b, Config::FreqNc, n);
+        let freq = run(&b, Config::Freq, n);
+        let bm = base.mults_per_output();
+        let bt = base.nanos_per_output();
+        let s_lin_nc = speedup_pct(bt, lin_nc.nanos_per_output());
+        let s_lin = speedup_pct(bt, lin.nanos_per_output());
+        let s_freq_nc = speedup_pct(bt, freq_nc.nanos_per_output());
+        let s_freq = speedup_pct(bt, freq.nanos_per_output());
+        t.row(vec![
+            b.name().to_string(),
+            f1(pct_removed(bm, lin_nc.mults_per_output())),
+            f1(pct_removed(bm, lin.mults_per_output())),
+            f1(pct_removed(bm, freq_nc.mults_per_output())),
+            f1(pct_removed(bm, freq.mults_per_output())),
+            f1(s_lin),
+            f1(s_freq),
+            f1(s_lin - s_lin_nc),
+            f1(s_freq - s_freq_nc),
+        ]);
+    }
+    t.print();
+    println!("\n(dSpd columns are Figure 5-5: speedup added by enabling combination)");
+}

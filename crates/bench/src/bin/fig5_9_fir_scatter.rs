@@ -1,0 +1,31 @@
+//! Figure 5-9: scatter of original vs post-optimization execution time for
+//! the FIR scaling experiment, with the selection cost model's predicted
+//! frequency cost alongside.
+
+use streamlin_bench::{f2, run, Config, Table};
+use streamlin_core::cost::CostModel;
+use streamlin_core::frequency::FreqStrategy;
+use streamlin_core::node::LinearNode;
+
+fn main() {
+    println!("Figure 5-9: original vs optimized time per output (FIR scaling)\n");
+    let mut t = Table::new(&["taps", "t_orig us/out", "t_freq us/out", "model direct", "model freq"]);
+    let n = 4096;
+    let model = CostModel::default();
+    for taps in [4, 8, 16, 24, 32, 48, 64, 96, 128] {
+        let b = streamlin_benchmarks::fir(taps);
+        let base = run(&b, Config::Baseline, n);
+        let freq = run(&b, Config::Freq, n);
+        let node = LinearNode::fir(&vec![1.0; taps]);
+        t.row(vec![
+            taps.to_string(),
+            f2(base.nanos_per_output() / 1000.0),
+            f2(freq.nanos_per_output() / 1000.0),
+            f2(model.direct_total(&node, 1.0)),
+            f2(model.freq_total(&node, 1.0, FreqStrategy::Optimized)),
+        ]);
+    }
+    t.print();
+    println!("\n(model columns are the §4.3.3 cost functions per consumed item,");
+    println!(" the solid line of the paper's Figure 5-9)");
+}

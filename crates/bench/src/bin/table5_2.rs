@@ -1,0 +1,51 @@
+//! Table 5.2: characteristics of the benchmarks before and after running
+//! the automatic selection optimizations.
+
+use streamlin_bench::{configure, Config, Table};
+use streamlin_core::combine::analyze_graph;
+use streamlin_graph::stats::graph_stats;
+
+fn main() {
+    println!("Table 5.2: benchmark characteristics before/after autosel\n");
+    let mut t = Table::new(&[
+        "benchmark",
+        "filters",
+        "(linear)",
+        "pipelines",
+        "splitjoins",
+        "avg vec size",
+        "| after: filters",
+        "pipelines",
+        "splitjoins",
+    ]);
+    for b in streamlin_benchmarks::all_default() {
+        eprintln!("analyzing {}...", b.name());
+        let stats = graph_stats(b.graph());
+        let analysis = analyze_graph(b.graph());
+        // "Average vector size": mean matrix extent (peek x push entries)
+        // over the linear filters, as DESIGN.md documents.
+        let avg_vec = if analysis.nodes.is_empty() {
+            0.0
+        } else {
+            analysis
+                .nodes
+                .values()
+                .map(|n| (n.peek() * n.push().max(1)) as f64)
+                .sum::<f64>()
+                / analysis.nodes.len() as f64
+        };
+        let after = configure(&b, Config::AutoSel).stats();
+        t.row(vec![
+            b.name().to_string(),
+            stats.filters.to_string(),
+            format!("({})", analysis.linear_count()),
+            stats.pipelines.to_string(),
+            stats.splitjoins.to_string(),
+            format!("{avg_vec:.0}"),
+            after.filters.to_string(),
+            after.pipelines.to_string(),
+            after.splitjoins.to_string(),
+        ]);
+    }
+    t.print();
+}

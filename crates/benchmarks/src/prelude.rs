@@ -1,0 +1,117 @@
+//! Shared filter declarations used by several benchmarks, modeled on the
+//! common components of Appendix A (LowPassFilter from Figure A-2,
+//! Compressor from A-4, Expander from A-5, BandPass/BandStop from
+//! A-11/A-12, plus the printer/sink of A-1).
+
+/// Source text of the shared components. Benchmarks concatenate this with
+/// their own declarations.
+pub const PRELUDE: &str = r#"
+/* Windowed-sinc FIR low-pass filter: gain g, cutoff (radians) wc, N taps
+ * (Figure A-2). */
+float->float filter LowPassFilter(float g, float cutoffFreq, int N) {
+    float[N] h;
+    init {
+        int OFFSET = N / 2;
+        for (int i = 0; i < N; i++) {
+            int idx = i + 1;
+            if (idx == OFFSET) {
+                h[i] = g * cutoffFreq / pi;
+            } else {
+                h[i] = g * sin(cutoffFreq * (idx - OFFSET)) / (pi * (idx - OFFSET));
+            }
+        }
+    }
+    work peek N pop 1 push 1 {
+        float sum = 0;
+        for (int i = 0; i < N; i++)
+            sum += h[i] * peek(i);
+        push(sum);
+        pop();
+    }
+}
+
+/* High-pass companion: spectral inversion of the windowed sinc. */
+float->float filter HighPassFilter(float g, float cutoffFreq, int N) {
+    float[N] h;
+    init {
+        int OFFSET = N / 2;
+        for (int i = 0; i < N; i++) {
+            int idx = i + 1;
+            float lp = 0;
+            if (idx == OFFSET) {
+                lp = g * cutoffFreq / pi;
+                h[i] = g - lp;
+            } else {
+                lp = g * sin(cutoffFreq * (idx - OFFSET)) / (pi * (idx - OFFSET));
+                h[i] = 0 - lp;
+            }
+        }
+    }
+    work peek N pop 1 push 1 {
+        float sum = 0;
+        for (int i = 0; i < N; i++)
+            sum += h[i] * peek(i);
+        push(sum);
+        pop();
+    }
+}
+
+/* Band-pass as low-pass cascaded with high-pass (Figure A-11). */
+float->float pipeline BandPassFilter(float gain, float ws, float wp, int numSamples) {
+    add LowPassFilter(1, wp, numSamples);
+    add HighPassFilter(gain, ws, numSamples);
+}
+
+/* Band-stop as parallel low/high-pass summed (Figure A-12). */
+float->float pipeline BandStopFilter(float gain, float wp, float ws, int numSamples) {
+    add splitjoin {
+        split duplicate;
+        add LowPassFilter(gain, wp, numSamples);
+        add HighPassFilter(gain, ws, numSamples);
+        join roundrobin;
+    };
+    add Adder(2);
+}
+
+/* M:1 compressor (Figure A-4). */
+float->float filter Compressor(int M) {
+    work peek M pop M push 1 {
+        push(pop());
+        for (int i = 0; i < (M - 1); i++)
+            pop();
+    }
+}
+
+/* 1:L expander (Figure A-5). */
+float->float filter Expander(int L) {
+    work peek 1 pop 1 push L {
+        push(pop());
+        for (int i = 0; i < (L - 1); i++)
+            push(0);
+    }
+}
+
+/* Sums N consecutive items. */
+float->float filter Adder(int N) {
+    work peek N pop N push 1 {
+        float sum = 0;
+        for (int i = 0; i < N; i++)
+            sum += pop();
+        push(sum);
+    }
+}
+
+/* Output sink that prints every item (Figure A-1's FloatPrinter). */
+float->void filter FloatPrinter {
+    work pop 1 {
+        println(pop());
+    }
+}
+
+/* Output sink that silently absorbs items (Figure A-1's FloatSink). */
+float->void filter FloatSink {
+    work pop 1 {
+        pop();
+    }
+}
+"#;

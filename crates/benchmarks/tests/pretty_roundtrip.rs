@@ -1,0 +1,23 @@
+//! The pretty-printer round-trips every benchmark program: printing the
+//! parsed AST and re-parsing yields the identical AST, and the reprinted
+//! program elaborates to the same graph statistics.
+
+use streamlin_graph::stats::graph_stats;
+
+#[test]
+fn all_benchmarks_round_trip_through_the_pretty_printer() {
+    for b in streamlin_benchmarks::all_default() {
+        let printed = streamlin_lang::pretty::program(b.program());
+        let reparsed = streamlin_lang::parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", b.name()));
+        assert_eq!(b.program(), &reparsed, "{}: AST changed", b.name());
+        let graph = streamlin_graph::elaborate(&reparsed)
+            .unwrap_or_else(|e| panic!("{}: re-elaboration failed: {e}", b.name()));
+        assert_eq!(
+            graph_stats(&graph),
+            graph_stats(b.graph()),
+            "{}: structure changed",
+            b.name()
+        );
+    }
+}

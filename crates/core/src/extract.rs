@@ -1,0 +1,1429 @@
+//! Linear extraction (paper §3.2, Algorithms 1 and 2).
+//!
+//! A flow-sensitive symbolic execution of the work function that maps every
+//! program value to a *linear form* `⟨v⃗, c⟩` — a coefficient vector over
+//! tape positions plus a constant — or to ⊤ when no affine representation
+//! exists. Loops with compile-time bounds are fully unrolled ("we can
+//! afford to symbolically execute all loop iterations", §3.2); both sides
+//! of input-dependent branches execute and join under the confluence
+//! operator ⊔. If, at the end, the declared number of items was popped and
+//! every pushed value is a linear form, the filter *is* linear and its
+//! [`LinearNode`] is returned.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use streamlin_graph::ir::FilterInst;
+use streamlin_graph::value::{bin_op, math_call, un_op, Cell, Value};
+use streamlin_lang::ast::{BinOp, Block, Expr, LValue, Stmt, Type, UnOp};
+
+use crate::node::LinearNode;
+
+/// Why a filter failed linear extraction. Mirrors the failure modes of
+/// Algorithm 1's `fail` plus the structural preconditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NonLinear {
+    /// The filter has an `initWork` phase; its first firing differs from
+    /// the steady state, which the stateless linear node cannot express.
+    HasInitWork,
+    /// The filter prints: a side effect that collapsing would erase.
+    Prints,
+    /// A pushed value was not an affine function of the inputs.
+    PushedNonAffine {
+        /// Which push (0-based).
+        index: usize,
+    },
+    /// Executed pops differ from the declared pop rate.
+    PopCountMismatch {
+        /// Declared rate.
+        declared: usize,
+        /// Executed pops.
+        actual: usize,
+    },
+    /// Executed pushes differ from the declared push rate.
+    PushCountMismatch {
+        /// Declared rate.
+        declared: usize,
+        /// Executed pushes.
+        actual: usize,
+    },
+    /// A tape position at or beyond the declared peek rate was referenced.
+    PeekOutOfRange {
+        /// The offending position.
+        pos: usize,
+        /// Declared peek rate.
+        peek: usize,
+    },
+    /// A loop bound or branch structure could not be resolved at analysis
+    /// time (the paper "disregards" such filters).
+    Unresolved(String),
+    /// The two sides of a branch disagree structurally (different pop or
+    /// push counts), so no single linear node represents the filter.
+    BranchMismatch(String),
+    /// The analysis hit an evaluation error (type error, division by zero
+    /// on constants, out-of-bounds array index).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for NonLinear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NonLinear::HasInitWork => write!(f, "filter has an initWork phase"),
+            NonLinear::Prints => write!(f, "filter prints (side effect)"),
+            NonLinear::PushedNonAffine { index } => {
+                write!(f, "push #{index} is not an affine function of the input")
+            }
+            NonLinear::PopCountMismatch { declared, actual } => {
+                write!(f, "declared pop {declared} but executed {actual}")
+            }
+            NonLinear::PushCountMismatch { declared, actual } => {
+                write!(f, "declared push {declared} but executed {actual}")
+            }
+            NonLinear::PeekOutOfRange { pos, peek } => {
+                write!(f, "tape position {pos} referenced but peek rate is {peek}")
+            }
+            NonLinear::Unresolved(m) => write!(f, "unresolved control flow: {m}"),
+            NonLinear::BranchMismatch(m) => write!(f, "branch mismatch: {m}"),
+            NonLinear::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NonLinear {}
+
+/// Extracts the linear node of a filter instance, or explains why it is
+/// not linear.
+///
+/// # Errors
+///
+/// Returns the first [`NonLinear`] reason encountered.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_core::extract::extract;
+/// use streamlin_graph::elaborate::elaborate_named;
+///
+/// let program = streamlin_lang::parse(
+///     "float->float filter Fir(int N) {
+///          float[N] h;
+///          init { for (int i = 0; i < N; i++) h[i] = i + 1; }
+///          work push 1 pop 1 peek N {
+///              float sum = 0;
+///              for (int i = 0; i < N; i++) sum += h[i] * peek(i);
+///              push(sum);
+///              pop();
+///          }
+///      }",
+/// )
+/// .unwrap();
+/// let inst = elaborate_named(&program, "Fir", &[streamlin_graph::Value::Int(3)]).unwrap();
+/// let streamlin_graph::Stream::Filter(f) = inst else { unreachable!() };
+/// let node = extract(&f).unwrap();
+/// assert_eq!((node.peek(), node.pop(), node.push()), (3, 1, 1));
+/// assert_eq!(node.coeff(2, 0), 3.0);
+/// ```
+pub fn extract(inst: &FilterInst) -> Result<LinearNode, NonLinear> {
+    if inst.init_work.is_some() {
+        return Err(NonLinear::HasInitWork);
+    }
+    if inst.prints {
+        return Err(NonLinear::Prints);
+    }
+    let written = written_names(&inst.work.body);
+    let mut env: HashMap<String, SymCell> = HashMap::new();
+    for (name, cell) in &inst.state {
+        let is_mutated_field = inst.field_names.contains(name) && written.contains(name.as_str());
+        env.insert(name.clone(), SymCell::from_cell(cell, is_mutated_field, None));
+    }
+    let mut exec = SymExec {
+        declared_peek: inst.work.peek,
+        fuel: 50_000_000,
+    };
+    let mut st = SymState {
+        env,
+        popcount: 0,
+        pushes: Vec::new(),
+    };
+    exec.exec_block(&mut st, &inst.work.body)?;
+
+    if st.popcount != inst.work.pop {
+        return Err(NonLinear::PopCountMismatch {
+            declared: inst.work.pop,
+            actual: st.popcount,
+        });
+    }
+    if st.pushes.len() != inst.work.push {
+        return Err(NonLinear::PushCountMismatch {
+            declared: inst.work.push,
+            actual: st.pushes.len(),
+        });
+    }
+    // Build A and b from the recorded pushes.
+    let peek = inst.work.peek;
+    let mut coeffs: Vec<BTreeMap<SymKey, f64>> = Vec::with_capacity(st.pushes.len());
+    let mut offsets: Vec<f64> = Vec::with_capacity(st.pushes.len());
+    for (j, sym) in st.pushes.iter().enumerate() {
+        let Sym::Lin(form) = sym else {
+            return Err(NonLinear::PushedNonAffine { index: j });
+        };
+        if let Some(pos) = form.max_peek() {
+            if pos >= peek {
+                return Err(NonLinear::PeekOutOfRange { pos, peek });
+            }
+        }
+        let konst = form
+            .konst
+            .as_f64()
+            .map_err(|_| NonLinear::PushedNonAffine { index: j })?;
+        coeffs.push(form.coeffs.clone());
+        offsets.push(konst);
+    }
+    Ok(LinearNode::from_coeffs(
+        peek,
+        inst.work.pop,
+        inst.work.push,
+        |peek_idx, out_idx| {
+            coeffs[out_idx]
+                .get(&SymKey::Peek(peek_idx))
+                .copied()
+                .unwrap_or(0.0)
+        },
+        &offsets,
+    ))
+}
+
+/// The affine pieces of a *stateful* extraction (used by
+/// `crate::state_space::extract_stateful`): one coefficient map + constant
+/// per output, and one per state component (its end-of-firing value).
+#[derive(Debug, Clone)]
+pub(crate) struct StatefulPieces {
+    pub(crate) outputs: Vec<(BTreeMap<SymKey, f64>, f64)>,
+    pub(crate) next_state: Vec<(BTreeMap<SymKey, f64>, f64)>,
+}
+
+/// Symbolically executes `work` with mutated fields bound to the given
+/// state indices, returning the affine pieces. Shared engine behind both
+/// extraction entry points.
+pub(crate) fn extract_symbolic(
+    inst: &FilterInst,
+    state_index: &HashMap<String, usize>,
+) -> Result<StatefulPieces, NonLinear> {
+    let written = written_names(&inst.work.body);
+    let mut env: HashMap<String, SymCell> = HashMap::new();
+    for (name, cell) in &inst.state {
+        let is_mutated_field = inst.field_names.contains(name) && written.contains(name.as_str());
+        let idx = state_index.get(name).copied();
+        env.insert(name.clone(), SymCell::from_cell(cell, is_mutated_field, idx));
+    }
+    let mut exec = SymExec {
+        declared_peek: inst.work.peek,
+        fuel: 50_000_000,
+    };
+    let mut st = SymState {
+        env,
+        popcount: 0,
+        pushes: Vec::new(),
+    };
+    exec.exec_block(&mut st, &inst.work.body)?;
+    if st.popcount != inst.work.pop {
+        return Err(NonLinear::PopCountMismatch {
+            declared: inst.work.pop,
+            actual: st.popcount,
+        });
+    }
+    if st.pushes.len() != inst.work.push {
+        return Err(NonLinear::PushCountMismatch {
+            declared: inst.work.push,
+            actual: st.pushes.len(),
+        });
+    }
+    let peek = inst.work.peek;
+    let take_form = |sym: &Sym, what: &str| -> Result<(BTreeMap<SymKey, f64>, f64), NonLinear> {
+        let Sym::Lin(form) = sym else {
+            return Err(NonLinear::Unsupported(format!(
+                "{what} is not an affine function of inputs and state"
+            )));
+        };
+        if let Some(pos) = form.max_peek() {
+            if pos >= peek {
+                return Err(NonLinear::PeekOutOfRange { pos, peek });
+            }
+        }
+        let konst = form
+            .konst
+            .as_f64()
+            .map_err(|e| NonLinear::Unsupported(e.message))?;
+        Ok((form.coeffs.clone(), konst))
+    };
+    let mut outputs = Vec::with_capacity(st.pushes.len());
+    for (j, sym) in st.pushes.iter().enumerate() {
+        outputs.push(take_form(sym, &format!("push #{j}"))
+            .map_err(|e| match e {
+                NonLinear::Unsupported(_) => NonLinear::PushedNonAffine { index: j },
+                other => other,
+            })?);
+    }
+    // Final field values, in state-index order.
+    let mut names_by_index: Vec<&String> = state_index.keys().collect();
+    names_by_index.sort_by_key(|n| state_index[*n]);
+    let mut next_state = Vec::with_capacity(names_by_index.len());
+    for name in names_by_index {
+        match st.env.get(name.as_str()) {
+            Some(SymCell::Scalar(sym)) => {
+                next_state.push(take_form(sym, &format!("final value of field `{name}`"))?)
+            }
+            _ => {
+                return Err(NonLinear::Unsupported(format!(
+                    "state field `{name}` vanished during analysis"
+                )))
+            }
+        }
+    }
+    Ok(StatefulPieces {
+        outputs,
+        next_state,
+    })
+}
+
+// ---- symbolic values ------------------------------------------------------
+
+/// What a coefficient multiplies: a tape position, or — in *stateful*
+/// extraction (§7.1's linear-state extension) — a component of the state
+/// vector carried between firings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum SymKey {
+    /// `peek(pos)` relative to the firing's window start.
+    Peek(usize),
+    /// State component `k` as of the start of the firing.
+    State(usize),
+}
+
+/// An affine form `Σ coeffs[key]·value(key) + konst` over tape positions
+/// (and, in stateful mode, state components) — the paper's `⟨v⃗, c⟩`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LinForm {
+    pub(crate) coeffs: BTreeMap<SymKey, f64>,
+    pub(crate) konst: Value,
+}
+
+impl LinForm {
+    fn constant(v: Value) -> Self {
+        LinForm {
+            coeffs: BTreeMap::new(),
+            konst: v,
+        }
+    }
+
+    fn peek_at(pos: usize) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(SymKey::Peek(pos), 1.0);
+        LinForm {
+            coeffs,
+            konst: Value::Float(0.0),
+        }
+    }
+
+    fn state_at(k: usize) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(SymKey::State(k), 1.0);
+        LinForm {
+            coeffs,
+            konst: Value::Float(0.0),
+        }
+    }
+
+    fn is_const(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Largest referenced tape position, if any.
+    fn max_peek(&self) -> Option<usize> {
+        self.coeffs
+            .keys()
+            .filter_map(|k| match k {
+                SymKey::Peek(p) => Some(*p),
+                SymKey::State(_) => None,
+            })
+            .max()
+    }
+
+    fn prune(mut self) -> Self {
+        self.coeffs.retain(|_, c| *c != 0.0);
+        self
+    }
+}
+
+/// The value lattice: a linear form or ⊤.
+#[derive(Debug, Clone, PartialEq)]
+enum Sym {
+    Lin(LinForm),
+    Top,
+}
+
+impl Sym {
+    fn constant(v: Value) -> Self {
+        Sym::Lin(LinForm::constant(v))
+    }
+
+    fn as_const(&self) -> Option<Value> {
+        match self {
+            Sym::Lin(f) if f.is_const() => Some(f.konst),
+            _ => None,
+        }
+    }
+
+    fn join(&self, other: &Sym) -> Sym {
+        if self == other {
+            self.clone()
+        } else {
+            Sym::Top
+        }
+    }
+}
+
+/// A symbolic storage cell.
+#[derive(Debug, Clone, PartialEq)]
+enum SymCell {
+    Scalar(Sym),
+    Array(SymArray),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct SymArray {
+    dims: Vec<usize>,
+    data: Vec<Sym>,
+    /// Set once any store used a non-constant index; all reads become ⊤.
+    tainted: bool,
+}
+
+impl SymCell {
+    /// Converts a concrete cell (field initial value or parameter) into a
+    /// symbolic one. In standard extraction, mutated fields are ⊤
+    /// throughout: "if a filter has persistent state, all accesses to that
+    /// state are marked as ⊤". Stateful extraction instead passes a state
+    /// index so the field reads as a state symbol.
+    fn from_cell(cell: &Cell, mutated_field: bool, state_index: Option<usize>) -> SymCell {
+        if mutated_field {
+            if let Some(k) = state_index {
+                return SymCell::Scalar(Sym::Lin(LinForm::state_at(k)));
+            }
+            return match cell {
+                Cell::Scalar(..) => SymCell::Scalar(Sym::Top),
+                Cell::Array(a) => SymCell::Array(SymArray {
+                    dims: a.dims.clone(),
+                    data: vec![Sym::Top; a.data.len()],
+                    tainted: true,
+                }),
+            };
+        }
+        match cell {
+            Cell::Scalar(_, v) => SymCell::Scalar(Sym::constant(*v)),
+            Cell::Array(a) => SymCell::Array(SymArray {
+                dims: a.dims.clone(),
+                data: a.data.iter().map(|v| Sym::constant(*v)).collect(),
+                tainted: false,
+            }),
+        }
+    }
+}
+
+// ---- linear-form arithmetic (Figure 3-2 / Algorithm 2 cases) --------------
+
+fn sym_bin(op: BinOp, a: &Sym, b: &Sym) -> Sym {
+    let (Sym::Lin(fa), Sym::Lin(fb)) = (a, b) else {
+        return Sym::Top;
+    };
+    match op {
+        BinOp::Add | BinOp::Sub => {
+            let Ok(konst) = bin_op(op, fa.konst, fb.konst) else {
+                return Sym::Top;
+            };
+            let mut coeffs = fa.coeffs.clone();
+            for (&p, &c) in &fb.coeffs {
+                let e = coeffs.entry(p).or_insert(0.0);
+                if op == BinOp::Add {
+                    *e += c;
+                } else {
+                    *e -= c;
+                }
+            }
+            Sym::Lin(LinForm { coeffs, konst }.prune())
+        }
+        BinOp::Mul => {
+            if fa.is_const() {
+                scale_form(fb, fa.konst, BinOp::Mul)
+            } else if fb.is_const() {
+                scale_form(fa, fb.konst, BinOp::Mul)
+            } else {
+                Sym::Top
+            }
+        }
+        BinOp::Div => {
+            // Only division *by* a non-zero constant is linear; a value
+            // divided by an input-dependent divisor is not (§3.2 footnote).
+            if fb.is_const() {
+                match fb.konst.as_f64() {
+                    Ok(d) if d != 0.0 => scale_form(fa, fb.konst, BinOp::Div),
+                    _ => Sym::Top,
+                }
+            } else {
+                Sym::Top
+            }
+        }
+        // Non-linear operators require both operands constant.
+        _ => match (fa.is_const(), fb.is_const()) {
+            (true, true) => match bin_op(op, fa.konst, fb.konst) {
+                Ok(v) => Sym::constant(v),
+                Err(_) => Sym::Top,
+            },
+            _ => Sym::Top,
+        },
+    }
+}
+
+/// Scales a form by a constant (`op` is `Mul` or `Div`, constant on the
+/// right).
+fn scale_form(f: &LinForm, k: Value, op: BinOp) -> Sym {
+    let Ok(konst) = bin_op(op, f.konst, k) else {
+        return Sym::Top;
+    };
+    let Ok(kf) = k.as_f64() else { return Sym::Top };
+    let coeffs = f
+        .coeffs
+        .iter()
+        .map(|(&p, &c)| (p, if op == BinOp::Mul { c * kf } else { c / kf }))
+        .collect();
+    Sym::Lin(LinForm { coeffs, konst }.prune())
+}
+
+fn sym_un(op: UnOp, a: &Sym) -> Sym {
+    let Sym::Lin(f) = a else { return Sym::Top };
+    match op {
+        UnOp::Neg => {
+            let Ok(konst) = un_op(op, f.konst) else {
+                return Sym::Top;
+            };
+            let coeffs = f.coeffs.iter().map(|(&p, &c)| (p, -c)).collect();
+            Sym::Lin(LinForm { coeffs, konst })
+        }
+        UnOp::Not => match f.is_const() {
+            true => match un_op(op, f.konst) {
+                Ok(v) => Sym::constant(v),
+                Err(_) => Sym::Top,
+            },
+            false => Sym::Top,
+        },
+    }
+}
+
+// ---- the symbolic executor -------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct SymState {
+    env: HashMap<String, SymCell>,
+    popcount: usize,
+    pushes: Vec<Sym>,
+}
+
+struct SymExec {
+    declared_peek: usize,
+    fuel: u64,
+}
+
+enum Flow {
+    Normal,
+    Return,
+}
+
+impl SymExec {
+    fn spend(&mut self) -> Result<(), NonLinear> {
+        if self.fuel == 0 {
+            return Err(NonLinear::Unresolved("analysis fuel exhausted".into()));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn exec_block(&mut self, st: &mut SymState, block: &Block) -> Result<Flow, NonLinear> {
+        for s in &block.stmts {
+            if let Flow::Return = self.exec_stmt(st, s)? {
+                return Ok(Flow::Return);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, st: &mut SymState, stmt: &Stmt) -> Result<Flow, NonLinear> {
+        self.spend()?;
+        match stmt {
+            Stmt::Decl { ty, name, init } => {
+                let cell = self.make_cell(st, ty)?;
+                st.env.insert(name.clone(), cell);
+                if let Some(e) = init {
+                    let v = self.eval(st, e)?;
+                    self.assign(st, &LValue::Var(name.clone()), v)?;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { target, op, value } => {
+                let rhs = self.eval(st, value)?;
+                let v = match op {
+                    None => rhs,
+                    Some(op) => {
+                        let cur = self.read_lvalue(st, target)?;
+                        sym_bin(*op, &cur, &rhs)
+                    }
+                };
+                self.assign(st, target, v)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self.eval(st, cond)?;
+                match c.as_const() {
+                    Some(Value::Bool(true)) => self.exec_block(st, then_blk),
+                    Some(Value::Bool(false)) => match else_blk {
+                        Some(e) => self.exec_block(st, e),
+                        None => Ok(Flow::Normal),
+                    },
+                    Some(_) => Err(NonLinear::Unsupported(
+                        "branch condition is not boolean".into(),
+                    )),
+                    None => {
+                        // Input-dependent condition: execute both sides and
+                        // join under ⊔ (Algorithm 2's branch case).
+                        let mut then_st = st.clone();
+                        let t_flow = self.exec_block(&mut then_st, then_blk)?;
+                        let mut else_st = st.clone();
+                        let e_flow = match else_blk {
+                            Some(e) => self.exec_block(&mut else_st, e)?,
+                            None => Flow::Normal,
+                        };
+                        if matches!(t_flow, Flow::Return) != matches!(e_flow, Flow::Return) {
+                            return Err(NonLinear::BranchMismatch(
+                                "one branch returns, the other falls through".into(),
+                            ));
+                        }
+                        *st = join_states(then_st, else_st)?;
+                        Ok(t_flow)
+                    }
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    if let Flow::Return = self.exec_stmt(st, i)? {
+                        return Ok(Flow::Return);
+                    }
+                }
+                loop {
+                    self.spend()?;
+                    let go = match cond {
+                        None => true,
+                        Some(c) => self.const_bool(st, c)?,
+                    };
+                    if !go {
+                        break;
+                    }
+                    if let Flow::Return = self.exec_block(st, body)? {
+                        return Ok(Flow::Return);
+                    }
+                    if let Some(s) = step {
+                        if let Flow::Return = self.exec_stmt(st, s)? {
+                            return Ok(Flow::Return);
+                        }
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::While { cond, body } => {
+                loop {
+                    self.spend()?;
+                    if !self.const_bool(st, cond)? {
+                        break;
+                    }
+                    if let Flow::Return = self.exec_block(st, body)? {
+                        return Ok(Flow::Return);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.eval(st, e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Return => Ok(Flow::Return),
+            Stmt::Add(_) => Err(NonLinear::Unsupported("`add` inside a work function".into())),
+        }
+    }
+
+    /// Loop conditions must resolve to constants so the loop can be fully
+    /// unrolled; otherwise the filter is disregarded (§3.2).
+    fn const_bool(&mut self, st: &mut SymState, e: &Expr) -> Result<bool, NonLinear> {
+        match self.eval(st, e)?.as_const() {
+            Some(Value::Bool(b)) => Ok(b),
+            _ => Err(NonLinear::Unresolved(
+                "loop bound depends on the input or on ⊤ state".into(),
+            )),
+        }
+    }
+
+    fn make_cell(&mut self, st: &mut SymState, ty: &Type) -> Result<SymCell, NonLinear> {
+        let mut dims = Vec::with_capacity(ty.dims.len());
+        for d in &ty.dims {
+            dims.push(self.const_index(st, d)?);
+        }
+        Ok(if dims.is_empty() {
+            SymCell::Scalar(Sym::constant(Value::zero_of(ty.base)))
+        } else {
+            let n = dims.iter().product();
+            SymCell::Array(SymArray {
+                dims,
+                data: vec![Sym::constant(Value::zero_of(ty.base)); n],
+                tainted: false,
+            })
+        })
+    }
+
+    fn const_index(&mut self, st: &mut SymState, e: &Expr) -> Result<usize, NonLinear> {
+        match self.eval(st, e)?.as_const() {
+            Some(v) => v.as_index().map_err(|e| NonLinear::Unsupported(e.message)),
+            None => Err(NonLinear::Unresolved(
+                "array index or size depends on the input".into(),
+            )),
+        }
+    }
+
+    fn flat_offset(dims: &[usize], idx: &[usize]) -> Result<usize, NonLinear> {
+        if dims.len() != idx.len() {
+            return Err(NonLinear::Unsupported("array rank mismatch".into()));
+        }
+        let mut off = 0;
+        for (&i, &d) in idx.iter().zip(dims) {
+            if i >= d {
+                return Err(NonLinear::Unsupported(format!(
+                    "array index {i} out of bounds for dimension of size {d}"
+                )));
+            }
+            off = off * d + i;
+        }
+        Ok(off)
+    }
+
+    /// Evaluates index expressions; `None` if any is input-dependent.
+    fn eval_indices(
+        &mut self,
+        st: &mut SymState,
+        idx_exprs: &[Expr],
+    ) -> Result<Option<Vec<usize>>, NonLinear> {
+        let mut idx = Vec::with_capacity(idx_exprs.len());
+        for e in idx_exprs {
+            match self.eval(st, e)?.as_const() {
+                Some(v) => {
+                    idx.push(v.as_index().map_err(|e| NonLinear::Unsupported(e.message))?)
+                }
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(idx))
+    }
+
+    fn read_lvalue(&mut self, st: &mut SymState, lv: &LValue) -> Result<Sym, NonLinear> {
+        match lv {
+            LValue::Var(name) => match st.env.get(name) {
+                Some(SymCell::Scalar(s)) => Ok(s.clone()),
+                Some(SymCell::Array(_)) => {
+                    Err(NonLinear::Unsupported(format!("`{name}` is an array")))
+                }
+                None => Err(NonLinear::Unsupported(format!("undefined variable `{name}`"))),
+            },
+            LValue::Index(name, idx_exprs) => {
+                let idx = self.eval_indices(st, idx_exprs)?;
+                match st.env.get(name) {
+                    Some(SymCell::Array(a)) => match idx {
+                        _ if a.tainted => Ok(Sym::Top),
+                        None => Ok(Sym::Top),
+                        Some(idx) => {
+                            let off = Self::flat_offset(&a.dims, &idx)?;
+                            Ok(a.data[off].clone())
+                        }
+                    },
+                    Some(SymCell::Scalar(_)) => {
+                        Err(NonLinear::Unsupported(format!("`{name}` is a scalar")))
+                    }
+                    None => Err(NonLinear::Unsupported(format!("undefined array `{name}`"))),
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, st: &mut SymState, lv: &LValue, v: Sym) -> Result<(), NonLinear> {
+        match lv {
+            LValue::Var(name) => match st.env.get_mut(name) {
+                Some(SymCell::Scalar(slot)) => {
+                    *slot = v;
+                    Ok(())
+                }
+                Some(SymCell::Array(_)) => {
+                    Err(NonLinear::Unsupported(format!("cannot assign to array `{name}`")))
+                }
+                None => Err(NonLinear::Unsupported(format!("undefined variable `{name}`"))),
+            },
+            LValue::Index(name, idx_exprs) => {
+                let idx = self.eval_indices(st, idx_exprs)?;
+                match st.env.get_mut(name) {
+                    Some(SymCell::Array(a)) => {
+                        match idx {
+                            None => {
+                                // A store at an unknown position clobbers
+                                // the whole array, conservatively.
+                                a.tainted = true;
+                                for s in &mut a.data {
+                                    *s = Sym::Top;
+                                }
+                            }
+                            Some(idx) => {
+                                let off = Self::flat_offset(&a.dims, &idx)?;
+                                a.data[off] = v;
+                            }
+                        }
+                        Ok(())
+                    }
+                    Some(SymCell::Scalar(_)) => {
+                        Err(NonLinear::Unsupported(format!("`{name}` is a scalar")))
+                    }
+                    None => Err(NonLinear::Unsupported(format!("undefined array `{name}`"))),
+                }
+            }
+        }
+    }
+
+    fn eval(&mut self, st: &mut SymState, expr: &Expr) -> Result<Sym, NonLinear> {
+        match expr {
+            Expr::Int(v) => Ok(Sym::constant(Value::Int(*v))),
+            Expr::Float(v) => Ok(Sym::constant(Value::Float(*v))),
+            Expr::Bool(v) => Ok(Sym::constant(Value::Bool(*v))),
+            Expr::Pi => Ok(Sym::constant(Value::Float(std::f64::consts::PI))),
+            Expr::Var(name) => self.read_lvalue(st, &LValue::Var(name.clone())),
+            Expr::Index(name, idx) => {
+                self.read_lvalue(st, &LValue::Index(name.clone(), idx.clone()))
+            }
+            Expr::Unary(op, e) => {
+                let v = self.eval(st, e)?;
+                Ok(sym_un(*op, &v))
+            }
+            Expr::Binary(op, a, b) => {
+                let x = self.eval(st, a)?;
+                let y = self.eval(st, b)?;
+                Ok(sym_bin(*op, &x, &y))
+            }
+            Expr::Peek(i) => {
+                let i = self.const_index(st, i)?;
+                let pos = st.popcount + i;
+                if pos >= self.declared_peek {
+                    return Err(NonLinear::PeekOutOfRange {
+                        pos,
+                        peek: self.declared_peek,
+                    });
+                }
+                Ok(Sym::Lin(LinForm::peek_at(pos)))
+            }
+            Expr::Pop => {
+                let pos = st.popcount;
+                if pos >= self.declared_peek {
+                    return Err(NonLinear::PeekOutOfRange {
+                        pos,
+                        peek: self.declared_peek,
+                    });
+                }
+                st.popcount += 1;
+                Ok(Sym::Lin(LinForm::peek_at(pos)))
+            }
+            Expr::Push(e) => {
+                let v = self.eval(st, e)?;
+                st.pushes.push(v);
+                Ok(Sym::constant(Value::Int(0)))
+            }
+            Expr::Call(name, args) => {
+                if name == "print" || name == "println" {
+                    return Err(NonLinear::Prints);
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.eval(st, a)?.as_const() {
+                        Some(v) => vals.push(v),
+                        None => return Ok(Sym::Top),
+                    }
+                }
+                match math_call(name, &vals) {
+                    Ok(v) => Ok(Sym::constant(v)),
+                    Err(e) => Err(NonLinear::Unsupported(e.message)),
+                }
+            }
+            Expr::PostIncDec { target, inc } => {
+                let cur = self.read_lvalue(st, target)?;
+                let one = Sym::constant(Value::Int(1));
+                let op = if *inc { BinOp::Add } else { BinOp::Sub };
+                let next = sym_bin(op, &cur, &one);
+                self.assign(st, target, next)?;
+                Ok(cur)
+            }
+        }
+    }
+}
+
+fn join_states(a: SymState, b: SymState) -> Result<SymState, NonLinear> {
+    if a.popcount != b.popcount {
+        return Err(NonLinear::BranchMismatch(format!(
+            "branches pop different amounts ({} vs {})",
+            a.popcount, b.popcount
+        )));
+    }
+    if a.pushes.len() != b.pushes.len() {
+        return Err(NonLinear::BranchMismatch(format!(
+            "branches push different amounts ({} vs {})",
+            a.pushes.len(),
+            b.pushes.len()
+        )));
+    }
+    let pushes = a
+        .pushes
+        .iter()
+        .zip(&b.pushes)
+        .map(|(x, y)| x.join(y))
+        .collect();
+    let mut env = HashMap::new();
+    for (name, ca) in &a.env {
+        // Names declared in only one branch go out of scope at the join.
+        if let Some(cb) = b.env.get(name) {
+            env.insert(name.clone(), join_cells(ca, cb));
+        }
+    }
+    Ok(SymState {
+        env,
+        popcount: a.popcount,
+        pushes,
+    })
+}
+
+fn join_cells(a: &SymCell, b: &SymCell) -> SymCell {
+    match (a, b) {
+        (SymCell::Scalar(x), SymCell::Scalar(y)) => SymCell::Scalar(x.join(y)),
+        (SymCell::Array(x), SymCell::Array(y)) if x.dims == y.dims => {
+            let tainted = x.tainted || y.tainted;
+            let data = x
+                .data
+                .iter()
+                .zip(&y.data)
+                .map(|(p, q)| if tainted { Sym::Top } else { p.join(q) })
+                .collect();
+            SymCell::Array(SymArray {
+                dims: x.dims.clone(),
+                data,
+                tainted,
+            })
+        }
+        (SymCell::Array(x), _) => SymCell::Array(SymArray {
+            dims: x.dims.clone(),
+            data: vec![Sym::Top; x.data.len()],
+            tainted: true,
+        }),
+        (SymCell::Scalar(_), _) => SymCell::Scalar(Sym::Top),
+    }
+}
+
+/// Names assigned anywhere in a block (used to find mutated fields).
+pub(crate) fn written_names(block: &Block) -> HashSet<String> {
+    let mut out = HashSet::new();
+    collect_writes_block(block, &mut out);
+    out
+}
+
+fn collect_writes_block(block: &Block, out: &mut HashSet<String>) {
+    for s in &block.stmts {
+        collect_writes_stmt(s, out);
+    }
+}
+
+fn collect_writes_stmt(stmt: &Stmt, out: &mut HashSet<String>) {
+    match stmt {
+        Stmt::Assign { target, value, .. } => {
+            out.insert(lvalue_name(target).to_string());
+            collect_writes_expr(value, out);
+        }
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                collect_writes_expr(e, out);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            collect_writes_expr(cond, out);
+            collect_writes_block(then_blk, out);
+            if let Some(e) = else_blk {
+                collect_writes_block(e, out);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init {
+                collect_writes_stmt(i, out);
+            }
+            if let Some(c) = cond {
+                collect_writes_expr(c, out);
+            }
+            if let Some(s) = step {
+                collect_writes_stmt(s, out);
+            }
+            collect_writes_block(body, out);
+        }
+        Stmt::While { cond, body } => {
+            collect_writes_expr(cond, out);
+            collect_writes_block(body, out);
+        }
+        Stmt::Expr(e) => collect_writes_expr(e, out),
+        Stmt::Return | Stmt::Add(_) => {}
+    }
+}
+
+fn collect_writes_expr(e: &Expr, out: &mut HashSet<String>) {
+    match e {
+        Expr::PostIncDec { target, .. } => {
+            out.insert(lvalue_name(target).to_string());
+        }
+        Expr::Unary(_, a) | Expr::Peek(a) | Expr::Push(a) => collect_writes_expr(a, out),
+        Expr::Binary(_, a, b) => {
+            collect_writes_expr(a, out);
+            collect_writes_expr(b, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                collect_writes_expr(a, out);
+            }
+        }
+        Expr::Index(_, idx) => {
+            for i in idx {
+                collect_writes_expr(i, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn lvalue_name(lv: &LValue) -> &str {
+    match lv {
+        LValue::Var(n) => n,
+        LValue::Index(n, _) => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlin_graph::elaborate::elaborate_named;
+    use streamlin_graph::ir::Stream;
+
+    fn filter_of(src: &str, name: &str, args: &[Value]) -> std::rc::Rc<FilterInst> {
+        let p = streamlin_lang::parse(src).unwrap();
+        let Stream::Filter(f) = elaborate_named(&p, name, args).unwrap() else {
+            panic!("{name} is not a filter");
+        };
+        f
+    }
+
+    fn extract_src(src: &str, name: &str, args: &[Value]) -> Result<LinearNode, NonLinear> {
+        extract(&filter_of(src, name, args))
+    }
+
+    #[test]
+    fn figure_3_1_example_filter() {
+        let node = extract_src(
+            "float->float filter ExampleFilter {
+                work peek 3 pop 1 push 2 {
+                    push(3*peek(2) + 5*peek(1));
+                    push(2*peek(2) + peek(0) + 6);
+                    pop();
+                }
+            }",
+            "ExampleFilter",
+            &[],
+        )
+        .unwrap();
+        assert_eq!((node.peek(), node.pop(), node.push()), (3, 1, 2));
+        assert_eq!(node.a().row(0), &[2.0, 3.0]);
+        assert_eq!(node.a().row(1), &[0.0, 5.0]);
+        assert_eq!(node.a().row(2), &[1.0, 0.0]);
+        assert_eq!(node.b().as_slice(), &[6.0, 0.0]);
+    }
+
+    #[test]
+    fn fir_filter_with_init_weights() {
+        let node = extract_src(
+            "float->float filter LowPass(int N) {
+                float[N] h;
+                init { for (int i=0; i<N; i++) h[i] = 1.0 / (i + 1); }
+                work peek N pop 1 push 1 {
+                    float sum = 0;
+                    for (int i=0; i<N; i++) sum += h[i] * peek(i);
+                    push(sum);
+                    pop();
+                }
+            }",
+            "LowPass",
+            &[Value::Int(4)],
+        )
+        .unwrap();
+        assert_eq!(node.peek(), 4);
+        for i in 0..4 {
+            assert!((node.coeff(i, 0) - 1.0 / (i as f64 + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compressor_is_linear() {
+        let node = extract_src(
+            "float->float filter Compressor(int M) {
+                work peek M pop M push 1 {
+                    push(pop());
+                    for (int i=0; i<(M-1); i++) pop();
+                }
+            }",
+            "Compressor",
+            &[Value::Int(3)],
+        )
+        .unwrap();
+        assert_eq!((node.peek(), node.pop(), node.push()), (3, 3, 1));
+        assert_eq!(node.coeff(0, 0), 1.0);
+        assert_eq!(node.coeff(1, 0), 0.0);
+    }
+
+    #[test]
+    fn expander_is_linear() {
+        let node = extract_src(
+            "float->float filter Expander(int L) {
+                work peek 1 pop 1 push L {
+                    push(pop());
+                    for (int i=0; i<(L-1); i++) push(0);
+                }
+            }",
+            "Expander",
+            &[Value::Int(3)],
+        )
+        .unwrap();
+        assert_eq!((node.peek(), node.pop(), node.push()), (1, 1, 3));
+        assert_eq!(node.coeff(0, 0), 1.0);
+        assert_eq!(node.coeff(0, 1), 0.0);
+        assert_eq!(node.coeff(0, 2), 0.0);
+    }
+
+    #[test]
+    fn threshold_detector_is_nonlinear() {
+        // Both branches push, but different values: the join is ⊤.
+        let err = extract_src(
+            "float->float filter Detect(float t) {
+                work pop 1 push 1 {
+                    float v = pop();
+                    if (v > t) { push(1); } else { push(0); }
+                }
+            }",
+            "Detect",
+            &[Value::Float(0.5)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::PushedNonAffine { index: 0 }), "{err}");
+    }
+
+    #[test]
+    fn equal_pushes_across_branches_stay_linear() {
+        let node = extract_src(
+            "float->float filter F {
+                work pop 1 push 1 {
+                    float v = pop();
+                    if (v > 0) { push(2 * v); } else { push(v + v); }
+                }
+            }",
+            "F",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(node.coeff(0, 0), 2.0);
+    }
+
+    #[test]
+    fn branch_pop_mismatch_fails() {
+        let err = extract_src(
+            "float->float filter F {
+                work peek 2 pop 2 push 1 {
+                    push(peek(0));
+                    if (peek(1) > 0) { pop(); pop(); } else { pop(); }
+                }
+            }",
+            "F",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::BranchMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn stateful_source_is_nonlinear() {
+        let err = extract_src(
+            "void->float filter Src {
+                float x;
+                init { x = 0; }
+                work push 1 { push(x++); }
+            }",
+            "Src",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::PushedNonAffine { .. }), "{err}");
+    }
+
+    #[test]
+    fn delay_filter_is_nonlinear() {
+        let err = extract_src(
+            "float->float filter Delay {
+                float s;
+                work pop 1 push 1 { push(s); s = pop(); }
+            }",
+            "Delay",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::PushedNonAffine { .. }), "{err}");
+    }
+
+    #[test]
+    fn product_of_inputs_is_nonlinear() {
+        let err = extract_src(
+            "float->float filter Sq {
+                work peek 2 pop 1 push 1 { push(peek(0) * peek(1)); pop(); }
+            }",
+            "Sq",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::PushedNonAffine { .. }), "{err}");
+    }
+
+    #[test]
+    fn division_by_constant_is_linear() {
+        let node = extract_src(
+            "float->float filter Half {
+                work pop 1 push 1 { push(pop() / 2.0); }
+            }",
+            "Half",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(node.coeff(0, 0), 0.5);
+    }
+
+    #[test]
+    fn division_by_input_is_nonlinear() {
+        let err = extract_src(
+            "float->float filter F {
+                work peek 2 pop 2 push 1 { push(peek(0) / peek(1)); pop(); pop(); }
+            }",
+            "F",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::PushedNonAffine { .. }), "{err}");
+    }
+
+    #[test]
+    fn printing_filter_is_nonlinear() {
+        let err = extract_src(
+            "float->void filter Printer { work pop 1 { println(pop()); } }",
+            "Printer",
+            &[],
+        )
+        .unwrap_err();
+        assert_eq!(err, NonLinear::Prints);
+    }
+
+    #[test]
+    fn pure_sink_is_linear_with_zero_push() {
+        let node = extract_src(
+            "float->void filter Sink { work pop 1 { pop(); } }",
+            "Sink",
+            &[],
+        )
+        .unwrap();
+        assert_eq!((node.peek(), node.pop(), node.push()), (1, 1, 0));
+    }
+
+    #[test]
+    fn pop_count_mismatch_fails() {
+        let err = extract_src(
+            "float->float filter F { work peek 2 pop 2 push 1 { push(pop()); } }",
+            "F",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::PopCountMismatch { declared: 2, actual: 1 }));
+    }
+
+    #[test]
+    fn push_count_mismatch_fails() {
+        let err = extract_src(
+            "float->float filter F { work pop 1 push 2 { push(pop()); } }",
+            "F",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::PushCountMismatch { declared: 2, actual: 1 }));
+    }
+
+    #[test]
+    fn peek_beyond_declared_rate_fails() {
+        let err = extract_src(
+            "float->float filter F { work peek 2 pop 1 push 1 { push(peek(2)); pop(); } }",
+            "F",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::PeekOutOfRange { pos: 2, peek: 2 }));
+    }
+
+    #[test]
+    fn input_dependent_loop_bound_fails() {
+        let err = extract_src(
+            "float->float filter F {
+                work pop 1 push 1 {
+                    float v = pop();
+                    float acc = 0;
+                    int i = 0;
+                    while (i < v) { acc += 1; i++; }
+                    push(acc);
+                }
+            }",
+            "F",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::Unresolved(_)), "{err}");
+    }
+
+    #[test]
+    fn branch_consistent_array_writes_stay_linear() {
+        let node = extract_src(
+            "float->float filter F {
+                work peek 1 pop 1 push 1 {
+                    float[2] t;
+                    t[0] = 3 * peek(0);
+                    t[1] = t[0] + 1;
+                    push(t[1]);
+                    pop();
+                }
+            }",
+            "F",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(node.coeff(0, 0), 3.0);
+        assert_eq!(node.offset(0), 1.0);
+    }
+
+    #[test]
+    fn init_work_filters_are_rejected() {
+        let err = extract_src(
+            "float->float filter F {
+                initWork pop 1 push 1 { push(pop()); }
+                work pop 1 push 1 { push(2 * pop()); }
+            }",
+            "F",
+            &[],
+        )
+        .unwrap_err();
+        assert_eq!(err, NonLinear::HasInitWork);
+    }
+
+    #[test]
+    fn constant_source_is_linear() {
+        let node = extract_src(
+            "void->float filter One { work push 1 { push(1.5); } }",
+            "One",
+            &[],
+        )
+        .unwrap();
+        assert_eq!((node.peek(), node.pop(), node.push()), (0, 0, 1));
+        assert_eq!(node.offset(0), 1.5);
+    }
+
+    #[test]
+    fn extraction_matches_definition_on_fire() {
+        // The extracted node must reproduce the work function's output.
+        let node = extract_src(
+            "float->float filter F {
+                work peek 4 pop 2 push 2 {
+                    push(0.5*peek(3) - 2*peek(0) + 1);
+                    push(peek(1) + peek(2));
+                    pop(); pop();
+                }
+            }",
+            "F",
+            &[],
+        )
+        .unwrap();
+        let w = [1.0, 10.0, 100.0, 1000.0];
+        let out = node.fire(&w);
+        assert_eq!(out, vec![0.5 * 1000.0 - 2.0 + 1.0, 10.0 + 100.0]);
+    }
+
+    #[test]
+    fn constant_folding_through_math_calls() {
+        let node = extract_src(
+            "float->float filter F {
+                work pop 1 push 1 { push(cos(0.0) * pop() + sqrt(4.0)); }
+            }",
+            "F",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(node.coeff(0, 0), 1.0);
+        assert_eq!(node.offset(0), 2.0);
+    }
+
+    #[test]
+    fn math_call_on_input_is_top() {
+        let err = extract_src(
+            "float->float filter F { work pop 1 push 1 { push(sin(pop())); } }",
+            "F",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NonLinear::PushedNonAffine { .. }));
+    }
+
+    #[test]
+    fn multiplication_by_zero_cancels_input_dependence() {
+        // 0 * peek(0) has an empty coefficient vector: the result is a
+        // constant and the filter remains linear (prune semantics).
+        let node = extract_src(
+            "float->float filter F {
+                work pop 1 push 1 { push(0 * peek(0) + pop()); }
+            }",
+            "F",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(node.coeff(0, 0), 1.0);
+    }
+}

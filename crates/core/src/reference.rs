@@ -1,0 +1,186 @@
+//! Channel-accurate reference simulator for structures of linear nodes.
+//!
+//! Every transformation in this crate claims "the combined node is
+//! equivalent to the original structure". This module is the oracle for
+//! those claims: it executes pipelines and splitjoins of [`LinearNode`]s
+//! with explicit FIFO semantics (batch-style: children consume everything
+//! available), so tests can compare a transformed node's
+//! [`LinearNode::fire_sequence`] output against the original structure's.
+
+use streamlin_graph::ir::Splitter;
+
+use crate::node::LinearNode;
+
+/// A structure of linear nodes for reference execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefStream {
+    /// A leaf node.
+    Node(LinearNode),
+    /// Serial composition.
+    Pipeline(Vec<RefStream>),
+    /// Parallel composition with a splitter and round-robin joiner weights.
+    SplitJoin {
+        /// Input distribution.
+        split: Splitter,
+        /// Children.
+        children: Vec<RefStream>,
+        /// Joiner weights.
+        join: Vec<usize>,
+    },
+}
+
+/// Runs a structure to completion over a finite input, returning every
+/// output that can be produced.
+///
+/// Because the filters are causal and rates are static, the prefix of this
+/// batch execution coincides with a streaming execution — which is what
+/// makes it a valid oracle.
+///
+/// # Panics
+///
+/// Panics on structural errors (empty pipeline, mismatched weights) — this
+/// is a test utility, not a validated API.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_core::node::LinearNode;
+/// use streamlin_core::reference::{run_reference, RefStream};
+///
+/// let s = RefStream::Node(LinearNode::fir(&[1.0, 1.0]));
+/// assert_eq!(run_reference(&s, &[1.0, 2.0, 3.0]), vec![3.0, 5.0]);
+/// ```
+pub fn run_reference(stream: &RefStream, input: &[f64]) -> Vec<f64> {
+    match stream {
+        RefStream::Node(n) => {
+            if n.pop() == 0 {
+                // Sources produce nothing in batch mode (unbounded output);
+                // reference structures should not contain them.
+                panic!("reference simulator cannot run pop-0 nodes");
+            }
+            n.fire_sequence(input)
+        }
+        RefStream::Pipeline(children) => {
+            assert!(!children.is_empty(), "empty reference pipeline");
+            let mut data = input.to_vec();
+            for c in children {
+                data = run_reference(c, &data);
+            }
+            data
+        }
+        RefStream::SplitJoin {
+            split,
+            children,
+            join,
+        } => {
+            assert_eq!(join.len(), children.len(), "joiner weight mismatch");
+            // Distribute the input.
+            let child_inputs: Vec<Vec<f64>> = match split {
+                Splitter::Duplicate => children.iter().map(|_| input.to_vec()).collect(),
+                Splitter::RoundRobin(w) => {
+                    assert_eq!(w.len(), children.len(), "splitter weight mismatch");
+                    let cycle: usize = w.iter().sum();
+                    let mut outs = vec![Vec::new(); children.len()];
+                    let mut pos = 0;
+                    'outer: loop {
+                        for (k, &wk) in w.iter().enumerate() {
+                            for _ in 0..wk {
+                                if pos >= input.len() {
+                                    break 'outer;
+                                }
+                                outs[k].push(input[pos]);
+                                pos += 1;
+                            }
+                        }
+                    }
+                    let _ = cycle;
+                    outs
+                }
+            };
+            // Run children.
+            let child_outputs: Vec<Vec<f64>> = children
+                .iter()
+                .zip(&child_inputs)
+                .map(|(c, ci)| run_reference(c, ci))
+                .collect();
+            // Join round-robin: stop at the first child that cannot supply
+            // its full weight for the next cycle.
+            let cycles = child_outputs
+                .iter()
+                .zip(join)
+                .map(|(o, &w)| o.len().checked_div(w).unwrap_or(usize::MAX))
+                .min()
+                .unwrap_or(0);
+            let mut out = Vec::new();
+            for cyc in 0..cycles {
+                for (k, &wk) in join.iter().enumerate() {
+                    let start = cyc * wk;
+                    out.extend_from_slice(&child_outputs[k][start..start + wk]);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_chains_outputs() {
+        let s = RefStream::Pipeline(vec![
+            RefStream::Node(LinearNode::fir(&[1.0, 1.0])),
+            RefStream::Node(LinearNode::fir(&[2.0])),
+        ]);
+        assert_eq!(run_reference(&s, &[1.0, 2.0, 3.0]), vec![6.0, 10.0]);
+    }
+
+    #[test]
+    fn duplicate_splitjoin_interleaves() {
+        let s = RefStream::SplitJoin {
+            split: Splitter::Duplicate,
+            children: vec![
+                RefStream::Node(LinearNode::fir(&[1.0])),
+                RefStream::Node(LinearNode::fir(&[10.0])),
+            ],
+            join: vec![1, 1],
+        };
+        assert_eq!(
+            run_reference(&s, &[1.0, 2.0]),
+            vec![1.0, 10.0, 2.0, 20.0]
+        );
+    }
+
+    #[test]
+    fn roundrobin_splitter_distributes() {
+        let s = RefStream::SplitJoin {
+            split: Splitter::RoundRobin(vec![2, 1]),
+            children: vec![
+                RefStream::Node(LinearNode::identity(1)),
+                RefStream::Node(LinearNode::fir(&[100.0])),
+            ],
+            join: vec![2, 1],
+        };
+        assert_eq!(
+            run_reference(&s, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            vec![1.0, 2.0, 300.0, 4.0, 5.0, 600.0]
+        );
+    }
+
+    #[test]
+    fn joiner_stops_at_starved_child() {
+        let s = RefStream::SplitJoin {
+            split: Splitter::Duplicate,
+            children: vec![
+                RefStream::Node(LinearNode::identity(1)),
+                // needs 3 items of lookahead per output
+                RefStream::Node(LinearNode::fir(&[1.0, 1.0, 1.0])),
+            ],
+            join: vec![1, 1],
+        };
+        let out = run_reference(&s, &[1.0, 2.0, 3.0, 4.0]);
+        // second child produces 2 outputs -> 2 joiner cycles
+        assert_eq!(out, vec![1.0, 6.0, 2.0, 9.0]);
+    }
+}

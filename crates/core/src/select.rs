@@ -1,0 +1,668 @@
+//! Optimization selection (paper §4.3, Figures 4-3 … 4-6).
+//!
+//! Maximal replacement is not always profitable: combining can inflate the
+//! operation count (the Beamform × FIR blow-up in Radar) and frequency
+//! translation sours as pop rates grow. The selection algorithm — conceived
+//! by Thies in the paper — explores, with dynamic programming over
+//! contiguous child ranges of every container, all ways to cut the graph
+//! into regions and, for each region, the three implementations
+//! {collapsed-linear, collapsed-frequency, uncollapsed}; memoization makes
+//! the exploration polynomial.
+//!
+//! Pipelines are cut horizontally and splitjoins vertically (with sliced
+//! splitter/joiner weights — a valid refactoring for both duplicate and
+//! round-robin splitters). The 2-D grid refactoring across
+//! splitjoins-of-pipelines is not implemented (DESIGN.md records this
+//! restriction; the nested DP covers every shape in the benchmark suite).
+//! Costs are scaled by firings per global steady state, obtained from the
+//! rate solver.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use streamlin_fft::FftKind;
+use streamlin_graph::ir::{FilterInst, Joiner, Splitter, Stream};
+use streamlin_graph::steady::{child_multipliers, steady_state};
+
+use crate::combine::LinearAnalysis;
+use crate::cost::CostModel;
+use crate::frequency::{FreqSpec, FreqStrategy};
+use crate::node::LinearNode;
+use crate::opt::OptStream;
+use crate::pipeline::combine_pipeline;
+use crate::splitjoin::combine_splitjoin;
+
+/// Options controlling what the selector may choose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectOptions {
+    /// Frequency code-generation strategy for chosen regions.
+    pub strategy: FreqStrategy,
+    /// FFT tier for chosen regions.
+    pub kind: FftKind,
+    /// Restrict frequency translation to `pop == 1` nodes.
+    pub unit_pop_only: bool,
+}
+
+impl Default for SelectOptions {
+    fn default() -> Self {
+        SelectOptions {
+            strategy: FreqStrategy::Optimized,
+            kind: FftKind::Tuned,
+            unit_pop_only: false,
+        }
+    }
+}
+
+/// The selector's output: the chosen structure and its estimated cost per
+/// global steady state.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The optimized stream.
+    pub opt: OptStream,
+    /// Estimated cost (model units per steady state; non-linear filters
+    /// contribute zero, as in the paper's `getNodeCost`).
+    pub cost: f64,
+}
+
+/// Errors from selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectError {
+    /// Explanation (scheduling failures, mostly).
+    pub message: String,
+}
+
+impl std::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "selection error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// Runs automatic optimization selection over a graph.
+///
+/// # Errors
+///
+/// Fails if the graph has no steady-state schedule.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_core::cost::CostModel;
+/// use streamlin_core::select::{select, SelectOptions};
+///
+/// let p = streamlin_lang::parse(
+///     "void->void pipeline Main { add S(); add G(); add H(); add K(); }
+///      void->float filter S { float x; work push 1 { push(x++); } }
+///      float->float filter G { work pop 1 push 1 { push(2 * pop()); } }
+///      float->float filter H { work pop 1 push 1 { push(pop() + 1); } }
+///      float->void filter K { work pop 1 { println(pop()); } }",
+/// )
+/// .unwrap();
+/// let g = streamlin_graph::elaborate(&p).unwrap();
+/// let analysis = streamlin_core::analyze_graph(&g);
+/// let sel = select(&g, &analysis, &CostModel::default(), &SelectOptions::default()).unwrap();
+/// // The two gains collapse into one linear node.
+/// assert_eq!(sel.opt.stats().linear, 1);
+/// ```
+pub fn select(
+    stream: &Stream,
+    analysis: &LinearAnalysis,
+    model: &CostModel,
+    opts: &SelectOptions,
+) -> Result<Selection, SelectError> {
+    let mut next_id = 0;
+    let tree = build(stream, analysis, 1.0, &mut next_id)?;
+    let mut dp = Dp {
+        model,
+        opts,
+        memo: HashMap::new(),
+    };
+    let choice = dp.any(&tree);
+    Ok(Selection {
+        opt: choice.opt.flatten_pipelines(),
+        cost: choice.cost,
+    })
+}
+
+// ---- the DP tree -----------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct DpNode {
+    id: usize,
+    /// True when this node lives inside a feedback loop — frequency
+    /// implementations are forbidden there (their block latency can
+    /// exceed the loop's enqueued slack and deadlock the cycle).
+    in_feedback: bool,
+    /// Macro-firings per global steady state.
+    scale: f64,
+    /// Items popped per macro-firing.
+    io_pop: u64,
+    /// Items pushed per macro-firing.
+    io_push: u64,
+    /// The fully-combined linear node of this subtree, when it exists.
+    whole: Option<LinearNode>,
+    kind: DpKind,
+}
+
+#[derive(Debug, Clone)]
+enum DpKind {
+    Leaf(Rc<FilterInst>),
+    Pipe(Vec<DpNode>),
+    Split {
+        split: Splitter,
+        join: Joiner,
+        children: Vec<DpNode>,
+    },
+    Feedback {
+        join: Joiner,
+        split: Splitter,
+        enqueue: Vec<f64>,
+        body: Box<DpNode>,
+        loop_stream: Box<DpNode>,
+    },
+}
+
+fn build(
+    stream: &Stream,
+    analysis: &LinearAnalysis,
+    scale: f64,
+    next_id: &mut usize,
+) -> Result<DpNode, SelectError> {
+    build_inner(stream, analysis, scale, next_id, false)
+}
+
+fn build_inner(
+    stream: &Stream,
+    analysis: &LinearAnalysis,
+    scale: f64,
+    next_id: &mut usize,
+    in_feedback: bool,
+) -> Result<DpNode, SelectError> {
+    let io = steady_state(stream)
+        .map_err(|e| SelectError {
+            message: e.message.clone(),
+        })?
+        .io;
+    let id = *next_id;
+    *next_id += 1;
+    let mults = child_multipliers(stream).map_err(|e| SelectError {
+        message: e.message.clone(),
+    })?;
+    let (kind, whole) = match stream {
+        Stream::Filter(f) => {
+            let whole = analysis.node_for(f).cloned();
+            (DpKind::Leaf(Rc::clone(f)), whole)
+        }
+        Stream::Pipeline(children) => {
+            let built: Vec<DpNode> = children
+                .iter()
+                .zip(&mults)
+                .map(|(c, &m)| build_inner(c, analysis, scale * m as f64, next_id, in_feedback))
+                .collect::<Result<_, _>>()?;
+            let whole = fold_pipeline(&built, 0, built.len() - 1);
+            (DpKind::Pipe(built), whole)
+        }
+        Stream::SplitJoin {
+            split,
+            children,
+            join,
+        } => {
+            let built: Vec<DpNode> = children
+                .iter()
+                .zip(&mults)
+                .map(|(c, &m)| build_inner(c, analysis, scale * m as f64, next_id, in_feedback))
+                .collect::<Result<_, _>>()?;
+            let whole = combine_split_range(split, join, &built, 0, built.len() - 1);
+            (
+                DpKind::Split {
+                    split: split.clone(),
+                    join: join.clone(),
+                    children: built,
+                },
+                whole,
+            )
+        }
+        Stream::FeedbackLoop {
+            join,
+            body,
+            loop_stream,
+            split,
+            enqueue,
+        } => {
+            let b = build_inner(body, analysis, scale * mults[0] as f64, next_id, true)?;
+            let l = build_inner(loop_stream, analysis, scale * mults[1] as f64, next_id, true)?;
+            (
+                DpKind::Feedback {
+                    join: join.clone(),
+                    split: split.clone(),
+                    enqueue: enqueue.clone(),
+                    body: Box::new(b),
+                    loop_stream: Box::new(l),
+                },
+                None, // feedback loops are never collapsed (§3.3)
+            )
+        }
+    };
+    Ok(DpNode {
+        id,
+        in_feedback,
+        scale,
+        io_pop: io.pop,
+        io_push: io.push,
+        whole,
+        kind,
+    })
+}
+
+fn fold_pipeline(children: &[DpNode], lo: usize, hi: usize) -> Option<LinearNode> {
+    let mut acc = children[lo].whole.clone()?;
+    for child in &children[lo + 1..=hi] {
+        acc = combine_pipeline(&acc, child.whole.as_ref()?).ok()?;
+    }
+    Some(acc)
+}
+
+fn slice_split(split: &Splitter, lo: usize, hi: usize) -> Splitter {
+    match split {
+        Splitter::Duplicate => Splitter::Duplicate,
+        Splitter::RoundRobin(v) => Splitter::RoundRobin(v[lo..=hi].to_vec()),
+    }
+}
+
+fn combine_split_range(
+    split: &Splitter,
+    join: &Joiner,
+    children: &[DpNode],
+    lo: usize,
+    hi: usize,
+) -> Option<LinearNode> {
+    let nodes: Option<Vec<LinearNode>> =
+        children[lo..=hi].iter().map(|c| c.whole.clone()).collect();
+    combine_splitjoin(&slice_split(split, lo, hi), &nodes?, &join.weights[lo..=hi]).ok()
+}
+
+// ---- the DP ----------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Choice {
+    cost: f64,
+    opt: OptStream,
+}
+
+struct Dp<'a> {
+    model: &'a CostModel,
+    opts: &'a SelectOptions,
+    memo: HashMap<(usize, usize, usize), Choice>,
+}
+
+impl Dp<'_> {
+    /// `getCost(s, ANY)`: the best implementation of a subtree.
+    fn any(&mut self, node: &DpNode) -> Choice {
+        match &node.kind {
+            DpKind::Leaf(inst) => self.leaf(node, inst),
+            DpKind::Pipe(children) => self.range(node, children, 0, children.len() - 1),
+            DpKind::Split { children, .. } => self.range(node, children, 0, children.len() - 1),
+            DpKind::Feedback {
+                join,
+                split,
+                enqueue,
+                body,
+                loop_stream,
+            } => {
+                let b = self.any(body);
+                let l = self.any(loop_stream);
+                Choice {
+                    cost: b.cost + l.cost,
+                    opt: OptStream::FeedbackLoop {
+                        join: join.clone(),
+                        body: Box::new(b.opt),
+                        loop_stream: Box::new(l.opt),
+                        split: split.clone(),
+                        enqueue: enqueue.clone(),
+                    },
+                }
+            }
+        }
+    }
+
+    /// `getNodeCost`: a leaf filter — direct or frequency if linear,
+    /// free (untallied) otherwise.
+    fn leaf(&mut self, node: &DpNode, inst: &Rc<FilterInst>) -> Choice {
+        let Some(lin) = node.whole.clone() else {
+            return Choice {
+                cost: 0.0,
+                opt: OptStream::Original(Rc::clone(inst)),
+            };
+        };
+        let inflow = node.scale * node.io_pop as f64;
+        self.best_node_impl(lin, node.scale, inflow, node.in_feedback)
+    }
+
+    /// Picks direct vs frequency for a collapsed node.
+    fn best_node_impl(
+        &mut self,
+        lin: LinearNode,
+        firings: f64,
+        inflow: f64,
+        in_feedback: bool,
+    ) -> Choice {
+        let direct = self.model.direct_total(&lin, firings);
+        let mut best = Choice {
+            cost: direct,
+            opt: OptStream::Linear(lin.clone()),
+        };
+        let freq_ok = !in_feedback
+            && lin.peek() >= 1
+            && lin.push() >= 1
+            && lin.pop() >= 1
+            && !(self.opts.unit_pop_only && lin.pop() != 1);
+        if freq_ok {
+            let cost = self.model.freq_total(&lin, inflow, self.opts.strategy);
+            if cost < best.cost {
+                if let Ok(spec) = FreqSpec::new(&lin, self.opts.strategy, self.opts.kind, None) {
+                    best = Choice {
+                        cost,
+                        opt: OptStream::Freq(spec),
+                    };
+                }
+            }
+        }
+        best
+    }
+
+    /// `getContainerCost`: best implementation of children `lo..=hi`.
+    fn range(&mut self, container: &DpNode, children: &[DpNode], lo: usize, hi: usize) -> Choice {
+        if lo == hi {
+            return self.any(&children[lo]);
+        }
+        if let Some(hit) = self.memo.get(&(container.id, lo, hi)) {
+            return hit.clone();
+        }
+        let mut best: Option<Choice> = None;
+        let consider = |c: Choice, best: &mut Option<Choice>| {
+            if best.as_ref().is_none_or(|b| c.cost < b.cost) {
+                *best = Some(c);
+            }
+        };
+
+        // Option 1/2: collapse the whole range (LINEAR / FREQ).
+        let combined = match &container.kind {
+            DpKind::Pipe(_) => fold_pipeline(children, lo, hi),
+            DpKind::Split { split, join, .. } => {
+                combine_split_range(split, join, children, lo, hi)
+            }
+            _ => None,
+        };
+        if let Some(lin) = combined {
+            let (inflow, outflow) = self.range_flow(container, children, lo, hi);
+            let firings = if lin.push() > 0 {
+                outflow / lin.push() as f64
+            } else if lin.pop() > 0 {
+                inflow / lin.pop() as f64
+            } else {
+                0.0
+            };
+            consider(
+                self.best_node_impl(lin, firings, inflow, container.in_feedback),
+                &mut best,
+            );
+        }
+
+        // Option 3: cut the range (horizontal for pipelines, vertical for
+        // splitjoins) and recurse with ANY on both halves.
+        for pivot in lo..hi {
+            let left = self.range(container, children, lo, pivot);
+            let right = self.range(container, children, pivot + 1, hi);
+            let cost = left.cost + right.cost;
+            if best.as_ref().is_some_and(|b| cost >= b.cost) {
+                continue;
+            }
+            let opt = match &container.kind {
+                DpKind::Pipe(_) => OptStream::Pipeline(vec![left.opt, right.opt]),
+                DpKind::Split { split, join, .. } => {
+                    let lw: usize = join.weights[lo..=pivot].iter().sum();
+                    let rw: usize = join.weights[pivot + 1..=hi].iter().sum();
+                    let outer_split = match split {
+                        Splitter::Duplicate => Splitter::Duplicate,
+                        Splitter::RoundRobin(v) => Splitter::RoundRobin(vec![
+                            v[lo..=pivot].iter().sum(),
+                            v[pivot + 1..=hi].iter().sum(),
+                        ]),
+                    };
+                    OptStream::SplitJoin {
+                        split: outer_split,
+                        children: vec![
+                            self.wrap_split_half(split, join, left.opt, lo, pivot),
+                            self.wrap_split_half(split, join, right.opt, pivot + 1, hi),
+                        ],
+                        join: Joiner {
+                            weights: vec![lw, rw],
+                        },
+                    }
+                }
+                _ => unreachable!("ranges only exist for containers"),
+            };
+            consider(Choice { cost, opt }, &mut best);
+        }
+
+        let best = best.expect("at least one cut exists for hi > lo");
+        self.memo.insert((container.id, lo, hi), best.clone());
+        best
+    }
+
+    /// Wraps one half of a splitjoin cut so it is itself a valid stream
+    /// consuming its input share: collapsed halves and single children are
+    /// already streams; an uncollapsed multi-child half is a sub-splitjoin
+    /// (which the recursion already produced as such — `range` only
+    /// returns either a collapsed node or a nested `SplitJoin`).
+    fn wrap_split_half(
+        &mut self,
+        split: &Splitter,
+        join: &Joiner,
+        half: OptStream,
+        lo: usize,
+        hi: usize,
+    ) -> OptStream {
+        if lo == hi {
+            return half;
+        }
+        match half {
+            collapsed @ (OptStream::Linear(_) | OptStream::Freq(_)) => collapsed,
+            sj @ OptStream::SplitJoin { .. } => sj,
+            other => OptStream::SplitJoin {
+                split: slice_split(split, lo, hi),
+                children: vec![other],
+                join: Joiner {
+                    weights: vec![join.weights[lo..=hi].iter().sum()],
+                },
+            },
+        }
+    }
+
+    /// Items flowing into / out of a child range per global steady state.
+    fn range_flow(
+        &self,
+        container: &DpNode,
+        children: &[DpNode],
+        lo: usize,
+        hi: usize,
+    ) -> (f64, f64) {
+        match &container.kind {
+            DpKind::Pipe(_) => (
+                children[lo].scale * children[lo].io_pop as f64,
+                children[hi].scale * children[hi].io_push as f64,
+            ),
+            DpKind::Split { split, .. } => {
+                let outflow: f64 = children[lo..=hi]
+                    .iter()
+                    .map(|c| c.scale * c.io_push as f64)
+                    .sum();
+                let inflow = match split {
+                    // Every duplicate branch sees the same stream.
+                    Splitter::Duplicate => children[lo].scale * children[lo].io_pop as f64,
+                    Splitter::RoundRobin(_) => children[lo..=hi]
+                        .iter()
+                        .map(|c| c.scale * c.io_pop as f64)
+                        .sum(),
+                };
+                (inflow, outflow)
+            }
+            _ => (0.0, 0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::analyze_graph;
+    use streamlin_graph::elaborate::elaborate;
+
+    fn run_select(src: &str) -> Selection {
+        let g = elaborate(&streamlin_lang::parse(src).unwrap()).unwrap();
+        let a = analyze_graph(&g);
+        select(&g, &a, &CostModel::default(), &SelectOptions::default()).unwrap()
+    }
+
+    fn fir_program(taps: usize) -> String {
+        format!(
+            "void->void pipeline Main {{ add Src(); add F({taps}); add Sink(); }}
+             void->float filter Src {{ float x; work push 1 {{ push(x++); }} }}
+             float->float filter F(int N) {{
+                 float[N] h;
+                 init {{ for (int i=0;i<N;i++) h[i] = 1.0 / (i + 1); }}
+                 work peek N pop 1 push 1 {{
+                     float s = 0;
+                     for (int i=0;i<N;i++) s += h[i]*peek(i);
+                     push(s); pop();
+                 }}
+             }}
+             float->void filter Sink {{ work pop 1 {{ println(pop()); }} }}"
+        )
+    }
+
+    #[test]
+    fn large_fir_selects_frequency() {
+        let sel = run_select(&fir_program(256));
+        assert_eq!(sel.opt.stats().freq, 1, "{}", sel.opt.describe());
+    }
+
+    #[test]
+    fn tiny_fir_stays_in_the_time_domain() {
+        let sel = run_select(&fir_program(3));
+        let st = sel.opt.stats();
+        assert_eq!(st.freq, 0, "{}", sel.opt.describe());
+        assert_eq!(st.linear, 1);
+    }
+
+    #[test]
+    fn adjacent_gains_collapse() {
+        let sel = run_select(
+            "void->void pipeline Main { add S(); add G(); add H(); add K(); }
+             void->float filter S { float x; work push 1 { push(x++); } }
+             float->float filter G { work pop 1 push 1 { push(2 * pop()); } }
+             float->float filter H { work pop 1 push 1 { push(pop() + 1); } }
+             float->void filter K { work pop 1 { println(pop()); } }",
+        );
+        assert_eq!(sel.opt.stats().linear, 1, "{}", sel.opt.describe());
+    }
+
+    #[test]
+    fn beamform_blowup_is_averted() {
+        // A dense "row vector" stage (pops 24, pushes 2) feeding an
+        // 8-tap FIR per output: combining produces a huge dense matrix
+        // that the DP must refuse (the Radar case, §5.2).
+        let src = "
+            void->void pipeline Main { add Src(); add Beam(); add F(64); add Sink(); }
+            void->float filter Src { float x; work push 1 { push(x++); } }
+            float->float filter Beam {
+                float[24] w;
+                init { for (int i=0;i<24;i++) w[i] = i + 1; }
+                work peek 24 pop 24 push 2 {
+                    float a = 0; float b = 0;
+                    for (int i=0;i<12;i++) { a += w[i] * peek(i); }
+                    for (int i=12;i<24;i++) { b += w[i] * peek(i); }
+                    push(a); push(b);
+                    for (int i=0;i<24;i++) pop();
+                }
+            }
+            float->float filter F(int N) {
+                float[N] h;
+                init { for (int i=0;i<N;i++) h[i] = 1.0 / (i + 1); }
+                work peek N pop 1 push 1 {
+                    float s = 0;
+                    for (int i=0;i<N;i++) s += h[i]*peek(i);
+                    push(s); pop();
+                }
+            }
+            float->void filter Sink { work pop 1 { println(pop()); } }
+        ";
+        let sel = run_select(src);
+        // Beam and the FIR must remain separate nodes.
+        let st = sel.opt.stats();
+        assert!(st.filters >= 4, "{}", sel.opt.describe());
+        // Combining would make a ~(24·k × k) dense matrix; the selector's
+        // cost for the chosen structure must beat that.
+        let g = elaborate(&streamlin_lang::parse(src).unwrap()).unwrap();
+        let a = analyze_graph(&g);
+        let forced = crate::combine::replace(&g, &a, &crate::combine::ReplaceOptions::maximal_linear());
+        let OptStream::Pipeline(children) = &forced else { panic!() };
+        let combined_nnz: usize = children
+            .iter()
+            .filter_map(|c| match c {
+                OptStream::Linear(n) => Some(n.nnz_a()),
+                _ => None,
+            })
+            .sum();
+        let chosen_nnz: usize = {
+            fn nnz(o: &OptStream) -> usize {
+                match o {
+                    OptStream::Linear(n) => n.nnz_a(),
+                    OptStream::Freq(s) => s.node().nnz_a(),
+                    OptStream::Pipeline(c) => c.iter().map(nnz).sum(),
+                    OptStream::SplitJoin { children, .. } => children.iter().map(nnz).sum(),
+                    _ => 0,
+                }
+            }
+            nnz(&sel.opt)
+        };
+        assert!(
+            chosen_nnz < combined_nnz,
+            "selection ({chosen_nnz}) should avoid the dense blow-up ({combined_nnz})"
+        );
+    }
+
+    #[test]
+    fn splitjoin_vertical_cut_keeps_nonlinear_branch_separate() {
+        let src = "
+            void->void pipeline Main { add Src(); add SJ(); add Sink(); }
+            void->float filter Src { float x; work push 1 { push(x++); } }
+            float->float splitjoin SJ {
+                split duplicate;
+                add G(2.0); add G(3.0); add Abs();
+                join roundrobin;
+            }
+            float->float filter G(float k) { work pop 1 push 1 { push(k * pop()); } }
+            float->float filter Abs {
+                work pop 1 push 1 {
+                    float v = pop();
+                    if (v < 0) { push(-v); } else { push(v); }
+                }
+            }
+            float->void filter Sink { work pop 3 { println(pop()); pop(); pop(); } }
+        ";
+        let sel = run_select(src);
+        let st = sel.opt.stats();
+        // The two gains may merge; Abs stays interpreted.
+        assert_eq!(st.originals, 3, "{}", sel.opt.describe());
+        assert!(st.splitjoins >= 1);
+    }
+
+    #[test]
+    fn cost_is_finite_and_positive() {
+        let sel = run_select(&fir_program(16));
+        assert!(sel.cost.is_finite());
+        assert!(sel.cost > 0.0);
+    }
+}

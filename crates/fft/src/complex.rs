@@ -1,0 +1,179 @@
+//! A minimal complex number with op-counted arithmetic.
+
+use streamlin_support::OpCounter;
+
+/// A complex number `re + i·im`.
+///
+/// Plain operator arithmetic is provided for tests and plan construction;
+/// runtime kernels use the `*_counted` methods so that every executed
+/// floating-point operation is tallied (a complex multiply is 4 real
+/// multiplications and 2 additions, matching the code the paper's backend
+/// would emit).
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_fft::Complex;
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// assert_eq!(a * b, Complex::new(5.0, 5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates `re + i·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Zero.
+    pub const fn zero() -> Self {
+        Complex::new(0.0, 0.0)
+    }
+
+    /// One.
+    pub const fn one() -> Self {
+        Complex::new(1.0, 0.0)
+    }
+
+    /// `e^{iθ}` — the unit vector at angle `θ` (Figure 2-4 of the paper).
+    pub fn from_polar(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// The `N`-th root of unity `W_N = e^{-2πi/N}` used by the DFT
+    /// (Equation 2.6).
+    pub fn root_of_unity(n: usize) -> Self {
+        Complex::from_polar(-2.0 * std::f64::consts::PI / n as f64)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Counted complex addition (2 FP adds).
+    #[inline]
+    pub fn add_counted(self, rhs: Complex, ops: &mut OpCounter) -> Complex {
+        Complex::new(ops.add(self.re, rhs.re), ops.add(self.im, rhs.im))
+    }
+
+    /// Counted complex subtraction (2 FP adds).
+    #[inline]
+    pub fn sub_counted(self, rhs: Complex, ops: &mut OpCounter) -> Complex {
+        Complex::new(ops.sub(self.re, rhs.re), ops.sub(self.im, rhs.im))
+    }
+
+    /// Counted complex multiplication (4 FP mults, 2 FP adds).
+    #[inline]
+    pub fn mul_counted(self, rhs: Complex, ops: &mut OpCounter) -> Complex {
+        let rr = ops.mul(self.re, rhs.re);
+        let ii = ops.mul(self.im, rhs.im);
+        let ri = ops.mul(self.re, rhs.im);
+        let ir = ops.mul(self.im, rhs.re);
+        Complex::new(ops.sub(rr, ii), ops.add(ri, ir))
+    }
+
+    /// Counted scaling by a real (2 FP mults).
+    #[inline]
+    pub fn scale_counted(self, k: f64, ops: &mut OpCounter) -> Complex {
+        Complex::new(ops.mul(self.re, k), ops.mul(self.im, k))
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, 4.0);
+        assert_eq!(a + b, Complex::new(4.0, 6.0));
+        assert_eq!(a - b, Complex::new(-2.0, -2.0));
+        assert_eq!(a * b, Complex::new(-5.0, 10.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn counted_matches_uncounted() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(0.5, 3.0);
+        let mut ops = OpCounter::new();
+        assert_eq!(a.add_counted(b, &mut ops), a + b);
+        assert_eq!(a.sub_counted(b, &mut ops), a - b);
+        assert_eq!(a.mul_counted(b, &mut ops), a * b);
+        assert_eq!(ops.mults(), 4);
+        assert_eq!(ops.adds(), 6);
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let w4 = Complex::root_of_unity(4);
+        assert!((w4.re - 0.0).abs() < 1e-15);
+        assert!((w4.im - -1.0).abs() < 1e-15);
+        let w1 = Complex::root_of_unity(1);
+        assert!((w1 - Complex::one()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn polar_magnitude_is_one() {
+        for k in 0..8 {
+            let z = Complex::from_polar(k as f64);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+}

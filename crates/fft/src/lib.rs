@@ -1,0 +1,70 @@
+//! FFT substrate for `streamlin` — the stand-in for FFTW.
+//!
+//! The paper's frequency replacement (Chapter 4) converts linear nodes into
+//! FFT-based convolution and links against FFTW for the transforms. This
+//! crate provides that substrate from scratch, in two tiers that reproduce
+//! the "simple FFT implementation" vs. "FFTW" comparison of Figure 5-12:
+//!
+//! * [`SimpleFft`] — a recursive radix-2 transform written directly from the
+//!   thesis' §2.3 derivation (even/odd splitting with the `D` twiddle
+//!   recurrence of Equation 2.16). It recomputes twiddles on every call and
+//!   allocates per level, exactly the kind of straightforward implementation
+//!   the paper benchmarks against.
+//! * [`FftPlan`] / [`RealFft`] with [`FftKind::Tuned`] — an iterative
+//!   Cooley-Tukey transform with a precomputed plan (twiddle tables,
+//!   bit-reversal permutation) and a packed *real-input* transform in FFTW's
+//!   half-complex format, which is what the paper's runtime interface uses
+//!   ("one interesting optimization (directly due to FFTW) is using
+//!   half-complex arrays", §4.4).
+//!
+//! Every runtime kernel threads a [`streamlin_support::OpCounter`] so that
+//! executed multiplications and additions are tallied the same way the paper
+//! counts x86 FP instructions. Plan construction (like FFTW planning) is not
+//! counted.
+//!
+//! # Examples
+//!
+//! ```
+//! use streamlin_fft::{FftKind, RealFft};
+//! use streamlin_support::OpCounter;
+//!
+//! let fft = RealFft::new(FftKind::Tuned, 8).unwrap();
+//! let mut ops = OpCounter::new();
+//! let x = [1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0];
+//! let spectrum = fft.forward(&x, &mut ops);
+//! let back = fft.inverse(&spectrum, &mut ops);
+//! for (a, b) in x.iter().zip(&back) {
+//!     assert!((a - b).abs() < 1e-9);
+//! }
+//! ```
+
+mod complex;
+mod real;
+mod reference;
+mod simple;
+mod tuned;
+
+pub use complex::Complex;
+pub use real::{halfcomplex_len, halfcomplex_mul, FftKind, RealFft};
+pub use reference::dft_naive;
+pub use simple::SimpleFft;
+pub use tuned::FftPlan;
+
+/// Errors produced by FFT construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// The transform size must be a positive power of two.
+    SizeNotPowerOfTwo(usize),
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::SizeNotPowerOfTwo(n) => {
+                write!(f, "fft size {n} is not a positive power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}

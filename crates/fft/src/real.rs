@@ -1,0 +1,393 @@
+//! Real-input transforms in FFTW's half-complex format.
+//!
+//! The paper's runtime stores spectra of real signals in "half-complex"
+//! arrays (§4.4): for an `N`-point transform of a real signal the layout is
+//! `[r0, r1, …, r_{N/2}, i_{N/2-1}, …, i_1]`, exploiting the conjugate
+//! symmetry `X[N-k] = conj(X[k])`. All frequency-replacement executors work
+//! on this layout.
+
+use crate::{Complex, FftError, FftPlan, SimpleFft};
+use streamlin_support::OpCounter;
+
+/// Which FFT tier backs a [`RealFft`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FftKind {
+    /// The thesis-derivation recursive transform ([`SimpleFft`]); real
+    /// signals are processed as full complex buffers.
+    Simple,
+    /// The planned iterative transform ([`FftPlan`]) with the packed
+    /// real-input algorithm (an `N`-point real transform via an
+    /// `N/2`-point complex one) — the FFTW stand-in.
+    Tuned,
+}
+
+/// Length of the half-complex spectrum of an `n`-point real transform
+/// (identical to `n`; provided for readability at call sites).
+pub fn halfcomplex_len(n: usize) -> usize {
+    n
+}
+
+/// A real-input/real-output FFT of fixed power-of-two size.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_fft::{FftKind, RealFft};
+/// use streamlin_support::OpCounter;
+///
+/// let fft = RealFft::new(FftKind::Simple, 4).unwrap();
+/// let mut ops = OpCounter::new();
+/// let spec = fft.forward(&[1.0, 0.0, 0.0, 0.0], &mut ops);
+/// // The spectrum of the unit impulse is flat.
+/// assert_eq!(spec, vec![1.0, 1.0, 1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealFft {
+    kind: FftKind,
+    n: usize,
+    /// `n/2`-point plan for the packed algorithm (`Tuned` only, `n >= 2`).
+    half_plan: Option<FftPlan>,
+    /// `e^{-2πik/n}` for `k = 0..=n/2` (`Tuned` only).
+    unpack_tw: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Creates a transform of size `n` backed by the given tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::SizeNotPowerOfTwo`] unless `n` is a positive
+    /// power of two.
+    pub fn new(kind: FftKind, n: usize) -> Result<Self, FftError> {
+        if !n.is_power_of_two() {
+            return Err(FftError::SizeNotPowerOfTwo(n));
+        }
+        let (half_plan, unpack_tw) = if kind == FftKind::Tuned && n >= 2 {
+            let plan = FftPlan::new(n / 2)?;
+            let tw = (0..=n / 2)
+                .map(|k| Complex::from_polar(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+                .collect();
+            (Some(plan), tw)
+        } else {
+            (None, Vec::new())
+        };
+        Ok(RealFft {
+            kind,
+            n,
+            half_plan,
+            unpack_tw,
+        })
+    }
+
+    /// The transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for a zero-point transform (which cannot be built).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The backing tier.
+    pub fn kind(&self) -> FftKind {
+        self.kind
+    }
+
+    /// Forward transform of `n` real samples into a half-complex spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn forward(&self, x: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "real fft input length mismatch");
+        if self.n == 1 {
+            return vec![x[0]];
+        }
+        match self.kind {
+            FftKind::Simple => {
+                let buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+                let spec = SimpleFft
+                    .forward(&buf, ops)
+                    .expect("size validated at construction");
+                pack_halfcomplex(&spec)
+            }
+            FftKind::Tuned => self.forward_packed(x, ops),
+        }
+    }
+
+    /// Inverse transform of a half-complex spectrum into `n` real samples
+    /// (includes the 1/N normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hc.len() != self.len()`.
+    pub fn inverse(&self, hc: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+        assert_eq!(hc.len(), self.n, "real ifft input length mismatch");
+        if self.n == 1 {
+            return vec![hc[0]];
+        }
+        match self.kind {
+            FftKind::Simple => {
+                let spec = unpack_halfcomplex(hc);
+                let time = SimpleFft
+                    .inverse(&spec, ops)
+                    .expect("size validated at construction");
+                time.into_iter().map(|z| z.re).collect()
+            }
+            FftKind::Tuned => self.inverse_packed(hc, ops),
+        }
+    }
+
+    /// Packed real-input forward transform: an `n`-point real FFT via an
+    /// `n/2`-point complex FFT of `z[k] = x[2k] + i·x[2k+1]`.
+    fn forward_packed(&self, x: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+        let n = self.n;
+        let m = n / 2;
+        let plan = self.half_plan.as_ref().expect("tuned plan present for n >= 2");
+        let mut z: Vec<Complex> = (0..m).map(|k| Complex::new(x[2 * k], x[2 * k + 1])).collect();
+        plan.forward(&mut z, ops);
+        let mut out = vec![0.0; n];
+        for k in 0..=m {
+            let zk = z[k % m];
+            let zmk = z[(m - k) % m].conj();
+            // Fe = (Z[k] + conj(Z[M-k]))/2, the spectrum of the even samples;
+            // Fo = -i(Z[k] - conj(Z[M-k]))/2, the spectrum of the odd samples.
+            let fe = zk.add_counted(zmk, ops).scale_counted(0.5, ops);
+            let diff = zk.sub_counted(zmk, ops);
+            let fo = Complex::new(diff.im, -diff.re).scale_counted(0.5, ops);
+            let xk = fe.add_counted(self.unpack_tw[k].mul_counted(fo, ops), ops);
+            if k == 0 {
+                out[0] = xk.re;
+            } else if k == m {
+                out[m] = xk.re;
+            } else {
+                out[k] = xk.re;
+                out[n - k] = xk.im;
+            }
+        }
+        out
+    }
+
+    /// Packed real-input inverse transform.
+    fn inverse_packed(&self, hc: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+        let n = self.n;
+        let m = n / 2;
+        let plan = self.half_plan.as_ref().expect("tuned plan present for n >= 2");
+        let bin = |k: usize| -> Complex {
+            if k == 0 {
+                Complex::new(hc[0], 0.0)
+            } else if k == m {
+                Complex::new(hc[m], 0.0)
+            } else {
+                Complex::new(hc[k], hc[n - k])
+            }
+        };
+        let mut z = vec![Complex::zero(); m];
+        for (k, zk) in z.iter_mut().enumerate() {
+            let xk = bin(k);
+            let xmk = bin(m - k).conj();
+            let fe = xk.add_counted(xmk, ops).scale_counted(0.5, ops);
+            let fo = self.unpack_tw[k]
+                .conj()
+                .mul_counted(xk.sub_counted(xmk, ops).scale_counted(0.5, ops), ops);
+            // z[k] = Fe[k] + i·Fo[k]
+            *zk = Complex::new(fe.re - fo.im, fe.im + fo.re);
+            ops.other(2);
+        }
+        plan.inverse(&mut z, ops);
+        let mut out = vec![0.0; n];
+        for (k, zk) in z.iter().enumerate() {
+            out[2 * k] = zk.re;
+            out[2 * k + 1] = zk.im;
+        }
+        out
+    }
+}
+
+/// Pointwise product of two half-complex spectra of length `n` — the
+/// frequency-domain equivalent of circular convolution (`Y = X .* H` in
+/// Transformation 5 of the paper).
+///
+/// # Panics
+///
+/// Panics if the spectra have different lengths.
+pub fn halfcomplex_mul(a: &[f64], b: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "half-complex product length mismatch");
+    let n = a.len();
+    let mut out = vec![0.0; n];
+    if n == 0 {
+        return out;
+    }
+    out[0] = ops.mul(a[0], b[0]);
+    if n == 1 {
+        return out;
+    }
+    let m = n / 2;
+    if n.is_multiple_of(2) {
+        out[m] = ops.mul(a[m], b[m]);
+    }
+    for k in 1..n.div_ceil(2) {
+        if k == n - k {
+            continue;
+        }
+        let (ar, ai) = (a[k], a[n - k]);
+        let (br, bi) = (b[k], b[n - k]);
+        let rr = ops.mul(ar, br);
+        let ii = ops.mul(ai, bi);
+        let ri = ops.mul(ar, bi);
+        let ir = ops.mul(ai, br);
+        out[k] = ops.sub(rr, ii);
+        out[n - k] = ops.add(ri, ir);
+    }
+    out
+}
+
+/// Packs a full conjugate-symmetric spectrum into half-complex layout.
+fn pack_halfcomplex(spec: &[Complex]) -> Vec<f64> {
+    let n = spec.len();
+    let m = n / 2;
+    let mut out = vec![0.0; n];
+    out[0] = spec[0].re;
+    if n > 1 {
+        out[m] = spec[m].re;
+    }
+    for k in 1..m {
+        out[k] = spec[k].re;
+        out[n - k] = spec[k].im;
+    }
+    out
+}
+
+/// Expands half-complex layout into the full spectrum using conjugate
+/// symmetry.
+fn unpack_halfcomplex(hc: &[f64]) -> Vec<Complex> {
+    let n = hc.len();
+    let m = n / 2;
+    let mut spec = vec![Complex::zero(); n];
+    spec[0] = Complex::new(hc[0], 0.0);
+    if n > 1 {
+        spec[m] = Complex::new(hc[m], 0.0);
+    }
+    for k in 1..m {
+        spec[k] = Complex::new(hc[k], hc[n - k]);
+        spec[n - k] = spec[k].conj();
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft_naive;
+    use streamlin_support::num::assert_slices_close;
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect()
+    }
+
+    fn reference_halfcomplex(x: &[f64]) -> Vec<f64> {
+        let buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        pack_halfcomplex(&dft_naive(&buf))
+    }
+
+    #[test]
+    fn both_kinds_match_naive_dft() {
+        for kind in [FftKind::Simple, FftKind::Tuned] {
+            for log_n in 0..8 {
+                let n = 1usize << log_n;
+                let x = real_signal(n);
+                let fft = RealFft::new(kind, n).unwrap();
+                let got = fft.forward(&x, &mut OpCounter::new());
+                assert_slices_close(&got, &reference_halfcomplex(&x), 1e-9, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for kind in [FftKind::Simple, FftKind::Tuned] {
+            for log_n in 0..8 {
+                let n = 1usize << log_n;
+                let x = real_signal(n);
+                let fft = RealFft::new(kind, n).unwrap();
+                let mut ops = OpCounter::new();
+                let spec = fft.forward(&x, &mut ops);
+                let back = fft.inverse(&spec, &mut ops);
+                assert_slices_close(&back, &x, 1e-9, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn convolution_theorem_holds() {
+        // Circular convolution in time == pointwise product in frequency.
+        let n = 16;
+        let x = real_signal(n);
+        let h: Vec<f64> = (0..n).map(|i| if i < 4 { (i + 1) as f64 } else { 0.0 }).collect();
+        let mut direct = vec![0.0; n];
+        for (i, d) in direct.iter_mut().enumerate() {
+            for k in 0..n {
+                *d += h[k] * x[(i + n - k) % n];
+            }
+        }
+        for kind in [FftKind::Simple, FftKind::Tuned] {
+            let fft = RealFft::new(kind, n).unwrap();
+            let mut ops = OpCounter::new();
+            let xs = fft.forward(&x, &mut ops);
+            let hs = fft.forward(&h, &mut ops);
+            let ys = halfcomplex_mul(&xs, &hs, &mut ops);
+            let y = fft.inverse(&ys, &mut ops);
+            assert_slices_close(&y, &direct, 1e-8, 1e-8);
+        }
+    }
+
+    #[test]
+    fn tuned_kind_is_cheaper_than_simple() {
+        let n = 512;
+        let x = real_signal(n);
+        let mut simple_ops = OpCounter::new();
+        RealFft::new(FftKind::Simple, n).unwrap().forward(&x, &mut simple_ops);
+        let mut tuned_ops = OpCounter::new();
+        RealFft::new(FftKind::Tuned, n).unwrap().forward(&x, &mut tuned_ops);
+        assert!(
+            tuned_ops.mults() * 2 < simple_ops.mults(),
+            "tuned {} vs simple {}",
+            tuned_ops.mults(),
+            simple_ops.mults()
+        );
+    }
+
+    #[test]
+    fn halfcomplex_mul_identity() {
+        // Multiplying by the spectrum of the unit impulse (all-ones) is a no-op.
+        let n = 8;
+        let x = real_signal(n);
+        let fft = RealFft::new(FftKind::Tuned, n).unwrap();
+        let mut ops = OpCounter::new();
+        let xs = fft.forward(&x, &mut ops);
+        let mut impulse = vec![0.0; n];
+        impulse[0] = 1.0;
+        let hs = fft.forward(&impulse, &mut ops);
+        let ys = halfcomplex_mul(&xs, &hs, &mut ops);
+        assert_slices_close(&ys, &xs, 1e-9, 1e-9);
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        for kind in [FftKind::Simple, FftKind::Tuned] {
+            let fft1 = RealFft::new(kind, 1).unwrap();
+            assert_eq!(fft1.forward(&[5.0], &mut OpCounter::new()), vec![5.0]);
+            assert_eq!(fft1.inverse(&[5.0], &mut OpCounter::new()), vec![5.0]);
+            let fft2 = RealFft::new(kind, 2).unwrap();
+            let spec = fft2.forward(&[3.0, 1.0], &mut OpCounter::new());
+            assert_slices_close(&spec, &[4.0, 2.0], 1e-12, 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(RealFft::new(FftKind::Tuned, 3).is_err());
+        assert!(RealFft::new(FftKind::Simple, 0).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Quadratic-time reference DFT (Equation 2.5 of the paper), used as the
+//! correctness oracle for both FFT tiers.
+
+use crate::Complex;
+
+/// Direct evaluation of the `N`-point DFT, `X[k] = Σ_n x[n]·W_N^{nk}`
+/// (paper Equation 2.5). O(N²); testing and calibration only.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_fft::{dft_naive, Complex};
+/// let x = vec![Complex::one(); 4];
+/// let spectrum = dft_naive(&x);
+/// assert!((spectrum[0].re - 4.0).abs() < 1e-12);
+/// assert!(spectrum[1].abs() < 1e-12);
+/// ```
+pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    let mut out = vec![Complex::zero(); n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for (j, &xi) in x.iter().enumerate() {
+            let w = Complex::from_polar(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
+            acc = acc + xi * w;
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::zero(); 8];
+        x[0] = Complex::one();
+        for bin in dft_naive(&x) {
+            assert!((bin - Complex::one()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 16;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_polar(2.0 * std::f64::consts::PI * 3.0 * i as f64 / n as f64))
+            .collect();
+        let spec = dft_naive(&x);
+        for (k, bin) in spec.iter().enumerate() {
+            if k == 3 {
+                assert!((bin.re - n as f64).abs() < 1e-9);
+            } else {
+                assert!(bin.abs() < 1e-9, "leakage in bin {k}: {bin}");
+            }
+        }
+    }
+}

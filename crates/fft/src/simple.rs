@@ -1,0 +1,144 @@
+//! The "simple FFT implementation" of Figure 5-12: a recursive radix-2
+//! transform transcribed from the thesis' own derivation (§2.3).
+
+use crate::{Complex, FftError};
+use streamlin_support::num::log2_exact;
+use streamlin_support::OpCounter;
+
+/// Recursive radix-2 FFT following the thesis derivation.
+///
+/// The derivation in §2.3 splits the input into even- and odd-indexed halves
+/// (`x_even·B`, `x_odd·B`), multiplies the odd half by the diagonal twiddle
+/// matrix `D` generated with the recurrence `D[k+1,k+1] = D[k,k]·W_N`
+/// (Equation 2.16), and combines with one addition and one subtraction per
+/// output pair (Equation 2.17). This implementation mirrors that structure —
+/// including regenerating the twiddles by counted multiplication on every
+/// call and allocating per recursion level — which is exactly the kind of
+/// straightforward implementation the paper compares FFTW against.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_fft::{Complex, SimpleFft};
+/// use streamlin_support::OpCounter;
+///
+/// let fft = SimpleFft;
+/// let mut ops = OpCounter::new();
+/// let x = vec![Complex::one(); 4];
+/// let spectrum = fft.forward(&x, &mut ops).unwrap();
+/// assert!((spectrum[0].re - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimpleFft;
+
+impl SimpleFft {
+    /// Forward DFT of a power-of-two-length signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::SizeNotPowerOfTwo`] when `x.len()` is not a
+    /// positive power of two.
+    pub fn forward(&self, x: &[Complex], ops: &mut OpCounter) -> Result<Vec<Complex>, FftError> {
+        if !x.len().is_power_of_two() {
+            return Err(FftError::SizeNotPowerOfTwo(x.len()));
+        }
+        let _ = log2_exact(x.len());
+        Ok(fft_rec(x, ops))
+    }
+
+    /// Inverse DFT with 1/N normalization, via
+    /// `ifft(X) = conj(fft(conj(X)))/N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::SizeNotPowerOfTwo`] when `x.len()` is not a
+    /// positive power of two.
+    pub fn inverse(&self, x: &[Complex], ops: &mut OpCounter) -> Result<Vec<Complex>, FftError> {
+        let conj: Vec<Complex> = x.iter().map(|z| z.conj()).collect();
+        let mut y = self.forward(&conj, ops)?;
+        let inv_n = 1.0 / x.len() as f64;
+        for z in &mut y {
+            *z = z.conj().scale_counted(inv_n, ops);
+        }
+        Ok(y)
+    }
+}
+
+fn fft_rec(x: &[Complex], ops: &mut OpCounter) -> Vec<Complex> {
+    let n = x.len();
+    if n == 1 {
+        return vec![x[0]];
+    }
+    let even: Vec<Complex> = x.iter().step_by(2).copied().collect();
+    let odd: Vec<Complex> = x.iter().skip(1).step_by(2).copied().collect();
+    let e = fft_rec(&even, ops);
+    let o = fft_rec(&odd, ops);
+
+    let w_n = Complex::root_of_unity(n);
+    ops.other(2); // the sin/cos pair generating W_N
+    let mut out = vec![Complex::zero(); n];
+    // D[0,0] = W_N^0 = 1; D[k+1] = D[k] * W_N   (Equation 2.16)
+    let mut d = Complex::one();
+    for k in 0..n / 2 {
+        let u = o[k].mul_counted(d, ops);
+        out[k] = e[k].add_counted(u, ops);
+        out[k + n / 2] = e[k].sub_counted(u, ops);
+        d = d.mul_counted(w_n, ops);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft_naive;
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < 1e-9, "bin {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let mut ops = OpCounter::new();
+        for log_n in 0..7 {
+            let n = 1usize << log_n;
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let got = SimpleFft.forward(&x, &mut ops).unwrap();
+            assert_spectra_close(&got, &dft_naive(&x));
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let mut ops = OpCounter::new();
+        let x: Vec<Complex> = (0..32).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let spec = SimpleFft.forward(&x, &mut ops).unwrap();
+        let back = SimpleFft.inverse(&spec, &mut ops).unwrap();
+        assert_spectra_close(&back, &x);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut ops = OpCounter::new();
+        let err = SimpleFft.forward(&[Complex::zero(); 6], &mut ops).unwrap_err();
+        assert_eq!(err, FftError::SizeNotPowerOfTwo(6));
+    }
+
+    #[test]
+    fn operation_count_scales_as_n_log_n() {
+        // The simple transform performs n complex multiplies per level
+        // (n/2 twiddle applications + n/2 twiddle regenerations), i.e.
+        // 4·n·lg(n) real multiplications.
+        let n = 64;
+        let x = vec![Complex::one(); n];
+        let mut ops = OpCounter::new();
+        SimpleFft.forward(&x, &mut ops).unwrap();
+        let expected_mults = 4 * n as u64 * 6; // lg(64) = 6
+        assert_eq!(ops.mults(), expected_mults);
+    }
+}

@@ -1,0 +1,214 @@
+//! The tuned, planned FFT — `streamlin`'s FFTW stand-in.
+
+use crate::{Complex, FftError};
+use streamlin_support::OpCounter;
+
+/// A precomputed plan for an iterative radix-2 Cooley-Tukey FFT.
+///
+/// Like an FFTW plan, construction precomputes everything that does not
+/// depend on the data: the bit-reversal permutation and a flat twiddle
+/// table. Execution is in-place, allocation-free and skips the trivial
+/// `W^0 = 1` twiddle of every butterfly group, so it runs roughly half the
+/// multiplications of [`crate::SimpleFft`]; the packed real transform in
+/// [`crate::RealFft`] halves them again.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_fft::{Complex, FftPlan};
+/// use streamlin_support::OpCounter;
+///
+/// let plan = FftPlan::new(8).unwrap();
+/// let mut data = vec![Complex::one(); 8];
+/// let mut ops = OpCounter::new();
+/// plan.forward(&mut data, &mut ops);
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FftPlan {
+    n: usize,
+    /// `twiddle[len/2 + j] = e^{-2πi·j/len}` for each stage size `len`.
+    twiddle: Vec<Complex>,
+    bitrev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Plans a transform of size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::SizeNotPowerOfTwo`] unless `n` is a positive
+    /// power of two.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if !n.is_power_of_two() {
+            return Err(FftError::SizeNotPowerOfTwo(n));
+        }
+        let mut twiddle = vec![Complex::one(); n.max(1)];
+        let mut len = 2;
+        while len <= n {
+            for j in 0..len / 2 {
+                twiddle[len / 2 + j] =
+                    Complex::from_polar(-2.0 * std::f64::consts::PI * j as f64 / len as f64);
+            }
+            len *= 2;
+        }
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        Ok(FftPlan { n, twiddle, bitrev })
+    }
+
+    /// The transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate 0-point plan (which cannot be built).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned size.
+    pub fn forward(&self, data: &mut [Complex], ops: &mut OpCounter) {
+        assert_eq!(data.len(), self.n, "plan is for size {}, data has {}", self.n, data.len());
+        // Bit-reversal permutation (pure data movement; no FLOPs).
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= self.n {
+            let half = len / 2;
+            let tw = &self.twiddle[half..len];
+            let mut start = 0;
+            while start < self.n {
+                // j == 0: twiddle is exactly 1, skip the multiply.
+                let u = data[start];
+                let v = data[start + half];
+                data[start] = u.add_counted(v, ops);
+                data[start + half] = u.sub_counted(v, ops);
+                for j in 1..half {
+                    let u = data[start + j];
+                    let v = data[start + j + half].mul_counted(tw[j], ops);
+                    data[start + j] = u.add_counted(v, ops);
+                    data[start + j + half] = u.sub_counted(v, ops);
+                }
+                start += len;
+            }
+            len *= 2;
+        }
+    }
+
+    /// In-place inverse DFT with 1/N normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned size.
+    pub fn inverse(&self, data: &mut [Complex], ops: &mut OpCounter) {
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+        self.forward(data, ops);
+        let inv_n = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.conj().scale_counted(inv_n, ops);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dft_naive, SimpleFft};
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < 1e-9, "bin {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for log_n in 0..8 {
+            let n = 1usize << log_n;
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.31).cos(), (i as f64 * 0.17).sin()))
+                .collect();
+            let plan = FftPlan::new(n).unwrap();
+            let mut data = x.clone();
+            let mut ops = OpCounter::new();
+            plan.forward(&mut data, &mut ops);
+            assert_spectra_close(&data, &dft_naive(&x));
+        }
+    }
+
+    #[test]
+    fn matches_simple_fft() {
+        let n = 128;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.5 * i as f64)).collect();
+        let plan = FftPlan::new(n).unwrap();
+        let mut tuned = x.clone();
+        let mut ops = OpCounter::new();
+        plan.forward(&mut tuned, &mut ops);
+        let simple = SimpleFft.forward(&x, &mut ops).unwrap();
+        assert_spectra_close(&tuned, &simple);
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::new((i * i) as f64 % 7.0, -(i as f64))).collect();
+        let plan = FftPlan::new(n).unwrap();
+        let mut data = x.clone();
+        let mut ops = OpCounter::new();
+        plan.forward(&mut data, &mut ops);
+        plan.inverse(&mut data, &mut ops);
+        assert_spectra_close(&data, &x);
+    }
+
+    #[test]
+    fn tuned_uses_fewer_mults_than_simple() {
+        let n = 256;
+        let x = vec![Complex::one(); n];
+        let plan = FftPlan::new(n).unwrap();
+        let mut a = x.clone();
+        let mut tuned_ops = OpCounter::new();
+        plan.forward(&mut a, &mut tuned_ops);
+        let mut simple_ops = OpCounter::new();
+        SimpleFft.forward(&x, &mut simple_ops).unwrap();
+        assert!(
+            tuned_ops.mults() * 2 <= simple_ops.mults(),
+            "tuned: {} mults, simple: {} mults",
+            tuned_ops.mults(),
+            simple_ops.mults()
+        );
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(FftPlan::new(12).unwrap_err(), FftError::SizeNotPowerOfTwo(12));
+        assert_eq!(FftPlan::new(0).unwrap_err(), FftError::SizeNotPowerOfTwo(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_panics() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut data = vec![Complex::zero(); 4];
+        plan.forward(&mut data, &mut OpCounter::new());
+    }
+}

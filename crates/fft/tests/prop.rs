@@ -1,0 +1,108 @@
+//! Property tests for the FFT crate: linearity, Parseval's identity,
+//! round trips and agreement between the two tiers, on random signals.
+
+use proptest::prelude::*;
+use streamlin_fft::{dft_naive, halfcomplex_mul, Complex, FftKind, FftPlan, RealFft, SimpleFft};
+use streamlin_support::OpCounter;
+
+fn arb_signal(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-16.0f64..16.0, n)
+}
+
+fn arb_pow2() -> impl Strategy<Value = usize> {
+    (1u32..=7).prop_map(|k| 1usize << k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn real_round_trip((n, seed) in arb_pow2().prop_flat_map(|n| (Just(n), arb_signal(n)))) {
+        for kind in [FftKind::Simple, FftKind::Tuned] {
+            let fft = RealFft::new(kind, n).unwrap();
+            let mut ops = OpCounter::new();
+            let back = fft.inverse(&fft.forward(&seed, &mut ops), &mut ops);
+            for (a, b) in seed.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-8, "{kind:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiers_agree((n, x) in arb_pow2().prop_flat_map(|n| (Just(n), arb_signal(n)))) {
+        let mut ops = OpCounter::new();
+        let simple = RealFft::new(FftKind::Simple, n).unwrap().forward(&x, &mut ops);
+        let tuned = RealFft::new(FftKind::Tuned, n).unwrap().forward(&x, &mut ops);
+        for (a, b) in simple.iter().zip(&tuned) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn transform_is_linear((n, x, y) in arb_pow2()
+        .prop_flat_map(|n| (Just(n), arb_signal(n), arb_signal(n))))
+    {
+        let fft = RealFft::new(FftKind::Tuned, n).unwrap();
+        let mut ops = OpCounter::new();
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let fx = fft.forward(&x, &mut ops);
+        let fy = fft.forward(&y, &mut ops);
+        let fsum = fft.forward(&sum, &mut ops);
+        for i in 0..n {
+            prop_assert!((fsum[i] - (fx[i] + fy[i])).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn parseval((n, x) in arb_pow2().prop_flat_map(|n| (Just(n), arb_signal(n)))) {
+        prop_assume!(n >= 2);
+        let fft = RealFft::new(FftKind::Tuned, n).unwrap();
+        let mut ops = OpCounter::new();
+        let spec = fft.forward(&x, &mut ops);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        // Half-complex energy: DC and Nyquist once, others twice.
+        let m = n / 2;
+        let mut freq_energy = spec[0] * spec[0] + spec[m] * spec[m];
+        for k in 1..m {
+            freq_energy += 2.0 * (spec[k] * spec[k] + spec[n - k] * spec[n - k]);
+        }
+        prop_assert!(
+            (time_energy - freq_energy / n as f64).abs() < 1e-6 * (1.0 + time_energy),
+            "{time_energy} vs {}", freq_energy / n as f64
+        );
+    }
+
+    #[test]
+    fn convolution_theorem((n, x, h) in arb_pow2()
+        .prop_flat_map(|n| (Just(n), arb_signal(n), arb_signal(n))))
+    {
+        let fft = RealFft::new(FftKind::Tuned, n).unwrap();
+        let mut ops = OpCounter::new();
+        let y = fft.inverse(
+            &halfcomplex_mul(&fft.forward(&x, &mut ops), &fft.forward(&h, &mut ops), &mut ops),
+            &mut ops,
+        );
+        for i in 0..n {
+            let direct: f64 = (0..n).map(|k| h[k] * x[(i + n - k) % n]).sum();
+            prop_assert!((y[i] - direct).abs() < 1e-6 * (1.0 + direct.abs()));
+        }
+    }
+
+    #[test]
+    fn plan_matches_naive_dft((n, x) in arb_pow2()
+        .prop_flat_map(|n| (Just(n), arb_signal(n))))
+    {
+        prop_assume!(n <= 64); // naive DFT is quadratic
+        let buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let want = dft_naive(&buf);
+        let plan = FftPlan::new(n).unwrap();
+        let mut data = buf.clone();
+        let mut ops = OpCounter::new();
+        plan.forward(&mut data, &mut ops);
+        let simple = SimpleFft.forward(&buf, &mut ops).unwrap();
+        for i in 0..n {
+            prop_assert!((data[i] - want[i]).abs() < 1e-7);
+            prop_assert!((simple[i] - want[i]).abs() < 1e-7);
+        }
+    }
+}

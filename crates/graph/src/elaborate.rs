@@ -1,0 +1,745 @@
+//! Elaboration: from parsed declarations to a concrete stream graph.
+//!
+//! StreamIt resolves its stream hierarchy at compile time: container bodies
+//! (including `for` loops that `add` children, as in the FilterBank
+//! benchmark) run under constant evaluation, stream parameters are bound,
+//! filter `init` blocks execute to produce field values (the FIR weight
+//! tables the linear analysis later treats as constants), and I/O rates are
+//! resolved to integers (§2.1: "these rates must be resolvable at compile
+//! time"). This module performs all of that, producing the [`Stream`] IR.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use streamlin_lang::ast::{
+    Block, Expr, Program, Stmt, StreamDecl, StreamKind, StreamRef, WorkDecl,
+};
+
+use crate::exec::{const_eval_expr, const_exec_block, const_exec_stmt_flat};
+use crate::ir::{FilterInst, Joiner, Splitter, Stream, WorkFn};
+use crate::value::{Cell, EvalError, Value};
+
+/// An elaboration error, with the stream-instantiation context in which it
+/// occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElabError {
+    /// Explanation of the problem.
+    pub message: String,
+    /// Instantiation stack, outermost first.
+    pub context: Vec<String>,
+}
+
+impl ElabError {
+    fn new(message: impl Into<String>) -> Self {
+        ElabError {
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
+    fn in_context(mut self, name: &str) -> Self {
+        self.context.insert(0, name.to_string());
+        self
+    }
+}
+
+impl std::fmt::Display for ElabError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.context.is_empty() {
+            write!(f, "elaboration error: {}", self.message)
+        } else {
+            write!(
+                f,
+                "elaboration error in {}: {}",
+                self.context.join(" -> "),
+                self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+impl From<EvalError> for ElabError {
+    fn from(e: EvalError) -> Self {
+        ElabError::new(e.message)
+    }
+}
+
+/// Maximum stream-nesting depth, guarding against unbounded recursion in
+/// (erroneous) self-referential declarations.
+const MAX_DEPTH: usize = 64;
+
+/// Elaborates the program's top-level stream (the last `void->void`
+/// declaration).
+///
+/// # Errors
+///
+/// Fails if there is no top-level stream or any instantiation fails.
+///
+/// # Examples
+///
+/// ```
+/// let p = streamlin_lang::parse(
+///     "void->void pipeline Main { add S(); add K(); }
+///      void->float filter S { work push 1 { push(1.0); } }
+///      float->void filter K { work pop 1 { println(pop()); } }",
+/// )
+/// .unwrap();
+/// let g = streamlin_graph::elaborate(&p).unwrap();
+/// assert_eq!(g.filter_count(), 2);
+/// ```
+pub fn elaborate(program: &Program) -> Result<Stream, ElabError> {
+    let top = program
+        .top_level()
+        .ok_or_else(|| ElabError::new("program has no void->void top-level stream"))?;
+    elaborate_decl(program, top, &[])
+}
+
+/// Elaborates a named stream declaration with the given argument values.
+///
+/// # Errors
+///
+/// Fails if the declaration is missing or instantiation fails.
+pub fn elaborate_named(
+    program: &Program,
+    name: &str,
+    args: &[Value],
+) -> Result<Stream, ElabError> {
+    let decl = program
+        .find(name)
+        .ok_or_else(|| ElabError::new(format!("no stream declaration named `{name}`")))?;
+    elaborate_decl(program, decl, args)
+}
+
+fn elaborate_decl(
+    program: &Program,
+    decl: &StreamDecl,
+    args: &[Value],
+) -> Result<Stream, ElabError> {
+    let mut elab = Elaborator {
+        program,
+        next_id: 0,
+        depth: 0,
+    };
+    elab.instantiate(decl, args, None)
+}
+
+struct Elaborator<'a> {
+    program: &'a Program,
+    next_id: usize,
+    depth: usize,
+}
+
+impl<'a> Elaborator<'a> {
+    fn instantiate(
+        &mut self,
+        decl: &StreamDecl,
+        args: &[Value],
+        captured: Option<&HashMap<String, Cell>>,
+    ) -> Result<Stream, ElabError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(ElabError::new(format!(
+                "stream nesting deeper than {MAX_DEPTH} (recursive declaration?)"
+            )));
+        }
+        let result = self.instantiate_inner(decl, args, captured);
+        self.depth -= 1;
+        result.map_err(|e| e.in_context(&decl.name))
+    }
+
+    fn instantiate_inner(
+        &mut self,
+        decl: &StreamDecl,
+        args: &[Value],
+        captured: Option<&HashMap<String, Cell>>,
+    ) -> Result<Stream, ElabError> {
+        // Seed the environment with captured variables (anonymous streams
+        // close over their container's constants), then bind parameters.
+        let mut env: HashMap<String, Cell> = captured.cloned().unwrap_or_default();
+        if args.len() != decl.params.len() {
+            return Err(ElabError::new(format!(
+                "`{}` expects {} arguments, got {}",
+                decl.name,
+                decl.params.len(),
+                args.len()
+            )));
+        }
+        for (p, a) in decl.params.iter().zip(args) {
+            if !p.ty.dims.is_empty() {
+                return Err(ElabError::new(format!(
+                    "array-valued stream parameter `{}` is not supported; pass scalars and \
+                     rebuild the table in `init`",
+                    p.name
+                )));
+            }
+            let v = a.coerce_to(p.ty.base)?;
+            env.insert(p.name.clone(), Cell::Scalar(p.ty.base, v));
+        }
+
+        match &decl.kind {
+            StreamKind::Filter(f) => self.instantiate_filter(decl, f, env, args),
+            StreamKind::Pipeline(body) => {
+                let children = self.run_container_body(body, &mut env)?;
+                if children.is_empty() {
+                    return Err(ElabError::new("pipeline has no children"));
+                }
+                Ok(Stream::Pipeline(children))
+            }
+            StreamKind::SplitJoin(sj) => {
+                let children = self.run_container_body(&sj.body, &mut env)?;
+                if children.is_empty() {
+                    return Err(ElabError::new("splitjoin has no children"));
+                }
+                let split = self.eval_splitter(&sj.split, &mut env, children.len())?;
+                let streamlin_lang::ast::JoinerAst::RoundRobin(w) = &sj.join;
+                let join = Joiner {
+                    weights: self.eval_weights(w, &mut env, children.len())?,
+                };
+                Ok(Stream::SplitJoin {
+                    split,
+                    children,
+                    join,
+                })
+            }
+            StreamKind::FeedbackLoop(fb) => {
+                let body = self.elaborate_ref(&fb.body, &mut env)?;
+                let loop_stream = self.elaborate_ref(&fb.loop_stream, &mut env)?;
+                let streamlin_lang::ast::JoinerAst::RoundRobin(jw) = &fb.join;
+                let join = Joiner {
+                    weights: self.eval_weights(jw, &mut env, 2)?,
+                };
+                let split = self.eval_splitter(&fb.split, &mut env, 2)?;
+                if matches!(split, Splitter::Duplicate) {
+                    // duplicate is fine for feedback splitters
+                } else if let Splitter::RoundRobin(w) = &split {
+                    if w.len() != 2 {
+                        return Err(ElabError::new("feedbackloop splitter must have 2 weights"));
+                    }
+                }
+                if join.weights.len() != 2 {
+                    return Err(ElabError::new("feedbackloop joiner must have 2 weights"));
+                }
+                let mut enqueue = Vec::with_capacity(fb.enqueue.len());
+                for e in &fb.enqueue {
+                    enqueue.push(const_eval_expr(&mut env, e)?.as_f64()?);
+                }
+                Ok(Stream::FeedbackLoop {
+                    join,
+                    body: Box::new(body),
+                    loop_stream: Box::new(loop_stream),
+                    split,
+                    enqueue,
+                })
+            }
+        }
+    }
+
+    fn instantiate_filter(
+        &mut self,
+        decl: &StreamDecl,
+        f: &streamlin_lang::ast::FilterDecl,
+        mut env: HashMap<String, Cell>,
+        args: &[Value],
+    ) -> Result<Stream, ElabError> {
+        let param_names: Vec<String> = env.keys().cloned().collect();
+
+        // Field declarations (dims may reference parameters), then `init`.
+        let mut field_names = Vec::with_capacity(f.fields.len());
+        for field in &f.fields {
+            if env.contains_key(&field.name) {
+                return Err(ElabError::new(format!(
+                    "field `{}` shadows a parameter or captured variable",
+                    field.name
+                )));
+            }
+            let mut dims = Vec::with_capacity(field.ty.dims.len());
+            for d in &field.ty.dims {
+                dims.push(const_eval_expr(&mut env, d)?.as_index()?);
+            }
+            let mut cell = Cell::zero_of(field.ty.base, dims);
+            if let Some(init) = &field.init {
+                let v = const_eval_expr(&mut env, init)?;
+                match &mut cell {
+                    Cell::Scalar(ty, slot) => *slot = v.coerce_to(*ty)?,
+                    Cell::Array(_) => {
+                        return Err(ElabError::new(format!(
+                            "array field `{}` cannot have a scalar initializer",
+                            field.name
+                        )))
+                    }
+                }
+            }
+            field_names.push(field.name.clone());
+            env.insert(field.name.clone(), cell);
+        }
+        if let Some(init) = &f.init {
+            const_exec_block(&mut env, init).map_err(|e| {
+                ElabError::new(format!("while running `init`: {}", e.message))
+            })?;
+        }
+
+        let work = self.resolve_work(&f.work, &mut env)?;
+        let init_work = f
+            .init_work
+            .as_ref()
+            .map(|w| self.resolve_work(w, &mut env))
+            .transpose()?;
+
+        let prints =
+            block_prints(&f.work.body) || f.init_work.as_ref().is_some_and(|w| block_prints(&w.body));
+
+        let id = self.next_id;
+        self.next_id += 1;
+        let name = if args.is_empty() {
+            decl.name.clone()
+        } else {
+            let rendered: Vec<String> = args.iter().map(|v| v.to_string()).collect();
+            format!("{}({})", decl.name, rendered.join(", "))
+        };
+        Ok(Stream::Filter(Rc::new(FilterInst {
+            id,
+            name,
+            decl_name: decl.name.clone(),
+            input: decl.input,
+            output: decl.output,
+            state: env,
+            param_names,
+            field_names,
+            work,
+            init_work,
+            prints,
+        })))
+    }
+
+    fn resolve_work(
+        &mut self,
+        w: &WorkDecl,
+        env: &mut HashMap<String, Cell>,
+    ) -> Result<WorkFn, ElabError> {
+        let eval_rate = |env: &mut HashMap<String, Cell>, e: &Option<Expr>| -> Result<usize, ElabError> {
+            match e {
+                None => Ok(0),
+                Some(e) => Ok(const_eval_expr(env, e)?.as_index()?),
+            }
+        };
+        let push = eval_rate(env, &w.push)?;
+        let pop = eval_rate(env, &w.pop)?;
+        let peek = match &w.peek {
+            None => pop,
+            Some(e) => const_eval_expr(env, e)?.as_index()?,
+        };
+        Ok(WorkFn {
+            peek: peek.max(pop),
+            pop,
+            push,
+            body: w.body.clone(),
+        })
+    }
+
+    /// Runs a container body, collecting `add`ed children. Control flow is
+    /// interpreted here (so `add` inside loops works); simple statements are
+    /// delegated to the constant evaluator in flat mode.
+    fn run_container_body(
+        &mut self,
+        body: &Block,
+        env: &mut HashMap<String, Cell>,
+    ) -> Result<Vec<Stream>, ElabError> {
+        let mut children = Vec::new();
+        self.run_stmts(&body.stmts, env, &mut children)?;
+        Ok(children)
+    }
+
+    fn run_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut HashMap<String, Cell>,
+        children: &mut Vec<Stream>,
+    ) -> Result<(), ElabError> {
+        for stmt in stmts {
+            self.run_stmt(stmt, env, children)?;
+        }
+        Ok(())
+    }
+
+    fn run_stmt(
+        &mut self,
+        stmt: &Stmt,
+        env: &mut HashMap<String, Cell>,
+        children: &mut Vec<Stream>,
+    ) -> Result<(), ElabError> {
+        match stmt {
+            Stmt::Add(r) => {
+                let child = self.elaborate_ref(r, env)?;
+                children.push(child);
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                if const_eval_expr(env, cond)?.as_bool()? {
+                    self.run_stmts(&then_blk.stmts, env, children)
+                } else if let Some(e) = else_blk {
+                    self.run_stmts(&e.stmts, env, children)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    self.run_stmt(i, env, children)?;
+                }
+                let mut fuel: u64 = 1_000_000;
+                loop {
+                    let go = match cond {
+                        Some(c) => const_eval_expr(env, c)?.as_bool()?,
+                        None => true,
+                    };
+                    if !go {
+                        break;
+                    }
+                    self.run_stmts(&body.stmts, env, children)?;
+                    if let Some(s) = step {
+                        self.run_stmt(s, env, children)?;
+                    }
+                    fuel -= 1;
+                    if fuel == 0 {
+                        return Err(ElabError::new("container loop did not terminate"));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let mut fuel: u64 = 1_000_000;
+                while const_eval_expr(env, cond)?.as_bool()? {
+                    self.run_stmts(&body.stmts, env, children)?;
+                    fuel -= 1;
+                    if fuel == 0 {
+                        return Err(ElabError::new("container loop did not terminate"));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Return => Ok(()),
+            simple => const_exec_stmt_flat(env, simple).map_err(ElabError::from),
+        }
+    }
+
+    fn elaborate_ref(
+        &mut self,
+        r: &StreamRef,
+        env: &mut HashMap<String, Cell>,
+    ) -> Result<Stream, ElabError> {
+        match r {
+            StreamRef::Named { name, args } => {
+                let decl = self
+                    .program
+                    .find(name)
+                    .ok_or_else(|| ElabError::new(format!("no stream declaration named `{name}`")))?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(const_eval_expr(env, a)?);
+                }
+                self.instantiate(decl, &vals, None)
+            }
+            StreamRef::Anonymous(decl) => {
+                let captured = env.clone();
+                self.instantiate(decl, &[], Some(&captured))
+            }
+        }
+    }
+
+    fn eval_splitter(
+        &mut self,
+        s: &streamlin_lang::ast::SplitterAst,
+        env: &mut HashMap<String, Cell>,
+        n_children: usize,
+    ) -> Result<Splitter, ElabError> {
+        Ok(match s {
+            streamlin_lang::ast::SplitterAst::Duplicate => Splitter::Duplicate,
+            streamlin_lang::ast::SplitterAst::RoundRobin(w) => {
+                Splitter::RoundRobin(self.eval_weights(w, env, n_children)?)
+            }
+        })
+    }
+
+    fn eval_weights(
+        &mut self,
+        w: &[Expr],
+        env: &mut HashMap<String, Cell>,
+        n_children: usize,
+    ) -> Result<Vec<usize>, ElabError> {
+        if w.is_empty() {
+            return Ok(vec![1; n_children]);
+        }
+        let mut weights = Vec::with_capacity(w.len());
+        for e in w {
+            let v = const_eval_expr(env, e)?.as_index()?;
+            weights.push(v);
+        }
+        // StreamIt's `roundrobin(k)` broadcasts a single weight to every
+        // child.
+        if weights.len() == 1 && n_children > 1 {
+            return Ok(vec![weights[0]; n_children]);
+        }
+        if weights.len() != n_children {
+            return Err(ElabError::new(format!(
+                "round-robin has {} weights but {} children",
+                weights.len(),
+                n_children
+            )));
+        }
+        if weights.iter().all(|&x| x == 0) {
+            return Err(ElabError::new("round-robin weights are all zero"));
+        }
+        Ok(weights)
+    }
+}
+
+/// True if the block contains a `print`/`println` call anywhere.
+fn block_prints(block: &Block) -> bool {
+    block.stmts.iter().any(stmt_prints)
+}
+
+fn stmt_prints(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Decl { init, .. } => init.as_ref().is_some_and(expr_prints),
+        Stmt::Assign { value, .. } => expr_prints(value),
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            expr_prints(cond)
+                || block_prints(then_blk)
+                || else_blk.as_ref().is_some_and(block_prints)
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            init.as_deref().is_some_and(stmt_prints)
+                || cond.as_ref().is_some_and(expr_prints)
+                || step.as_deref().is_some_and(stmt_prints)
+                || block_prints(body)
+        }
+        Stmt::While { cond, body } => expr_prints(cond) || block_prints(body),
+        Stmt::Expr(e) => expr_prints(e),
+        Stmt::Return | Stmt::Add(_) => false,
+    }
+}
+
+fn expr_prints(e: &Expr) -> bool {
+    match e {
+        Expr::Call(name, args) => {
+            name == "print" || name == "println" || args.iter().any(expr_prints)
+        }
+        Expr::Unary(_, a) | Expr::Peek(a) | Expr::Push(a) => expr_prints(a),
+        Expr::Binary(_, a, b) => expr_prints(a) || expr_prints(b),
+        Expr::Index(_, idx) => idx.iter().any(expr_prints),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlin_lang::parse;
+
+    fn elab(src: &str) -> Stream {
+        elaborate(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simple_pipeline() {
+        let g = elab(
+            "void->void pipeline Main { add Src(); add Sink(); }
+             void->float filter Src { work push 1 { push(1.0); } }
+             float->void filter Sink { work pop 1 { println(pop()); } }",
+        );
+        let Stream::Pipeline(children) = &g else { panic!() };
+        assert_eq!(children.len(), 2);
+        let Stream::Filter(src) = &children[0] else { panic!() };
+        assert!(src.is_source());
+        assert!(!src.prints);
+        let Stream::Filter(sink) = &children[1] else { panic!() };
+        assert!(sink.is_sink());
+        assert!(sink.prints);
+    }
+
+    #[test]
+    fn parameters_bind_and_rates_resolve() {
+        let g = elab(
+            "void->void pipeline Main { add F(8); add K(); }
+             void->float filter F(int N) { work push N { for (int i=0;i<N;i++) push(i); } }
+             float->void filter K { work pop 1 { pop(); } }",
+        );
+        let Stream::Pipeline(c) = &g else { panic!() };
+        let Stream::Filter(f) = &c[0] else { panic!() };
+        assert_eq!(f.work.push, 8);
+        assert_eq!(f.name, "F(8)");
+    }
+
+    #[test]
+    fn init_computes_weight_tables() {
+        let g = elab(
+            "void->void pipeline Main { add L(4); add K(); }
+             void->float filter L(int N) {
+                 float[N] h;
+                 init { for (int i=0;i<N;i++) h[i] = i * i; }
+                 work push 1 { push(h[3]); }
+             }
+             float->void filter K { work pop 1 { pop(); } }",
+        );
+        let Stream::Pipeline(c) = &g else { panic!() };
+        let Stream::Filter(f) = &c[0] else { panic!() };
+        let Cell::Array(h) = &f.state["h"] else { panic!() };
+        assert_eq!(h.get(&[3]).unwrap(), Value::Float(9.0));
+        assert_eq!(f.field_names, vec!["h"]);
+        assert!(f.param_names.contains(&"N".to_string()));
+    }
+
+    #[test]
+    fn splitjoin_with_loop_generated_children() {
+        let g = elab(
+            "void->void pipeline Main { add Bank(3); add K(); }
+             void->float splitjoin Bank(int M) {
+                 split duplicate;
+                 for (int i = 0; i < M; i++) add Leaf(i);
+                 join roundrobin;
+             }
+             void->float filter Leaf(int i) { work push 1 { push(i); } }
+             float->void filter K { work pop 1 { pop(); } }",
+        );
+        let Stream::Pipeline(c) = &g else { panic!() };
+        let Stream::SplitJoin { children, join, .. } = &c[0] else { panic!() };
+        assert_eq!(children.len(), 3);
+        assert_eq!(join.weights, vec![1, 1, 1]);
+        let Stream::Filter(leaf2) = &children[2] else { panic!() };
+        assert_eq!(leaf2.name, "Leaf(2)");
+    }
+
+    #[test]
+    fn anonymous_streams_capture_loop_variables() {
+        let g = elab(
+            "void->void pipeline Main { add Bank(2); add K(); }
+             void->float splitjoin Bank(int M) {
+                 split duplicate;
+                 for (int i = 0; i < M; i++) {
+                     add pipeline { add Leaf(i * 10); }
+                 }
+                 join roundrobin;
+             }
+             void->float filter Leaf(int v) { work push 1 { push(v); } }
+             float->void filter K { work pop 1 { pop(); } }",
+        );
+        let Stream::Pipeline(c) = &g else { panic!() };
+        let Stream::SplitJoin { children, .. } = &c[0] else { panic!() };
+        let Stream::Pipeline(inner) = &children[1] else { panic!() };
+        let Stream::Filter(leaf) = &inner[0] else { panic!() };
+        assert_eq!(leaf.name, "Leaf(10)");
+    }
+
+    #[test]
+    fn feedbackloop_elaborates() {
+        let g = elab(
+            "void->void pipeline Main { add Src(); add FB(); add K(); }
+             void->float filter Src { work push 1 { push(1.0); } }
+             float->void filter K { work pop 1 { pop(); } }
+             float->float feedbackloop FB {
+                 join roundrobin(1, 1);
+                 body Adder();
+                 loop Delay();
+                 split roundrobin(1, 1);
+                 enqueue 0;
+             }
+             float->float filter Adder { work push 1 pop 2 { push(pop() + pop()); } }
+             float->float filter Delay {
+                 float s;
+                 work push 1 pop 1 { push(s); s = pop(); }
+             }",
+        );
+        let Stream::Pipeline(c) = &g else { panic!() };
+        let Stream::FeedbackLoop { enqueue, .. } = &c[1] else { panic!() };
+        assert_eq!(enqueue, &vec![0.0]);
+    }
+
+    #[test]
+    fn peek_defaults_to_pop_and_is_clamped() {
+        let g = elab(
+            "void->void pipeline Main { add S(); add F(); add K(); }
+             void->float filter S { work push 1 { push(0.0); } }
+             float->float filter F { work push 1 pop 2 peek 1 { push(peek(0)); pop(); pop(); } }
+             float->void filter K { work pop 1 { pop(); } }",
+        );
+        let Stream::Pipeline(c) = &g else { panic!() };
+        let Stream::Filter(f) = &c[1] else { panic!() };
+        assert_eq!(f.work.peek, 2); // clamped up to pop
+    }
+
+    #[test]
+    fn missing_stream_is_an_error() {
+        let p = parse("void->void pipeline Main { add Nope(); }").unwrap();
+        let err = elaborate(&p).unwrap_err();
+        assert!(err.message.contains("Nope"), "{err}");
+        assert_eq!(err.context, vec!["Main"]);
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let p = parse(
+            "void->void pipeline Main { add F(); }
+             void->float filter F(int N) { work push 1 { push(N); } }",
+        )
+        .unwrap();
+        let err = elaborate(&p).unwrap_err();
+        assert!(err.message.contains("expects 1 arguments"), "{err}");
+    }
+
+    #[test]
+    fn weight_mismatch_is_an_error() {
+        let p = parse(
+            "void->void pipeline Main { add SJ(); add K(); }
+             void->float splitjoin SJ { split duplicate; add A(); add B(); join roundrobin(1, 1, 1); }
+             void->float filter A { work push 1 { push(1.0); } }
+             void->float filter B { work push 1 { push(2.0); } }
+             float->void filter K { work pop 1 { pop(); } }",
+        )
+        .unwrap();
+        let err = elaborate(&p).unwrap_err();
+        assert!(err.message.contains("weights"), "{err}");
+    }
+
+    #[test]
+    fn non_constant_rate_is_an_error() {
+        let p = parse(
+            "void->void pipeline Main { add F(); add K(); }
+             void->float filter F { work push pop() { push(1.0); } }
+             float->void filter K { work pop 1 { pop(); } }",
+        )
+        .unwrap();
+        assert!(elaborate(&p).is_err());
+    }
+
+    #[test]
+    fn elaborate_named_entry_point() {
+        use streamlin_lang::ast::DataType;
+        let p = parse(
+            "float->float filter Gain(float g) { work push 1 pop 1 { push(g * pop()); } }",
+        )
+        .unwrap();
+        let s = elaborate_named(&p, "Gain", &[Value::Float(2.5)]).unwrap();
+        let Stream::Filter(f) = &s else { panic!() };
+        assert_eq!(f.state["g"], Cell::Scalar(DataType::Float, Value::Float(2.5)));
+    }
+}

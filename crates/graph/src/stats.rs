@@ -1,0 +1,93 @@
+//! Structural statistics over a stream graph (Table 5.2 support).
+
+use crate::ir::Stream;
+
+/// Counts of the structural constructs in a hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Leaf filters.
+    pub filters: usize,
+    /// Pipeline containers.
+    pub pipelines: usize,
+    /// Splitjoin containers.
+    pub splitjoins: usize,
+    /// Feedback loops.
+    pub feedbackloops: usize,
+}
+
+/// Tallies the constructs of a stream graph.
+///
+/// # Examples
+///
+/// ```
+/// let p = streamlin_lang::parse(
+///     "void->void pipeline Main { add S(); add K(); }
+///      void->float filter S { work push 1 { push(1.0); } }
+///      float->void filter K { work pop 1 { pop(); } }",
+/// )
+/// .unwrap();
+/// let g = streamlin_graph::elaborate(&p).unwrap();
+/// let stats = streamlin_graph::stats::graph_stats(&g);
+/// assert_eq!(stats.filters, 2);
+/// assert_eq!(stats.pipelines, 1);
+/// ```
+pub fn graph_stats(s: &Stream) -> GraphStats {
+    let mut stats = GraphStats::default();
+    visit(s, &mut stats);
+    stats
+}
+
+fn visit(s: &Stream, stats: &mut GraphStats) {
+    match s {
+        Stream::Filter(_) => stats.filters += 1,
+        Stream::Pipeline(children) => {
+            stats.pipelines += 1;
+            for c in children {
+                visit(c, stats);
+            }
+        }
+        Stream::SplitJoin { children, .. } => {
+            stats.splitjoins += 1;
+            for c in children {
+                visit(c, stats);
+            }
+        }
+        Stream::FeedbackLoop {
+            body, loop_stream, ..
+        } => {
+            stats.feedbackloops += 1;
+            visit(body, stats);
+            visit(loop_stream, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate::elaborate;
+    use streamlin_lang::parse;
+
+    #[test]
+    fn nested_structures_are_counted() {
+        let p = parse(
+            "void->void pipeline Main { add S(); add SJ(); add K(); }
+             void->float filter S { work push 1 { push(0.0); } }
+             float->float splitjoin SJ {
+                 split duplicate;
+                 add pipeline { add A(); add A(); }
+                 add A();
+                 join roundrobin;
+             }
+             float->float filter A { work pop 1 push 1 { push(pop()); } }
+             float->void filter K { work pop 2 { pop(); pop(); } }",
+        )
+        .unwrap();
+        let g = elaborate(&p).unwrap();
+        let st = graph_stats(&g);
+        assert_eq!(st.filters, 5);
+        assert_eq!(st.pipelines, 2);
+        assert_eq!(st.splitjoins, 1);
+        assert_eq!(st.feedbackloops, 0);
+    }
+}

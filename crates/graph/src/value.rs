@@ -1,0 +1,479 @@
+//! Dynamic values and operator semantics of the StreamIt dialect.
+//!
+//! StreamIt's `work` code is C-like (§2.1); its values here are 64-bit
+//! integers, 64-bit floats and booleans, plus dense (possibly
+//! multi-dimensional) arrays for fields like FIR weight tables. Operator
+//! semantics follow C with the usual int→float promotion. All three
+//! consumers — elaboration-time constant evaluation, the runtime
+//! interpreter, and the linear-extraction symbolic executor — share these
+//! rules so a filter behaves identically under analysis and execution.
+
+use streamlin_lang::ast::{BinOp, DataType, UnOp};
+
+/// A scalar runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Errors raised by value operations and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl EvalError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        EvalError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Value {
+    /// The zero value of a scalar type.
+    pub fn zero_of(ty: DataType) -> Value {
+        match ty {
+            DataType::Int => Value::Int(0),
+            DataType::Bool => Value::Bool(false),
+            _ => Value::Float(0.0),
+        }
+    }
+
+    /// Numeric value as `f64` (booleans are rejected).
+    pub fn as_f64(&self) -> Result<f64, EvalError> {
+        match self {
+            Value::Int(v) => Ok(*v as f64),
+            Value::Float(v) => Ok(*v),
+            Value::Bool(_) => Err(EvalError::new("expected a number, found a boolean")),
+        }
+    }
+
+    /// Integer value (floats are rejected — C-style implicit float→int
+    /// truncation is not part of the dialect).
+    pub fn as_int(&self) -> Result<i64, EvalError> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(EvalError::new(format!("expected an integer, found {other:?}"))),
+        }
+    }
+
+    /// Non-negative integer (for rates, sizes and indices).
+    pub fn as_index(&self) -> Result<usize, EvalError> {
+        let v = self.as_int()?;
+        usize::try_from(v).map_err(|_| EvalError::new(format!("expected a non-negative integer, found {v}")))
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EvalError::new(format!("expected a boolean, found {other:?}"))),
+        }
+    }
+
+    /// Coerces to the declared type of an assignment target
+    /// (int promotes to float; everything else must match).
+    pub fn coerce_to(&self, ty: DataType) -> Result<Value, EvalError> {
+        match (ty, self) {
+            (DataType::Float, Value::Int(v)) => Ok(Value::Float(*v as f64)),
+            (DataType::Float, Value::Float(_))
+            | (DataType::Int, Value::Int(_))
+            | (DataType::Bool, Value::Bool(_)) => Ok(*self),
+            (want, got) => Err(EvalError::new(format!(
+                "cannot store {got:?} into a variable of type {want:?}"
+            ))),
+        }
+    }
+
+    /// True if the value is a float (used by FLOP accounting: integer
+    /// arithmetic is free, exactly as in the paper's instruction counts).
+    pub fn is_float(&self) -> bool {
+        matches!(self, Value::Float(_))
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Applies a binary operator with C-like semantics and int→float promotion.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] for type mismatches and division by zero.
+pub fn bin_op(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    // Logical and bitwise families first (no promotion across kinds).
+    match op {
+        And | Or => {
+            let (x, y) = (a.as_bool()?, b.as_bool()?);
+            return Ok(Value::Bool(if op == And { x && y } else { x || y }));
+        }
+        BitAnd | BitOr | BitXor | Shl | Shr => {
+            let (x, y) = (a.as_int()?, b.as_int()?);
+            let r = match op {
+                BitAnd => x & y,
+                BitOr => x | y,
+                BitXor => x ^ y,
+                Shl => x.checked_shl(y as u32).unwrap_or(0),
+                Shr => x.checked_shr(y as u32).unwrap_or(0),
+                _ => unreachable!(),
+            };
+            return Ok(Value::Int(r));
+        }
+        _ => {}
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => int_op(op, x, y),
+        (Value::Bool(x), Value::Bool(y)) if matches!(op, Eq | Ne) => {
+            Ok(Value::Bool(if op == Eq { x == y } else { x != y }))
+        }
+        _ => {
+            let (x, y) = (a.as_f64()?, b.as_f64()?);
+            float_op(op, x, y)
+        }
+    }
+}
+
+fn int_op(op: BinOp, x: i64, y: i64) -> Result<Value, EvalError> {
+    use BinOp::*;
+    Ok(match op {
+        Add => Value::Int(x.wrapping_add(y)),
+        Sub => Value::Int(x.wrapping_sub(y)),
+        Mul => Value::Int(x.wrapping_mul(y)),
+        Div => {
+            if y == 0 {
+                return Err(EvalError::new("integer division by zero"));
+            }
+            Value::Int(x.wrapping_div(y))
+        }
+        Rem => {
+            if y == 0 {
+                return Err(EvalError::new("integer remainder by zero"));
+            }
+            Value::Int(x.wrapping_rem(y))
+        }
+        Eq => Value::Bool(x == y),
+        Ne => Value::Bool(x != y),
+        Lt => Value::Bool(x < y),
+        Gt => Value::Bool(x > y),
+        Le => Value::Bool(x <= y),
+        Ge => Value::Bool(x >= y),
+        _ => return Err(EvalError::new(format!("operator {op:?} not defined on integers"))),
+    })
+}
+
+fn float_op(op: BinOp, x: f64, y: f64) -> Result<Value, EvalError> {
+    use BinOp::*;
+    Ok(match op {
+        Add => Value::Float(x + y),
+        Sub => Value::Float(x - y),
+        Mul => Value::Float(x * y),
+        Div => Value::Float(x / y),
+        Rem => Value::Float(x % y),
+        Eq => Value::Bool(x == y),
+        Ne => Value::Bool(x != y),
+        Lt => Value::Bool(x < y),
+        Gt => Value::Bool(x > y),
+        Le => Value::Bool(x <= y),
+        Ge => Value::Bool(x >= y),
+        _ => return Err(EvalError::new(format!("operator {op:?} not defined on floats"))),
+    })
+}
+
+/// Applies a unary operator.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] on type mismatch.
+pub fn un_op(op: UnOp, a: Value) -> Result<Value, EvalError> {
+    match (op, a) {
+        (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(-v)),
+        (UnOp::Neg, Value::Float(v)) => Ok(Value::Float(-v)),
+        (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+        (op, v) => Err(EvalError::new(format!("operator {op:?} not defined on {v:?}"))),
+    }
+}
+
+/// Applies a named math intrinsic.
+///
+/// Supported: `sin cos tan asin acos atan exp log log10 sqrt abs floor ceil
+/// round` (unary, float result) and `min max pow atan2` (binary).
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] for unknown names or wrong arity.
+pub fn math_call(name: &str, args: &[Value]) -> Result<Value, EvalError> {
+    let unary = |f: fn(f64) -> f64| -> Result<Value, EvalError> {
+        if args.len() != 1 {
+            return Err(EvalError::new(format!("{name} expects 1 argument")));
+        }
+        Ok(Value::Float(f(args[0].as_f64()?)))
+    };
+    let binary = |f: fn(f64, f64) -> f64| -> Result<Value, EvalError> {
+        if args.len() != 2 {
+            return Err(EvalError::new(format!("{name} expects 2 arguments")));
+        }
+        Ok(Value::Float(f(args[0].as_f64()?, args[1].as_f64()?)))
+    };
+    match name {
+        "sin" => unary(f64::sin),
+        "cos" => unary(f64::cos),
+        "tan" => unary(f64::tan),
+        "asin" => unary(f64::asin),
+        "acos" => unary(f64::acos),
+        "atan" => unary(f64::atan),
+        "exp" => unary(f64::exp),
+        "log" => unary(f64::ln),
+        "log10" => unary(f64::log10),
+        "sqrt" => unary(f64::sqrt),
+        "abs" => {
+            if args.len() != 1 {
+                return Err(EvalError::new("abs expects 1 argument"));
+            }
+            match args[0] {
+                Value::Int(v) => Ok(Value::Int(v.abs())),
+                other => Ok(Value::Float(other.as_f64()?.abs())),
+            }
+        }
+        "floor" => unary(f64::floor),
+        "ceil" => unary(f64::ceil),
+        "round" => unary(f64::round),
+        "pow" => binary(f64::powf),
+        "atan2" => binary(f64::atan2),
+        "min" | "max" => {
+            if args.len() != 2 {
+                return Err(EvalError::new(format!("{name} expects 2 arguments")));
+            }
+            match (args[0], args[1]) {
+                (Value::Int(x), Value::Int(y)) => {
+                    Ok(Value::Int(if name == "min" { x.min(y) } else { x.max(y) }))
+                }
+                (x, y) => {
+                    let (x, y) = (x.as_f64()?, y.as_f64()?);
+                    Ok(Value::Float(if name == "min" { x.min(y) } else { x.max(y) }))
+                }
+            }
+        }
+        _ => Err(EvalError::new(format!("unknown function `{name}`"))),
+    }
+}
+
+/// True if `name` is a math intrinsic handled by [`math_call`].
+pub fn is_math_fn(name: &str) -> bool {
+    matches!(
+        name,
+        "sin" | "cos" | "tan" | "asin" | "acos" | "atan" | "exp" | "log" | "log10" | "sqrt"
+            | "abs" | "floor" | "ceil" | "round" | "pow" | "atan2" | "min" | "max"
+    )
+}
+
+/// A dense array value with row-major storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayVal {
+    /// Dimension sizes, outermost first.
+    pub dims: Vec<usize>,
+    /// Element type.
+    pub elem: DataType,
+    /// Row-major elements.
+    pub data: Vec<Value>,
+}
+
+impl ArrayVal {
+    /// Creates an array of zeros.
+    pub fn zeros(elem: DataType, dims: Vec<usize>) -> Self {
+        let n = dims.iter().product();
+        ArrayVal {
+            dims,
+            elem,
+            data: vec![Value::zero_of(elem); n],
+        }
+    }
+
+    /// Flattens a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] for rank mismatch or out-of-bounds access.
+    pub fn offset(&self, idx: &[usize]) -> Result<usize, EvalError> {
+        if idx.len() != self.dims.len() {
+            return Err(EvalError::new(format!(
+                "array expects {} indices, got {}",
+                self.dims.len(),
+                idx.len()
+            )));
+        }
+        let mut off = 0;
+        for (i, (&ix, &dim)) in idx.iter().zip(&self.dims).enumerate() {
+            if ix >= dim {
+                return Err(EvalError::new(format!(
+                    "index {ix} out of bounds for dimension {i} of size {dim}"
+                )));
+            }
+            off = off * dim + ix;
+        }
+        Ok(off)
+    }
+
+    /// Reads an element.
+    ///
+    /// # Errors
+    ///
+    /// See [`offset`](Self::offset).
+    pub fn get(&self, idx: &[usize]) -> Result<Value, EvalError> {
+        Ok(self.data[self.offset(idx)?])
+    }
+
+    /// Writes an element (coercing to the element type).
+    ///
+    /// # Errors
+    ///
+    /// See [`offset`](Self::offset); also fails on type mismatch.
+    pub fn set(&mut self, idx: &[usize], v: Value) -> Result<(), EvalError> {
+        let off = self.offset(idx)?;
+        self.data[off] = v.coerce_to(self.elem)?;
+        Ok(())
+    }
+}
+
+/// A storage cell: either a scalar or an array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Scalar variable of the given declared type.
+    Scalar(DataType, Value),
+    /// Array variable.
+    Array(ArrayVal),
+}
+
+impl Cell {
+    /// Creates the default cell for a declared type.
+    pub fn zero_of(elem: DataType, dims: Vec<usize>) -> Cell {
+        if dims.is_empty() {
+            Cell::Scalar(elem, Value::zero_of(elem))
+        } else {
+            Cell::Array(ArrayVal::zeros(elem, dims))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotion_and_arithmetic() {
+        assert_eq!(bin_op(BinOp::Add, Value::Int(2), Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            bin_op(BinOp::Add, Value::Int(2), Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(bin_op(BinOp::Div, Value::Int(7), Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(bin_op(BinOp::Rem, Value::Int(7), Value::Int(3)).unwrap(), Value::Int(1));
+        assert_eq!(
+            bin_op(BinOp::Div, Value::Float(7.0), Value::Float(2.0)).unwrap(),
+            Value::Float(3.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(bin_op(BinOp::Div, Value::Int(1), Value::Int(0)).is_err());
+        assert!(bin_op(BinOp::Rem, Value::Int(1), Value::Int(0)).is_err());
+        // Float division by zero follows IEEE
+        assert_eq!(
+            bin_op(BinOp::Div, Value::Float(1.0), Value::Float(0.0)).unwrap(),
+            Value::Float(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(bin_op(BinOp::Lt, Value::Int(1), Value::Int(2)).unwrap(), Value::Bool(true));
+        assert_eq!(
+            bin_op(BinOp::Ge, Value::Float(2.0), Value::Int(2)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            bin_op(BinOp::And, Value::Bool(true), Value::Bool(false)).unwrap(),
+            Value::Bool(false)
+        );
+        assert!(bin_op(BinOp::And, Value::Int(1), Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn bitwise_requires_ints() {
+        assert_eq!(
+            bin_op(BinOp::BitAnd, Value::Int(6), Value::Int(3)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(bin_op(BinOp::Shl, Value::Int(1), Value::Int(4)).unwrap(), Value::Int(16));
+        assert!(bin_op(BinOp::BitOr, Value::Float(1.0), Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(un_op(UnOp::Neg, Value::Int(3)).unwrap(), Value::Int(-3));
+        assert_eq!(un_op(UnOp::Neg, Value::Float(1.5)).unwrap(), Value::Float(-1.5));
+        assert_eq!(un_op(UnOp::Not, Value::Bool(false)).unwrap(), Value::Bool(true));
+        assert!(un_op(UnOp::Not, Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn math_intrinsics() {
+        assert_eq!(math_call("sqrt", &[Value::Float(9.0)]).unwrap(), Value::Float(3.0));
+        assert_eq!(math_call("abs", &[Value::Int(-4)]).unwrap(), Value::Int(4));
+        assert_eq!(
+            math_call("max", &[Value::Int(3), Value::Int(7)]).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            math_call("pow", &[Value::Float(2.0), Value::Int(10)]).unwrap(),
+            Value::Float(1024.0)
+        );
+        assert!(math_call("nope", &[]).is_err());
+        assert!(is_math_fn("atan"));
+        assert!(!is_math_fn("println"));
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(
+            Value::Int(3).coerce_to(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert!(Value::Float(3.5).coerce_to(DataType::Int).is_err());
+        assert!(Value::Bool(true).coerce_to(DataType::Float).is_err());
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let mut a = ArrayVal::zeros(DataType::Float, vec![2, 3]);
+        a.set(&[1, 2], Value::Int(7)).unwrap();
+        assert_eq!(a.get(&[1, 2]).unwrap(), Value::Float(7.0));
+        assert_eq!(a.get(&[0, 0]).unwrap(), Value::Float(0.0));
+        assert!(a.get(&[2, 0]).is_err());
+        assert!(a.get(&[0]).is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! Hand-written lexer for the StreamIt dialect.
+
+use crate::token::{Span, Spanned, Token};
+
+/// A lexical error with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Explanation of the problem.
+    pub message: String,
+    /// Where it occurred.
+    pub span: Span,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes the whole input, appending a final [`Token::Eof`].
+///
+/// Line (`//`) and block (`/* */`) comments are skipped.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for malformed numeric literals, unterminated
+/// block comments, or characters outside the language.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_lang::lexer::tokenize;
+/// use streamlin_lang::token::Token;
+/// let toks = tokenize("x += 2;").unwrap();
+/// assert_eq!(toks[1].token, Token::PlusAssign);
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            span: self.span(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Spanned {
+                    token: Token::Eof,
+                    span,
+                });
+                return Ok(out);
+            };
+            let token = if c.is_ascii_digit() || (c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+                self.number()?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.ident()
+            } else {
+                self.symbol()?
+            };
+            out.push(Spanned { token, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some('*') if self.peek2() == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(LexError {
+                                    message: "unterminated block comment".into(),
+                                    span: start,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else if c == '.' && !is_float && self.peek2().is_none_or(|d| d != '.') {
+                is_float = true;
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-')
+            {
+                is_float = true;
+                self.bump(); // e
+                self.bump(); // sign or first digit
+                while self.peek().is_some_and(|d| d.is_ascii_digit()) {
+                    self.bump();
+                }
+                break;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|_| self.error(format!("malformed float literal `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|_| self.error(format!("malformed integer literal `{text}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Token {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        Token::keyword(&text).unwrap_or(Token::Ident(text))
+    }
+
+    fn symbol(&mut self) -> Result<Token, LexError> {
+        let c = self.bump().expect("symbol called at end of input");
+        let two = |l: &mut Self, next: char, yes: Token, no: Token| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            '(' => Token::LParen,
+            ')' => Token::RParen,
+            '{' => Token::LBrace,
+            '}' => Token::RBrace,
+            '[' => Token::LBracket,
+            ']' => Token::RBracket,
+            ',' => Token::Comma,
+            ';' => Token::Semi,
+            '%' => Token::Percent,
+            '^' => Token::Caret,
+            '+' => match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    Token::PlusPlus
+                }
+                Some('=') => {
+                    self.bump();
+                    Token::PlusAssign
+                }
+                _ => Token::Plus,
+            },
+            '-' => match self.peek() {
+                Some('-') => {
+                    self.bump();
+                    Token::MinusMinus
+                }
+                Some('=') => {
+                    self.bump();
+                    Token::MinusAssign
+                }
+                Some('>') => {
+                    self.bump();
+                    Token::Arrow
+                }
+                _ => Token::Minus,
+            },
+            '*' => two(self, '=', Token::StarAssign, Token::Star),
+            '/' => two(self, '=', Token::SlashAssign, Token::Slash),
+            '=' => two(self, '=', Token::EqEq, Token::Assign),
+            '!' => two(self, '=', Token::NotEq, Token::Not),
+            '<' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Token::Le
+                }
+                Some('<') => {
+                    self.bump();
+                    Token::Shl
+                }
+                _ => Token::Lt,
+            },
+            '>' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Token::Ge
+                }
+                Some('>') => {
+                    self.bump();
+                    Token::Shr
+                }
+                _ => Token::Gt,
+            },
+            '&' => two(self, '&', Token::AndAnd, Token::Amp),
+            '|' => two(self, '|', Token::OrOr, Token::Pipe),
+            other => return Err(self.error(format!("unexpected character `{other}`"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("float filter Foo"),
+            vec![
+                Token::KwFloat,
+                Token::KwFilter,
+                Token::Ident("Foo".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn prework_aliases_init_work() {
+        assert_eq!(toks("prework")[0], Token::KwInitWork);
+        assert_eq!(toks("initWork")[0], Token::KwInitWork);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42")[0], Token::Int(42));
+        assert_eq!(toks("2.5")[0], Token::Float(2.5));
+        assert_eq!(toks("1e3")[0], Token::Float(1000.0));
+        assert_eq!(toks("2.5e-2")[0], Token::Float(0.025));
+        assert_eq!(toks(".5")[0], Token::Float(0.5));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a->b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Arrow,
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+        assert_eq!(toks("++ -- += -= *= /= == != <= >= << >> && ||").len(), 15);
+        assert_eq!(toks("i++")[1], Token::PlusPlus);
+        assert_eq!(toks("a - -b")[1], Token::Minus);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\n /* block \n many lines */ b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(tokenize("/* never ends").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let t = tokenize("a\n  b").unwrap();
+        assert_eq!(t[0].span.line, 1);
+        assert_eq!(t[1].span.line, 2);
+        assert_eq!(t[1].span.col, 3);
+    }
+
+    #[test]
+    fn bad_character_is_an_error() {
+        let err = tokenize("a $ b").unwrap_err();
+        assert!(err.message.contains('$'));
+    }
+}

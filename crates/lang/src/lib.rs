@@ -1,0 +1,40 @@
+//! Lexer, parser and AST for the StreamIt dialect consumed by `streamlin`.
+//!
+//! The paper's input language is StreamIt (§2.1): programs are hierarchical
+//! compositions of `filter`, `pipeline`, `splitjoin` and `feedbackloop`
+//! streams; each filter declares `peek`/`pop`/`push` rates and a C-like
+//! `work` function communicating through `peek(i)`, `pop()` and `push(v)`.
+//! This crate implements the subset of the language exercised by the nine
+//! benchmark applications of Appendix A (plus enough generality for new
+//! programs): parameterized stream declarations, anonymous nested streams,
+//! field/local declarations with array types, `for`/`while`/`if` control
+//! flow, the arithmetic/logic operator set, math intrinsics, `init` and
+//! `initWork`/`prework` phases, and feedback loops with `enqueue`.
+//!
+//! The grammar is parsed by a hand-written recursive-descent parser (no
+//! parser-generator dependency) into the [`ast`] types, which are consumed
+//! by the elaborator in `streamlin-graph`, the linear-extraction analysis in
+//! `streamlin-core`, and the work-function interpreter in
+//! `streamlin-runtime`.
+//!
+//! # Examples
+//!
+//! ```
+//! let source = r#"
+//!     float->float filter Doubler {
+//!         work push 1 pop 1 { push(2 * pop()); }
+//!     }
+//! "#;
+//! let program = streamlin_lang::parse(source).unwrap();
+//! assert_eq!(program.decls.len(), 1);
+//! assert_eq!(program.decls[0].name, "Doubler");
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::Program;
+pub use parser::{parse, ParseError};

@@ -1,0 +1,532 @@
+//! Pretty-printer for the dialect AST.
+//!
+//! Renders any [`Program`] back to parseable source text. The round-trip
+//! `parse(pretty(ast)) == ast` is checked property-based in the crate's
+//! integration tests; the printer is also used for diagnostics and for
+//! emitting elaborated benchmark sources.
+
+use crate::ast::*;
+
+/// Renders a whole program.
+///
+/// # Examples
+///
+/// ```
+/// let src = "float->float filter Gain { work pop 1 push 1 { push(2 * pop()); } }";
+/// let p = streamlin_lang::parse(src).unwrap();
+/// let printed = streamlin_lang::pretty::program(&p);
+/// let reparsed = streamlin_lang::parse(&printed).unwrap();
+/// assert_eq!(p, reparsed);
+/// ```
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        stream_decl(d, 0, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn data_type(t: DataType) -> &'static str {
+    match t {
+        DataType::Void => "void",
+        DataType::Float => "float",
+        DataType::Int => "int",
+        DataType::Bool => "boolean",
+    }
+}
+
+fn ty(t: &Type, out: &mut String) {
+    out.push_str(data_type(t.base));
+    for d in &t.dims {
+        out.push('[');
+        expr(d, out);
+        out.push(']');
+    }
+}
+
+fn stream_decl(d: &StreamDecl, level: usize, out: &mut String) {
+    indent(level, out);
+    out.push_str(data_type(d.input));
+    out.push_str("->");
+    out.push_str(data_type(d.output));
+    out.push(' ');
+    let kw = match &d.kind {
+        StreamKind::Filter(_) => "filter",
+        StreamKind::Pipeline(_) => "pipeline",
+        StreamKind::SplitJoin(_) => "splitjoin",
+        StreamKind::FeedbackLoop(_) => "feedbackloop",
+    };
+    out.push_str(kw);
+    if !d.name.starts_with('<') {
+        out.push(' ');
+        out.push_str(&d.name);
+    }
+    if !d.params.is_empty() {
+        out.push('(');
+        for (i, p) in d.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            ty(&p.ty, out);
+            out.push(' ');
+            out.push_str(&p.name);
+        }
+        out.push(')');
+    }
+    out.push_str(" {\n");
+    match &d.kind {
+        StreamKind::Filter(f) => filter_body(f, level + 1, out),
+        StreamKind::Pipeline(b) => {
+            for s in &b.stmts {
+                stmt(s, level + 1, out);
+            }
+        }
+        StreamKind::SplitJoin(sj) => {
+            indent(level + 1, out);
+            out.push_str("split ");
+            splitter(&sj.split, out);
+            out.push_str(";\n");
+            for s in &sj.body.stmts {
+                stmt(s, level + 1, out);
+            }
+            indent(level + 1, out);
+            out.push_str("join ");
+            joiner(&sj.join, out);
+            out.push_str(";\n");
+        }
+        StreamKind::FeedbackLoop(fb) => {
+            indent(level + 1, out);
+            out.push_str("join ");
+            joiner(&fb.join, out);
+            out.push_str(";\n");
+            indent(level + 1, out);
+            out.push_str("body ");
+            stream_ref(&fb.body, level + 1, out);
+            out.push_str(";\n");
+            indent(level + 1, out);
+            out.push_str("loop ");
+            stream_ref(&fb.loop_stream, level + 1, out);
+            out.push_str(";\n");
+            indent(level + 1, out);
+            out.push_str("split ");
+            splitter(&fb.split, out);
+            out.push_str(";\n");
+            for e in &fb.enqueue {
+                indent(level + 1, out);
+                out.push_str("enqueue ");
+                expr(e, out);
+                out.push_str(";\n");
+            }
+        }
+    }
+    indent(level, out);
+    out.push_str("}\n");
+}
+
+fn filter_body(f: &FilterDecl, level: usize, out: &mut String) {
+    for field in &f.fields {
+        indent(level, out);
+        ty(&field.ty, out);
+        out.push(' ');
+        out.push_str(&field.name);
+        if let Some(e) = &field.init {
+            out.push_str(" = ");
+            expr(e, out);
+        }
+        out.push_str(";\n");
+    }
+    if let Some(init) = &f.init {
+        indent(level, out);
+        out.push_str("init {\n");
+        for s in &init.stmts {
+            stmt(s, level + 1, out);
+        }
+        indent(level, out);
+        out.push_str("}\n");
+    }
+    if let Some(w) = &f.init_work {
+        work_fn("initWork", w, level, out);
+    }
+    work_fn("work", &f.work, level, out);
+}
+
+fn work_fn(kw: &str, w: &WorkDecl, level: usize, out: &mut String) {
+    indent(level, out);
+    out.push_str(kw);
+    for (name, rate) in [("push", &w.push), ("pop", &w.pop), ("peek", &w.peek)] {
+        if let Some(e) = rate {
+            out.push(' ');
+            out.push_str(name);
+            out.push(' ');
+            // Rate expressions bind tighter than `{`; parenthesize to be
+            // safe under re-parsing.
+            out.push('(');
+            expr(e, out);
+            out.push(')');
+        }
+    }
+    out.push_str(" {\n");
+    for s in &w.body.stmts {
+        stmt(s, level + 1, out);
+    }
+    indent(level, out);
+    out.push_str("}\n");
+}
+
+fn splitter(s: &SplitterAst, out: &mut String) {
+    match s {
+        SplitterAst::Duplicate => out.push_str("duplicate"),
+        SplitterAst::RoundRobin(w) => {
+            out.push_str("roundrobin");
+            weight_list(w, out);
+        }
+    }
+}
+
+fn joiner(j: &JoinerAst, out: &mut String) {
+    let JoinerAst::RoundRobin(w) = j;
+    out.push_str("roundrobin");
+    weight_list(w, out);
+}
+
+fn weight_list(w: &[Expr], out: &mut String) {
+    if w.is_empty() {
+        return;
+    }
+    out.push('(');
+    for (i, e) in w.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        expr(e, out);
+    }
+    out.push(')');
+}
+
+fn stream_ref(r: &StreamRef, level: usize, out: &mut String) {
+    match r {
+        StreamRef::Named { name, args } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, out);
+            }
+            out.push(')');
+        }
+        StreamRef::Anonymous(decl) => {
+            // Render the anonymous declaration inline (with its IO types).
+            let mut inner = String::new();
+            stream_decl(decl, level, &mut inner);
+            out.push_str(inner.trim_start());
+            // Strip the trailing newline so the caller can add `;`.
+            while out.ends_with('\n') {
+                out.pop();
+            }
+        }
+    }
+}
+
+fn stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::Decl { ty: t, name, init } => {
+            ty(t, out);
+            out.push(' ');
+            out.push_str(name);
+            if let Some(e) = init {
+                out.push_str(" = ");
+                expr(e, out);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { target, op, value } => {
+            lvalue(target, out);
+            out.push_str(match op {
+                None => " = ",
+                Some(BinOp::Add) => " += ",
+                Some(BinOp::Sub) => " -= ",
+                Some(BinOp::Mul) => " *= ",
+                Some(BinOp::Div) => " /= ",
+                Some(other) => unreachable!("no compound operator for {other:?}"),
+            });
+            expr(value, out);
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            out.push_str("if (");
+            expr(cond, out);
+            out.push_str(") {\n");
+            for s in &then_blk.stmts {
+                stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push('}');
+            if let Some(e) = else_blk {
+                out.push_str(" else {\n");
+                for s in &e.stmts {
+                    stmt(s, level + 1, out);
+                }
+                indent(level, out);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            out.push_str("for (");
+            if let Some(i) = init {
+                let mut inner = String::new();
+                stmt(i, 0, &mut inner);
+                out.push_str(inner.trim_end().trim_end_matches(';'));
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                expr(c, out);
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                let mut inner = String::new();
+                stmt(st, 0, &mut inner);
+                out.push_str(inner.trim_end().trim_end_matches(';'));
+            }
+            out.push_str(") {\n");
+            for s in &body.stmts {
+                stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body } => {
+            out.push_str("while (");
+            expr(cond, out);
+            out.push_str(") {\n");
+            for s in &body.stmts {
+                stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Expr(e) => {
+            expr(e, out);
+            out.push_str(";\n");
+        }
+        Stmt::Return => out.push_str("return;\n"),
+        Stmt::Add(r) => {
+            out.push_str("add ");
+            stream_ref(r, level, out);
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn lvalue(lv: &LValue, out: &mut String) {
+    match lv {
+        LValue::Var(n) => out.push_str(n),
+        LValue::Index(n, idx) => {
+            out.push_str(n);
+            for i in idx {
+                out.push('[');
+                expr(i, out);
+                out.push(']');
+            }
+        }
+    }
+}
+
+/// Renders an expression fully parenthesized (so precedence never matters
+/// on re-parse).
+pub fn expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Int(v) => out.push_str(&v.to_string()),
+        Expr::Float(v) => {
+            let s = format!("{v:?}"); // Debug keeps `.0` on integral floats
+            out.push_str(&s);
+        }
+        Expr::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Expr::Pi => out.push_str("pi"),
+        Expr::Var(n) => out.push_str(n),
+        Expr::Index(n, idx) => {
+            out.push_str(n);
+            for i in idx {
+                out.push('[');
+                expr(i, out);
+                out.push(']');
+            }
+        }
+        Expr::Unary(op, a) => {
+            out.push('(');
+            out.push_str(match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            });
+            expr(a, out);
+            out.push(')');
+        }
+        Expr::Binary(op, a, b) => {
+            out.push('(');
+            expr(a, out);
+            out.push(' ');
+            out.push_str(bin_op(*op));
+            out.push(' ');
+            expr(b, out);
+            out.push(')');
+        }
+        Expr::Peek(i) => {
+            out.push_str("peek(");
+            expr(i, out);
+            out.push(')');
+        }
+        Expr::Pop => out.push_str("pop()"),
+        Expr::Push(v) => {
+            out.push_str("push(");
+            expr(v, out);
+            out.push(')');
+        }
+        Expr::Call(name, args) => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, out);
+            }
+            out.push(')');
+        }
+        Expr::PostIncDec { target, inc } => {
+            lvalue(target, out);
+            out.push_str(if *inc { "++" } else { "--" });
+        }
+    }
+}
+
+fn bin_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Gt => ">",
+        BinOp::Le => "<=",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        BinOp::BitAnd => "&",
+        BinOp::BitOr => "|",
+        BinOp::BitXor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    fn round_trip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = super::program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        assert_eq!(p1, p2, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn filter_round_trip() {
+        round_trip(
+            "float->float filter F(int N, float g) {
+                 float[N] h;
+                 int count = 3;
+                 init { for (int i = 0; i < N; i++) h[i] = g * i; }
+                 work peek N pop 1 push 2 {
+                     float s = 0;
+                     for (int i = 0; i < N; i++) s += h[i] * peek(i);
+                     push(s);
+                     push(-s + 1.5);
+                     pop();
+                 }
+             }",
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(
+            "void->void pipeline Main { add A(); add SJ(2); add K(); }
+             void->float filter A { float x; work push 1 { push(x++); } }
+             float->float splitjoin SJ(int n) {
+                 split roundrobin(2, 1);
+                 for (int i = 0; i < n; i++) add G(i);
+                 join roundrobin;
+             }
+             float->float filter G(int k) { work pop 1 push 1 { push(k * pop()); } }
+             float->void filter K { work pop 2 { pop(); pop(); } }",
+        );
+    }
+
+    #[test]
+    fn feedback_round_trip() {
+        round_trip(
+            "float->float feedbackloop FB {
+                 join roundrobin(1, 1);
+                 body pipeline { add A(); }
+                 loop D();
+                 split duplicate;
+                 enqueue 0;
+                 enqueue 1.5;
+             }
+             float->float filter A { work pop 2 push 1 { push(pop() + pop()); } }
+             float->float filter D { float s; work pop 1 push 1 { push(s); s = pop(); } }",
+        );
+    }
+
+    #[test]
+    fn control_flow_round_trip() {
+        round_trip(
+            "float->float filter F {
+                 work pop 1 push 1 {
+                     float v = pop();
+                     int i = 0;
+                     while (i < 3) { i++; }
+                     if (v > 0 && !(v > 10)) { push(v % 2); } else { push((v / 2) - 1); }
+                     return;
+                 }
+             }",
+        );
+    }
+
+    #[test]
+    fn benchmark_sources_round_trip() {
+        // The printer must handle everything the real programs use.
+        round_trip(
+            "void->void pipeline Down {
+                 add S();
+                 add float->float filter { work pop 2 push 1 { push(pop() + pop()); } };
+                 add K();
+             }
+             void->float filter S { float x; work push 1 { push(sin(x++)); } }
+             float->void filter K { work pop 1 { println(pop()); } }",
+        );
+    }
+}

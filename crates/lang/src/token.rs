@@ -1,0 +1,167 @@
+//! Tokens and source positions for the StreamIt dialect.
+
+/// A position in the source text, for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Literals and names
+    Int(i64),
+    Float(f64),
+    Ident(String),
+
+    // Type keywords
+    KwVoid,
+    KwFloat,
+    KwInt,
+    KwBoolean,
+
+    // Stream keywords
+    KwFilter,
+    KwPipeline,
+    KwSplitJoin,
+    KwFeedbackLoop,
+    KwAdd,
+    KwSplit,
+    KwJoin,
+    KwBody,
+    KwLoop,
+    KwEnqueue,
+    KwDuplicate,
+    KwRoundRobin,
+
+    // Filter keywords
+    KwWork,
+    KwInit,
+    KwInitWork,
+    KwPeek,
+    KwPop,
+    KwPush,
+
+    // Statement keywords
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwReturn,
+    KwTrue,
+    KwFalse,
+    KwPi,
+
+    // Punctuation
+    Arrow,     // ->
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+
+    // Operators
+    Assign,     // =
+    PlusAssign, // +=
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<Token> {
+        Some(match s {
+            "void" => Token::KwVoid,
+            "float" => Token::KwFloat,
+            "int" => Token::KwInt,
+            "boolean" => Token::KwBoolean,
+            "filter" => Token::KwFilter,
+            "pipeline" => Token::KwPipeline,
+            "splitjoin" => Token::KwSplitJoin,
+            "feedbackloop" => Token::KwFeedbackLoop,
+            "add" => Token::KwAdd,
+            "split" => Token::KwSplit,
+            "join" => Token::KwJoin,
+            "body" => Token::KwBody,
+            "loop" => Token::KwLoop,
+            "enqueue" => Token::KwEnqueue,
+            "duplicate" => Token::KwDuplicate,
+            "roundrobin" => Token::KwRoundRobin,
+            "work" => Token::KwWork,
+            "init" => Token::KwInit,
+            // Both spellings appear in the literature; the thesis uses
+            // `initWork`, StreamIt 2.x uses `prework`.
+            "initWork" => Token::KwInitWork,
+            "prework" => Token::KwInitWork,
+            "peek" => Token::KwPeek,
+            "pop" => Token::KwPop,
+            "push" => Token::KwPush,
+            "if" => Token::KwIf,
+            "else" => Token::KwElse,
+            "for" => Token::KwFor,
+            "while" => Token::KwWhile,
+            "return" => Token::KwReturn,
+            "true" => Token::KwTrue,
+            "false" => Token::KwFalse,
+            "pi" => Token::KwPi,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description, used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Int(v) => format!("integer literal {v}"),
+            Token::Float(v) => format!("float literal {v}"),
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Eof => "end of input".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it begins.
+    pub span: Span,
+}

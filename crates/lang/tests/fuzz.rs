@@ -1,0 +1,30 @@
+//! Robustness: the lexer and parser must never panic, whatever bytes they
+//! are fed — errors only.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(s in "\\PC*") {
+        let _ = streamlin_lang::parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("filter"), Just("pipeline"), Just("splitjoin"), Just("work"),
+                Just("push"), Just("pop()"), Just("peek"), Just("{"), Just("}"),
+                Just("("), Just(")"), Just(";"), Just("->"), Just("float"),
+                Just("void"), Just("add"), Just("1"), Just("x"), Just("+"),
+                Just("="), Just("for"), Just("if"), Just("init"), Just("[ ]"),
+            ],
+            0..64,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = streamlin_lang::parse(&src);
+    }
+}

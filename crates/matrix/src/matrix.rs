@@ -1,0 +1,377 @@
+//! Row-major dense matrix.
+
+use streamlin_support::num::approx_eq;
+
+/// A dense, row-major matrix of `f64`.
+///
+/// Shapes with zero rows or zero columns are valid and arise naturally for
+/// source (`0 × push`) and sink (`peek × 0`) linear nodes.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_matrix::Matrix;
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Creates a matrix whose entry `(r, c)` is `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the entry at `(row, col)`, or `None` if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        (row < self.rows && col < self.cols).then(|| self.data[row * self.cols + col])
+    }
+
+    /// A view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Column `c` collected into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "col {c} out of bounds ({} cols)", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix sum shape mismatch");
+        let mut out = self.clone();
+        for (o, &b) in out.data.iter_mut().zip(&rhs.data) {
+            *o += b;
+        }
+        out
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f64) -> Matrix {
+        let mut out = self.clone();
+        for o in &mut out.data {
+            *o *= k;
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Adds `src` into this matrix with its top-left corner at
+    /// `(row_off, col_off)`, clipping any part that falls outside.
+    ///
+    /// This is the `shift(r, c)` placement primitive of linear expansion
+    /// (paper Transformation 1): the expanded matrix is a sum of shifted
+    /// copies of the original, and copies whose final columns exceed the new
+    /// width are clipped.
+    ///
+    /// Negative offsets clip on the top/left edge.
+    pub fn add_shifted(&mut self, src: &Matrix, row_off: isize, col_off: isize) {
+        for r in 0..src.rows {
+            let dr = r as isize + row_off;
+            if dr < 0 || dr as usize >= self.rows {
+                continue;
+            }
+            for c in 0..src.cols {
+                let dc = c as isize + col_off;
+                if dc < 0 || dc as usize >= self.cols {
+                    continue;
+                }
+                self[(dr as usize, dc as usize)] += src[(r, c)];
+            }
+        }
+    }
+
+    /// Copies column `src_col` of `src` into column `dst_col` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ or either column is out of bounds.
+    pub fn set_col_from(&mut self, dst_col: usize, src: &Matrix, src_col: usize) {
+        assert_eq!(self.rows, src.rows, "column copy row mismatch");
+        assert!(dst_col < self.cols && src_col < src.cols, "column copy out of bounds");
+        for r in 0..self.rows {
+            self[(r, dst_col)] = src[(r, src_col)];
+        }
+    }
+
+    /// Number of entries with `|x| > eps`.
+    pub fn nnz(&self, eps: f64) -> usize {
+        self.data.iter().filter(|x| x.abs() > eps).count()
+    }
+
+    /// True if every entry differs by at most `atol + rtol·max(|a|,|b|)`.
+    pub fn approx_eq(&self, rhs: &Matrix, atol: f64, rtol: f64) -> bool {
+        self.rows == rhs.rows
+            && self.cols == rhs.cols
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(&a, &b)| approx_eq(a, b, atol, rtol))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index ({r},{c}) out of bounds ({}x{})", self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index ({r},{c}) out of bounds ({}x{})", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "[{}x{}]", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(r, c)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.nnz(0.0), 0);
+        let i = Matrix::identity(3);
+        assert_eq!(i.nnz(0.0), 3);
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn product_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn identity_is_neutral_for_product() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64);
+        assert_eq!(Matrix::identity(3).mul(&a), a);
+        assert_eq!(a.mul(&Matrix::identity(4)), a);
+    }
+
+    #[test]
+    fn degenerate_shapes_multiply() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = a.mul(&b);
+        assert_eq!((c.rows(), c.cols()), (3, 2));
+        assert_eq!(c.nnz(0.0), 0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(2, 5, |r, c| (r + 10 * c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(3, 1)], a[(1, 3)]);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 3.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[&[3.0, 2.0]]));
+        assert_eq!(a.scale(-2.0), Matrix::from_rows(&[&[-2.0, 2.0]]));
+    }
+
+    #[test]
+    fn add_shifted_places_and_clips() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut dst = Matrix::zeros(3, 3);
+        dst.add_shifted(&src, 1, 1);
+        assert_eq!(dst[(1, 1)], 1.0);
+        assert_eq!(dst[(2, 2)], 4.0);
+        // clipping beyond the right/bottom edge
+        let mut dst2 = Matrix::zeros(2, 2);
+        dst2.add_shifted(&src, 1, 1);
+        assert_eq!(dst2[(1, 1)], 1.0);
+        assert_eq!(dst2.nnz(0.0), 1);
+        // negative offsets clip on the top-left
+        let mut dst3 = Matrix::zeros(2, 2);
+        dst3.add_shifted(&src, -1, -1);
+        assert_eq!(dst3[(0, 0)], 4.0);
+        assert_eq!(dst3.nnz(0.0), 1);
+    }
+
+    #[test]
+    fn add_shifted_accumulates_overlap() {
+        let src = Matrix::from_rows(&[&[1.0]]);
+        let mut dst = Matrix::zeros(1, 1);
+        dst.add_shifted(&src, 0, 0);
+        dst.add_shifted(&src, 0, 0);
+        assert_eq!(dst[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn column_accessors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.col(1), vec![2.0, 4.0]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        let mut b = Matrix::zeros(2, 2);
+        b.set_col_from(0, &a, 1);
+        assert_eq!(b.col(0), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn nnz_respects_epsilon() {
+        let a = Matrix::from_rows(&[&[1e-12, 0.5]]);
+        assert_eq!(a.nnz(1e-9), 1);
+        assert_eq!(a.nnz(0.0), 2);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_noise() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0 + 1e-12, 2.0]]);
+        assert!(a.approx_eq(&b, 1e-9, 1e-9));
+        assert!(!a.approx_eq(&Matrix::zeros(1, 2), 1e-9, 1e-9));
+        assert!(!a.approx_eq(&Matrix::zeros(2, 1), 1e-9, 1e-9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[&[1.0], &[1.0, 2.0][..]]);
+    }
+
+    #[test]
+    fn get_is_checked() {
+        let a = Matrix::zeros(1, 1);
+        assert_eq!(a.get(0, 0), Some(0.0));
+        assert_eq!(a.get(1, 0), None);
+    }
+}

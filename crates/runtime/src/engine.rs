@@ -1,0 +1,570 @@
+//! The data-driven execution engine.
+
+use std::collections::VecDeque;
+
+use streamlin_graph::exec::{Env, Flow, Host, Interp};
+use streamlin_graph::value::{EvalError, Value};
+use streamlin_support::OpCounter;
+
+use crate::flat::{FlatGraph, FlatNode, InterpState, NodeKind};
+
+/// Errors during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// No node can fire but the program has not produced enough output.
+    Deadlock {
+        /// A description of the stuck state.
+        detail: String,
+    },
+    /// A work function violated its declared rates at runtime.
+    RateViolation(String),
+    /// A work function failed to evaluate.
+    Eval(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            RunError::RateViolation(m) => write!(f, "rate violation: {m}"),
+            RunError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Hard upper bound on any channel (safety net against runaway growth).
+const CHANNEL_CAP_MAX: usize = 1 << 24;
+
+/// Shared mutable execution state (kept apart from the nodes so a firing
+/// can borrow both).
+#[derive(Debug)]
+struct EngineState {
+    channels: Vec<VecDeque<f64>>,
+    /// Per-channel occupancy bound. Starts tight (a small multiple of the
+    /// endpoints' rates) so producers cannot run far ahead of demand —
+    /// otherwise a node early in the graph would burn operations computing
+    /// data the measured run never consumes. Raised adaptively when a
+    /// graph (e.g. a splitjoin with imbalanced branches) genuinely needs
+    /// deeper buffering.
+    caps: Vec<usize>,
+    printed: Vec<f64>,
+    ops: OpCounter,
+    firings: u64,
+}
+
+/// An executable program instance.
+#[derive(Debug)]
+pub struct Engine {
+    nodes: Vec<FlatNode>,
+    state: EngineState,
+}
+
+impl Engine {
+    /// Instantiates a flattened graph (applying feedback preloads).
+    pub fn new(flat: FlatGraph) -> Self {
+        let mut channels = vec![VecDeque::new(); flat.num_channels];
+        for (chan, items) in &flat.initial {
+            channels[*chan].extend(items.iter().copied());
+        }
+        // Initial caps: room for a couple of firings at each endpoint.
+        let mut caps = vec![64usize; flat.num_channels];
+        for node in &flat.nodes {
+            let (needed, pushed) = node_demands(node);
+            for (&c, &n) in node.inputs.iter().zip(&needed) {
+                caps[c] = caps[c].max(4 * n + 16);
+            }
+            for (&c, &p) in node.outputs.iter().zip(&pushed) {
+                caps[c] = caps[c].max(4 * p + 16);
+            }
+        }
+        for (chan, items) in &flat.initial {
+            caps[*chan] = caps[*chan].max(2 * items.len() + 16);
+        }
+        Engine {
+            nodes: flat.nodes,
+            state: EngineState {
+                channels,
+                caps,
+                printed: Vec::new(),
+                ops: OpCounter::new(),
+                firings: 0,
+            },
+        }
+    }
+
+    /// Values printed so far (the program's output stream).
+    pub fn printed(&self) -> &[f64] {
+        &self.state.printed
+    }
+
+    /// Operation counts so far.
+    pub fn ops(&self) -> &OpCounter {
+        &self.state.ops
+    }
+
+    /// Total node firings so far.
+    pub fn firings(&self) -> u64 {
+        self.state.firings
+    }
+
+    /// Runs until the program has printed at least `n` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Deadlock`] if no progress is possible, or any
+    /// evaluation/rate error from a work function.
+    pub fn run_until_outputs(&mut self, n: usize) -> Result<(), RunError> {
+        while self.state.printed.len() < n {
+            let mut fired = false;
+            for i in 0..self.nodes.len() {
+                if self.state.printed.len() >= n {
+                    return Ok(());
+                }
+                if self.readiness(i) == Readiness::Ready {
+                    fire(&mut self.nodes[i], &mut self.state)?;
+                    fired = true;
+                }
+            }
+            if !fired && !self.relieve_backpressure()? {
+                let detail = self
+                    .nodes
+                    .iter()
+                    .map(|node| {
+                        let ins: Vec<usize> = node
+                            .inputs
+                            .iter()
+                            .map(|&c| self.state.channels[c].len())
+                            .collect();
+                        format!("{}{ins:?}", node.name)
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                return Err(RunError::Deadlock { detail });
+            }
+        }
+        Ok(())
+    }
+
+    /// What, if anything, prevents node `i` from firing.
+    fn readiness(&self, i: usize) -> Readiness {
+        let node = &self.nodes[i];
+        let (needed, pushed) = node_demands(node);
+        for (k, &chan) in node.inputs.iter().enumerate() {
+            if self.state.channels[chan].len() < needed[k] {
+                return Readiness::NeedsInput;
+            }
+        }
+        for (&chan, &count) in node.outputs.iter().zip(&pushed) {
+            if self.state.channels[chan].len() + count > self.state.caps[chan] {
+                return Readiness::OutputFull(chan);
+            }
+        }
+        Readiness::Ready
+    }
+
+    /// When every node is blocked, grow the caps of channels that are the
+    /// only obstacle for otherwise-ready nodes (imbalanced splitjoin
+    /// branches legitimately need deeper buffers). Returns whether any cap
+    /// was raised.
+    fn relieve_backpressure(&mut self) -> Result<bool, RunError> {
+        let mut raised = false;
+        for i in 0..self.nodes.len() {
+            if let Readiness::OutputFull(chan) = self.readiness(i) {
+                let cap = &mut self.state.caps[chan];
+                if *cap >= CHANNEL_CAP_MAX {
+                    return Err(RunError::Deadlock {
+                        detail: format!(
+                            "channel of {} exceeded the {CHANNEL_CAP_MAX}-item bound",
+                            self.nodes[i].name
+                        ),
+                    });
+                }
+                *cap = (*cap * 2).min(CHANNEL_CAP_MAX);
+                raised = true;
+            }
+        }
+        Ok(raised)
+    }
+}
+
+/// Why a node can or cannot fire right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Readiness {
+    Ready,
+    NeedsInput,
+    OutputFull(usize),
+}
+
+/// Items needed per input channel and produced per output channel for the
+/// node's *next* firing.
+fn node_demands(node: &FlatNode) -> (Vec<usize>, Vec<usize>) {
+    match &node.kind {
+        NodeKind::Interp(s) => {
+            let w = match (s.first, s.inst.init_work.as_ref()) {
+                (true, Some(init)) => init,
+                _ => &s.inst.work,
+            };
+            (
+                if node.inputs.is_empty() { vec![] } else { vec![w.peek] },
+                if node.outputs.is_empty() { vec![] } else { vec![w.push] },
+            )
+        }
+        NodeKind::Linear(exec) => {
+            let n = exec.node();
+            (
+                if node.inputs.is_empty() { vec![] } else { vec![n.peek()] },
+                if node.outputs.is_empty() { vec![] } else { vec![n.push()] },
+            )
+        }
+        NodeKind::Redund(exec) => {
+            let n = exec.spec().node();
+            (
+                vec![n.peek()],
+                if node.outputs.is_empty() { vec![] } else { vec![n.push()] },
+            )
+        }
+        NodeKind::Freq(exec) => {
+            let (peek, _pop, push) = exec.current_rates();
+            (vec![peek], vec![push])
+        }
+        NodeKind::Decimator { pop, push } => (vec![*pop], vec![*push]),
+        NodeKind::Duplicate => (vec![1], vec![1; node.outputs.len()]),
+        NodeKind::SplitRR(w) => (vec![w.iter().sum()], w.clone()),
+        NodeKind::JoinRR(w) => (w.clone(), vec![w.iter().sum()]),
+    }
+}
+
+fn fire(node: &mut FlatNode, state: &mut EngineState) -> Result<(), RunError> {
+    state.firings += 1;
+    match &mut node.kind {
+        NodeKind::Interp(interp) => fire_interp(interp, &node.inputs, &node.outputs, state),
+        NodeKind::Linear(exec) => {
+            let n = exec.node().clone();
+            let window = read_window(state, node.inputs.first().copied(), n.peek());
+            let out = exec.fire(&window, &mut state.ops);
+            consume(state, node.inputs.first().copied(), n.pop());
+            produce(state, node.outputs.first().copied(), &out);
+            Ok(())
+        }
+        NodeKind::Redund(exec) => {
+            let n = exec.spec().node().clone();
+            let window = read_window(state, node.inputs.first().copied(), n.peek());
+            let out = exec.fire(&window, &mut state.ops);
+            consume(state, node.inputs.first().copied(), n.pop());
+            produce(state, node.outputs.first().copied(), &out);
+            Ok(())
+        }
+        NodeKind::Freq(exec) => {
+            let (peek, pop, _push) = exec.current_rates();
+            let window = read_window(state, node.inputs.first().copied(), peek);
+            let out = exec.fire(&window, &mut state.ops);
+            consume(state, node.inputs.first().copied(), pop);
+            produce(state, node.outputs.first().copied(), &out);
+            Ok(())
+        }
+        NodeKind::Decimator { pop, push } => {
+            let (pop, push) = (*pop, *push);
+            let chan = &mut state.channels[node.inputs[0]];
+            let mut kept = Vec::with_capacity(push);
+            for i in 0..pop {
+                let v = chan.pop_front().expect("fireable checked occupancy");
+                if i < push {
+                    kept.push(v);
+                }
+            }
+            produce(state, node.outputs.first().copied(), &kept);
+            Ok(())
+        }
+        NodeKind::Duplicate => {
+            let v = state.channels[node.inputs[0]]
+                .pop_front()
+                .expect("fireable checked occupancy");
+            for &o in &node.outputs {
+                state.channels[o].push_back(v);
+            }
+            Ok(())
+        }
+        NodeKind::SplitRR(w) => {
+            let w = w.clone();
+            for (k, &count) in w.iter().enumerate() {
+                for _ in 0..count {
+                    let v = state.channels[node.inputs[0]]
+                        .pop_front()
+                        .expect("fireable checked occupancy");
+                    state.channels[node.outputs[k]].push_back(v);
+                }
+            }
+            Ok(())
+        }
+        NodeKind::JoinRR(w) => {
+            let w = w.clone();
+            for (k, &count) in w.iter().enumerate() {
+                for _ in 0..count {
+                    let v = state.channels[node.inputs[k]]
+                        .pop_front()
+                        .expect("fireable checked occupancy");
+                    state.channels[node.outputs[0]].push_back(v);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn read_window(state: &EngineState, chan: Option<usize>, peek: usize) -> Vec<f64> {
+    match chan {
+        None => Vec::new(),
+        Some(c) => state.channels[c].iter().take(peek).copied().collect(),
+    }
+}
+
+fn consume(state: &mut EngineState, chan: Option<usize>, pop: usize) {
+    if let Some(c) = chan {
+        for _ in 0..pop {
+            state.channels[c].pop_front().expect("fireable checked occupancy");
+        }
+    }
+}
+
+fn produce(state: &mut EngineState, chan: Option<usize>, items: &[f64]) {
+    if let Some(c) = chan {
+        state.channels[c].extend(items.iter().copied());
+    }
+}
+
+// ---- interpreted filters ----------------------------------------------------
+
+/// Tape host over a window snapshot: peeks/pops index into the window,
+/// pushes and prints are collected, float operations are tallied.
+struct WindowHost<'a> {
+    window: &'a [f64],
+    cursor: usize,
+    pushed: Vec<f64>,
+    printed: &'a mut Vec<f64>,
+    ops: &'a mut OpCounter,
+}
+
+impl Host for WindowHost<'_> {
+    fn peek(&mut self, i: usize) -> Result<f64, EvalError> {
+        self.window
+            .get(self.cursor + i)
+            .copied()
+            .ok_or_else(|| {
+                EvalError::new(format!(
+                    "peek({i}) after {} pops exceeds the declared peek window of {}",
+                    self.cursor,
+                    self.window.len()
+                ))
+            })
+    }
+    fn pop(&mut self) -> Result<f64, EvalError> {
+        let v = self.peek(0)?;
+        self.cursor += 1;
+        Ok(v)
+    }
+    fn push(&mut self, v: f64) -> Result<(), EvalError> {
+        self.pushed.push(v);
+        Ok(())
+    }
+    fn print(&mut self, v: Value, _newline: bool) -> Result<(), EvalError> {
+        self.printed.push(v.as_f64()?);
+        Ok(())
+    }
+    fn count_add(&mut self) {
+        self.ops.add(0.0, 0.0);
+    }
+    fn count_mul(&mut self) {
+        self.ops.mul(0.0, 0.0);
+    }
+    fn count_div(&mut self) {
+        self.ops.div(1.0, 1.0);
+    }
+    fn count_other(&mut self) {
+        self.ops.other(1);
+    }
+}
+
+/// Interpreter fuel per firing — generous (Radar's largest work functions
+/// run tens of thousands of statements per firing).
+const FIRING_FUEL: u64 = 50_000_000;
+
+fn fire_interp(
+    interp: &mut InterpState,
+    inputs: &[usize],
+    outputs: &[usize],
+    state: &mut EngineState,
+) -> Result<(), RunError> {
+    let use_init = interp.first && interp.inst.init_work.is_some();
+    let phase = if use_init {
+        interp.inst.init_work.as_ref().expect("checked")
+    } else {
+        &interp.inst.work
+    };
+    interp.first = false;
+
+    let window = read_window(state, inputs.first().copied(), phase.peek);
+    let (cursor, pushed) = {
+        let mut host = WindowHost {
+            window: &window,
+            cursor: 0,
+            pushed: Vec::with_capacity(phase.push),
+            printed: &mut state.printed,
+            ops: &mut state.ops,
+        };
+        let mut engine = Interp::new(&mut host, FIRING_FUEL);
+        let mut env = Env::new(&mut interp.state);
+        match engine.exec_block(&mut env, &phase.body) {
+            Ok(Flow::Normal) | Ok(Flow::Return) => {}
+            Err(e) => {
+                return Err(RunError::Eval(format!("{}: {}", interp.inst.name, e.message)))
+            }
+        }
+        (host.cursor, host.pushed)
+    };
+    if cursor != phase.pop {
+        return Err(RunError::RateViolation(format!(
+            "{} declared pop {} but popped {}",
+            interp.inst.name, phase.pop, cursor
+        )));
+    }
+    if pushed.len() != phase.push {
+        return Err(RunError::RateViolation(format!(
+            "{} declared push {} but pushed {}",
+            interp.inst.name,
+            phase.push,
+            pushed.len()
+        )));
+    }
+    consume(state, inputs.first().copied(), phase.pop);
+    produce(state, outputs.first().copied(), &pushed);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::flatten;
+    use crate::linear_exec::MatMulStrategy;
+    use streamlin_core::opt::OptStream;
+
+    fn engine_for(src: &str) -> Engine {
+        let p = streamlin_lang::parse(src).unwrap();
+        let g = streamlin_graph::elaborate(&p).unwrap();
+        Engine::new(flatten(&OptStream::from_graph(&g), MatMulStrategy::Unrolled).unwrap())
+    }
+
+    #[test]
+    fn ramp_through_gain() {
+        let mut e = engine_for(
+            "void->void pipeline Main { add S(); add G(); add K(); }
+             void->float filter S { float x; work push 1 { push(x++); } }
+             float->float filter G { work pop 1 push 1 { push(3 * pop()); } }
+             float->void filter K { work pop 1 { println(pop()); } }",
+        );
+        e.run_until_outputs(4).unwrap();
+        assert_eq!(&e.printed()[..4], &[0.0, 3.0, 6.0, 9.0]);
+        assert!(e.ops().mults() >= 4);
+    }
+
+    #[test]
+    fn peeking_filter_sees_lookahead() {
+        let mut e = engine_for(
+            "void->void pipeline Main { add S(); add D(); add K(); }
+             void->float filter S { float x; work push 1 { push(x++); } }
+             float->float filter D {
+                 work peek 2 pop 1 push 1 { push(peek(1) - peek(0)); pop(); }
+             }
+             float->void filter K { work pop 1 { println(pop()); } }",
+        );
+        e.run_until_outputs(3).unwrap();
+        assert_eq!(&e.printed()[..3], &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn splitjoin_round_trip() {
+        let mut e = engine_for(
+            "void->void pipeline Main { add S(); add SJ(); add K(); }
+             void->float filter S { float x; work push 1 { push(x++); } }
+             float->float splitjoin SJ {
+                 split duplicate;
+                 add G(10.0); add G(100.0);
+                 join roundrobin;
+             }
+             float->float filter G(float k) { work pop 1 push 1 { push(k * pop()); } }
+             float->void filter K { work pop 2 { println(pop()); println(pop()); } }",
+        );
+        e.run_until_outputs(4).unwrap();
+        assert_eq!(&e.printed()[..4], &[0.0, 0.0, 10.0, 100.0]);
+    }
+
+    #[test]
+    fn feedback_accumulator() {
+        // y[n] = x[n] + y[n-1] via a feedback loop around an adder.
+        let mut e = engine_for(
+            "void->void pipeline Main { add S(); add FB(); add K(); }
+             void->float filter S { float x; work push 1 { x = x + 1; push(x); } }
+             float->void filter K { work pop 1 { println(pop()); } }
+             float->float feedbackloop FB {
+                 join roundrobin(1, 1);
+                 body Adder();
+                 loop Id();
+                 split duplicate;
+                 enqueue 0;
+             }
+             float->float filter Adder { work pop 2 push 1 { push(pop() + pop()); } }
+             float->float filter Id { work pop 1 push 1 { push(pop()); } }",
+        );
+        e.run_until_outputs(4).unwrap();
+        // x = 1,2,3,4 -> running sums 1,3,6,10
+        assert_eq!(&e.printed()[..4], &[1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn rate_violation_is_reported() {
+        let mut e = engine_for(
+            "void->void pipeline Main { add S(); add K(); }
+             void->float filter S { float x; work push 2 { push(x++); } }
+             float->void filter K { work pop 1 { println(pop()); } }",
+        );
+        let err = e.run_until_outputs(1).unwrap_err();
+        assert!(matches!(err, RunError::RateViolation(_)), "{err}");
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // A feedback loop with no enqueued items can never fire.
+        let mut e = engine_for(
+            "void->void pipeline Main { add S(); add FB(); add K(); }
+             void->float filter S { float x; work push 1 { push(x++); } }
+             float->void filter K { work pop 1 { println(pop()); } }
+             float->float feedbackloop FB {
+                 join roundrobin(1, 1);
+                 body Adder();
+                 loop Id();
+                 split duplicate;
+             }
+             float->float filter Adder { work pop 2 push 1 { push(pop() + pop()); } }
+             float->float filter Id { work pop 1 push 1 { push(pop()); } }",
+        );
+        let err = e.run_until_outputs(1).unwrap_err();
+        assert!(matches!(err, RunError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn init_work_phase_runs_once() {
+        let mut e = engine_for(
+            "void->void pipeline Main { add S(); add P(); add K(); }
+             void->float filter S { float x; work push 1 { push(x++); } }
+             float->float filter P {
+                 initWork pop 2 push 1 { push(pop() + pop()); }
+                 work pop 1 push 1 { push(pop()); }
+             }
+             float->void filter K { work pop 1 { println(pop()); } }",
+        );
+        e.run_until_outputs(3).unwrap();
+        // First firing consumes 0,1 -> 1; then identity: 2, 3.
+        assert_eq!(&e.printed()[..3], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Lowering an optimized stream to a flat node/channel graph.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use streamlin_core::frequency::FreqExec;
+use streamlin_core::opt::OptStream;
+use streamlin_core::redundancy::RedundExec;
+use streamlin_graph::ir::{FilterInst, Splitter};
+use streamlin_graph::value::Cell;
+
+use crate::linear_exec::{LinearExec, MatMulStrategy};
+
+/// Errors from flattening.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlattenError {
+    /// Explanation of the structural problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flatten error: {}", self.message)
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+/// Mutable interpreter state of an original filter instance.
+#[derive(Debug, Clone)]
+pub struct InterpState {
+    /// The elaborated filter.
+    pub inst: Rc<FilterInst>,
+    /// Its persistent fields (a mutable copy of the initial values).
+    pub state: HashMap<String, Cell>,
+    /// True until the first firing has happened (selects `initWork`).
+    pub first: bool,
+}
+
+/// An executable node kind.
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// Interpreted original filter.
+    Interp(InterpState),
+    /// Direct linear node.
+    Linear(LinearExec),
+    /// Frequency-domain stage.
+    Freq(FreqExec),
+    /// Redundancy-eliminated node.
+    Redund(RedundExec),
+    /// Keeps the first `push` of every `pop` items (the paper's
+    /// `Decimator(o, u)` after a frequency stage).
+    Decimator {
+        /// Items consumed per firing.
+        pop: usize,
+        /// Items kept per firing.
+        push: usize,
+    },
+    /// Duplicate splitter (1 in, one copy to each output).
+    Duplicate,
+    /// Weighted round-robin splitter.
+    SplitRR(Vec<usize>),
+    /// Weighted round-robin joiner.
+    JoinRR(Vec<usize>),
+}
+
+/// A node with its channel wiring.
+#[derive(Debug, Clone)]
+pub struct FlatNode {
+    /// Display name for diagnostics.
+    pub name: String,
+    /// Executor.
+    pub kind: NodeKind,
+    /// Input channel ids.
+    pub inputs: Vec<usize>,
+    /// Output channel ids.
+    pub outputs: Vec<usize>,
+}
+
+/// A flattened program.
+#[derive(Debug, Clone)]
+pub struct FlatGraph {
+    /// All nodes.
+    pub nodes: Vec<FlatNode>,
+    /// Number of channels.
+    pub num_channels: usize,
+    /// Initial channel contents (feedback `enqueue`s).
+    pub initial: Vec<(usize, Vec<f64>)>,
+}
+
+/// Flattens an optimized stream.
+///
+/// # Errors
+///
+/// Fails if the stream is not closed (the top level must consume and
+/// produce nothing, like StreamIt's `void->void` programs) or if the
+/// structure is malformed.
+pub fn flatten(opt: &OptStream, strategy: MatMulStrategy) -> Result<FlatGraph, FlattenError> {
+    let mut b = Builder {
+        nodes: Vec::new(),
+        num_channels: 0,
+        initial: Vec::new(),
+        strategy,
+    };
+    let out = b.build(opt, None)?;
+    if out.is_some() {
+        return Err(FlattenError {
+            message: "program produces output with no consumer (top level must be void->void)"
+                .into(),
+        });
+    }
+    Ok(FlatGraph {
+        nodes: b.nodes,
+        num_channels: b.num_channels,
+        initial: b.initial,
+    })
+}
+
+struct Builder {
+    nodes: Vec<FlatNode>,
+    num_channels: usize,
+    initial: Vec<(usize, Vec<f64>)>,
+    strategy: MatMulStrategy,
+}
+
+impl Builder {
+    fn chan(&mut self) -> usize {
+        let id = self.num_channels;
+        self.num_channels += 1;
+        id
+    }
+
+    fn err(msg: impl Into<String>) -> FlattenError {
+        FlattenError {
+            message: msg.into(),
+        }
+    }
+
+    fn add_node(
+        &mut self,
+        name: String,
+        kind: NodeKind,
+        inputs: Vec<usize>,
+        outputs: Vec<usize>,
+    ) {
+        self.nodes.push(FlatNode {
+            name,
+            kind,
+            inputs,
+            outputs,
+        });
+    }
+
+    /// Builds a stream, connecting it to `input`; returns its output
+    /// channel (None for sinks).
+    fn build(&mut self, opt: &OptStream, input: Option<usize>) -> Result<Option<usize>, FlattenError> {
+        match opt {
+            OptStream::Original(inst) => {
+                let needs_input = inst.work.peek > 0 || inst.work.pop > 0;
+                if needs_input && input.is_none() {
+                    return Err(Self::err(format!("filter {} expects input but has none", inst.name)));
+                }
+                let out = (inst.work.push > 0
+                    || inst.init_work.as_ref().is_some_and(|w| w.push > 0))
+                .then(|| self.chan());
+                let kind = NodeKind::Interp(InterpState {
+                    inst: Rc::clone(inst),
+                    state: inst.state.clone(),
+                    first: true,
+                });
+                self.add_node(
+                    inst.name.clone(),
+                    kind,
+                    input.filter(|_| needs_input).into_iter().collect(),
+                    out.into_iter().collect(),
+                );
+                Ok(out)
+            }
+            OptStream::Linear(node) => {
+                let needs_input = node.peek() > 0 || node.pop() > 0;
+                if needs_input && input.is_none() {
+                    return Err(Self::err("linear node expects input but has none"));
+                }
+                let out = (node.push() > 0).then(|| self.chan());
+                self.add_node(
+                    format!("linear[{}x{}]", node.peek(), node.push()),
+                    NodeKind::Linear(LinearExec::new(node.clone(), self.strategy)),
+                    input.filter(|_| needs_input).into_iter().collect(),
+                    out.into_iter().collect(),
+                );
+                Ok(out)
+            }
+            OptStream::Redund(spec) => {
+                let input =
+                    input.ok_or_else(|| Self::err("redundancy node expects input but has none"))?;
+                let node = spec.node().clone();
+                let out = (node.push() > 0).then(|| self.chan());
+                self.add_node(
+                    format!("redund[{}]", spec.reused().len()),
+                    NodeKind::Redund(RedundExec::new(spec.clone())),
+                    vec![input],
+                    out.into_iter().collect(),
+                );
+                Ok(out)
+            }
+            OptStream::Freq(spec) => {
+                let input =
+                    input.ok_or_else(|| Self::err("frequency node expects input but has none"))?;
+                let stage_out = self.chan();
+                self.add_node(
+                    format!("freq[N={}]", spec.n()),
+                    NodeKind::Freq(FreqExec::new(spec.clone())),
+                    vec![input],
+                    vec![stage_out],
+                );
+                match spec.decimator_rates() {
+                    None => Ok(Some(stage_out)),
+                    Some((pop, push)) => {
+                        let out = self.chan();
+                        self.add_node(
+                            format!("decimate[{pop}->{push}]"),
+                            NodeKind::Decimator { pop, push },
+                            vec![stage_out],
+                            vec![out],
+                        );
+                        Ok(Some(out))
+                    }
+                }
+            }
+            OptStream::Pipeline(children) => {
+                let mut cur = input;
+                for (i, child) in children.iter().enumerate() {
+                    let out = self.build(child, cur)?;
+                    if out.is_none() && i + 1 < children.len() {
+                        return Err(Self::err(
+                            "pipeline stage produces no output but has downstream stages",
+                        ));
+                    }
+                    cur = out;
+                }
+                Ok(cur)
+            }
+            OptStream::SplitJoin {
+                split,
+                children,
+                join,
+            } => {
+                if join.weights.len() != children.len() {
+                    return Err(Self::err("joiner weight count mismatch"));
+                }
+                // Distribute input (a splitjoin of sources has no splitter).
+                let child_inputs: Vec<Option<usize>> = match input {
+                    None => vec![None; children.len()],
+                    Some(input) => {
+                        let outs: Vec<usize> = (0..children.len()).map(|_| self.chan()).collect();
+                        let kind = match split {
+                            Splitter::Duplicate => NodeKind::Duplicate,
+                            Splitter::RoundRobin(w) => {
+                                if w.len() != children.len() {
+                                    return Err(Self::err("splitter weight count mismatch"));
+                                }
+                                NodeKind::SplitRR(w.clone())
+                            }
+                        };
+                        self.add_node("split".into(), kind, vec![input], outs.clone());
+                        outs.into_iter().map(Some).collect()
+                    }
+                };
+                let mut child_outs = Vec::with_capacity(children.len());
+                for (child, ci) in children.iter().zip(child_inputs) {
+                    let out = self.build(child, ci)?.ok_or_else(|| {
+                        Self::err("splitjoin child produces no output for the joiner")
+                    })?;
+                    child_outs.push(out);
+                }
+                let out = self.chan();
+                self.add_node(
+                    "join".into(),
+                    NodeKind::JoinRR(join.weights.clone()),
+                    child_outs,
+                    vec![out],
+                );
+                Ok(Some(out))
+            }
+            OptStream::FeedbackLoop {
+                join,
+                body,
+                loop_stream,
+                split,
+                enqueue,
+            } => {
+                let input = input.ok_or_else(|| Self::err("feedbackloop expects input"))?;
+                // Wire: joiner(input, loop_out) -> body -> splitter(down, loop_in)
+                //       loop_in -> loop_stream -> loop_out (preloaded).
+                let loop_in = self.chan();
+                let loop_out = self
+                    .build(loop_stream, Some(loop_in))?
+                    .ok_or_else(|| Self::err("feedback loop stream produces no output"))?;
+                if !enqueue.is_empty() {
+                    self.initial.push((loop_out, enqueue.clone()));
+                }
+                let body_in = self.chan();
+                self.add_node(
+                    "fb-join".into(),
+                    NodeKind::JoinRR(join.weights.clone()),
+                    vec![input, loop_out],
+                    vec![body_in],
+                );
+                let body_out = self
+                    .build(body, Some(body_in))?
+                    .ok_or_else(|| Self::err("feedback body produces no output"))?;
+                let down = self.chan();
+                let kind = match split {
+                    Splitter::Duplicate => NodeKind::Duplicate,
+                    Splitter::RoundRobin(w) => NodeKind::SplitRR(w.clone()),
+                };
+                self.add_node("fb-split".into(), kind, vec![body_out], vec![down, loop_in]);
+                Ok(Some(down))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlin_core::node::LinearNode;
+
+    #[test]
+    fn closed_pipeline_flattens() {
+        let p = streamlin_lang::parse(
+            "void->void pipeline Main { add S(); add K(); }
+             void->float filter S { work push 1 { push(1.0); } }
+             float->void filter K { work pop 1 { println(pop()); } }",
+        )
+        .unwrap();
+        let g = streamlin_graph::elaborate(&p).unwrap();
+        let flat = flatten(&OptStream::from_graph(&g), MatMulStrategy::Unrolled).unwrap();
+        assert_eq!(flat.nodes.len(), 2);
+        assert_eq!(flat.num_channels, 1);
+    }
+
+    #[test]
+    fn open_graph_is_rejected() {
+        let node = OptStream::Linear(LinearNode::fir(&[1.0]));
+        let err = flatten(&node, MatMulStrategy::Unrolled).unwrap_err();
+        assert!(err.message.contains("input"), "{err}");
+    }
+
+    #[test]
+    fn freq_node_gets_a_decimator_when_popping() {
+        use streamlin_core::frequency::{FreqSpec, FreqStrategy};
+        use streamlin_fft::FftKind;
+        let node = LinearNode::from_coeffs(4, 2, 1, |i, _| (i + 1) as f64, &[0.0]);
+        let spec = FreqSpec::new(&node, FreqStrategy::Naive, FftKind::Tuned, None).unwrap();
+        let p = streamlin_lang::parse(
+            "void->void pipeline Main { add S(); add K(); }
+             void->float filter S { work push 1 { push(1.0); } }
+             float->void filter K { work pop 1 { println(pop()); } }",
+        )
+        .unwrap();
+        let g = streamlin_graph::elaborate(&p).unwrap();
+        let OptStream::Pipeline(mut children) = OptStream::from_graph(&g) else {
+            panic!()
+        };
+        children.insert(1, OptStream::Freq(spec));
+        let flat = flatten(&OptStream::Pipeline(children), MatMulStrategy::Unrolled).unwrap();
+        assert!(flat.nodes.iter().any(|n| matches!(n.kind, NodeKind::Decimator { .. })));
+    }
+}

@@ -1,0 +1,52 @@
+//! Execution engine for `streamlin` stream programs.
+//!
+//! This crate plays the role of the paper's uniprocessor backend plus its
+//! runtime library (§5.1): it lowers an optimized stream
+//! ([`streamlin_core::OptStream`]) to a flat graph of nodes connected by
+//! FIFO channels and executes it until the program has produced a requested
+//! number of outputs, tallying every floating-point operation through
+//! [`streamlin_support::OpCounter`] (the DynamoRIO substitute) and
+//! measuring wall-clock time.
+//!
+//! Node executors:
+//!
+//! * **original filters** run in the work-function interpreter (the same
+//!   engine elaboration uses, with a tape-connected host);
+//! * **linear nodes** run as direct matrix-vector products with a choice of
+//!   [`linear_exec::MatMulStrategy`] — the default zero-skipping column
+//!   loops of the paper's code generator (Figure 5-7) or the cache-blocked
+//!   dense kernel standing in for ATLAS (§5.4);
+//! * **frequency nodes** and **redundancy nodes** wrap the executors from
+//!   `streamlin-core` (plus the decimator stage for `pop > 1`);
+//! * **splitters/joiners** move items according to their weights.
+//!
+//! The scheduler is data-driven: any node with enough input (and bounded
+//! output backlog) may fire; execution stops when the requested number of
+//! program outputs (captured `print`/`println` values) has been produced.
+//!
+//! # Examples
+//!
+//! ```
+//! use streamlin_core::opt::OptStream;
+//! use streamlin_runtime::measure::profile;
+//!
+//! let p = streamlin_lang::parse(
+//!     "void->void pipeline Main { add S(); add K(); }
+//!      void->float filter S { float x; work push 1 { push(x++); } }
+//!      float->void filter K { work pop 1 { println(2 * pop()); } }",
+//! )
+//! .unwrap();
+//! let g = streamlin_graph::elaborate(&p).unwrap();
+//! let opt = OptStream::from_graph(&g);
+//! let prof = profile(&opt, 5, Default::default()).unwrap();
+//! assert_eq!(prof.outputs, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+//! ```
+
+pub mod engine;
+pub mod flat;
+pub mod linear_exec;
+pub mod measure;
+
+pub use engine::{Engine, RunError};
+pub use linear_exec::MatMulStrategy;
+pub use measure::{profile, Profile};

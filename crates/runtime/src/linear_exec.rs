@@ -1,0 +1,240 @@
+//! Direct (time-domain) execution of linear nodes.
+//!
+//! Three kernels reproduce the code-generation strategies the paper
+//! measures:
+//!
+//! * [`MatMulStrategy::Unrolled`] — the default for small nodes: "an
+//!   unrolled arithmetic expression" per output that multiplies only the
+//!   non-zero coefficients (§5.2).
+//! * [`MatMulStrategy::Diagonal`] — the indexed loop of Figure 5-7 used
+//!   for large nodes: per column, the leading and trailing zero runs are
+//!   skipped but interior zeros are still multiplied.
+//! * [`MatMulStrategy::Blocked`] — the ATLAS stand-in (§5.4): a dense
+//!   kernel over a transposed, contiguous copy of the matrix with an
+//!   explicit copy-in of the window. Like the real ATLAS experiment, it
+//!   trades interface overhead for a better inner loop and performs the
+//!   *full* dense multiply (no zero skipping).
+
+use streamlin_matrix::Matrix;
+use streamlin_support::OpCounter;
+
+use streamlin_core::node::LinearNode;
+
+/// Which matrix-multiply code the runtime "generates" for a linear node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatMulStrategy {
+    /// Zero-skipping unrolled expressions (the paper's default).
+    #[default]
+    Unrolled,
+    /// Figure 5-7's loop: per-column `firstNonZero..=lastNonZero`.
+    Diagonal,
+    /// Dense transposed kernel with copy-in — the ATLAS substitute.
+    Blocked,
+}
+
+/// A compiled linear node: the node plus strategy-specific precomputation.
+#[derive(Debug, Clone)]
+pub struct LinearExec {
+    node: LinearNode,
+    strategy: MatMulStrategy,
+    /// Per output `j` (natural order): the non-zero terms `(pos, coeff)`.
+    unrolled: Vec<Vec<(usize, f64)>>,
+    /// Per output `j`: the `firstNonZero..=lastNonZero` window positions.
+    col_ranges: Vec<Option<(usize, usize)>>,
+    /// Row-major `push × peek` copy: row `j` holds output `j`'s
+    /// coefficients by window position (the "transposed" dense layout).
+    dense: Matrix,
+    /// Reusable aligned input buffer for the blocked kernel.
+    buffer: Vec<f64>,
+}
+
+impl LinearExec {
+    /// Prepares a node for execution.
+    pub fn new(node: LinearNode, strategy: MatMulStrategy) -> Self {
+        let (e, u) = (node.peek(), node.push());
+        let mut unrolled = Vec::with_capacity(u);
+        let mut col_ranges = Vec::with_capacity(u);
+        for j in 0..u {
+            let mut terms = Vec::new();
+            let mut first = None;
+            let mut last = None;
+            for pos in 0..e {
+                let c = node.coeff(pos, j);
+                if c != 0.0 {
+                    terms.push((pos, c));
+                    first.get_or_insert(pos);
+                    last = Some(pos);
+                }
+            }
+            unrolled.push(terms);
+            col_ranges.push(first.zip(last));
+        }
+        let dense = Matrix::from_fn(u, e, |j, pos| node.coeff(pos, j));
+        LinearExec {
+            buffer: vec![0.0; e],
+            node,
+            strategy,
+            unrolled,
+            col_ranges,
+            dense,
+        }
+    }
+
+    /// The node being executed.
+    pub fn node(&self) -> &LinearNode {
+        &self.node
+    }
+
+    /// The selected strategy.
+    pub fn strategy(&self) -> MatMulStrategy {
+        self.strategy
+    }
+
+    /// Fires once on a window (`window[i] = peek(i)`), returning outputs
+    /// in push order. Operation counts depend on the strategy, exactly as
+    /// the corresponding generated code would execute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length differs from the peek rate.
+    pub fn fire(&mut self, window: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+        assert_eq!(window.len(), self.node.peek(), "window must equal the peek rate");
+        let u = self.node.push();
+        let mut out = Vec::with_capacity(u);
+        match self.strategy {
+            MatMulStrategy::Unrolled => {
+                for j in 0..u {
+                    let mut acc = self.node.offset(j);
+                    for &(pos, c) in &self.unrolled[j] {
+                        acc = ops.fma(acc, c, window[pos]);
+                    }
+                    out.push(acc);
+                }
+            }
+            MatMulStrategy::Diagonal => {
+                for j in 0..u {
+                    let mut acc = self.node.offset(j);
+                    if let Some((first, last)) = self.col_ranges[j] {
+                        let row = self.dense.row(j);
+                        for pos in first..=last {
+                            acc = ops.fma(acc, row[pos], window[pos]);
+                        }
+                    }
+                    out.push(acc);
+                }
+            }
+            MatMulStrategy::Blocked => {
+                // Copy-in (the ATLAS interface overhead the paper blames
+                // for its mixed results), then a dense row-major sweep.
+                self.buffer.copy_from_slice(window);
+                for j in 0..u {
+                    let row = self.dense.row(j);
+                    let mut acc = self.node.offset(j);
+                    for (x, c) in self.buffer.iter().zip(row) {
+                        acc = ops.fma(acc, *c, *x);
+                    }
+                    out.push(acc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs over an input tape with channel semantics (testing helper).
+    pub fn run_over(&mut self, input: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+        let (e, o) = (self.node.peek(), self.node.pop());
+        assert!(o > 0, "run_over requires pop > 0");
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos + e <= input.len() {
+            let window: Vec<f64> = input[pos..pos + e].to_vec();
+            out.extend(self.fire(&window, ops));
+            pos += o;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_node() -> LinearNode {
+        // Coefficients: only positions 1 and 3 are non-zero.
+        LinearNode::from_coeffs(
+            5,
+            1,
+            1,
+            |i, _| match i {
+                1 => 2.0,
+                3 => -1.0,
+                _ => 0.0,
+            },
+            &[0.5],
+        )
+    }
+
+    #[test]
+    fn all_strategies_agree_on_results() {
+        let node = sparse_node();
+        let input: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let want = node.fire_sequence(&input);
+        for strategy in [
+            MatMulStrategy::Unrolled,
+            MatMulStrategy::Diagonal,
+            MatMulStrategy::Blocked,
+        ] {
+            let mut exec = LinearExec::new(node.clone(), strategy);
+            let mut ops = OpCounter::new();
+            let got = exec.run_over(&input, &mut ops);
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-12, "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_differ_in_multiplication_counts() {
+        let node = sparse_node(); // nnz 2, range 1..=3 (3 wide), dense 5
+        let window = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let count = |strategy| {
+            let mut exec = LinearExec::new(node.clone(), strategy);
+            let mut ops = OpCounter::new();
+            exec.fire(&window, &mut ops);
+            ops.mults()
+        };
+        assert_eq!(count(MatMulStrategy::Unrolled), 2);
+        assert_eq!(count(MatMulStrategy::Diagonal), 3);
+        assert_eq!(count(MatMulStrategy::Blocked), 5);
+    }
+
+    #[test]
+    fn multi_output_push_order() {
+        let node = LinearNode::from_coeffs(
+            2,
+            2,
+            2,
+            |i, j| if i == j { (j + 1) as f64 } else { 0.0 },
+            &[0.0, 100.0],
+        );
+        let mut exec = LinearExec::new(node, MatMulStrategy::Unrolled);
+        let mut ops = OpCounter::new();
+        let out = exec.fire(&[3.0, 5.0], &mut ops);
+        assert_eq!(out, vec![3.0, 110.0]);
+    }
+
+    #[test]
+    fn zero_column_outputs_just_the_offset() {
+        let node = LinearNode::from_coeffs(3, 1, 1, |_, _| 0.0, &[7.0]);
+        for strategy in [
+            MatMulStrategy::Unrolled,
+            MatMulStrategy::Diagonal,
+            MatMulStrategy::Blocked,
+        ] {
+            let mut exec = LinearExec::new(node.clone(), strategy);
+            let mut ops = OpCounter::new();
+            assert_eq!(exec.fire(&[1.0, 2.0, 3.0], &mut ops), vec![7.0]);
+        }
+    }
+}

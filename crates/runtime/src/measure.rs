@@ -1,0 +1,214 @@
+//! Profiling: one call from an optimized stream to measured results.
+//!
+//! Mirrors the paper's measurement methodology (§5.1): programs run for a
+//! fixed number of outputs; floating-point operations and multiplications
+//! are counted over the whole run and normalized per output, and wall-clock
+//! time is recorded alongside.
+
+use std::time::{Duration, Instant};
+
+use streamlin_core::opt::OptStream;
+use streamlin_support::OpCounter;
+
+use crate::engine::{Engine, RunError};
+use crate::flat::{flatten, FlattenError};
+use crate::linear_exec::MatMulStrategy;
+
+/// Measured results of one program execution.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// The captured program output (printed values), in order.
+    pub outputs: Vec<f64>,
+    /// Operation counts over the whole run.
+    pub ops: OpCounter,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+    /// Total node firings.
+    pub firings: u64,
+}
+
+impl Profile {
+    /// Floating-point operations per program output.
+    pub fn flops_per_output(&self) -> f64 {
+        self.ops.flops() as f64 / self.outputs.len().max(1) as f64
+    }
+
+    /// Multiplications (incl. divisions, per the paper's convention) per
+    /// program output.
+    pub fn mults_per_output(&self) -> f64 {
+        self.ops.mults() as f64 / self.outputs.len().max(1) as f64
+    }
+
+    /// Nanoseconds per program output.
+    pub fn nanos_per_output(&self) -> f64 {
+        self.wall.as_nanos() as f64 / self.outputs.len().max(1) as f64
+    }
+}
+
+/// Errors from profiling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// The stream could not be lowered.
+    Flatten(FlattenError),
+    /// The run failed.
+    Run(RunError),
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Flatten(e) => write!(f, "{e}"),
+            ProfileError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<FlattenError> for ProfileError {
+    fn from(e: FlattenError) -> Self {
+        ProfileError::Flatten(e)
+    }
+}
+
+impl From<RunError> for ProfileError {
+    fn from(e: RunError) -> Self {
+        ProfileError::Run(e)
+    }
+}
+
+/// Runs an optimized stream until it produces `outputs` values and
+/// returns the measurements.
+///
+/// # Errors
+///
+/// Propagates flattening and execution errors.
+pub fn profile(
+    opt: &OptStream,
+    outputs: usize,
+    strategy: MatMulStrategy,
+) -> Result<Profile, ProfileError> {
+    let flat = flatten(opt, strategy)?;
+    let mut engine = Engine::new(flat);
+    let start = Instant::now();
+    engine.run_until_outputs(outputs)?;
+    let wall = start.elapsed();
+    Ok(Profile {
+        outputs: engine.printed().to_vec(),
+        ops: *engine.ops(),
+        wall,
+        firings: engine.firings(),
+    })
+}
+
+/// Asserts two program outputs agree (element-wise, with tolerance
+/// suitable for frequency-domain round-trips); returns the first
+/// mismatch if any.
+pub fn first_mismatch(a: &[f64], b: &[f64], atol: f64, rtol: f64) -> Option<usize> {
+    let n = a.len().min(b.len());
+    (0..n).find(|&i| !streamlin_support::num::approx_eq(a[i], b[i], atol, rtol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlin_core::combine::{analyze_graph, replace, ReplaceOptions};
+
+    const PROGRAM: &str = "
+        void->void pipeline Main { add S(); add F(8); add F(6); add K(); }
+        void->float filter S { float x; work push 1 { push(sin(x++)); } }
+        float->float filter F(int N) {
+            float[N] h;
+            init { for (int i=0;i<N;i++) h[i] = 1.0 / (i + 1); }
+            work peek N pop 1 push 1 {
+                float s = 0;
+                for (int i=0;i<N;i++) s += h[i]*peek(i);
+                push(s); pop();
+            }
+        }
+        float->void filter K { work pop 1 { println(pop()); } }
+    ";
+
+    #[test]
+    fn every_configuration_produces_identical_output() {
+        let p = streamlin_lang::parse(PROGRAM).unwrap();
+        let g = streamlin_graph::elaborate(&p).unwrap();
+        let analysis = analyze_graph(&g);
+        let n = 300;
+
+        let baseline = profile(
+            &replace(&g, &analysis, &ReplaceOptions::per_filter()),
+            n,
+            MatMulStrategy::Unrolled,
+        )
+        .unwrap();
+        let interp = profile(&OptStream::from_graph(&g), n, MatMulStrategy::Unrolled).unwrap();
+        let linear = profile(
+            &replace(&g, &analysis, &ReplaceOptions::maximal_linear()),
+            n,
+            MatMulStrategy::Unrolled,
+        )
+        .unwrap();
+        let freq = profile(
+            &replace(&g, &analysis, &ReplaceOptions::maximal_freq()),
+            n,
+            MatMulStrategy::Unrolled,
+        )
+        .unwrap();
+
+        assert_eq!(first_mismatch(&baseline.outputs, &interp.outputs, 1e-9, 1e-9), None);
+        assert_eq!(first_mismatch(&baseline.outputs, &linear.outputs, 1e-9, 1e-9), None);
+        assert_eq!(first_mismatch(&baseline.outputs, &freq.outputs, 1e-6, 1e-6), None);
+    }
+
+    #[test]
+    fn combination_reduces_multiplications() {
+        let p = streamlin_lang::parse(PROGRAM).unwrap();
+        let g = streamlin_graph::elaborate(&p).unwrap();
+        let analysis = analyze_graph(&g);
+        let n = 500;
+        let baseline = profile(
+            &replace(&g, &analysis, &ReplaceOptions::per_filter()),
+            n,
+            MatMulStrategy::Unrolled,
+        )
+        .unwrap();
+        let linear = profile(
+            &replace(&g, &analysis, &ReplaceOptions::maximal_linear()),
+            n,
+            MatMulStrategy::Unrolled,
+        )
+        .unwrap();
+        // 8 + 6 mults/output separately vs 13 combined.
+        assert!(
+            linear.mults_per_output() < baseline.mults_per_output(),
+            "combined {} vs baseline {}",
+            linear.mults_per_output(),
+            baseline.mults_per_output()
+        );
+    }
+
+    #[test]
+    fn interpreted_baseline_counts_the_same_multiplications() {
+        // The work-function interpreter and the per-filter linear executor
+        // perform the same arithmetic — the substitution argument of
+        // DESIGN.md, checked.
+        let p = streamlin_lang::parse(PROGRAM).unwrap();
+        let g = streamlin_graph::elaborate(&p).unwrap();
+        let analysis = analyze_graph(&g);
+        let n = 200;
+        let interp = profile(&OptStream::from_graph(&g), n, MatMulStrategy::Unrolled).unwrap();
+        let node_based = profile(
+            &replace(&g, &analysis, &ReplaceOptions::per_filter()),
+            n,
+            MatMulStrategy::Unrolled,
+        )
+        .unwrap();
+        let a = interp.mults_per_output();
+        let b = node_based.mults_per_output();
+        assert!(
+            (a - b).abs() / a < 0.05,
+            "interp {a} vs node {b} mults/output"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Floating-point operation accounting.
+//!
+//! The paper (§5.1, Table 5.1) defines *FLOPS* as the set of executed IA-32
+//! floating-point instructions and *multiplications* as the `fmul`/`fdiv`
+//! instruction families (note that divisions are counted as multiplications
+//! there; we preserve that convention). This module is the DynamoRIO
+//! substitute: every arithmetic kernel of the runtime, matrix, and FFT crates
+//! routes its float operations through an [`OpCounter`].
+
+/// Tallies executed floating-point operations.
+///
+/// The counter distinguishes additions/subtractions, multiplications,
+/// divisions and "other" operations (transcendental calls, comparisons,
+/// sign changes). Following the paper's measurement convention, divisions
+/// are included in the [`mults`](OpCounter::mults) metric.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_support::flops::OpCounter;
+/// let mut ops = OpCounter::new();
+/// let _ = ops.div(1.0, 2.0);
+/// assert_eq!(ops.mults(), 1); // fdiv counts as a multiplication instruction
+/// assert_eq!(ops.flops(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounter {
+    adds: u64,
+    muls: u64,
+    divs: u64,
+    others: u64,
+}
+
+impl OpCounter {
+    /// Creates a counter with all tallies at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counted addition.
+    #[inline]
+    pub fn add(&mut self, a: f64, b: f64) -> f64 {
+        self.adds += 1;
+        a + b
+    }
+
+    /// Counted subtraction (tallied with additions, as `fsub` is a FLOP of
+    /// the same family).
+    #[inline]
+    pub fn sub(&mut self, a: f64, b: f64) -> f64 {
+        self.adds += 1;
+        a - b
+    }
+
+    /// Counted multiplication.
+    #[inline]
+    pub fn mul(&mut self, a: f64, b: f64) -> f64 {
+        self.muls += 1;
+        a * b
+    }
+
+    /// Counted division.
+    #[inline]
+    pub fn div(&mut self, a: f64, b: f64) -> f64 {
+        self.divs += 1;
+        a / b
+    }
+
+    /// Counted fused multiply-add `acc + a * b` (two operations, matching
+    /// the separate `fmul`/`fadd` instructions the paper's backend emits).
+    #[inline]
+    pub fn fma(&mut self, acc: f64, a: f64, b: f64) -> f64 {
+        self.muls += 1;
+        self.adds += 1;
+        acc + a * b
+    }
+
+    /// Counted negation (`fchs` is a FLOP in Table 5.1).
+    #[inline]
+    pub fn neg(&mut self, a: f64) -> f64 {
+        self.others += 1;
+        -a
+    }
+
+    /// Counted unary operation such as `sin`, `cos`, `atan`, `sqrt`, `abs`
+    /// (the `fsin`/`fpatan`/`fsqrt`/`fabs` family — one FLOP each in the
+    /// paper's taxonomy).
+    #[inline]
+    pub fn call(&mut self, f: impl FnOnce(f64) -> f64, a: f64) -> f64 {
+        self.others += 1;
+        f(a)
+    }
+
+    /// Counted floating-point comparison (`fcom` family).
+    #[inline]
+    pub fn cmp(&mut self) {
+        self.others += 1;
+    }
+
+    /// Records `n` extra operations in the "other" category.
+    #[inline]
+    pub fn other(&mut self, n: u64) {
+        self.others += n;
+    }
+
+    /// Total floating point operations executed.
+    pub fn flops(&self) -> u64 {
+        self.adds + self.muls + self.divs + self.others
+    }
+
+    /// Total "multiplication instructions" in the paper's sense:
+    /// the `fmul` family plus the `fdiv` family.
+    pub fn mults(&self) -> u64 {
+        self.muls + self.divs
+    }
+
+    /// Additions and subtractions executed.
+    pub fn adds(&self) -> u64 {
+        self.adds
+    }
+
+    /// Divisions executed (a subset of [`mults`](Self::mults)).
+    pub fn divs(&self) -> u64 {
+        self.divs
+    }
+
+    /// Transcendental calls, comparisons and other miscellaneous FLOPs.
+    pub fn others(&self) -> u64 {
+        self.others
+    }
+
+    /// Resets all tallies to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Adds another counter's tallies into this one.
+    pub fn merge(&mut self, other: &OpCounter) {
+        self.adds += other.adds;
+        self.muls += other.muls;
+        self.divs += other.divs;
+        self.others += other.others;
+    }
+
+    /// Difference `self - earlier`, for measuring a region of execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has larger tallies than `self`.
+    pub fn since(&self, earlier: &OpCounter) -> OpCounter {
+        OpCounter {
+            adds: self.adds - earlier.adds,
+            muls: self.muls - earlier.muls,
+            divs: self.divs - earlier.divs,
+            others: self.others - earlier.others,
+        }
+    }
+}
+
+impl std::fmt::Display for OpCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} flops ({} add, {} mul, {} div, {} other)",
+            self.flops(),
+            self.adds,
+            self.muls,
+            self.divs,
+            self.others
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_results_are_exact() {
+        let mut ops = OpCounter::new();
+        assert_eq!(ops.add(1.0, 2.0), 3.0);
+        assert_eq!(ops.sub(5.0, 2.0), 3.0);
+        assert_eq!(ops.mul(3.0, 4.0), 12.0);
+        assert_eq!(ops.div(8.0, 2.0), 4.0);
+        assert_eq!(ops.neg(7.0), -7.0);
+        assert_eq!(ops.fma(1.0, 2.0, 3.0), 7.0);
+    }
+
+    #[test]
+    fn tallies_accumulate_by_category() {
+        let mut ops = OpCounter::new();
+        ops.add(0.0, 0.0);
+        ops.sub(0.0, 0.0);
+        ops.mul(0.0, 0.0);
+        ops.div(1.0, 1.0);
+        ops.fma(0.0, 0.0, 0.0);
+        ops.call(f64::sin, 0.0);
+        ops.cmp();
+        assert_eq!(ops.adds(), 3); // add + sub + fma's add
+        assert_eq!(ops.mults(), 3); // mul + div + fma's mul
+        assert_eq!(ops.divs(), 1);
+        assert_eq!(ops.others(), 2);
+        assert_eq!(ops.flops(), 8);
+    }
+
+    #[test]
+    fn merge_and_since_are_inverses() {
+        let mut a = OpCounter::new();
+        a.mul(1.0, 1.0);
+        let snapshot = a;
+        a.add(1.0, 1.0);
+        a.div(1.0, 1.0);
+        let delta = a.since(&snapshot);
+        assert_eq!(delta.adds(), 1);
+        assert_eq!(delta.mults(), 1);
+        let mut b = snapshot;
+        b.merge(&delta);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut ops = OpCounter::new();
+        ops.mul(1.0, 1.0);
+        ops.reset();
+        assert_eq!(ops.flops(), 0);
+        assert_eq!(ops, OpCounter::new());
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let ops = OpCounter::new();
+        assert!(!format!("{ops}").is_empty());
+    }
+}

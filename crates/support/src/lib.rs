@@ -1,0 +1,33 @@
+//! Shared support utilities for the `streamlin` workspace.
+//!
+//! This crate is the foundation of the reproduction of *Linear Analysis and
+//! Optimization of Stream Programs* (Lamb, 2003). It provides:
+//!
+//! * [`flops`] — floating-point operation accounting. The paper measures its
+//!   optimizations in retired IA-32 floating-point instructions (counted with
+//!   a DynamoRIO client, Table 5.1). Our substitute is [`flops::OpCounter`],
+//!   which every arithmetic kernel in the workspace threads through so that
+//!   executed additions, multiplications, divisions and transcendental calls
+//!   are tallied at the exact point they happen.
+//! * [`ratio`] — exact rational arithmetic used by the steady-state scheduler.
+//! * [`num`] — gcd/lcm, powers of two and approximate float comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use streamlin_support::flops::OpCounter;
+//!
+//! let mut ops = OpCounter::new();
+//! let y = ops.mul(3.0, 4.0);
+//! let z = ops.add(y, 1.0);
+//! assert_eq!(z, 13.0);
+//! assert_eq!(ops.mults(), 1);
+//! assert_eq!(ops.flops(), 2);
+//! ```
+
+pub mod flops;
+pub mod num;
+pub mod ratio;
+
+pub use flops::OpCounter;
+pub use ratio::Ratio;

@@ -1,0 +1,157 @@
+//! Small numeric helpers shared across the workspace.
+
+/// Greatest common divisor.
+///
+/// `gcd(0, 0)` is defined as 0.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(streamlin_support::num::gcd(12, 18), 6);
+/// ```
+pub fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple.
+///
+/// # Panics
+///
+/// Panics on overflow of `u64`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(streamlin_support::num::lcm(4, 6), 12);
+/// ```
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+/// Least common multiple of a sequence; returns 1 for an empty sequence.
+pub fn lcm_all<I: IntoIterator<Item = u64>>(xs: I) -> u64 {
+    xs.into_iter().fold(1, lcm)
+}
+
+/// Smallest power of two `>= n` (and `>= 1`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(streamlin_support::num::next_pow2(1), 1);
+/// assert_eq!(streamlin_support::num::next_pow2(5), 8);
+/// assert_eq!(streamlin_support::num::next_pow2(512), 512);
+/// ```
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Base-2 logarithm of a power of two.
+///
+/// # Panics
+///
+/// Panics if `n` is not a positive power of two.
+pub fn log2_exact(n: usize) -> u32 {
+    assert!(n.is_power_of_two(), "log2_exact: {n} is not a power of two");
+    n.trailing_zeros()
+}
+
+/// Approximate float comparison with both absolute and relative tolerance.
+///
+/// Returns `true` when `|a - b| <= atol + rtol * max(|a|, |b|)`.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_support::num::approx_eq;
+/// assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9, 1e-9));
+/// assert!(!approx_eq(1.0, 1.1, 1e-9, 1e-9));
+/// ```
+pub fn approx_eq(a: f64, b: f64, atol: f64, rtol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    (a - b).abs() <= atol + rtol * a.abs().max(b.abs())
+}
+
+/// Asserts two float slices are element-wise approximately equal.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on the first mismatching index.
+pub fn assert_slices_close(a: &[f64], b: &[f64], atol: f64, rtol: f64) {
+    assert_eq!(a.len(), b.len(), "slice lengths differ: {} vs {}", a.len(), b.len());
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            approx_eq(x, y, atol, rtol),
+            "slices differ at index {i}: {x} vs {y} (atol={atol}, rtol={rtol})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 13), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(7, 13), 91);
+        assert_eq!(lcm_all([2, 3, 4]), 12);
+        assert_eq!(lcm_all(std::iter::empty()), 1);
+    }
+
+    #[test]
+    fn pow2_helpers() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(log2_exact(8), 3);
+        assert_eq!(log2_exact(1), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log2_rejects_non_powers() {
+        log2_exact(6);
+    }
+
+    #[test]
+    fn approx_eq_handles_nan_and_zero() {
+        assert!(!approx_eq(f64::NAN, 1.0, 1e-9, 1e-9));
+        assert!(approx_eq(0.0, 0.0, 0.0, 0.0));
+        assert!(approx_eq(1e-300, 0.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn slice_comparison_passes_on_close_values() {
+        assert_slices_close(&[1.0, 2.0], &[1.0 + 1e-12, 2.0], 1e-9, 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_comparison_fails_on_mismatch() {
+        assert_slices_close(&[1.0], &[2.0], 1e-9, 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the support crate: rational field laws and gcd/lcm
+//! identities.
+
+use proptest::prelude::*;
+use streamlin_support::num::{gcd, lcm};
+use streamlin_support::Ratio;
+
+fn arb_ratio() -> impl Strategy<Value = Ratio> {
+    (-1000i128..=1000, 1i128..=1000).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_and_associative(a in arb_ratio(), b in arb_ratio(), c in arb_ratio()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_distributes(a in arb_ratio(), b in arb_ratio(), c in arb_ratio()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in arb_ratio(), b in arb_ratio()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in arb_ratio(), b in arb_ratio()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(a * b / b, a);
+    }
+
+    #[test]
+    fn reduced_form_is_canonical(n in -1000i128..=1000, d in 1i128..=1000, k in 1i128..=50) {
+        prop_assert_eq!(Ratio::new(n, d), Ratio::new(n * k, d * k));
+    }
+
+    #[test]
+    fn ordering_respects_f64(a in arb_ratio(), b in arb_ratio()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in 1u64..10_000, b in 1u64..10_000) {
+        let g = gcd(a, b);
+        prop_assert!(g > 0);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+    }
+
+    #[test]
+    fn lcm_is_a_common_multiple(a in 1u64..1000, b in 1u64..1000) {
+        let l = lcm(a, b);
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        prop_assert_eq!(l * gcd(a, b), a * b);
+    }
+}

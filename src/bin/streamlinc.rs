@@ -1,0 +1,147 @@
+//! `streamlinc` — command-line driver for the streamlin compiler.
+//!
+//! Parses a StreamIt-dialect program, runs the linear analysis and the
+//! requested optimization, executes it, and reports structure and
+//! operation counts:
+//!
+//! ```console
+//! $ streamlinc program.str                        # autosel, 1000 outputs
+//! $ streamlinc program.str --config freq -n 5000
+//! $ streamlinc program.str --emit-graph           # print the structures
+//! $ streamlinc program.str --quiet                # program output only
+//! ```
+
+use std::process::ExitCode;
+
+use streamlin::core::combine::{analyze_graph, replace, ReplaceOptions, ReplaceTarget};
+use streamlin::core::cost::CostModel;
+use streamlin::core::select::{select, SelectOptions};
+use streamlin::prelude::*;
+
+struct Args {
+    path: String,
+    config: String,
+    outputs: usize,
+    emit_graph: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: streamlinc <program.str> [--config baseline|linear|freq|redund|autosel]\n\
+         \x20                [-n <outputs>] [--emit-graph] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        path: String::new(),
+        config: "autosel".into(),
+        outputs: 1000,
+        emit_graph: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => args.config = it.next().unwrap_or_else(|| usage()),
+            "-n" | "--outputs" => {
+                args.outputs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--emit-graph" => args.emit_graph = true,
+            "--quiet" => args.quiet = true,
+            "-h" | "--help" => usage(),
+            other if args.path.is_empty() && !other.starts_with('-') => {
+                args.path = other.to_string()
+            }
+            _ => usage(),
+        }
+    }
+    if args.path.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("streamlinc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let source = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("cannot read {}: {e}", args.path))?;
+    let program = parse(&source).map_err(|e| e.to_string())?;
+    let graph = elaborate(&program).map_err(|e| e.to_string())?;
+    let analysis = analyze_graph(&graph);
+
+    if !args.quiet {
+        eprintln!(
+            "parsed {} declarations; {} filters ({} linear)",
+            program.decls.len(),
+            graph.filter_count(),
+            analysis.linear_count()
+        );
+    }
+
+    let opt = match args.config.as_str() {
+        "baseline" => replace(&graph, &analysis, &ReplaceOptions::per_filter()),
+        "linear" => replace(&graph, &analysis, &ReplaceOptions::maximal_linear()),
+        "freq" => replace(&graph, &analysis, &ReplaceOptions::maximal_freq()),
+        "redund" => replace(
+            &graph,
+            &analysis,
+            &ReplaceOptions {
+                combine: true,
+                target: ReplaceTarget::Redund,
+            },
+        ),
+        "autosel" => {
+            select(&graph, &analysis, &CostModel::default(), &SelectOptions::default())
+                .map_err(|e| e.to_string())?
+                .opt
+        }
+        other => return Err(format!("unknown config `{other}`")),
+    };
+
+    if args.emit_graph {
+        eprintln!("structure: {}", opt.describe());
+    }
+
+    let prof = profile(&opt, args.outputs, MatMulStrategy::Unrolled).map_err(|e| e.to_string())?;
+    if args.quiet {
+        for v in &prof.outputs {
+            println!("{v}");
+        }
+    } else {
+        let stats = opt.stats();
+        eprintln!(
+            "nodes: {} ({} interpreted, {} linear, {} freq, {} redund)",
+            stats.filters, stats.originals, stats.linear, stats.freq, stats.redund
+        );
+        eprintln!(
+            "{} outputs in {:?}: {:.1} flops/output, {:.1} mults/output",
+            prof.outputs.len(),
+            prof.wall,
+            prof.flops_per_output(),
+            prof.mults_per_output()
+        );
+        for v in prof.outputs.iter().take(10) {
+            println!("{v}");
+        }
+        if prof.outputs.len() > 10 {
+            println!("... ({} more)", prof.outputs.len() - 10);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Integration tests for the `streamlinc` command-line driver, run against
+//! the checked-in benchmark sources in `assets/`.
+
+use std::process::Command;
+
+fn streamlinc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_streamlinc"))
+}
+
+#[test]
+fn compiles_and_runs_the_fir_asset() {
+    let out = streamlinc()
+        .args(["assets/fir.str", "-n", "64", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines.len(), 64);
+    for l in lines {
+        l.parse::<f64>().expect("numeric program output");
+    }
+}
+
+#[test]
+fn all_configs_agree_on_rate_convert_asset() {
+    let mut outputs = Vec::new();
+    for config in ["baseline", "linear", "freq", "autosel"] {
+        let out = streamlinc()
+            .args(["assets/rateconvert.str", "--config", config, "-n", "128", "--quiet"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{config}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let vals: Vec<f64> = std::str::from_utf8(&out.stdout)
+            .unwrap()
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
+        outputs.push((config, vals));
+    }
+    let (_, base) = &outputs[0];
+    for (config, vals) in &outputs[1..] {
+        assert_eq!(vals.len(), base.len(), "{config}");
+        for (a, b) in base.iter().zip(vals) {
+            assert!((a - b).abs() < 1e-6, "{config}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn reports_errors_for_bad_programs() {
+    let dir = std::env::temp_dir().join("streamlinc_bad.str");
+    std::fs::write(&dir, "void->void pipeline Main { add Missing(); }").unwrap();
+    let out = streamlinc()
+        .arg(dir.to_str().unwrap())
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("Missing"));
+}
+
+#[test]
+fn rejects_unknown_config() {
+    let out = streamlinc()
+        .args(["assets/fir.str", "--config", "nope"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,123 @@
+//! Failure injection across the stack: malformed programs, unschedulable
+//! graphs and runtime rate violations must produce descriptive errors, not
+//! panics or wrong answers.
+
+use streamlin::core::opt::OptStream;
+use streamlin::graph::elaborate;
+use streamlin::lang::parse;
+use streamlin::runtime::engine::RunError;
+use streamlin::runtime::measure::profile;
+use streamlin::runtime::MatMulStrategy;
+
+#[test]
+fn parse_errors_carry_positions() {
+    let err = parse("float->float filter F {\n  work push 1 { push( } \n}").unwrap_err();
+    assert_eq!(err.span.line, 2);
+}
+
+#[test]
+fn unknown_stream_reference() {
+    let p = parse("void->void pipeline Main { add Ghost(); }").unwrap();
+    let err = elaborate(&p).unwrap_err();
+    assert!(err.message.contains("Ghost"));
+}
+
+#[test]
+fn non_constant_rate_fails_elaboration() {
+    let p = parse(
+        "void->void pipeline Main { add S(); }
+         void->float filter S { work push peek(0) { push(1.0); } }",
+    )
+    .unwrap();
+    assert!(elaborate(&p).is_err());
+}
+
+#[test]
+fn unschedulable_splitjoin_fails_scheduling() {
+    let p = parse(
+        "void->void pipeline Main { add S(); add SJ(); add K(); }
+         void->float filter S { work push 1 { push(1.0); } }
+         float->float splitjoin SJ {
+             split duplicate;
+             add A(); add B();
+             join roundrobin;
+         }
+         float->float filter A { work pop 1 push 1 { push(pop()); } }
+         float->float filter B { work pop 2 push 1 { push(pop() + pop()); } }
+         float->void filter K { work pop 2 { pop(); pop(); } }",
+    )
+    .unwrap();
+    let g = elaborate(&p).unwrap();
+    assert!(streamlin::graph::steady::steady_state(&g).is_err());
+}
+
+#[test]
+fn runtime_rate_violation_is_caught() {
+    let p = parse(
+        "void->void pipeline Main { add S(); add K(); }
+         void->float filter S {
+             float x;
+             work push 1 { push(x); if (x > 2) { push(x); } x = x + 1; }
+         }
+         float->void filter K { work pop 1 { println(pop()); } }",
+    )
+    .unwrap();
+    let g = elaborate(&p).unwrap();
+    let err = profile(&OptStream::from_graph(&g), 100, MatMulStrategy::Unrolled).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("push"), "{msg}");
+}
+
+#[test]
+fn feedback_without_enqueue_deadlocks_cleanly() {
+    let p = parse(
+        "void->void pipeline Main { add S(); add FB(); add K(); }
+         void->float filter S { float x; work push 1 { push(x++); } }
+         float->void filter K { work pop 1 { println(pop()); } }
+         float->float feedbackloop FB {
+             join roundrobin(1, 1);
+             body A();
+             loop I();
+             split roundrobin(1, 1);
+         }
+         float->float filter A { work pop 2 push 2 { push(pop() + peek(0)); push(pop()); } }
+         float->float filter I { work pop 1 push 1 { push(pop()); } }",
+    )
+    .unwrap();
+    let g = elaborate(&p).unwrap();
+    let err = profile(&OptStream::from_graph(&g), 10, MatMulStrategy::Unrolled).unwrap_err();
+    assert!(matches!(
+        err,
+        streamlin::runtime::measure::ProfileError::Run(RunError::Deadlock { .. })
+    ));
+}
+
+#[test]
+fn division_by_zero_in_init_is_reported() {
+    let p = parse(
+        "void->void pipeline Main { add S(); }
+         void->float filter S {
+             int z;
+             init { z = 1 / (1 - 1); }
+             work push 1 { push(z); }
+         }",
+    )
+    .unwrap();
+    let err = elaborate(&p).unwrap_err();
+    assert!(err.message.contains("division"), "{err}");
+}
+
+#[test]
+fn array_out_of_bounds_is_reported() {
+    let p = parse(
+        "void->void pipeline Main { add S(); }
+         void->float filter S {
+             float[4] t;
+             init { t[4] = 1.0; }
+             work push 1 { push(t[0]); }
+         }",
+    )
+    .unwrap();
+    let err = elaborate(&p).unwrap_err();
+    assert!(err.message.contains("out of bounds"), "{err}");
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of the paper's transformations: for random linear
+//! nodes and random inputs, the transformed implementation must reproduce
+//! the original structure's output exactly (frequency: to FFT tolerance).
+
+use proptest::prelude::*;
+use streamlin::core::expand::expand;
+use streamlin::core::frequency::{FreqExec, FreqSpec, FreqStrategy};
+use streamlin::core::node::LinearNode;
+use streamlin::core::pipeline::combine_pipeline;
+use streamlin::core::redundancy::{RedundExec, RedundSpec};
+use streamlin::core::reference::{run_reference, RefStream};
+use streamlin::core::splitjoin::combine_splitjoin;
+use streamlin::fft::FftKind;
+use streamlin::graph::ir::Splitter;
+use streamlin::support::OpCounter;
+
+/// A random linear node with bounded rates and small integer-ish entries.
+fn arb_node(max_peek: usize, max_push: usize) -> impl Strategy<Value = LinearNode> {
+    (1..=max_peek, 1..=max_push).prop_flat_map(move |(peek, push)| {
+        let entries = proptest::collection::vec(-4..=4i32, peek * push);
+        let offsets = proptest::collection::vec(-2..=2i32, push);
+        (Just(peek), Just(push), 1..=peek, entries, offsets).prop_map(
+            |(peek, push, pop, entries, offsets)| {
+                LinearNode::from_coeffs(
+                    peek,
+                    pop,
+                    push,
+                    |i, j| entries[i * push + j] as f64,
+                    &offsets.iter().map(|&v| v as f64).collect::<Vec<_>>(),
+                )
+            },
+        )
+    })
+}
+
+fn input(len: usize, seed: i64) -> Vec<f64> {
+    (0..len)
+        .map(|i| (((i as i64 * 37 + seed * 11) % 19) - 9) as f64)
+        .collect()
+}
+
+fn assert_prefix_close(a: &[f64], b: &[f64], tol: f64) -> Result<(), TestCaseError> {
+    let n = a.len().min(b.len());
+    for i in 0..n {
+        prop_assert!(
+            (a[i] - b[i]).abs() < tol,
+            "outputs differ at {i}: {} vs {}",
+            a[i],
+            b[i]
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transformation 1: k-fold expansion == k firings.
+    #[test]
+    fn expansion_matches_repeated_firing(node in arb_node(5, 3), k in 1usize..=4, seed in 0i64..100) {
+        let e2 = node.peek() + (k - 1) * node.pop();
+        let expanded = expand(&node, e2, k * node.pop(), k * node.push()).unwrap();
+        let x = input(e2 + 4 * k * node.pop(), seed);
+        let got = expanded.fire_sequence(&x);
+        let want = node.fire_sequence(&x);
+        assert_prefix_close(&got, &want, 1e-9)?;
+    }
+
+    /// Transformation 2: pipeline combination == running the two nodes
+    /// back to back.
+    #[test]
+    fn pipeline_combination_is_equivalent(
+        a in arb_node(4, 3),
+        b in arb_node(4, 3),
+        seed in 0i64..100,
+    ) {
+        let combined = combine_pipeline(&a, &b).unwrap();
+        let x = input(64, seed);
+        let want = run_reference(
+            &RefStream::Pipeline(vec![RefStream::Node(a), RefStream::Node(b)]),
+            &x,
+        );
+        let got = combined.fire_sequence(&x);
+        prop_assume!(!got.is_empty() && !want.is_empty());
+        assert_prefix_close(&got, &want, 1e-9)?;
+    }
+
+    /// Transformation 3: duplicate splitjoin combination == the parallel
+    /// structure (children constrained to a common pop rate).
+    #[test]
+    fn duplicate_splitjoin_combination_is_equivalent(
+        a in arb_node(4, 3),
+        b in arb_node(4, 3),
+        seed in 0i64..100,
+    ) {
+        // Use each child's push as its joiner weight; both then fire once
+        // per joiner cycle, so schedulability needs equal pops.
+        prop_assume!(a.pop() == b.pop());
+        let weights = vec![a.push(), b.push()];
+        let children = vec![a, b];
+        let combined = combine_splitjoin(&Splitter::Duplicate, &children, &weights).unwrap();
+        let x = input(80, seed);
+        let want = run_reference(
+            &RefStream::SplitJoin {
+                split: Splitter::Duplicate,
+                children: children.into_iter().map(RefStream::Node).collect(),
+                join: weights,
+            },
+            &x,
+        );
+        let got = combined.fire_sequence(&x);
+        prop_assume!(!got.is_empty() && !want.is_empty());
+        assert_prefix_close(&got, &want, 1e-9)?;
+    }
+
+    /// Transformation 4: round-robin splitjoins after rewriting.
+    #[test]
+    fn roundrobin_splitjoin_combination_is_equivalent(
+        a in arb_node(3, 2),
+        b in arb_node(3, 2),
+        va in 1usize..=3,
+        vb in 1usize..=3,
+        seed in 0i64..100,
+    ) {
+        // Joiner weights = pushes per splitter cycle keep it schedulable:
+        // child k fires va/pop... constrain to pop dividing weight stream.
+        prop_assume!(va % a.pop() == 0 && vb % b.pop() == 0);
+        let wa = va / a.pop() * a.push();
+        let wb = vb / b.pop() * b.push();
+        let split = Splitter::RoundRobin(vec![va, vb]);
+        let weights = vec![wa, wb];
+        let children = vec![a, b];
+        let combined = combine_splitjoin(&split, &children, &weights).unwrap();
+        let x = input(96, seed);
+        let want = run_reference(
+            &RefStream::SplitJoin {
+                split,
+                children: children.into_iter().map(RefStream::Node).collect(),
+                join: weights,
+            },
+            &x,
+        );
+        let got = combined.fire_sequence(&x);
+        prop_assume!(!got.is_empty() && !want.is_empty());
+        assert_prefix_close(&got, &want, 1e-9)?;
+    }
+
+    /// Transformations 5/6: the frequency implementations reproduce the
+    /// direct node.
+    #[test]
+    fn frequency_implementations_are_equivalent(
+        node in arb_node(6, 2),
+        naive in proptest::bool::ANY,
+        tuned in proptest::bool::ANY,
+        seed in 0i64..100,
+    ) {
+        let strategy = if naive { FreqStrategy::Naive } else { FreqStrategy::Optimized };
+        let kind = if tuned { FftKind::Tuned } else { FftKind::Simple };
+        let spec = FreqSpec::new(&node, strategy, kind, None).unwrap();
+        let mut exec = FreqExec::new(spec);
+        let mut ops = OpCounter::new();
+        let x = input(160, seed);
+        let got = exec.run_over(&x, &mut ops);
+        let want = node.fire_sequence(&x);
+        prop_assume!(!got.is_empty());
+        assert_prefix_close(&got, &want, 1e-6)?;
+    }
+
+    /// Transformation 7: redundancy elimination reproduces the direct node
+    /// and never uses more multiplications.
+    #[test]
+    fn redundancy_elimination_is_equivalent(node in arb_node(6, 2), seed in 0i64..100) {
+        let spec = RedundSpec::new(&node);
+        prop_assert!(spec.mults_per_firing() <= spec.direct_mults_per_firing());
+        let mut exec = RedundExec::new(spec);
+        let mut ops = OpCounter::new();
+        let x = input(96, seed);
+        let got = exec.run_over(&x, &mut ops);
+        let want = node.fire_sequence(&x);
+        prop_assert_eq!(got.len(), want.len());
+        assert_prefix_close(&got, &want, 1e-9)?;
+    }
+
+    /// Chained pipeline combination is associative in effect.
+    #[test]
+    fn pipeline_combination_associates(
+        a in arb_node(3, 2),
+        b in arb_node(3, 2),
+        c in arb_node(3, 2),
+        seed in 0i64..100,
+    ) {
+        let left = combine_pipeline(&combine_pipeline(&a, &b).unwrap(), &c).unwrap();
+        let right = combine_pipeline(&a, &combine_pipeline(&b, &c).unwrap()).unwrap();
+        let x = input(96, seed);
+        let lo = left.fire_sequence(&x);
+        let ro = right.fire_sequence(&x);
+        prop_assume!(!lo.is_empty() && !ro.is_empty());
+        assert_prefix_close(&lo, &ro, 1e-9)?;
+    }
+}
