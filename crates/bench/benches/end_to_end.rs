@@ -1,11 +1,13 @@
 //! Criterion end-to-end benchmarks: engine throughput per benchmark under
 //! the baseline and automatically-selected configurations (the wall-clock
-//! side of Figures 5-1/5-3, in bench form).
+//! side of Figures 5-1/5-3, in bench form), measured under both the
+//! compiled static scheduler and the data-driven fallback so the
+//! `static/..` and `dynamic/..` rows are directly comparable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use streamlin_bench::{configure, Config};
-use streamlin_runtime::measure::profile;
+use streamlin_runtime::measure::{profile_sched, Scheduler};
 use streamlin_runtime::MatMulStrategy;
 
 fn bench_suite(c: &mut Criterion) {
@@ -20,12 +22,46 @@ fn bench_suite(c: &mut Criterion) {
         let outputs = (bench.default_outputs() / 4).max(64);
         for config in [Config::Baseline, Config::AutoSel] {
             let opt = configure(&bench, config);
+            for sched in [Scheduler::Static, Scheduler::Dynamic] {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}/{}", sched.label(), bench.name()),
+                        config.label(),
+                    ),
+                    &outputs,
+                    |b, &n| {
+                        b.iter(|| {
+                            black_box(
+                                profile_sched(black_box(&opt), n, MatMulStrategy::Unrolled, sched)
+                                    .unwrap(),
+                            )
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// The scheduler's best case: one large linear node (FIR after maximal
+/// combination) and the frequency-domain FFT kernels, static vs dynamic.
+fn bench_kernel_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_kernels");
+    group.sample_size(10);
+    let fir = streamlin_benchmarks::fir(256);
+    for (label, config) in [("fir-linear", Config::Linear), ("fir-freq", Config::Freq)] {
+        let opt = configure(&fir, config);
+        for sched in [Scheduler::Static, Scheduler::Dynamic] {
             group.bench_with_input(
-                BenchmarkId::new(bench.name(), config.label()),
-                &outputs,
+                BenchmarkId::new(label, sched.label()),
+                &512usize,
                 |b, &n| {
                     b.iter(|| {
-                        black_box(profile(black_box(&opt), n, MatMulStrategy::Unrolled).unwrap())
+                        black_box(
+                            profile_sched(black_box(&opt), n, MatMulStrategy::Unrolled, sched)
+                                .unwrap(),
+                        )
                     })
                 },
             );
@@ -34,5 +70,5 @@ fn bench_suite(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_suite);
+criterion_group!(benches, bench_suite, bench_kernel_paths);
 criterion_main!(benches);

@@ -61,7 +61,9 @@ mod ablations {
         let mut group = c.benchmark_group("redundancy_vs_direct");
         for taps in [16usize, 64] {
             // Symmetric weights: maximal reuse.
-            let weights: Vec<f64> = (0..taps).map(|i| (1 + i.min(taps - 1 - i)) as f64).collect();
+            let weights: Vec<f64> = (0..taps)
+                .map(|i| (1 + i.min(taps - 1 - i)) as f64)
+                .collect();
             let node = LinearNode::fir(&weights);
             let input: Vec<f64> = (0..taps + 256).map(|i| i as f64).collect();
             group.bench_with_input(BenchmarkId::new("direct", taps), &taps, |b, _| {

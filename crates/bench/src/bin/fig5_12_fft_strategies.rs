@@ -44,7 +44,8 @@ fn main() {
     for (title, f) in [
         (
             "a) theoretical",
-            Box::new(|t: usize, n: usize| theory_factor(t, n)) as Box<dyn Fn(usize, usize) -> Option<f64>>,
+            Box::new(|t: usize, n: usize| theory_factor(t, n))
+                as Box<dyn Fn(usize, usize) -> Option<f64>>,
         ),
         (
             "b) naive + simple FFT",

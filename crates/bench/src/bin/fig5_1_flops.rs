@@ -12,9 +12,18 @@ fn main() {
     for r in &rows {
         let base = r.baseline.ops.flops() as f64 / r.baseline.outputs.len() as f64;
         let vals = [
-            pct_removed(base, r.linear.ops.flops() as f64 / r.linear.outputs.len() as f64),
-            pct_removed(base, r.freq.ops.flops() as f64 / r.freq.outputs.len() as f64),
-            pct_removed(base, r.autosel.ops.flops() as f64 / r.autosel.outputs.len() as f64),
+            pct_removed(
+                base,
+                r.linear.ops.flops() as f64 / r.linear.outputs.len() as f64,
+            ),
+            pct_removed(
+                base,
+                r.freq.ops.flops() as f64 / r.freq.outputs.len() as f64,
+            ),
+            pct_removed(
+                base,
+                r.autosel.ops.flops() as f64 / r.autosel.outputs.len() as f64,
+            ),
         ];
         for (s, v) in sums.iter_mut().zip(vals) {
             *s += v;
@@ -22,7 +31,12 @@ fn main() {
         t.row(vec![r.name.clone(), f1(vals[0]), f1(vals[1]), f1(vals[2])]);
     }
     let n = rows.len() as f64;
-    t.row(vec!["AVERAGE".into(), f1(sums[0] / n), f1(sums[1] / n), f1(sums[2] / n)]);
+    t.row(vec![
+        "AVERAGE".into(),
+        f1(sums[0] / n),
+        f1(sums[1] / n),
+        f1(sums[2] / n),
+    ]);
     t.print();
     println!("\npaper: autosel removes 86% of FLOPS on average (abstract, §5.2)");
 }

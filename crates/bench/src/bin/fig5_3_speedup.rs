@@ -21,7 +21,12 @@ fn main() {
         t.row(vec![r.name.clone(), f1(vals[0]), f1(vals[1]), f1(vals[2])]);
     }
     let n = rows.len() as f64;
-    t.row(vec!["AVERAGE".into(), f1(sums[0] / n), f1(sums[1] / n), f1(sums[2] / n)]);
+    t.row(vec![
+        "AVERAGE".into(),
+        f1(sums[0] / n),
+        f1(sums[1] / n),
+        f1(sums[2] / n),
+    ]);
     t.print();
     println!("\npaper: average 450%, best case 800% (abstract)");
 }

@@ -5,7 +5,13 @@ use streamlin_bench::{f1, pct_removed, run, speedup_pct, Config, Table};
 
 fn main() {
     println!("Figure 5-8: FIR scaling under frequency replacement\n");
-    let mut t = Table::new(&["taps", "mults/out base", "mults/out freq", "mult% removed", "speedup%"]);
+    let mut t = Table::new(&[
+        "taps",
+        "mults/out base",
+        "mults/out freq",
+        "mult% removed",
+        "speedup%",
+    ]);
     let n = 4096;
     for taps in [1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128] {
         let b = streamlin_benchmarks::fir(taps);
@@ -15,10 +21,18 @@ fn main() {
             taps.to_string(),
             f1(base.mults_per_output()),
             f1(freq.mults_per_output()),
-            f1(pct_removed(base.mults_per_output(), freq.mults_per_output())),
-            f1(speedup_pct(base.nanos_per_output(), freq.nanos_per_output())),
+            f1(pct_removed(
+                base.mults_per_output(),
+                freq.mults_per_output(),
+            )),
+            f1(speedup_pct(
+                base.nanos_per_output(),
+                freq.nanos_per_output(),
+            )),
         ]);
     }
     t.print();
-    println!("\npaper: reduction approaches the lg(N)/N theoretical curve; speedup grows ~linearly");
+    println!(
+        "\npaper: reduction approaches the lg(N)/N theoretical curve; speedup grows ~linearly"
+    );
 }

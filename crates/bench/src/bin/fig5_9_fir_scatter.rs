@@ -9,7 +9,13 @@ use streamlin_core::node::LinearNode;
 
 fn main() {
     println!("Figure 5-9: original vs optimized time per output (FIR scaling)\n");
-    let mut t = Table::new(&["taps", "t_orig us/out", "t_freq us/out", "model direct", "model freq"]);
+    let mut t = Table::new(&[
+        "taps",
+        "t_orig us/out",
+        "t_freq us/out",
+        "model direct",
+        "model freq",
+    ]);
     let n = 4096;
     let model = CostModel::default();
     for taps in [4, 8, 16, 24, 32, 48, 64, 96, 128] {

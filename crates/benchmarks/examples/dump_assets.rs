@@ -1,0 +1,20 @@
+//! Regenerates the checked-in `assets/*.str` sources from the benchmark
+//! constructors (run from the repository root):
+//!
+//! ```console
+//! $ cargo run -p streamlin-benchmarks --example dump_assets -- assets
+//! ```
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "assets".into());
+    std::fs::create_dir_all(&dir)?;
+    for (file, bench) in [
+        ("fir.str", streamlin_benchmarks::fir(64)),
+        ("rateconvert.str", streamlin_benchmarks::rate_convert()),
+    ] {
+        let path = std::path::Path::new(&dir).join(file);
+        std::fs::write(&path, bench.source())?;
+        println!("wrote {} ({} bytes)", path.display(), bench.source().len());
+    }
+    Ok(())
+}

@@ -68,14 +68,12 @@ impl LinearAnalysis {
 /// ```
 pub fn analyze_graph(stream: &Stream) -> LinearAnalysis {
     let mut analysis = LinearAnalysis::default();
-    stream.for_each_filter(&mut |inst: &Rc<FilterInst>| {
-        match extract(inst) {
-            Ok(node) => {
-                analysis.nodes.insert(inst.id, node);
-            }
-            Err(reason) => {
-                analysis.reasons.insert(inst.id, reason);
-            }
+    stream.for_each_filter(&mut |inst: &Rc<FilterInst>| match extract(inst) {
+        Ok(node) => {
+            analysis.nodes.insert(inst.id, node);
+        }
+        Err(reason) => {
+            analysis.reasons.insert(inst.id, reason);
         }
     });
     analysis
@@ -177,10 +175,7 @@ pub fn replace(stream: &Stream, analysis: &LinearAnalysis, opts: &ReplaceOptions
 /// implementations buffer a whole block before producing output; inside a
 /// feedback cycle that extra latency can exceed the `enqueue`d slack and
 /// deadlock the loop, so nodes on a cycle keep their time-domain form.
-fn map_linear_outside_feedback(
-    opt: OptStream,
-    f: &impl Fn(LinearNode) -> OptStream,
-) -> OptStream {
+fn map_linear_outside_feedback(opt: OptStream, f: &impl Fn(LinearNode) -> OptStream) -> OptStream {
     match opt {
         OptStream::Linear(n) => f(n),
         OptStream::Pipeline(children) => OptStream::Pipeline(
@@ -373,8 +368,12 @@ mod tests {
         assert_eq!(st.filters, 3, "{}", opt.describe());
         assert_eq!(st.linear, 1);
         // combined 4-tap ∘ 3-tap = 6-tap
-        let OptStream::Pipeline(children) = &opt else { panic!() };
-        let OptStream::Linear(n) = &children[1] else { panic!() };
+        let OptStream::Pipeline(children) = &opt else {
+            panic!()
+        };
+        let OptStream::Linear(n) = &children[1] else {
+            panic!()
+        };
         assert_eq!(n.peek(), 6);
     }
 

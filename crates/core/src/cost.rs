@@ -131,13 +131,8 @@ mod tests {
 
     #[test]
     fn direct_cost_matches_published_formula() {
-        let node = LinearNode::from_coeffs(
-            3,
-            1,
-            2,
-            |i, j| if i == j { 1.0 } else { 0.0 },
-            &[5.0, 0.0],
-        );
+        let node =
+            LinearNode::from_coeffs(3, 1, 2, |i, j| if i == j { 1.0 } else { 0.0 }, &[5.0, 0.0]);
         let m = CostModel::default();
         // 185 + 2*2 + 1 (one nonzero b) + 3*2 (two nonzero A entries)
         assert_eq!(m.direct_per_firing(&node), 185.0 + 4.0 + 1.0 + 6.0);
@@ -169,13 +164,11 @@ mod tests {
         let large = LinearNode::fir(&[1.0; 256]);
         let inflow = 10_000.0;
         assert!(
-            m.freq_total(&small, inflow, FreqStrategy::Optimized)
-                > m.direct_total(&small, inflow),
+            m.freq_total(&small, inflow, FreqStrategy::Optimized) > m.direct_total(&small, inflow),
             "a 4-tap FIR should stay in the time domain"
         );
         assert!(
-            m.freq_total(&large, inflow, FreqStrategy::Optimized)
-                < m.direct_total(&large, inflow),
+            m.freq_total(&large, inflow, FreqStrategy::Optimized) < m.direct_total(&large, inflow),
             "a 256-tap FIR should move to the frequency domain"
         );
     }
@@ -204,6 +197,8 @@ mod tests {
             2,
         )
         .unwrap();
-        assert!(m.freq_total(&sink, 100.0, FreqStrategy::Naive).is_infinite());
+        assert!(m
+            .freq_total(&sink, 100.0, FreqStrategy::Naive)
+            .is_infinite());
     }
 }

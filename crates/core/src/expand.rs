@@ -96,7 +96,12 @@ mod tests {
     /// Reference semantics of expansion: output group `g` (0-based, in
     /// output order) equals the original node fired on the window starting
     /// at `g*pop`.
-    fn reference_expand_outputs(node: &LinearNode, peek2: usize, push2: usize, window: &[f64]) -> Vec<f64> {
+    fn reference_expand_outputs(
+        node: &LinearNode,
+        peek2: usize,
+        push2: usize,
+        window: &[f64],
+    ) -> Vec<f64> {
         assert_eq!(window.len(), peek2);
         let mut out = Vec::new();
         let mut g = 0;

@@ -133,7 +133,10 @@ pub fn extract(inst: &FilterInst) -> Result<LinearNode, NonLinear> {
     let mut env: HashMap<String, SymCell> = HashMap::new();
     for (name, cell) in &inst.state {
         let is_mutated_field = inst.field_names.contains(name) && written.contains(name.as_str());
-        env.insert(name.clone(), SymCell::from_cell(cell, is_mutated_field, None));
+        env.insert(
+            name.clone(),
+            SymCell::from_cell(cell, is_mutated_field, None),
+        );
     }
     let mut exec = SymExec {
         declared_peek: inst.work.peek,
@@ -213,7 +216,10 @@ pub(crate) fn extract_symbolic(
     for (name, cell) in &inst.state {
         let is_mutated_field = inst.field_names.contains(name) && written.contains(name.as_str());
         let idx = state_index.get(name).copied();
-        env.insert(name.clone(), SymCell::from_cell(cell, is_mutated_field, idx));
+        env.insert(
+            name.clone(),
+            SymCell::from_cell(cell, is_mutated_field, idx),
+        );
     }
     let mut exec = SymExec {
         declared_peek: inst.work.peek,
@@ -257,11 +263,10 @@ pub(crate) fn extract_symbolic(
     };
     let mut outputs = Vec::with_capacity(st.pushes.len());
     for (j, sym) in st.pushes.iter().enumerate() {
-        outputs.push(take_form(sym, &format!("push #{j}"))
-            .map_err(|e| match e {
-                NonLinear::Unsupported(_) => NonLinear::PushedNonAffine { index: j },
-                other => other,
-            })?);
+        outputs.push(take_form(sym, &format!("push #{j}")).map_err(|e| match e {
+            NonLinear::Unsupported(_) => NonLinear::PushedNonAffine { index: j },
+            other => other,
+        })?);
     }
     // Final field values, in state-index order.
     let mut names_by_index: Vec<&String> = state_index.keys().collect();
@@ -660,7 +665,9 @@ impl SymExec {
                 Ok(Flow::Normal)
             }
             Stmt::Return => Ok(Flow::Return),
-            Stmt::Add(_) => Err(NonLinear::Unsupported("`add` inside a work function".into())),
+            Stmt::Add(_) => Err(NonLinear::Unsupported(
+                "`add` inside a work function".into(),
+            )),
         }
     }
 
@@ -726,9 +733,10 @@ impl SymExec {
         let mut idx = Vec::with_capacity(idx_exprs.len());
         for e in idx_exprs {
             match self.eval(st, e)?.as_const() {
-                Some(v) => {
-                    idx.push(v.as_index().map_err(|e| NonLinear::Unsupported(e.message))?)
-                }
+                Some(v) => idx.push(
+                    v.as_index()
+                        .map_err(|e| NonLinear::Unsupported(e.message))?,
+                ),
                 None => return Ok(None),
             }
         }
@@ -742,7 +750,9 @@ impl SymExec {
                 Some(SymCell::Array(_)) => {
                     Err(NonLinear::Unsupported(format!("`{name}` is an array")))
                 }
-                None => Err(NonLinear::Unsupported(format!("undefined variable `{name}`"))),
+                None => Err(NonLinear::Unsupported(format!(
+                    "undefined variable `{name}`"
+                ))),
             },
             LValue::Index(name, idx_exprs) => {
                 let idx = self.eval_indices(st, idx_exprs)?;
@@ -771,10 +781,12 @@ impl SymExec {
                     *slot = v;
                     Ok(())
                 }
-                Some(SymCell::Array(_)) => {
-                    Err(NonLinear::Unsupported(format!("cannot assign to array `{name}`")))
-                }
-                None => Err(NonLinear::Unsupported(format!("undefined variable `{name}`"))),
+                Some(SymCell::Array(_)) => Err(NonLinear::Unsupported(format!(
+                    "cannot assign to array `{name}`"
+                ))),
+                None => Err(NonLinear::Unsupported(format!(
+                    "undefined variable `{name}`"
+                ))),
             },
             LValue::Index(name, idx_exprs) => {
                 let idx = self.eval_indices(st, idx_exprs)?;
@@ -1144,7 +1156,10 @@ mod tests {
             &[Value::Float(0.5)],
         )
         .unwrap_err();
-        assert!(matches!(err, NonLinear::PushedNonAffine { index: 0 }), "{err}");
+        assert!(
+            matches!(err, NonLinear::PushedNonAffine { index: 0 }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1277,7 +1292,13 @@ mod tests {
             &[],
         )
         .unwrap_err();
-        assert!(matches!(err, NonLinear::PopCountMismatch { declared: 2, actual: 1 }));
+        assert!(matches!(
+            err,
+            NonLinear::PopCountMismatch {
+                declared: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]
@@ -1288,7 +1309,13 @@ mod tests {
             &[],
         )
         .unwrap_err();
-        assert!(matches!(err, NonLinear::PushCountMismatch { declared: 2, actual: 1 }));
+        assert!(matches!(
+            err,
+            NonLinear::PushCountMismatch {
+                declared: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]

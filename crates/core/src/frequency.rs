@@ -264,7 +264,11 @@ impl FreqExec {
     /// Panics if the window length does not match the current peek rate.
     pub fn fire(&mut self, window: &[f64], ops: &mut OpCounter) -> Vec<f64> {
         let (peek, _pop, push) = self.current_rates();
-        assert_eq!(window.len(), peek, "window must match the current peek rate");
+        assert_eq!(
+            window.len(),
+            peek,
+            "window must match the current peek rate"
+        );
         let e = self.spec.node.peek();
         let u = self.spec.node.push();
         let m = self.spec.m;
@@ -435,7 +439,8 @@ mod tests {
         let spec = FreqSpec::new(&node, FreqStrategy::Naive, FftKind::Tuned, Some(64)).unwrap();
         assert_eq!(spec.m(), 49);
         // Oversized transforms stay correct.
-        let spec2 = FreqSpec::new(&node, FreqStrategy::Optimized, FftKind::Tuned, Some(64)).unwrap();
+        let spec2 =
+            FreqSpec::new(&node, FreqStrategy::Optimized, FftKind::Tuned, Some(64)).unwrap();
         let mut exec = FreqExec::new(spec2);
         let mut ops = OpCounter::new();
         let x = input(300);

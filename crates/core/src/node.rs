@@ -122,7 +122,11 @@ impl LinearNode {
         mut coeff: impl FnMut(usize, usize) -> f64,
         offsets: &[f64],
     ) -> Self {
-        assert_eq!(offsets.len(), push, "offsets must have one entry per output");
+        assert_eq!(
+            offsets.len(),
+            push,
+            "offsets must have one entry per output"
+        );
         let a = Matrix::from_fn(peek, push, |r, c| {
             // row r ↔ peek(peek-1-r), column c ↔ output push-1-c
             coeff(peek - 1 - r, push - 1 - c)
@@ -139,7 +143,13 @@ impl LinearNode {
 
     /// The identity node over `n` items (peek = pop = push = n).
     pub fn identity(n: usize) -> Self {
-        LinearNode::from_coeffs(n, n, n, |i, j| if i == j { 1.0 } else { 0.0 }, &vec![0.0; n])
+        LinearNode::from_coeffs(
+            n,
+            n,
+            n,
+            |i, j| if i == j { 1.0 } else { 0.0 },
+            &vec![0.0; n],
+        )
     }
 
     /// Peek rate (rows of `A`).
@@ -306,13 +316,7 @@ mod tests {
 
     #[test]
     fn coeff_and_offset_round_trip() {
-        let node = LinearNode::from_coeffs(
-            4,
-            2,
-            3,
-            |i, j| (10 * i + j) as f64,
-            &[0.5, 1.5, 2.5],
-        );
+        let node = LinearNode::from_coeffs(4, 2, 3, |i, j| (10 * i + j) as f64, &[0.5, 1.5, 2.5]);
         for i in 0..4 {
             for j in 0..3 {
                 assert_eq!(node.coeff(i, j), (10 * i + j) as f64);

@@ -169,7 +169,10 @@ impl OptStream {
                 join,
             } => OptStream::SplitJoin {
                 split,
-                children: children.into_iter().map(|c| c.flatten_pipelines()).collect(),
+                children: children
+                    .into_iter()
+                    .map(|c| c.flatten_pipelines())
+                    .collect(),
                 join,
             },
             OptStream::FeedbackLoop {
@@ -186,6 +189,23 @@ impl OptStream {
                 enqueue,
             },
             other => other,
+        }
+    }
+
+    /// True when the stream contains a feedback loop anywhere. Feedback
+    /// cycles are never collapsed by the optimizations (§3.3, §7.1) and
+    /// have no static steady-state plan, so the runtime uses this to route
+    /// such programs to the data-driven scheduler without attempting
+    /// schedule compilation.
+    pub fn has_feedback(&self) -> bool {
+        match self {
+            OptStream::Original(_)
+            | OptStream::Linear(_)
+            | OptStream::Freq(_)
+            | OptStream::Redund(_) => false,
+            OptStream::Pipeline(children) => children.iter().any(OptStream::has_feedback),
+            OptStream::SplitJoin { children, .. } => children.iter().any(OptStream::has_feedback),
+            OptStream::FeedbackLoop { .. } => true,
         }
     }
 

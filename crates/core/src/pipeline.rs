@@ -110,7 +110,10 @@ mod tests {
         let combined = combine_pipeline(a1, a2).unwrap();
         let x = input(64);
         let want = run_reference(
-            &RefStream::Pipeline(vec![RefStream::Node(a1.clone()), RefStream::Node(a2.clone())]),
+            &RefStream::Pipeline(vec![
+                RefStream::Node(a1.clone()),
+                RefStream::Node(a2.clone()),
+            ]),
             &x,
         );
         let got = combined.fire_sequence(&x);
@@ -188,9 +191,12 @@ mod tests {
     #[test]
     fn combining_into_a_sink() {
         let a1 = LinearNode::fir(&[2.0, 1.0]);
-        let sink =
-            LinearNode::new(streamlin_matrix::Matrix::zeros(2, 0), streamlin_matrix::Vector::zeros(0), 2)
-                .unwrap();
+        let sink = LinearNode::new(
+            streamlin_matrix::Matrix::zeros(2, 0),
+            streamlin_matrix::Vector::zeros(0),
+            2,
+        )
+        .unwrap();
         let c = combine_pipeline(&a1, &sink).unwrap();
         assert_eq!(c.push(), 0);
         assert_eq!(c.pop(), 2);
@@ -231,9 +237,12 @@ mod tests {
     #[test]
     fn source_downstream_is_rejected() {
         let a1 = LinearNode::fir(&[1.0]);
-        let src =
-            LinearNode::new(streamlin_matrix::Matrix::zeros(0, 1), streamlin_matrix::Vector::from(vec![1.0]), 0)
-                .unwrap();
+        let src = LinearNode::new(
+            streamlin_matrix::Matrix::zeros(0, 1),
+            streamlin_matrix::Vector::from(vec![1.0]),
+            0,
+        )
+        .unwrap();
         assert!(combine_pipeline(&a1, &src).is_err());
         assert!(combine_pipeline(&src, &a1).is_ok()); // const source into FIR is fine
     }

@@ -390,13 +390,8 @@ mod tests {
     fn pop_greater_than_one_shrinks_reuse_distance() {
         // With o = 2 the window slides two positions per firing, so only
         // coefficients 2 apart can be reused.
-        let node = LinearNode::from_coeffs(
-            4,
-            2,
-            1,
-            |i, _| if i % 2 == 0 { 5.0 } else { 7.0 },
-            &[0.0],
-        );
+        let node =
+            LinearNode::from_coeffs(4, 2, 1, |i, _| if i % 2 == 0 { 5.0 } else { 7.0 }, &[0.0]);
         let spec = RedundSpec::new(&node);
         assert!(!spec.reused().is_empty(), "{:?}", spec.reused());
         assert_equiv(&node);
@@ -405,7 +400,8 @@ mod tests {
     #[test]
     fn multi_output_filters_share_tuples_across_columns() {
         // The same (coeff, pos) term feeding two outputs is one tuple.
-        let node = LinearNode::from_coeffs(3, 1, 2, |i, _| if i == 2 { 4.0 } else { 1.0 }, &[0.0, 0.0]);
+        let node =
+            LinearNode::from_coeffs(3, 1, 2, |i, _| if i == 2 { 4.0 } else { 1.0 }, &[0.0, 0.0]);
         let spec = RedundSpec::new(&node);
         assert_equiv(&node);
         // Every firing: the (4.0, pos 2) tuple is shared.
@@ -435,7 +431,11 @@ mod tests {
 
     #[test]
     fn reuse_reduces_multiplications_at_runtime() {
-        let even = LinearNode::fir(&(0..16).map(|i| (1 + i.min(15 - i)) as f64).collect::<Vec<_>>());
+        let even = LinearNode::fir(
+            &(0..16)
+                .map(|i| (1 + i.min(15 - i)) as f64)
+                .collect::<Vec<_>>(),
+        );
         let spec = RedundSpec::new(&even);
         let mut exec = RedundExec::new(spec.clone());
         let mut ops = OpCounter::new();

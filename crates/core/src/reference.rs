@@ -146,10 +146,7 @@ mod tests {
             ],
             join: vec![1, 1],
         };
-        assert_eq!(
-            run_reference(&s, &[1.0, 2.0]),
-            vec![1.0, 10.0, 2.0, 20.0]
-        );
+        assert_eq!(run_reference(&s, &[1.0, 2.0]), vec![1.0, 10.0, 2.0, 20.0]);
     }
 
     #[test]

@@ -231,7 +231,13 @@ fn build_inner(
             enqueue,
         } => {
             let b = build_inner(body, analysis, scale * mults[0] as f64, next_id, true)?;
-            let l = build_inner(loop_stream, analysis, scale * mults[1] as f64, next_id, true)?;
+            let l = build_inner(
+                loop_stream,
+                analysis,
+                scale * mults[1] as f64,
+                next_id,
+                true,
+            )?;
             (
                 DpKind::Feedback {
                     join: join.clone(),
@@ -389,9 +395,7 @@ impl Dp<'_> {
         // Option 1/2: collapse the whole range (LINEAR / FREQ).
         let combined = match &container.kind {
             DpKind::Pipe(_) => fold_pipeline(children, lo, hi),
-            DpKind::Split { split, join, .. } => {
-                combine_split_range(split, join, children, lo, hi)
-            }
+            DpKind::Split { split, join, .. } => combine_split_range(split, join, children, lo, hi),
             _ => None,
         };
         if let Some(lin) = combined {
@@ -606,8 +610,11 @@ mod tests {
         // cost for the chosen structure must beat that.
         let g = elaborate(&streamlin_lang::parse(src).unwrap()).unwrap();
         let a = analyze_graph(&g);
-        let forced = crate::combine::replace(&g, &a, &crate::combine::ReplaceOptions::maximal_linear());
-        let OptStream::Pipeline(children) = &forced else { panic!() };
+        let forced =
+            crate::combine::replace(&g, &a, &crate::combine::ReplaceOptions::maximal_linear());
+        let OptStream::Pipeline(children) = &forced else {
+            panic!()
+        };
         let combined_nnz: usize = children
             .iter()
             .filter_map(|c| match c {

@@ -3,8 +3,8 @@
 use streamlin_graph::ir::Splitter;
 use streamlin_support::num::{lcm, lcm_all};
 
-use crate::node::{LinearError, LinearNode, MAX_MATRIX_ELEMS};
 use crate::expand::expand;
+use crate::node::{LinearError, LinearNode, MAX_MATRIX_ELEMS};
 use crate::pipeline::combine_pipeline;
 
 /// Collapses a splitjoin of linear children into a single linear node.
@@ -72,7 +72,9 @@ pub fn combine_duplicate(
 ) -> Result<LinearNode, LinearError> {
     let n = children.len();
     if n == 0 {
-        return Err(LinearError::NotCombinable("splitjoin has no children".into()));
+        return Err(LinearError::NotCombinable(
+            "splitjoin has no children".into(),
+        ));
     }
     if join_weights.len() != n {
         return Err(LinearError::NotCombinable(format!(
@@ -95,9 +97,12 @@ pub fn combine_duplicate(
     }
 
     // joinRep = lcm_k( lcm(u_k, w_k) / w_k ): joiner cycles per steady state.
-    let join_rep = lcm_all(children.iter().zip(join_weights).map(|(c, &w)| {
-        lcm(c.push() as u64, w as u64) / w as u64
-    })) as usize;
+    let join_rep = lcm_all(
+        children
+            .iter()
+            .zip(join_weights)
+            .map(|(c, &w)| lcm(c.push() as u64, w as u64) / w as u64),
+    ) as usize;
     let reps: Vec<usize> = children
         .iter()
         .zip(join_weights)
@@ -112,7 +117,11 @@ pub fn combine_duplicate(
 
     // All branches must agree on the pop rate, or the splitjoin admits no
     // steady-state schedule (§3.3.3).
-    let pops: Vec<usize> = children.iter().zip(&reps).map(|(c, &r)| c.pop() * r).collect();
+    let pops: Vec<usize> = children
+        .iter()
+        .zip(&reps)
+        .map(|(c, &r)| c.pop() * r)
+        .collect();
     let pop = pops[0];
     if pops.iter().any(|&p| p != pop) {
         return Err(LinearError::NotCombinable(format!(
@@ -246,7 +255,8 @@ mod tests {
             1,
         )
         .unwrap();
-        let c = combine_splitjoin(&Splitter::Duplicate, &[a1.clone(), a2.clone()], &[2, 1]).unwrap();
+        let c =
+            combine_splitjoin(&Splitter::Duplicate, &[a1.clone(), a2.clone()], &[2, 1]).unwrap();
         assert_eq!((c.peek(), c.pop(), c.push()), (2, 2, 6));
         assert_eq!(c.a().row(0), &[9., 1., 2., 0., 3., 4.]);
         assert_eq!(c.a().row(1), &[0., 5., 6., 9., 7., 8.]);
@@ -266,8 +276,12 @@ mod tests {
     fn duplicate_with_unequal_peeks_pads() {
         let short = LinearNode::fir(&[2.0]);
         let long = LinearNode::fir(&[1.0, 1.0, 1.0, 1.0]);
-        let c = combine_splitjoin(&Splitter::Duplicate, &[short.clone(), long.clone()], &[1, 1])
-            .unwrap();
+        let c = combine_splitjoin(
+            &Splitter::Duplicate,
+            &[short.clone(), long.clone()],
+            &[1, 1],
+        )
+        .unwrap();
         assert_eq!(c.peek(), 4);
         assert_equivalent(&Splitter::Duplicate, &[short, long], &[1, 1]);
     }
@@ -278,18 +292,14 @@ mod tests {
         // weights -> branches disagree.
         let c0 = LinearNode::from_coeffs(2, 2, 1, |i, _| (i + 1) as f64, &[0.0]);
         let c1 = LinearNode::fir(&[1.0]);
-        let err =
-            combine_splitjoin(&Splitter::Duplicate, &[c0, c1], &[1, 1]).unwrap_err();
+        let err = combine_splitjoin(&Splitter::Duplicate, &[c0, c1], &[1, 1]).unwrap_err();
         assert!(matches!(err, LinearError::NotCombinable(_)), "{err}");
     }
 
     #[test]
     fn roundrobin_decimators_select_slices() {
-        let dec = rr_to_duplicate(
-            &[LinearNode::identity(2), LinearNode::identity(1)],
-            &[2, 1],
-        )
-        .unwrap();
+        let dec =
+            rr_to_duplicate(&[LinearNode::identity(2), LinearNode::identity(1)], &[2, 1]).unwrap();
         // child 0 keeps items 0,1 of each 3-cycle; child 1 keeps item 2.
         assert_eq!(dec[0].peek(), 3);
         assert_eq!(dec[0].pop(), 3);
@@ -302,17 +312,14 @@ mod tests {
     fn roundrobin_splitjoin_equivalence() {
         let even = LinearNode::fir(&[1.0, 2.0]);
         let odd = LinearNode::fir(&[3.0]);
-        assert_equivalent(
-            &Splitter::RoundRobin(vec![1, 1]),
-            &[even, odd],
-            &[1, 1],
-        );
+        assert_equivalent(&Splitter::RoundRobin(vec![1, 1]), &[even, odd], &[1, 1]);
     }
 
     #[test]
     fn weighted_roundrobin_with_rate_changes() {
         // Child 0 compresses 2:1, child 1 passes through.
-        let compress = LinearNode::from_coeffs(2, 2, 1, |i, _| if i == 0 { 1.0 } else { 0.0 }, &[0.0]);
+        let compress =
+            LinearNode::from_coeffs(2, 2, 1, |i, _| if i == 0 { 1.0 } else { 0.0 }, &[0.0]);
         let pass = LinearNode::identity(1);
         assert_equivalent(
             &Splitter::RoundRobin(vec![4, 1]),
@@ -333,7 +340,8 @@ mod tests {
         // Balanced: each child pops 1 per firing and pushes exactly its
         // joiner weight, so every branch fires once per joiner cycle.
         let a = LinearNode::from_coeffs(2, 1, 2, |i, j| (i + j) as f64 + 1.0, &[0.0, 1.0]);
-        let b = LinearNode::from_coeffs(2, 1, 3, |i, j| (2 * i + j) as f64 - 1.5, &[0.5, 0.0, -0.5]);
+        let b =
+            LinearNode::from_coeffs(2, 1, 3, |i, j| (2 * i + j) as f64 - 1.5, &[0.5, 0.0, -0.5]);
         let c = LinearNode::from_coeffs(3, 1, 1, |i, _| (i * i) as f64, &[2.0]);
         assert_equivalent(&Splitter::Duplicate, &[a, b, c], &[2, 3, 1]);
     }

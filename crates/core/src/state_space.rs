@@ -87,7 +87,11 @@ impl StateSpaceNode {
             ));
         }
         if c_s.rows() != dim || c_s.cols() != dim {
-            return Err(format!("c_s is {}x{}, expected {dim}x{dim}", c_s.rows(), c_s.cols()));
+            return Err(format!(
+                "c_s is {}x{}, expected {dim}x{dim}",
+                c_s.rows(),
+                c_s.cols()
+            ));
         }
         if b_x.len() != push || b_s.len() != dim || init_state.len() != dim {
             return Err("offset/initial-state length mismatch".into());
@@ -224,7 +228,10 @@ impl StateSpaceNode {
     /// Runs over an input tape with channel semantics, starting from the
     /// initial state.
     pub fn run_over(&self, input: &[f64], ops: &mut OpCounter) -> Vec<f64> {
-        assert!(self.pop > 0 || self.peek() == 0, "a consuming node must pop");
+        assert!(
+            self.pop > 0 || self.peek() == 0,
+            "a consuming node must pop"
+        );
         let mut state = self.init_state.clone();
         let mut out = Vec::new();
         let mut posn = 0;
@@ -397,7 +404,7 @@ mod tests {
         assert_eq!(node.input_coeff(0, 0), 0.0); // output ignores the input
         assert_eq!(node.state_coeff(0, 0), 1.0); // y = s
         assert_eq!(node.state_update_coeff(0, 0), 0.0); // s' = x
-        // semantics: one-sample delay
+                                                        // semantics: one-sample delay
         let mut ops = OpCounter::new();
         let out = node.run_over(&[1.0, 2.0, 3.0, 4.0], &mut ops);
         assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0]);
@@ -513,7 +520,13 @@ mod tests {
             "Sq",
         );
         let err = extract_stateful(&f).unwrap_err();
-        assert!(matches!(err, NonLinear::Unsupported(_) | NonLinear::PushedNonAffine { .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                NonLinear::Unsupported(_) | NonLinear::PushedNonAffine { .. }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -144,8 +144,13 @@ impl RealFft {
     fn forward_packed(&self, x: &[f64], ops: &mut OpCounter) -> Vec<f64> {
         let n = self.n;
         let m = n / 2;
-        let plan = self.half_plan.as_ref().expect("tuned plan present for n >= 2");
-        let mut z: Vec<Complex> = (0..m).map(|k| Complex::new(x[2 * k], x[2 * k + 1])).collect();
+        let plan = self
+            .half_plan
+            .as_ref()
+            .expect("tuned plan present for n >= 2");
+        let mut z: Vec<Complex> = (0..m)
+            .map(|k| Complex::new(x[2 * k], x[2 * k + 1]))
+            .collect();
         plan.forward(&mut z, ops);
         let mut out = vec![0.0; n];
         for k in 0..=m {
@@ -173,7 +178,10 @@ impl RealFft {
     fn inverse_packed(&self, hc: &[f64], ops: &mut OpCounter) -> Vec<f64> {
         let n = self.n;
         let m = n / 2;
-        let plan = self.half_plan.as_ref().expect("tuned plan present for n >= 2");
+        let plan = self
+            .half_plan
+            .as_ref()
+            .expect("tuned plan present for n >= 2");
         let bin = |k: usize| -> Complex {
             if k == 0 {
                 Complex::new(hc[0], 0.0)
@@ -324,7 +332,9 @@ mod tests {
         // Circular convolution in time == pointwise product in frequency.
         let n = 16;
         let x = real_signal(n);
-        let h: Vec<f64> = (0..n).map(|i| if i < 4 { (i + 1) as f64 } else { 0.0 }).collect();
+        let h: Vec<f64> = (0..n)
+            .map(|i| if i < 4 { (i + 1) as f64 } else { 0.0 })
+            .collect();
         let mut direct = vec![0.0; n];
         for (i, d) in direct.iter_mut().enumerate() {
             for k in 0..n {
@@ -347,9 +357,13 @@ mod tests {
         let n = 512;
         let x = real_signal(n);
         let mut simple_ops = OpCounter::new();
-        RealFft::new(FftKind::Simple, n).unwrap().forward(&x, &mut simple_ops);
+        RealFft::new(FftKind::Simple, n)
+            .unwrap()
+            .forward(&x, &mut simple_ops);
         let mut tuned_ops = OpCounter::new();
-        RealFft::new(FftKind::Tuned, n).unwrap().forward(&x, &mut tuned_ops);
+        RealFft::new(FftKind::Tuned, n)
+            .unwrap()
+            .forward(&x, &mut tuned_ops);
         assert!(
             tuned_ops.mults() * 2 < simple_ops.mults(),
             "tuned {} vs simple {}",

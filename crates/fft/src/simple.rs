@@ -116,7 +116,9 @@ mod tests {
     #[test]
     fn round_trip_is_identity() {
         let mut ops = OpCounter::new();
-        let x: Vec<Complex> = (0..32).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let spec = SimpleFft.forward(&x, &mut ops).unwrap();
         let back = SimpleFft.inverse(&spec, &mut ops).unwrap();
         assert_spectra_close(&back, &x);
@@ -125,7 +127,9 @@ mod tests {
     #[test]
     fn rejects_non_power_of_two() {
         let mut ops = OpCounter::new();
-        let err = SimpleFft.forward(&[Complex::zero(); 6], &mut ops).unwrap_err();
+        let err = SimpleFft
+            .forward(&[Complex::zero(); 6], &mut ops)
+            .unwrap_err();
         assert_eq!(err, FftError::SizeNotPowerOfTwo(6));
     }
 

@@ -81,7 +81,13 @@ impl FftPlan {
     ///
     /// Panics if `data.len()` differs from the planned size.
     pub fn forward(&self, data: &mut [Complex], ops: &mut OpCounter) {
-        assert_eq!(data.len(), self.n, "plan is for size {}, data has {}", self.n, data.len());
+        assert_eq!(
+            data.len(),
+            self.n,
+            "plan is for size {}, data has {}",
+            self.n,
+            data.len()
+        );
         // Bit-reversal permutation (pure data movement; no FLOPs).
         for i in 0..self.n {
             let j = self.bitrev[i] as usize;
@@ -159,7 +165,9 @@ mod tests {
     #[test]
     fn matches_simple_fft() {
         let n = 128;
-        let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.5 * i as f64)).collect();
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64, 0.5 * i as f64))
+            .collect();
         let plan = FftPlan::new(n).unwrap();
         let mut tuned = x.clone();
         let mut ops = OpCounter::new();
@@ -171,7 +179,9 @@ mod tests {
     #[test]
     fn round_trip_is_identity() {
         let n = 64;
-        let x: Vec<Complex> = (0..n).map(|i| Complex::new((i * i) as f64 % 7.0, -(i as f64))).collect();
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i * i) as f64 % 7.0, -(i as f64)))
+            .collect();
         let plan = FftPlan::new(n).unwrap();
         let mut data = x.clone();
         let mut ops = OpCounter::new();
@@ -200,7 +210,10 @@ mod tests {
 
     #[test]
     fn rejects_non_power_of_two() {
-        assert_eq!(FftPlan::new(12).unwrap_err(), FftError::SizeNotPowerOfTwo(12));
+        assert_eq!(
+            FftPlan::new(12).unwrap_err(),
+            FftError::SizeNotPowerOfTwo(12)
+        );
         assert_eq!(FftPlan::new(0).unwrap_err(), FftError::SizeNotPowerOfTwo(0));
     }
 

@@ -101,11 +101,7 @@ pub fn elaborate(program: &Program) -> Result<Stream, ElabError> {
 /// # Errors
 ///
 /// Fails if the declaration is missing or instantiation fails.
-pub fn elaborate_named(
-    program: &Program,
-    name: &str,
-    args: &[Value],
-) -> Result<Stream, ElabError> {
+pub fn elaborate_named(program: &Program, name: &str, args: &[Value]) -> Result<Stream, ElabError> {
     let decl = program
         .find(name)
         .ok_or_else(|| ElabError::new(format!("no stream declaration named `{name}`")))?;
@@ -275,9 +271,8 @@ impl<'a> Elaborator<'a> {
             env.insert(field.name.clone(), cell);
         }
         if let Some(init) = &f.init {
-            const_exec_block(&mut env, init).map_err(|e| {
-                ElabError::new(format!("while running `init`: {}", e.message))
-            })?;
+            const_exec_block(&mut env, init)
+                .map_err(|e| ElabError::new(format!("while running `init`: {}", e.message)))?;
         }
 
         let work = self.resolve_work(&f.work, &mut env)?;
@@ -287,8 +282,8 @@ impl<'a> Elaborator<'a> {
             .map(|w| self.resolve_work(w, &mut env))
             .transpose()?;
 
-        let prints =
-            block_prints(&f.work.body) || f.init_work.as_ref().is_some_and(|w| block_prints(&w.body));
+        let prints = block_prints(&f.work.body)
+            || f.init_work.as_ref().is_some_and(|w| block_prints(&w.body));
 
         let id = self.next_id;
         self.next_id += 1;
@@ -318,12 +313,13 @@ impl<'a> Elaborator<'a> {
         w: &WorkDecl,
         env: &mut HashMap<String, Cell>,
     ) -> Result<WorkFn, ElabError> {
-        let eval_rate = |env: &mut HashMap<String, Cell>, e: &Option<Expr>| -> Result<usize, ElabError> {
-            match e {
-                None => Ok(0),
-                Some(e) => Ok(const_eval_expr(env, e)?.as_index()?),
-            }
-        };
+        let eval_rate =
+            |env: &mut HashMap<String, Cell>, e: &Option<Expr>| -> Result<usize, ElabError> {
+                match e {
+                    None => Ok(0),
+                    Some(e) => Ok(const_eval_expr(env, e)?.as_index()?),
+                }
+            };
         let push = eval_rate(env, &w.push)?;
         let pop = eval_rate(env, &w.pop)?;
         let peek = match &w.peek {
@@ -440,10 +436,9 @@ impl<'a> Elaborator<'a> {
     ) -> Result<Stream, ElabError> {
         match r {
             StreamRef::Named { name, args } => {
-                let decl = self
-                    .program
-                    .find(name)
-                    .ok_or_else(|| ElabError::new(format!("no stream declaration named `{name}`")))?;
+                let decl = self.program.find(name).ok_or_else(|| {
+                    ElabError::new(format!("no stream declaration named `{name}`"))
+                })?;
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(const_eval_expr(env, a)?);
@@ -567,12 +562,18 @@ mod tests {
              void->float filter Src { work push 1 { push(1.0); } }
              float->void filter Sink { work pop 1 { println(pop()); } }",
         );
-        let Stream::Pipeline(children) = &g else { panic!() };
+        let Stream::Pipeline(children) = &g else {
+            panic!()
+        };
         assert_eq!(children.len(), 2);
-        let Stream::Filter(src) = &children[0] else { panic!() };
+        let Stream::Filter(src) = &children[0] else {
+            panic!()
+        };
         assert!(src.is_source());
         assert!(!src.prints);
-        let Stream::Filter(sink) = &children[1] else { panic!() };
+        let Stream::Filter(sink) = &children[1] else {
+            panic!()
+        };
         assert!(sink.is_sink());
         assert!(sink.prints);
     }
@@ -603,7 +604,9 @@ mod tests {
         );
         let Stream::Pipeline(c) = &g else { panic!() };
         let Stream::Filter(f) = &c[0] else { panic!() };
-        let Cell::Array(h) = &f.state["h"] else { panic!() };
+        let Cell::Array(h) = &f.state["h"] else {
+            panic!()
+        };
         assert_eq!(h.get(&[3]).unwrap(), Value::Float(9.0));
         assert_eq!(f.field_names, vec!["h"]);
         assert!(f.param_names.contains(&"N".to_string()));
@@ -622,10 +625,14 @@ mod tests {
              float->void filter K { work pop 1 { pop(); } }",
         );
         let Stream::Pipeline(c) = &g else { panic!() };
-        let Stream::SplitJoin { children, join, .. } = &c[0] else { panic!() };
+        let Stream::SplitJoin { children, join, .. } = &c[0] else {
+            panic!()
+        };
         assert_eq!(children.len(), 3);
         assert_eq!(join.weights, vec![1, 1, 1]);
-        let Stream::Filter(leaf2) = &children[2] else { panic!() };
+        let Stream::Filter(leaf2) = &children[2] else {
+            panic!()
+        };
         assert_eq!(leaf2.name, "Leaf(2)");
     }
 
@@ -644,9 +651,15 @@ mod tests {
              float->void filter K { work pop 1 { pop(); } }",
         );
         let Stream::Pipeline(c) = &g else { panic!() };
-        let Stream::SplitJoin { children, .. } = &c[0] else { panic!() };
-        let Stream::Pipeline(inner) = &children[1] else { panic!() };
-        let Stream::Filter(leaf) = &inner[0] else { panic!() };
+        let Stream::SplitJoin { children, .. } = &c[0] else {
+            panic!()
+        };
+        let Stream::Pipeline(inner) = &children[1] else {
+            panic!()
+        };
+        let Stream::Filter(leaf) = &inner[0] else {
+            panic!()
+        };
         assert_eq!(leaf.name, "Leaf(10)");
     }
 
@@ -670,7 +683,9 @@ mod tests {
              }",
         );
         let Stream::Pipeline(c) = &g else { panic!() };
-        let Stream::FeedbackLoop { enqueue, .. } = &c[1] else { panic!() };
+        let Stream::FeedbackLoop { enqueue, .. } = &c[1] else {
+            panic!()
+        };
         assert_eq!(enqueue, &vec![0.0]);
     }
 
@@ -734,12 +749,14 @@ mod tests {
     #[test]
     fn elaborate_named_entry_point() {
         use streamlin_lang::ast::DataType;
-        let p = parse(
-            "float->float filter Gain(float g) { work push 1 pop 1 { push(g * pop()); } }",
-        )
-        .unwrap();
+        let p =
+            parse("float->float filter Gain(float g) { work push 1 pop 1 { push(g * pop()); } }")
+                .unwrap();
         let s = elaborate_named(&p, "Gain", &[Value::Float(2.5)]).unwrap();
         let Stream::Filter(f) = &s else { panic!() };
-        assert_eq!(f.state["g"], Cell::Scalar(DataType::Float, Value::Float(2.5)));
+        assert_eq!(
+            f.state["g"],
+            Cell::Scalar(DataType::Float, Value::Float(2.5))
+        );
     }
 }

@@ -44,16 +44,22 @@ pub struct PureHost;
 
 impl Host for PureHost {
     fn peek(&mut self, _i: usize) -> Result<f64, EvalError> {
-        Err(EvalError::new("`peek` is not allowed in a constant context"))
+        Err(EvalError::new(
+            "`peek` is not allowed in a constant context",
+        ))
     }
     fn pop(&mut self) -> Result<f64, EvalError> {
         Err(EvalError::new("`pop` is not allowed in a constant context"))
     }
     fn push(&mut self, _v: f64) -> Result<(), EvalError> {
-        Err(EvalError::new("`push` is not allowed in a constant context"))
+        Err(EvalError::new(
+            "`push` is not allowed in a constant context",
+        ))
     }
     fn print(&mut self, _v: Value, _nl: bool) -> Result<(), EvalError> {
-        Err(EvalError::new("printing is not allowed in a constant context"))
+        Err(EvalError::new(
+            "printing is not allowed in a constant context",
+        ))
     }
 }
 
@@ -300,9 +306,9 @@ impl<'h, H: Host> Interp<'h, H> {
                 let idx = self.eval_indices(env, idx_exprs)?;
                 match env.lookup_mut(name)? {
                     Cell::Array(a) => a.get(&idx),
-                    Cell::Scalar(..) => {
-                        Err(EvalError::new(format!("`{name}` is a scalar, not an array")))
-                    }
+                    Cell::Scalar(..) => Err(EvalError::new(format!(
+                        "`{name}` is a scalar, not an array"
+                    ))),
                 }
             }
         }
@@ -323,16 +329,19 @@ impl<'h, H: Host> Interp<'h, H> {
                 let idx = self.eval_indices(env, idx_exprs)?;
                 match env.lookup_mut(name)? {
                     Cell::Array(a) => a.set(&idx, v),
-                    Cell::Scalar(..) => {
-                        Err(EvalError::new(format!("`{name}` is a scalar, not an array")))
-                    }
+                    Cell::Scalar(..) => Err(EvalError::new(format!(
+                        "`{name}` is a scalar, not an array"
+                    ))),
                 }
             }
         }
     }
 
     fn eval_indices(&mut self, env: &mut Env<'_>, exprs: &[Expr]) -> Result<Vec<usize>, EvalError> {
-        exprs.iter().map(|e| self.eval(env, e)?.as_index()).collect()
+        exprs
+            .iter()
+            .map(|e| self.eval(env, e)?.as_index())
+            .collect()
     }
 
     fn count_binop(&mut self, op: BinOp, a: Value, b: Value) {
@@ -624,9 +633,7 @@ mod tests {
 
     #[test]
     fn fields_persist_in_globals() {
-        let body = work_block(
-            "void->float filter F { float x; work push 1 { push(x++); } }",
-        );
+        let body = work_block("void->float filter F { float x; work push 1 { push(x++); } }");
         let mut host = VecHost::default();
         let mut globals = HashMap::new();
         globals.insert(
@@ -695,9 +702,7 @@ mod tests {
 
     #[test]
     fn fuel_exhaustion_is_reported() {
-        let body = work_block(
-            "float->float filter F { work push 1 pop 1 { while (true) { } } }",
-        );
+        let body = work_block("float->float filter F { work push 1 pop 1 { while (true) { } } }");
         let mut host = VecHost::default();
         let mut globals = HashMap::new();
         let mut interp = Interp::new(&mut host, 1000);
@@ -731,10 +736,15 @@ mod tests {
         let mut globals = HashMap::new();
         globals.insert(
             "h".to_string(),
-            Cell::Array(ArrayVal::zeros(streamlin_lang::ast::DataType::Float, vec![4])),
+            Cell::Array(ArrayVal::zeros(
+                streamlin_lang::ast::DataType::Float,
+                vec![4],
+            )),
         );
         const_exec_block(&mut globals, f.init.as_ref().unwrap()).unwrap();
-        let Cell::Array(a) = &globals["h"] else { panic!() };
+        let Cell::Array(a) = &globals["h"] else {
+            panic!()
+        };
         assert_eq!(a.get(&[3]).unwrap(), Value::Float(1.5));
     }
 

@@ -94,6 +94,102 @@ pub fn child_multipliers(s: &Stream) -> Result<Vec<u64>, ScheduleError> {
     })
 }
 
+/// One directed channel of a flat SDF graph, with per-firing rates: node
+/// `from` pushes `push` items per firing, node `to` pops `pop` per firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateEdge {
+    /// Producer node index.
+    pub from: usize,
+    /// Consumer node index.
+    pub to: usize,
+    /// Items pushed per producer firing.
+    pub push: u64,
+    /// Items popped per consumer firing.
+    pub pop: u64,
+}
+
+/// Solves the balance equations of a *flat* SDF graph: returns the minimal
+/// repetition vector `q` such that `q[from] * push == q[to] * pop` holds on
+/// every edge. This is the entry point the runtime's schedule compiler uses
+/// on the flattened node/channel graph (where splitters, joiners, and
+/// decimators are materialized nodes the hierarchical solver never sees).
+///
+/// Disconnected components are normalized independently, each to its own
+/// minimal positive vector.
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] if an edge has a zero rate on one side only
+/// (data piles up or starves forever) or if two paths between the same
+/// nodes imply inconsistent rates.
+pub fn balance(num_nodes: usize, edges: &[RateEdge]) -> Result<Vec<u64>, ScheduleError> {
+    for e in edges {
+        if e.from >= num_nodes || e.to >= num_nodes {
+            return Err(ScheduleError::new("edge endpoint out of range"));
+        }
+        if (e.push == 0) != (e.pop == 0) {
+            return Err(ScheduleError::new(format!(
+                "channel {} -> {} has a zero rate on one side only ({} vs {})",
+                e.from, e.to, e.push, e.pop
+            )));
+        }
+    }
+    // Undirected adjacency for rate propagation.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+    for (i, e) in edges.iter().enumerate() {
+        adj[e.from].push(i);
+        adj[e.to].push(i);
+    }
+    let mut rates: Vec<Option<Ratio>> = vec![None; num_nodes];
+    let mut reps = vec![0u64; num_nodes];
+    for root in 0..num_nodes {
+        if rates[root].is_some() {
+            continue;
+        }
+        // BFS this component with root rate 1.
+        rates[root] = Some(Ratio::one());
+        let mut component = vec![root];
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(n) = queue.pop_front() {
+            let rn = rates[n].expect("queued nodes have rates");
+            for &ei in &adj[n] {
+                let e = &edges[ei];
+                if e.push == 0 {
+                    continue; // zero-zero edge constrains nothing
+                }
+                let (other, implied) = if e.from == n {
+                    (e.to, rn * Ratio::new(e.push as i128, e.pop as i128))
+                } else {
+                    (e.from, rn * Ratio::new(e.pop as i128, e.push as i128))
+                };
+                match rates[other] {
+                    None => {
+                        rates[other] = Some(implied);
+                        component.push(other);
+                        queue.push_back(other);
+                    }
+                    Some(existing) if existing == implied => {}
+                    Some(existing) => {
+                        return Err(ScheduleError::new(format!(
+                            "nodes {n} and {other} disagree on rates ({existing} vs {implied}); \
+                             the graph is not schedulable"
+                        )))
+                    }
+                }
+            }
+        }
+        let ms: Vec<Ratio> = component
+            .iter()
+            .map(|&n| rates[n].expect("component solved"))
+            .collect();
+        let ints = normalize(&ms)?;
+        for (&n, &q) in component.iter().zip(&ints) {
+            reps[n] = q;
+        }
+    }
+    Ok(reps)
+}
+
 fn solve(s: &Stream) -> Result<Steady, ScheduleError> {
     match s {
         Stream::Filter(f) => {
@@ -365,9 +461,8 @@ fn feedback_multipliers(
     let all = [rb, rl, Ratio::one(), push_total, Ratio::from_int(w_in)];
     let nonzero: Vec<Ratio> = all.iter().filter(|r| !r.is_zero()).copied().collect();
     let l = common_denominator(nonzero.iter());
-    let scale = |r: Ratio| -> u64 {
-        (r * Ratio::from_int(l)).to_integer().expect("cleared") as u64
-    };
+    let scale =
+        |r: Ratio| -> u64 { (r * Ratio::from_int(l)).to_integer().expect("cleared") as u64 };
     let mut ints = vec![scale(rb), scale(rl), scale(Ratio::one())];
     let push_i = scale(push_total);
     let pop_i = scale(Ratio::from_int(w_in));
@@ -519,6 +614,121 @@ mod tests {
         .unwrap();
         let g = elaborate(&p).unwrap();
         assert_eq!(child_multipliers(&g).unwrap(), vec![4, 1, 1]);
+    }
+
+    #[test]
+    fn flat_balance_solves_a_chain() {
+        // S (push 1) -> C (pop 2, push 1) -> K (pop 3): q = [6, 3, 1].
+        let edges = [
+            RateEdge {
+                from: 0,
+                to: 1,
+                push: 1,
+                pop: 2,
+            },
+            RateEdge {
+                from: 1,
+                to: 2,
+                push: 1,
+                pop: 3,
+            },
+        ];
+        assert_eq!(balance(3, &edges).unwrap(), vec![6, 3, 1]);
+    }
+
+    #[test]
+    fn flat_balance_solves_a_diamond() {
+        // split(1 each) -> two branches (pop 1 push 1 / pop 1 push 2) -> join(1, 2).
+        let edges = [
+            RateEdge {
+                from: 0,
+                to: 1,
+                push: 1,
+                pop: 1,
+            },
+            RateEdge {
+                from: 0,
+                to: 2,
+                push: 1,
+                pop: 1,
+            },
+            RateEdge {
+                from: 1,
+                to: 3,
+                push: 1,
+                pop: 1,
+            },
+            RateEdge {
+                from: 2,
+                to: 3,
+                push: 2,
+                pop: 2,
+            },
+        ];
+        assert_eq!(balance(4, &edges).unwrap(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn flat_balance_rejects_inconsistent_cycles_of_constraints() {
+        // Diamond whose two paths imply different rates for the join.
+        let edges = [
+            RateEdge {
+                from: 0,
+                to: 1,
+                push: 1,
+                pop: 1,
+            },
+            RateEdge {
+                from: 0,
+                to: 2,
+                push: 1,
+                pop: 1,
+            },
+            RateEdge {
+                from: 1,
+                to: 3,
+                push: 1,
+                pop: 1,
+            },
+            RateEdge {
+                from: 2,
+                to: 3,
+                push: 2,
+                pop: 1,
+            },
+        ];
+        assert!(balance(4, &edges).is_err());
+    }
+
+    #[test]
+    fn flat_balance_rejects_one_sided_zero_rates() {
+        let edges = [RateEdge {
+            from: 0,
+            to: 1,
+            push: 0,
+            pop: 2,
+        }];
+        assert!(balance(2, &edges).is_err());
+    }
+
+    #[test]
+    fn flat_balance_normalizes_components_independently() {
+        // Two disjoint chains: each gets its own minimal vector.
+        let edges = [
+            RateEdge {
+                from: 0,
+                to: 1,
+                push: 2,
+                pop: 1,
+            },
+            RateEdge {
+                from: 2,
+                to: 3,
+                push: 1,
+                pop: 3,
+            },
+        ];
+        assert_eq!(balance(4, &edges).unwrap(), vec![1, 2, 3, 1]);
     }
 
     #[test]

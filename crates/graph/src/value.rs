@@ -69,21 +69,26 @@ impl Value {
     pub fn as_int(&self) -> Result<i64, EvalError> {
         match self {
             Value::Int(v) => Ok(*v),
-            other => Err(EvalError::new(format!("expected an integer, found {other:?}"))),
+            other => Err(EvalError::new(format!(
+                "expected an integer, found {other:?}"
+            ))),
         }
     }
 
     /// Non-negative integer (for rates, sizes and indices).
     pub fn as_index(&self) -> Result<usize, EvalError> {
         let v = self.as_int()?;
-        usize::try_from(v).map_err(|_| EvalError::new(format!("expected a non-negative integer, found {v}")))
+        usize::try_from(v)
+            .map_err(|_| EvalError::new(format!("expected a non-negative integer, found {v}")))
     }
 
     /// Boolean value.
     pub fn as_bool(&self) -> Result<bool, EvalError> {
         match self {
             Value::Bool(b) => Ok(*b),
-            other => Err(EvalError::new(format!("expected a boolean, found {other:?}"))),
+            other => Err(EvalError::new(format!(
+                "expected a boolean, found {other:?}"
+            ))),
         }
     }
 
@@ -181,7 +186,11 @@ fn int_op(op: BinOp, x: i64, y: i64) -> Result<Value, EvalError> {
         Gt => Value::Bool(x > y),
         Le => Value::Bool(x <= y),
         Ge => Value::Bool(x >= y),
-        _ => return Err(EvalError::new(format!("operator {op:?} not defined on integers"))),
+        _ => {
+            return Err(EvalError::new(format!(
+                "operator {op:?} not defined on integers"
+            )))
+        }
     })
 }
 
@@ -199,7 +208,11 @@ fn float_op(op: BinOp, x: f64, y: f64) -> Result<Value, EvalError> {
         Gt => Value::Bool(x > y),
         Le => Value::Bool(x <= y),
         Ge => Value::Bool(x >= y),
-        _ => return Err(EvalError::new(format!("operator {op:?} not defined on floats"))),
+        _ => {
+            return Err(EvalError::new(format!(
+                "operator {op:?} not defined on floats"
+            )))
+        }
     })
 }
 
@@ -213,7 +226,9 @@ pub fn un_op(op: UnOp, a: Value) -> Result<Value, EvalError> {
         (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(-v)),
         (UnOp::Neg, Value::Float(v)) => Ok(Value::Float(-v)),
         (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-        (op, v) => Err(EvalError::new(format!("operator {op:?} not defined on {v:?}"))),
+        (op, v) => Err(EvalError::new(format!(
+            "operator {op:?} not defined on {v:?}"
+        ))),
     }
 }
 
@@ -273,7 +288,11 @@ pub fn math_call(name: &str, args: &[Value]) -> Result<Value, EvalError> {
                 }
                 (x, y) => {
                     let (x, y) = (x.as_f64()?, y.as_f64()?);
-                    Ok(Value::Float(if name == "min" { x.min(y) } else { x.max(y) }))
+                    Ok(Value::Float(if name == "min" {
+                        x.min(y)
+                    } else {
+                        x.max(y)
+                    }))
                 }
             }
         }
@@ -285,8 +304,24 @@ pub fn math_call(name: &str, args: &[Value]) -> Result<Value, EvalError> {
 pub fn is_math_fn(name: &str) -> bool {
     matches!(
         name,
-        "sin" | "cos" | "tan" | "asin" | "acos" | "atan" | "exp" | "log" | "log10" | "sqrt"
-            | "abs" | "floor" | "ceil" | "round" | "pow" | "atan2" | "min" | "max"
+        "sin"
+            | "cos"
+            | "tan"
+            | "asin"
+            | "acos"
+            | "atan"
+            | "exp"
+            | "log"
+            | "log10"
+            | "sqrt"
+            | "abs"
+            | "floor"
+            | "ceil"
+            | "round"
+            | "pow"
+            | "atan2"
+            | "min"
+            | "max"
     )
 }
 
@@ -384,13 +419,22 @@ mod tests {
 
     #[test]
     fn promotion_and_arithmetic() {
-        assert_eq!(bin_op(BinOp::Add, Value::Int(2), Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            bin_op(BinOp::Add, Value::Int(2), Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
         assert_eq!(
             bin_op(BinOp::Add, Value::Int(2), Value::Float(0.5)).unwrap(),
             Value::Float(2.5)
         );
-        assert_eq!(bin_op(BinOp::Div, Value::Int(7), Value::Int(2)).unwrap(), Value::Int(3));
-        assert_eq!(bin_op(BinOp::Rem, Value::Int(7), Value::Int(3)).unwrap(), Value::Int(1));
+        assert_eq!(
+            bin_op(BinOp::Div, Value::Int(7), Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            bin_op(BinOp::Rem, Value::Int(7), Value::Int(3)).unwrap(),
+            Value::Int(1)
+        );
         assert_eq!(
             bin_op(BinOp::Div, Value::Float(7.0), Value::Float(2.0)).unwrap(),
             Value::Float(3.5)
@@ -410,7 +454,10 @@ mod tests {
 
     #[test]
     fn comparisons_and_logic() {
-        assert_eq!(bin_op(BinOp::Lt, Value::Int(1), Value::Int(2)).unwrap(), Value::Bool(true));
+        assert_eq!(
+            bin_op(BinOp::Lt, Value::Int(1), Value::Int(2)).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             bin_op(BinOp::Ge, Value::Float(2.0), Value::Int(2)).unwrap(),
             Value::Bool(true)
@@ -428,21 +475,33 @@ mod tests {
             bin_op(BinOp::BitAnd, Value::Int(6), Value::Int(3)).unwrap(),
             Value::Int(2)
         );
-        assert_eq!(bin_op(BinOp::Shl, Value::Int(1), Value::Int(4)).unwrap(), Value::Int(16));
+        assert_eq!(
+            bin_op(BinOp::Shl, Value::Int(1), Value::Int(4)).unwrap(),
+            Value::Int(16)
+        );
         assert!(bin_op(BinOp::BitOr, Value::Float(1.0), Value::Int(1)).is_err());
     }
 
     #[test]
     fn unary_ops() {
         assert_eq!(un_op(UnOp::Neg, Value::Int(3)).unwrap(), Value::Int(-3));
-        assert_eq!(un_op(UnOp::Neg, Value::Float(1.5)).unwrap(), Value::Float(-1.5));
-        assert_eq!(un_op(UnOp::Not, Value::Bool(false)).unwrap(), Value::Bool(true));
+        assert_eq!(
+            un_op(UnOp::Neg, Value::Float(1.5)).unwrap(),
+            Value::Float(-1.5)
+        );
+        assert_eq!(
+            un_op(UnOp::Not, Value::Bool(false)).unwrap(),
+            Value::Bool(true)
+        );
         assert!(un_op(UnOp::Not, Value::Int(1)).is_err());
     }
 
     #[test]
     fn math_intrinsics() {
-        assert_eq!(math_call("sqrt", &[Value::Float(9.0)]).unwrap(), Value::Float(3.0));
+        assert_eq!(
+            math_call("sqrt", &[Value::Float(9.0)]).unwrap(),
+            Value::Float(3.0)
+        );
         assert_eq!(math_call("abs", &[Value::Int(-4)]).unwrap(), Value::Int(4));
         assert_eq!(
             math_call("max", &[Value::Int(3), Value::Int(7)]).unwrap(),

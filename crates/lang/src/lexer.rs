@@ -103,7 +103,9 @@ impl Lexer {
                 });
                 return Ok(out);
             };
-            let token = if c.is_ascii_digit() || (c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+            let token = if c.is_ascii_digit()
+                || (c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit()))
+            {
                 self.number()?
             } else if c.is_ascii_alphabetic() || c == '_' {
                 self.ident()
@@ -344,7 +346,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             toks("a // line\n /* block \n many lines */ b"),
-            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
         );
     }
 

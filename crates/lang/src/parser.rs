@@ -133,9 +133,7 @@ impl Parser {
             Token::KwFloat => DataType::Float,
             Token::KwInt => DataType::Int,
             Token::KwBoolean => DataType::Bool,
-            other => {
-                return Err(self.error(format!("expected a type, found {}", other.describe())))
-            }
+            other => return Err(self.error(format!("expected a type, found {}", other.describe()))),
         };
         self.bump();
         Ok(ty)
@@ -629,8 +627,8 @@ impl Parser {
             Expr::Index(name, idx) => LValue::Index(name, idx),
             other => {
                 return Err(self.error(format!(
-                    "left-hand side of assignment must be a variable or array element, found {other:?}"
-                )))
+                "left-hand side of assignment must be a variable or array element, found {other:?}"
+            )))
             }
         };
         let value = self.expr()?;
@@ -839,8 +837,10 @@ mod tests {
             panic!()
         };
         assert_eq!(b.stmts.len(), 3);
-        assert!(matches!(&b.stmts[1], Stmt::Add(StreamRef::Named { name, args })
-            if name == "FIRFilter" && args.len() == 2));
+        assert!(
+            matches!(&b.stmts[1], Stmt::Add(StreamRef::Named { name, args })
+            if name == "FIRFilter" && args.len() == 2)
+        );
     }
 
     #[test]
@@ -1021,10 +1021,8 @@ mod tests {
 
     #[test]
     fn assignment_targets_must_be_lvalues() {
-        let err = parse(
-            "float->float filter F { work push 1 pop 1 { pop() = 3; push(0); } }",
-        )
-        .unwrap_err();
+        let err = parse("float->float filter F { work push 1 pop 1 { pop() = 3; push(0); } }")
+            .unwrap_err();
         assert!(err.message.contains("left-hand side"), "{err}");
     }
 

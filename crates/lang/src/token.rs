@@ -62,7 +62,7 @@ pub enum Token {
     KwPi,
 
     // Punctuation
-    Arrow,     // ->
+    Arrow, // ->
     LParen,
     RParen,
     LBrace,

@@ -146,7 +146,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix sum shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix sum shape mismatch"
+        );
         let mut out = self.clone();
         for (o, &b) in out.data.iter_mut().zip(&rhs.data) {
             *o += b;
@@ -200,7 +204,10 @@ impl Matrix {
     /// Panics if the row counts differ or either column is out of bounds.
     pub fn set_col_from(&mut self, dst_col: usize, src: &Matrix, src_col: usize) {
         assert_eq!(self.rows, src.rows, "column copy row mismatch");
-        assert!(dst_col < self.cols && src_col < src.cols, "column copy out of bounds");
+        assert!(
+            dst_col < self.cols && src_col < src.cols,
+            "column copy out of bounds"
+        );
         for r in 0..self.rows {
             self[(r, dst_col)] = src[(r, src_col)];
         }
@@ -226,14 +233,24 @@ impl Matrix {
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "matrix index ({r},{c}) out of bounds ({}x{})", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "matrix index ({r},{c}) out of bounds ({}x{})",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "matrix index ({r},{c}) out of bounds ({}x{})", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "matrix index ({r},{c}) out of bounds ({}x{})",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -86,7 +86,12 @@ impl Vector {
     pub fn add(&self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "vector sum length mismatch");
         Vector {
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 

@@ -207,22 +207,42 @@ fn node_demands(node: &FlatNode) -> (Vec<usize>, Vec<usize>) {
                 _ => &s.inst.work,
             };
             (
-                if node.inputs.is_empty() { vec![] } else { vec![w.peek] },
-                if node.outputs.is_empty() { vec![] } else { vec![w.push] },
+                if node.inputs.is_empty() {
+                    vec![]
+                } else {
+                    vec![w.peek]
+                },
+                if node.outputs.is_empty() {
+                    vec![]
+                } else {
+                    vec![w.push]
+                },
             )
         }
         NodeKind::Linear(exec) => {
             let n = exec.node();
             (
-                if node.inputs.is_empty() { vec![] } else { vec![n.peek()] },
-                if node.outputs.is_empty() { vec![] } else { vec![n.push()] },
+                if node.inputs.is_empty() {
+                    vec![]
+                } else {
+                    vec![n.peek()]
+                },
+                if node.outputs.is_empty() {
+                    vec![]
+                } else {
+                    vec![n.push()]
+                },
             )
         }
         NodeKind::Redund(exec) => {
             let n = exec.spec().node();
             (
                 vec![n.peek()],
-                if node.outputs.is_empty() { vec![] } else { vec![n.push()] },
+                if node.outputs.is_empty() {
+                    vec![]
+                } else {
+                    vec![n.push()]
+                },
             )
         }
         NodeKind::Freq(exec) => {
@@ -323,7 +343,9 @@ fn read_window(state: &EngineState, chan: Option<usize>, peek: usize) -> Vec<f64
 fn consume(state: &mut EngineState, chan: Option<usize>, pop: usize) {
     if let Some(c) = chan {
         for _ in 0..pop {
-            state.channels[c].pop_front().expect("fireable checked occupancy");
+            state.channels[c]
+                .pop_front()
+                .expect("fireable checked occupancy");
         }
     }
 }
@@ -348,16 +370,13 @@ struct WindowHost<'a> {
 
 impl Host for WindowHost<'_> {
     fn peek(&mut self, i: usize) -> Result<f64, EvalError> {
-        self.window
-            .get(self.cursor + i)
-            .copied()
-            .ok_or_else(|| {
-                EvalError::new(format!(
-                    "peek({i}) after {} pops exceeds the declared peek window of {}",
-                    self.cursor,
-                    self.window.len()
-                ))
-            })
+        self.window.get(self.cursor + i).copied().ok_or_else(|| {
+            EvalError::new(format!(
+                "peek({i}) after {} pops exceeds the declared peek window of {}",
+                self.cursor,
+                self.window.len()
+            ))
+        })
     }
     fn pop(&mut self) -> Result<f64, EvalError> {
         let v = self.peek(0)?;
@@ -390,12 +409,27 @@ impl Host for WindowHost<'_> {
 /// run tens of thousands of statements per firing).
 const FIRING_FUEL: u64 = 50_000_000;
 
-fn fire_interp(
+/// `(peek, pop, push)` of an interpreted filter's *next* firing (the init
+/// phase on the first firing when declared, the work phase afterwards).
+pub(crate) fn interp_phase_rates(interp: &InterpState) -> (usize, usize, usize) {
+    let w = match (interp.first, interp.inst.init_work.as_ref()) {
+        (true, Some(init)) => init,
+        _ => &interp.inst.work,
+    };
+    (w.peek, w.pop, w.push)
+}
+
+/// Runs one firing of an interpreted filter over a window snapshot,
+/// validating the declared rates. Returns `(popped, pushed)`; the caller
+/// owns channel consumption/production. Shared by the data-driven engine
+/// and the static-plan engine so both execute byte-for-byte the same
+/// work-function semantics.
+pub(crate) fn run_work_phase(
     interp: &mut InterpState,
-    inputs: &[usize],
-    outputs: &[usize],
-    state: &mut EngineState,
-) -> Result<(), RunError> {
+    window: &[f64],
+    printed: &mut Vec<f64>,
+    ops: &mut OpCounter,
+) -> Result<(usize, Vec<f64>), RunError> {
     let use_init = interp.first && interp.inst.init_work.is_some();
     let phase = if use_init {
         interp.inst.init_work.as_ref().expect("checked")
@@ -404,21 +438,23 @@ fn fire_interp(
     };
     interp.first = false;
 
-    let window = read_window(state, inputs.first().copied(), phase.peek);
     let (cursor, pushed) = {
         let mut host = WindowHost {
-            window: &window,
+            window,
             cursor: 0,
             pushed: Vec::with_capacity(phase.push),
-            printed: &mut state.printed,
-            ops: &mut state.ops,
+            printed,
+            ops,
         };
         let mut engine = Interp::new(&mut host, FIRING_FUEL);
         let mut env = Env::new(&mut interp.state);
         match engine.exec_block(&mut env, &phase.body) {
             Ok(Flow::Normal) | Ok(Flow::Return) => {}
             Err(e) => {
-                return Err(RunError::Eval(format!("{}: {}", interp.inst.name, e.message)))
+                return Err(RunError::Eval(format!(
+                    "{}: {}",
+                    interp.inst.name, e.message
+                )))
             }
         }
         (host.cursor, host.pushed)
@@ -437,7 +473,19 @@ fn fire_interp(
             pushed.len()
         )));
     }
-    consume(state, inputs.first().copied(), phase.pop);
+    Ok((phase.pop, pushed))
+}
+
+fn fire_interp(
+    interp: &mut InterpState,
+    inputs: &[usize],
+    outputs: &[usize],
+    state: &mut EngineState,
+) -> Result<(), RunError> {
+    let (peek, _, _) = interp_phase_rates(interp);
+    let window = read_window(state, inputs.first().copied(), peek);
+    let (popped, pushed) = run_work_phase(interp, &window, &mut state.printed, &mut state.ops)?;
+    consume(state, inputs.first().copied(), popped);
     produce(state, outputs.first().copied(), &pushed);
     Ok(())
 }

@@ -136,13 +136,7 @@ impl Builder {
         }
     }
 
-    fn add_node(
-        &mut self,
-        name: String,
-        kind: NodeKind,
-        inputs: Vec<usize>,
-        outputs: Vec<usize>,
-    ) {
+    fn add_node(&mut self, name: String, kind: NodeKind, inputs: Vec<usize>, outputs: Vec<usize>) {
         self.nodes.push(FlatNode {
             name,
             kind,
@@ -153,12 +147,19 @@ impl Builder {
 
     /// Builds a stream, connecting it to `input`; returns its output
     /// channel (None for sinks).
-    fn build(&mut self, opt: &OptStream, input: Option<usize>) -> Result<Option<usize>, FlattenError> {
+    fn build(
+        &mut self,
+        opt: &OptStream,
+        input: Option<usize>,
+    ) -> Result<Option<usize>, FlattenError> {
         match opt {
             OptStream::Original(inst) => {
                 let needs_input = inst.work.peek > 0 || inst.work.pop > 0;
                 if needs_input && input.is_none() {
-                    return Err(Self::err(format!("filter {} expects input but has none", inst.name)));
+                    return Err(Self::err(format!(
+                        "filter {} expects input but has none",
+                        inst.name
+                    )));
                 }
                 let out = (inst.work.push > 0
                     || inst.init_work.as_ref().is_some_and(|w| w.push > 0))
@@ -365,6 +366,9 @@ mod tests {
         };
         children.insert(1, OptStream::Freq(spec));
         let flat = flatten(&OptStream::Pipeline(children), MatMulStrategy::Unrolled).unwrap();
-        assert!(flat.nodes.iter().any(|n| matches!(n.kind, NodeKind::Decimator { .. })));
+        assert!(flat
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, NodeKind::Decimator { .. })));
     }
 }

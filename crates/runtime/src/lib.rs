@@ -20,9 +20,22 @@
 //!   `streamlin-core` (plus the decimator stage for `pop > 1`);
 //! * **splitters/joiners** move items according to their weights.
 //!
-//! The scheduler is data-driven: any node with enough input (and bounded
-//! output backlog) may fire; execution stops when the requested number of
-//! program outputs (captured `print`/`println` values) has been produced.
+//! Two schedulers execute the flat graph:
+//!
+//! * the **static plan engine** (the default): [`plan`] compiles the
+//!   steady-state solution of the balance equations into a fixed firing
+//!   sequence — an init phase for peek prologues and `initWork`, then one
+//!   repeated steady cycle — with exactly-sized [`ring`] buffers in a
+//!   single slab, batching consecutive linear-node firings into blocked
+//!   multiplies;
+//! * the **data-driven engine** (the fallback, and `Scheduler::Dynamic`):
+//!   any node with enough input (and bounded output backlog) may fire —
+//!   this is what runs graphs the plan compiler rejects, e.g. feedback
+//!   loops.
+//!
+//! Execution stops when the requested number of program outputs (captured
+//! `print`/`println` values) has been produced. Both schedulers execute
+//! identical firing semantics, so their printed output is bit-identical.
 //!
 //! # Examples
 //!
@@ -46,7 +59,10 @@ pub mod engine;
 pub mod flat;
 pub mod linear_exec;
 pub mod measure;
+pub mod plan;
+pub mod ring;
 
 pub use engine::{Engine, RunError};
 pub use linear_exec::MatMulStrategy;
-pub use measure::{profile, Profile};
+pub use measure::{profile, profile_sched, Profile, Scheduler};
+pub use plan::{ExecPlan, PlanEngine, PlanError};

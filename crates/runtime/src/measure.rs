@@ -13,11 +13,38 @@ use streamlin_support::OpCounter;
 use crate::engine::{Engine, RunError};
 use crate::flat::{flatten, FlattenError};
 use crate::linear_exec::MatMulStrategy;
+use crate::plan::{self, PlanEngine, PlanError};
+
+/// Which scheduler executes the flattened graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scheduler {
+    /// Compile a static plan; fall back to the data-driven engine when the
+    /// graph has no plan (feedback loops). The default.
+    #[default]
+    Auto,
+    /// Require the compiled static plan; error if none exists.
+    Static,
+    /// Always use the data-driven engine.
+    Dynamic,
+}
+
+impl Scheduler {
+    /// Short label used in tables and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheduler::Auto => "auto",
+            Scheduler::Static => "static",
+            Scheduler::Dynamic => "dynamic",
+        }
+    }
+}
 
 /// Measured results of one program execution.
 #[derive(Debug, Clone)]
 pub struct Profile {
-    /// The captured program output (printed values), in order.
+    /// The captured program output (printed values), in order — truncated
+    /// to exactly the requested count so different schedulers (which may
+    /// overshoot by different amounts) are directly comparable.
     pub outputs: Vec<f64>,
     /// Operation counts over the whole run.
     pub ops: OpCounter,
@@ -25,6 +52,9 @@ pub struct Profile {
     pub wall: Duration,
     /// Total node firings.
     pub firings: u64,
+    /// The scheduler that actually ran ([`Scheduler::Static`] or
+    /// [`Scheduler::Dynamic`], never `Auto`).
+    pub sched: Scheduler,
 }
 
 impl Profile {
@@ -52,6 +82,9 @@ pub enum ProfileError {
     Flatten(FlattenError),
     /// The run failed.
     Run(RunError),
+    /// A static plan was required ([`Scheduler::Static`]) but the graph
+    /// has none.
+    Plan(PlanError),
 }
 
 impl std::fmt::Display for ProfileError {
@@ -59,6 +92,7 @@ impl std::fmt::Display for ProfileError {
         match self {
             ProfileError::Flatten(e) => write!(f, "{e}"),
             ProfileError::Run(e) => write!(f, "{e}"),
+            ProfileError::Plan(e) => write!(f, "no static schedule: {e}"),
         }
     }
 }
@@ -77,8 +111,16 @@ impl From<RunError> for ProfileError {
     }
 }
 
+impl From<PlanError> for ProfileError {
+    fn from(e: PlanError) -> Self {
+        ProfileError::Plan(e)
+    }
+}
+
 /// Runs an optimized stream until it produces `outputs` values and
-/// returns the measurements.
+/// returns the measurements, under the default scheduler
+/// ([`Scheduler::Auto`]: the compiled static plan, with the data-driven
+/// engine as fallback for unplannable graphs).
 ///
 /// # Errors
 ///
@@ -88,17 +130,59 @@ pub fn profile(
     outputs: usize,
     strategy: MatMulStrategy,
 ) -> Result<Profile, ProfileError> {
+    profile_sched(opt, outputs, strategy, Scheduler::Auto)
+}
+
+/// [`profile`] with an explicit scheduler choice.
+///
+/// # Errors
+///
+/// Propagates flattening and execution errors; additionally
+/// [`ProfileError::Plan`] when [`Scheduler::Static`] is requested for a
+/// graph with no static schedule (e.g. a feedback loop).
+pub fn profile_sched(
+    opt: &OptStream,
+    outputs: usize,
+    strategy: MatMulStrategy,
+    sched: Scheduler,
+) -> Result<Profile, ProfileError> {
     let flat = flatten(opt, strategy)?;
-    let mut engine = Engine::new(flat);
-    let start = Instant::now();
-    engine.run_until_outputs(outputs)?;
-    let wall = start.elapsed();
-    Ok(Profile {
-        outputs: engine.printed().to_vec(),
-        ops: *engine.ops(),
-        wall,
-        firings: engine.firings(),
-    })
+    let compiled = match sched {
+        Scheduler::Dynamic => None,
+        Scheduler::Static => Some(plan::compile(&flat)?),
+        // `has_feedback` is a cheap structural pre-check; the compiler
+        // still validates everything else (rates, bounds).
+        Scheduler::Auto if opt.has_feedback() => None,
+        Scheduler::Auto => plan::compile(&flat).ok(),
+    };
+    let mut prof = match compiled {
+        Some(plan) => {
+            let mut engine = PlanEngine::new(flat, plan);
+            let start = Instant::now();
+            engine.run_until_outputs(outputs)?;
+            Profile {
+                wall: start.elapsed(),
+                outputs: engine.printed().to_vec(),
+                ops: *engine.ops(),
+                firings: engine.firings(),
+                sched: Scheduler::Static,
+            }
+        }
+        None => {
+            let mut engine = Engine::new(flat);
+            let start = Instant::now();
+            engine.run_until_outputs(outputs)?;
+            Profile {
+                wall: start.elapsed(),
+                outputs: engine.printed().to_vec(),
+                ops: *engine.ops(),
+                firings: engine.firings(),
+                sched: Scheduler::Dynamic,
+            }
+        }
+    };
+    prof.outputs.truncate(outputs);
+    Ok(prof)
 }
 
 /// Asserts two program outputs agree (element-wise, with tolerance
@@ -156,9 +240,18 @@ mod tests {
         )
         .unwrap();
 
-        assert_eq!(first_mismatch(&baseline.outputs, &interp.outputs, 1e-9, 1e-9), None);
-        assert_eq!(first_mismatch(&baseline.outputs, &linear.outputs, 1e-9, 1e-9), None);
-        assert_eq!(first_mismatch(&baseline.outputs, &freq.outputs, 1e-6, 1e-6), None);
+        assert_eq!(
+            first_mismatch(&baseline.outputs, &interp.outputs, 1e-9, 1e-9),
+            None
+        );
+        assert_eq!(
+            first_mismatch(&baseline.outputs, &linear.outputs, 1e-9, 1e-9),
+            None
+        );
+        assert_eq!(
+            first_mismatch(&baseline.outputs, &freq.outputs, 1e-6, 1e-6),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Fixed-capacity ring buffers over one contiguous slab.
+//!
+//! The static scheduler ([`crate::plan`]) knows every channel's maximum
+//! occupancy at compile time, so channels need no growth path: all of them
+//! live side by side in a single `Vec<f64>` allocated once per program
+//! ([`RingSet`]). Peeked windows are served as contiguous slices — directly
+//! from the slab in the common case, via a copy into a shared scratch
+//! buffer in the rare case where a window wraps around its ring's end.
+//! This replaces the dynamic engine's per-channel `VecDeque`s (and its
+//! per-firing window allocation) on the hot path.
+
+/// Per-channel ring metadata; the items live in the shared slab.
+#[derive(Debug, Clone, Copy)]
+struct Chan {
+    /// First slab index of this ring.
+    off: usize,
+    /// Ring capacity in items.
+    cap: usize,
+    /// Index of the oldest item, relative to `off`.
+    head: usize,
+    /// Current occupancy.
+    len: usize,
+}
+
+/// All channels of a program: one slab, one scratch buffer.
+#[derive(Debug, Clone)]
+pub struct RingSet {
+    slab: Vec<f64>,
+    chans: Vec<Chan>,
+    scratch: Vec<f64>,
+}
+
+impl RingSet {
+    /// Allocates rings with the given exact capacities and preloads the
+    /// initial items (feedback `enqueue`s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if initial items exceed their channel's capacity.
+    pub fn new(caps: &[usize], initial: &[(usize, Vec<f64>)]) -> Self {
+        let mut chans = Vec::with_capacity(caps.len());
+        let mut off = 0;
+        for &cap in caps {
+            chans.push(Chan {
+                off,
+                cap,
+                head: 0,
+                len: 0,
+            });
+            off += cap;
+        }
+        let mut set = RingSet {
+            slab: vec![0.0; off],
+            chans,
+            scratch: vec![0.0; caps.iter().copied().max().unwrap_or(0)],
+        };
+        for (chan, items) in initial {
+            set.produce(*chan, items);
+        }
+        set
+    }
+
+    /// Current occupancy of a channel.
+    pub fn len(&self, chan: usize) -> usize {
+        self.chans[chan].len
+    }
+
+    /// True when the channel holds no items.
+    pub fn is_empty(&self, chan: usize) -> bool {
+        self.chans[chan].len == 0
+    }
+
+    /// The oldest `n` items of a channel as one contiguous slice (borrowed
+    /// from the slab, or assembled in the scratch buffer on wrap). The
+    /// items are *not* consumed; follow with [`RingSet::consume`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` items are buffered.
+    pub fn window(&mut self, chan: usize, n: usize) -> &[f64] {
+        let c = self.chans[chan];
+        assert!(n <= c.len, "window({n}) exceeds occupancy {}", c.len);
+        if c.head + n <= c.cap {
+            &self.slab[c.off + c.head..c.off + c.head + n]
+        } else {
+            let first = c.cap - c.head;
+            self.scratch[..first].copy_from_slice(&self.slab[c.off + c.head..c.off + c.cap]);
+            self.scratch[first..n].copy_from_slice(&self.slab[c.off..c.off + n - first]);
+            &self.scratch[..n]
+        }
+    }
+
+    /// Drops the oldest `n` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` items are buffered.
+    pub fn consume(&mut self, chan: usize, n: usize) {
+        let c = &mut self.chans[chan];
+        assert!(n <= c.len, "consume({n}) exceeds occupancy {}", c.len);
+        c.head += n;
+        if c.head >= c.cap {
+            c.head -= c.cap;
+        }
+        c.len -= n;
+    }
+
+    /// Appends items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the items would exceed the channel's capacity (the plan
+    /// sizes rings exactly, so this indicates a scheduling bug).
+    pub fn produce(&mut self, chan: usize, items: &[f64]) {
+        let c = self.chans[chan];
+        assert!(
+            c.len + items.len() <= c.cap,
+            "produce({}) overflows ring of capacity {} at occupancy {}",
+            items.len(),
+            c.cap,
+            c.len
+        );
+        let mut tail = c.head + c.len;
+        if tail >= c.cap {
+            tail -= c.cap;
+        }
+        let first = items.len().min(c.cap - tail);
+        self.slab[c.off + tail..c.off + tail + first].copy_from_slice(&items[..first]);
+        self.slab[c.off..c.off + items.len() - first].copy_from_slice(&items[first..]);
+        self.chans[chan].len += items.len();
+    }
+
+    /// Pops the oldest item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is empty.
+    pub fn pop_one(&mut self, chan: usize) -> f64 {
+        let c = self.chans[chan];
+        assert!(c.len > 0, "pop_one on empty channel");
+        let v = self.slab[c.off + c.head];
+        self.consume(chan, 1);
+        v
+    }
+
+    /// Appends one item.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow, like [`RingSet::produce`].
+    pub fn push_one(&mut self, chan: usize, v: f64) {
+        self.produce(chan, &[v]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_round_trips() {
+        let mut r = RingSet::new(&[4], &[]);
+        r.produce(0, &[1.0, 2.0, 3.0]);
+        assert_eq!(r.window(0, 2), &[1.0, 2.0]);
+        r.consume(0, 2);
+        r.produce(0, &[4.0, 5.0, 6.0]);
+        assert_eq!(r.len(0), 4);
+        assert_eq!(r.window(0, 4), &[3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn wrapped_windows_are_assembled_in_scratch() {
+        let mut r = RingSet::new(&[4], &[]);
+        r.produce(0, &[1.0, 2.0, 3.0, 4.0]);
+        r.consume(0, 3);
+        r.produce(0, &[5.0, 6.0, 7.0]); // wraps: slab now [5,6,7,4], head=3
+        assert_eq!(r.window(0, 4), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn initial_items_are_preloaded() {
+        let mut r = RingSet::new(&[2, 3], &[(1, vec![9.0, 8.0])]);
+        assert!(r.is_empty(0));
+        assert_eq!(r.pop_one(1), 9.0);
+        assert_eq!(r.pop_one(1), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows ring")]
+    fn overflow_is_a_bug_not_a_growth_path() {
+        let mut r = RingSet::new(&[2], &[]);
+        r.produce(0, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn many_channels_share_the_slab() {
+        let mut r = RingSet::new(&[1, 2, 3], &[]);
+        r.push_one(0, 1.0);
+        r.produce(1, &[2.0, 3.0]);
+        r.produce(2, &[4.0, 5.0, 6.0]);
+        assert_eq!(r.pop_one(0), 1.0);
+        assert_eq!(r.window(1, 2), &[2.0, 3.0]);
+        assert_eq!(r.window(2, 3), &[4.0, 5.0, 6.0]);
+    }
+}

@@ -92,7 +92,13 @@ pub fn approx_eq(a: f64, b: f64, atol: f64, rtol: f64) -> bool {
 ///
 /// Panics with a descriptive message on the first mismatching index.
 pub fn assert_slices_close(a: &[f64], b: &[f64], atol: f64, rtol: f64) {
-    assert_eq!(a.len(), b.len(), "slice lengths differ: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "slice lengths differ: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
         assert!(
             approx_eq(x, y, atol, rtol),

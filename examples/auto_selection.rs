@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n,
         MatMulStrategy::Unrolled,
     )?;
-    let sel = select(graph, &analysis, &CostModel::default(), &SelectOptions::default())?;
+    let sel = select(
+        graph,
+        &analysis,
+        &CostModel::default(),
+        &SelectOptions::default(),
+    )?;
     let auto = profile(&sel.opt, n, MatMulStrategy::Unrolled)?;
 
     println!("Radar(12 channels, 4 beams), multiplications per output:");

@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weights: Vec<f64> = (0..taps)
         .map(|i| {
             let x = (i as f64 - taps as f64 / 2.0) / 16.0;
-            if x == 0.0 { 1.0 } else { x.sin() / x }
+            if x == 0.0 {
+                1.0
+            } else {
+                x.sin() / x
+            }
         })
         .collect();
     let node = LinearNode::fir(&weights);
@@ -26,9 +30,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let direct_mults = (node.nnz_a() * direct_out.len()) as u64;
 
     for (label, strategy, kind) in [
-        ("naive + simple FFT   ", FreqStrategy::Naive, FftKind::Simple),
-        ("optimized + simple   ", FreqStrategy::Optimized, FftKind::Simple),
-        ("optimized + tuned    ", FreqStrategy::Optimized, FftKind::Tuned),
+        (
+            "naive + simple FFT   ",
+            FreqStrategy::Naive,
+            FftKind::Simple,
+        ),
+        (
+            "optimized + simple   ",
+            FreqStrategy::Optimized,
+            FftKind::Simple,
+        ),
+        (
+            "optimized + tuned    ",
+            FreqStrategy::Optimized,
+            FftKind::Tuned,
+        ),
     ] {
         let spec = FreqSpec::new(&node, strategy, kind, None)?;
         let mut exec = FreqExec::new(spec);

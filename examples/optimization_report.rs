@@ -26,12 +26,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let configs = [
-        ("baseline", replace(graph, &analysis, &ReplaceOptions::per_filter())),
-        ("linear", replace(graph, &analysis, &ReplaceOptions::maximal_linear())),
-        ("freq", replace(graph, &analysis, &ReplaceOptions::maximal_freq())),
+        (
+            "baseline",
+            replace(graph, &analysis, &ReplaceOptions::per_filter()),
+        ),
+        (
+            "linear",
+            replace(graph, &analysis, &ReplaceOptions::maximal_linear()),
+        ),
+        (
+            "freq",
+            replace(graph, &analysis, &ReplaceOptions::maximal_freq()),
+        ),
         (
             "autosel",
-            select(graph, &analysis, &CostModel::default(), &SelectOptions::default())?.opt,
+            select(
+                graph,
+                &analysis,
+                &CostModel::default(),
+                &SelectOptions::default(),
+            )?
+            .opt,
         ),
     ];
 

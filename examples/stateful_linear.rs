@@ -22,8 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              }
          }",
     )?;
-    let Stream::Filter(f) =
-        elaborate_named(&program, "LeakyIntegrator", &[streamlin::graph::Value::Float(0.9)])?
+    let Stream::Filter(f) = elaborate_named(
+        &program,
+        "LeakyIntegrator",
+        &[streamlin::graph::Value::Float(0.9)],
+    )?
     else {
         unreachable!()
     };
@@ -35,8 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ...and the §7.1 extension recovers the exact state-space form.
     let node = extract_stateful(&f)?;
     println!("stateful extraction: {node}");
-    println!("  y  = {:.2}·x + {:.2}·s", node.input_coeff(0, 0), node.state_coeff(0, 0));
-    println!("  s' = {:.2}·x + {:.2}·s", 0.1, node.state_update_coeff(0, 0));
+    println!(
+        "  y  = {:.2}·x + {:.2}·s",
+        node.input_coeff(0, 0),
+        node.state_coeff(0, 0)
+    );
+    println!(
+        "  s' = {:.2}·x + {:.2}·s",
+        0.1,
+        node.state_update_coeff(0, 0)
+    );
 
     // Step response: converges to 1.
     let input = vec![1.0; 40];
@@ -44,10 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = node.run_over(&input, &mut ops);
     println!(
         "step response: {:.3} {:.3} {:.3} ... {:.3}",
-        out[0],
-        out[1],
-        out[2],
-        out[39]
+        out[0], out[1], out[2], out[39]
     );
     assert!((out[39] - 1.0).abs() < 0.02);
     Ok(())

@@ -7,6 +7,7 @@
 //! ```console
 //! $ streamlinc program.str                        # autosel, 1000 outputs
 //! $ streamlinc program.str --config freq -n 5000
+//! $ streamlinc program.str --sched dynamic        # data-driven engine
 //! $ streamlinc program.str --emit-graph           # print the structures
 //! $ streamlinc program.str --quiet                # program output only
 //! ```
@@ -21,6 +22,7 @@ use streamlin::prelude::*;
 struct Args {
     path: String,
     config: String,
+    sched: Scheduler,
     outputs: usize,
     emit_graph: bool,
     quiet: bool,
@@ -29,7 +31,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: streamlinc <program.str> [--config baseline|linear|freq|redund|autosel]\n\
-         \x20                [-n <outputs>] [--emit-graph] [--quiet]"
+         \x20                [--sched auto|static|dynamic] [-n <outputs>]\n\
+         \x20                [--emit-graph] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -38,6 +41,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         path: String::new(),
         config: "autosel".into(),
+        sched: Scheduler::Auto,
         outputs: 1000,
         emit_graph: false,
         quiet: false,
@@ -46,6 +50,14 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--config" => args.config = it.next().unwrap_or_else(|| usage()),
+            "--sched" => {
+                args.sched = match it.next().as_deref() {
+                    Some("auto") => Scheduler::Auto,
+                    Some("static") => Scheduler::Static,
+                    Some("dynamic") => Scheduler::Dynamic,
+                    _ => usage(),
+                }
+            }
             "-n" | "--outputs" => {
                 args.outputs = it
                     .next()
@@ -107,18 +119,35 @@ fn run(args: &Args) -> Result<(), String> {
             },
         ),
         "autosel" => {
-            select(&graph, &analysis, &CostModel::default(), &SelectOptions::default())
-                .map_err(|e| e.to_string())?
-                .opt
+            select(
+                &graph,
+                &analysis,
+                &CostModel::default(),
+                &SelectOptions::default(),
+            )
+            .map_err(|e| e.to_string())?
+            .opt
         }
         other => return Err(format!("unknown config `{other}`")),
     };
 
     if args.emit_graph {
         eprintln!("structure: {}", opt.describe());
+        if args.sched == Scheduler::Dynamic {
+            eprintln!("schedule: data-driven (dynamic scheduler requested)");
+        } else {
+            match streamlin::runtime::flat::flatten(&opt, MatMulStrategy::Unrolled)
+                .map_err(|e| e.to_string())
+                .and_then(|f| streamlin::runtime::plan::compile(&f).map_err(|e| e.to_string()))
+            {
+                Ok(plan) => eprintln!("schedule: {}", plan.summary()),
+                Err(e) => eprintln!("schedule: dynamic fallback ({e})"),
+            }
+        }
     }
 
-    let prof = profile(&opt, args.outputs, MatMulStrategy::Unrolled).map_err(|e| e.to_string())?;
+    let prof = profile_sched(&opt, args.outputs, MatMulStrategy::Unrolled, args.sched)
+        .map_err(|e| e.to_string())?;
     if args.quiet {
         for v in &prof.outputs {
             println!("{v}");
@@ -130,9 +159,10 @@ fn run(args: &Args) -> Result<(), String> {
             stats.filters, stats.originals, stats.linear, stats.freq, stats.redund
         );
         eprintln!(
-            "{} outputs in {:?}: {:.1} flops/output, {:.1} mults/output",
+            "{} outputs in {:?} [{} scheduler]: {:.1} flops/output, {:.1} mults/output",
             prof.outputs.len(),
             prof.wall,
+            prof.sched.label(),
             prof.flops_per_output(),
             prof.mults_per_output()
         );

@@ -13,7 +13,11 @@ fn compiles_and_runs_the_fir_asset() {
         .args(["assets/fir.str", "-n", "64", "--quiet"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
     assert_eq!(lines.len(), 64);
     for l in lines {
@@ -26,7 +30,14 @@ fn all_configs_agree_on_rate_convert_asset() {
     let mut outputs = Vec::new();
     for config in ["baseline", "linear", "freq", "autosel"] {
         let out = streamlinc()
-            .args(["assets/rateconvert.str", "--config", config, "-n", "128", "--quiet"])
+            .args([
+                "assets/rateconvert.str",
+                "--config",
+                config,
+                "-n",
+                "128",
+                "--quiet",
+            ])
             .output()
             .expect("binary runs");
         assert!(
@@ -48,6 +59,40 @@ fn all_configs_agree_on_rate_convert_asset() {
             assert!((a - b).abs() < 1e-6, "{config}: {a} vs {b}");
         }
     }
+}
+
+#[test]
+fn schedulers_agree_on_the_fir_asset() {
+    let run = |sched: &str| -> Vec<String> {
+        let out = streamlinc()
+            .args(["assets/fir.str", "--sched", sched, "-n", "64", "--quiet"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{sched}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::str::from_utf8(&out.stdout)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    };
+    let stat = run("static");
+    let dyn_ = run("dynamic");
+    assert_eq!(stat.len(), 64);
+    // Textual equality is bit-level equality of the printed floats.
+    assert_eq!(stat, dyn_);
+}
+
+#[test]
+fn rejects_unknown_scheduler() {
+    let out = streamlinc()
+        .args(["assets/fir.str", "--sched", "nope"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
 }
 
 #[test]

@@ -24,8 +24,20 @@ fn operation_counts_are_reproducible() {
 fn selection_is_stable() {
     let b = streamlin::benchmarks::vocoder();
     let analysis = analyze_graph(b.graph());
-    let s1 = select(b.graph(), &analysis, &CostModel::default(), &SelectOptions::default()).unwrap();
-    let s2 = select(b.graph(), &analysis, &CostModel::default(), &SelectOptions::default()).unwrap();
+    let s1 = select(
+        b.graph(),
+        &analysis,
+        &CostModel::default(),
+        &SelectOptions::default(),
+    )
+    .unwrap();
+    let s2 = select(
+        b.graph(),
+        &analysis,
+        &CostModel::default(),
+        &SelectOptions::default(),
+    )
+    .unwrap();
     assert_eq!(s1.cost, s2.cost);
     assert_eq!(s1.opt.describe(), s2.opt.describe());
 }

@@ -28,11 +28,7 @@ fn check(bench: &streamlin::benchmarks::Benchmark, outputs: usize) {
     .opt;
 
     let configs: Vec<(&str, streamlin::core::OptStream, MatMulStrategy)> = vec![
-        (
-            "autosel",
-            autosel,
-            MatMulStrategy::Unrolled,
-        ),
+        ("autosel", autosel, MatMulStrategy::Unrolled),
         (
             "redund",
             replace(

@@ -124,7 +124,7 @@ proptest! {
     ) {
         // Joiner weights = pushes per splitter cycle keep it schedulable:
         // child k fires va/pop... constrain to pop dividing weight stream.
-        prop_assume!(va % a.pop() == 0 && vb % b.pop() == 0);
+        prop_assume!(va.is_multiple_of(a.pop()) && vb.is_multiple_of(b.pop()));
         let wa = va / a.pop() * a.push();
         let wb = vb / b.pop() * b.push();
         let split = Splitter::RoundRobin(vec![va, vb]);

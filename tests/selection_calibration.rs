@@ -109,5 +109,8 @@ fn fm_radio_autosel_beats_both_maximal_options() {
         &analysis,
         &ReplaceOptions::maximal_freq(),
     ));
-    assert!(auto <= linear && auto <= freq, "auto {auto:.1}, linear {linear:.1}, freq {freq:.1}");
+    assert!(
+        auto <= linear && auto <= freq,
+        "auto {auto:.1}, linear {linear:.1}, freq {freq:.1}"
+    );
 }

@@ -116,8 +116,8 @@ fn stateful_covers_strictly_more_than_stateless() {
     let mut recovered = 0;
     for b in streamlin::benchmarks::all_default() {
         let analysis = streamlin::core::combine::analyze_graph(b.graph());
-        b.graph().for_each_filter(&mut |f| {
-            match (analysis.node_for(f), extract_stateful(f)) {
+        b.graph()
+            .for_each_filter(&mut |f| match (analysis.node_for(f), extract_stateful(f)) {
                 (Some(lin), Ok(st)) => {
                     assert!(st.is_stateless(), "{}: gained unexpected state", f.name);
                     let as_lin = st.to_linear().unwrap();
@@ -133,8 +133,10 @@ fn stateful_covers_strictly_more_than_stateless() {
                     recovered += 1;
                 }
                 (None, Err(_)) => {}
-            }
-        });
+            });
     }
-    assert!(recovered >= 2, "expected to recover Delay-like filters, got {recovered}");
+    assert!(
+        recovered >= 2,
+        "expected to recover Delay-like filters, got {recovered}"
+    );
 }
