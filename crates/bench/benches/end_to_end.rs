@@ -2,13 +2,16 @@
 //! the baseline and automatically-selected configurations (the wall-clock
 //! side of Figures 5-1/5-3, in bench form), measured under both the
 //! compiled static scheduler and the data-driven fallback so the
-//! `static/..` and `dynamic/..` rows are directly comparable.
+//! `static/..` and `dynamic/..` rows are directly comparable — and under
+//! both execution modes, so the cost of instruction accounting
+//! (`measured/..` vs `fast/..`) is pinned in numbers. `Fast` rows run the
+//! vectorized `Simd` matrix kernel, `Measured` rows the paper's
+//! `Unrolled` one.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use streamlin_bench::{configure, Config};
-use streamlin_runtime::measure::{profile_sched, Scheduler};
-use streamlin_runtime::MatMulStrategy;
+use streamlin_runtime::measure::{profile_mode, ExecMode, Scheduler};
 
 fn bench_suite(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
@@ -23,21 +26,29 @@ fn bench_suite(c: &mut Criterion) {
         for config in [Config::Baseline, Config::AutoSel] {
             let opt = configure(&bench, config);
             for sched in [Scheduler::Static, Scheduler::Dynamic] {
-                group.bench_with_input(
-                    BenchmarkId::new(
-                        format!("{}/{}", sched.label(), bench.name()),
-                        config.label(),
-                    ),
-                    &outputs,
-                    |b, &n| {
-                        b.iter(|| {
-                            black_box(
-                                profile_sched(black_box(&opt), n, MatMulStrategy::Unrolled, sched)
+                for mode in [ExecMode::Measured, ExecMode::Fast] {
+                    group.bench_with_input(
+                        BenchmarkId::new(
+                            format!("{}/{}/{}", mode.label(), sched.label(), bench.name()),
+                            config.label(),
+                        ),
+                        &outputs,
+                        |b, &n| {
+                            b.iter(|| {
+                                black_box(
+                                    profile_mode(
+                                        black_box(&opt),
+                                        n,
+                                        mode.default_strategy(),
+                                        sched,
+                                        mode,
+                                    )
                                     .unwrap(),
-                            )
-                        })
-                    },
-                );
+                                )
+                            })
+                        },
+                    );
+                }
             }
         }
     }
@@ -45,26 +56,42 @@ fn bench_suite(c: &mut Criterion) {
 }
 
 /// The scheduler's best case: one large linear node (FIR after maximal
-/// combination) and the frequency-domain FFT kernels, static vs dynamic.
+/// combination) and the frequency-domain FFT kernels, static vs dynamic
+/// and measured vs fast — the four-way matrix the acceptance speedup is
+/// read from.
 fn bench_kernel_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched_kernels");
     group.sample_size(10);
     let fir = streamlin_benchmarks::fir(256);
-    for (label, config) in [("fir-linear", Config::Linear), ("fir-freq", Config::Freq)] {
-        let opt = configure(&fir, config);
+    let fir_big = streamlin_benchmarks::fir(1024);
+    for (label, bench, config) in [
+        ("fir-linear", &fir, Config::Linear),
+        ("fir-freq", &fir, Config::Freq),
+        ("fir1024-linear", &fir_big, Config::Linear),
+        ("fir1024-freq", &fir_big, Config::Freq),
+    ] {
+        let opt = configure(bench, config);
         for sched in [Scheduler::Static, Scheduler::Dynamic] {
-            group.bench_with_input(
-                BenchmarkId::new(label, sched.label()),
-                &512usize,
-                |b, &n| {
-                    b.iter(|| {
-                        black_box(
-                            profile_sched(black_box(&opt), n, MatMulStrategy::Unrolled, sched)
+            for mode in [ExecMode::Measured, ExecMode::Fast] {
+                group.bench_with_input(
+                    BenchmarkId::new(label, format!("{}/{}", mode.label(), sched.label())),
+                    &512usize,
+                    |b, &n| {
+                        b.iter(|| {
+                            black_box(
+                                profile_mode(
+                                    black_box(&opt),
+                                    n,
+                                    mode.default_strategy(),
+                                    sched,
+                                    mode,
+                                )
                                 .unwrap(),
-                        )
-                    })
-                },
-            );
+                            )
+                        })
+                    },
+                );
+            }
         }
     }
     group.finish();

@@ -23,7 +23,7 @@
 
 use streamlin_fft::{halfcomplex_mul, FftKind, RealFft};
 use streamlin_support::num::next_pow2;
-use streamlin_support::OpCounter;
+use streamlin_support::{OpCounter, Tally};
 
 use crate::node::LinearNode;
 
@@ -262,7 +262,7 @@ impl FreqExec {
     /// # Panics
     ///
     /// Panics if the window length does not match the current peek rate.
-    pub fn fire(&mut self, window: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+    pub fn fire<T: Tally>(&mut self, window: &[f64], ops: &mut T) -> Vec<f64> {
         let (peek, _pop, push) = self.current_rates();
         assert_eq!(
             window.len(),
@@ -288,7 +288,7 @@ impl FreqExec {
 
         let mut out = Vec::with_capacity(push);
         let node = &self.spec.node;
-        let push_val = |out: &mut Vec<f64>, ops: &mut OpCounter, j: usize, v: f64| {
+        let push_val = |out: &mut Vec<f64>, ops: &mut T, j: usize, v: f64| {
             let b = node.offset(j);
             if b != 0.0 {
                 out.push(ops.add(v, b));
@@ -333,7 +333,7 @@ impl FreqExec {
     /// Convenience: runs the full stage (including decimation for
     /// `pop > 1`) over an input tape, mirroring channel semantics. Used by
     /// tests and by the measurement harness for node-level experiments.
-    pub fn run_over(&mut self, input: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+    pub fn run_over<T: Tally>(&mut self, input: &[f64], ops: &mut T) -> Vec<f64> {
         let u = self.spec.node.push();
         let o = self.spec.node.pop();
         let mut raw = Vec::new();

@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use streamlin_support::OpCounter;
+use streamlin_support::Tally;
 
 use crate::node::LinearNode;
 
@@ -239,7 +239,7 @@ impl RedundExec {
     /// # Panics
     ///
     /// Panics if the window length differs from the node's peek rate.
-    pub fn fire(&mut self, window: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+    pub fn fire<T: Tally>(&mut self, window: &[f64], ops: &mut T) -> Vec<f64> {
         let node = &self.spec.node;
         assert_eq!(window.len(), node.peek(), "window must equal the peek rate");
         let o = node.pop();
@@ -300,7 +300,7 @@ impl RedundExec {
     }
 
     /// Convenience: runs over an input tape with channel semantics.
-    pub fn run_over(&mut self, input: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+    pub fn run_over<T: Tally>(&mut self, input: &[f64], ops: &mut T) -> Vec<f64> {
         let node = self.spec.node.clone();
         let mut out = Vec::new();
         let mut pos = 0;
@@ -315,6 +315,7 @@ impl RedundExec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use streamlin_support::OpCounter;
 
     fn input(n: usize) -> Vec<f64> {
         (0..n).map(|i| ((i * 11 + 2) % 23) as f64 - 11.0).collect()

@@ -1,6 +1,6 @@
 //! A minimal complex number with op-counted arithmetic.
 
-use streamlin_support::OpCounter;
+use streamlin_support::Tally;
 
 /// A complex number `re + i·im`.
 ///
@@ -19,6 +19,7 @@ use streamlin_support::OpCounter;
 /// assert_eq!(a * b, Complex::new(5.0, 5.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)] // guaranteed [re, im] layout — SIMD kernels load pairs directly
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -65,19 +66,19 @@ impl Complex {
 
     /// Counted complex addition (2 FP adds).
     #[inline]
-    pub fn add_counted(self, rhs: Complex, ops: &mut OpCounter) -> Complex {
+    pub fn add_counted<T: Tally>(self, rhs: Complex, ops: &mut T) -> Complex {
         Complex::new(ops.add(self.re, rhs.re), ops.add(self.im, rhs.im))
     }
 
     /// Counted complex subtraction (2 FP adds).
     #[inline]
-    pub fn sub_counted(self, rhs: Complex, ops: &mut OpCounter) -> Complex {
+    pub fn sub_counted<T: Tally>(self, rhs: Complex, ops: &mut T) -> Complex {
         Complex::new(ops.sub(self.re, rhs.re), ops.sub(self.im, rhs.im))
     }
 
     /// Counted complex multiplication (4 FP mults, 2 FP adds).
     #[inline]
-    pub fn mul_counted(self, rhs: Complex, ops: &mut OpCounter) -> Complex {
+    pub fn mul_counted<T: Tally>(self, rhs: Complex, ops: &mut T) -> Complex {
         let rr = ops.mul(self.re, rhs.re);
         let ii = ops.mul(self.im, rhs.im);
         let ri = ops.mul(self.re, rhs.im);
@@ -87,7 +88,7 @@ impl Complex {
 
     /// Counted scaling by a real (2 FP mults).
     #[inline]
-    pub fn scale_counted(self, k: f64, ops: &mut OpCounter) -> Complex {
+    pub fn scale_counted<T: Tally>(self, k: f64, ops: &mut T) -> Complex {
         Complex::new(ops.mul(self.re, k), ops.mul(self.im, k))
     }
 }
@@ -136,6 +137,7 @@ impl std::fmt::Display for Complex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use streamlin_support::OpCounter;
 
     #[test]
     fn operator_arithmetic() {

@@ -7,7 +7,7 @@
 //! on this layout.
 
 use crate::{Complex, FftError, FftPlan, SimpleFft};
-use streamlin_support::OpCounter;
+use streamlin_support::Tally;
 
 /// Which FFT tier backs a [`RealFft`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,7 +99,7 @@ impl RealFft {
     /// # Panics
     ///
     /// Panics if `x.len() != self.len()`.
-    pub fn forward(&self, x: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+    pub fn forward<T: Tally>(&self, x: &[f64], ops: &mut T) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "real fft input length mismatch");
         if self.n == 1 {
             return vec![x[0]];
@@ -122,7 +122,7 @@ impl RealFft {
     /// # Panics
     ///
     /// Panics if `hc.len() != self.len()`.
-    pub fn inverse(&self, hc: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+    pub fn inverse<T: Tally>(&self, hc: &[f64], ops: &mut T) -> Vec<f64> {
         assert_eq!(hc.len(), self.n, "real ifft input length mismatch");
         if self.n == 1 {
             return vec![hc[0]];
@@ -141,7 +141,7 @@ impl RealFft {
 
     /// Packed real-input forward transform: an `n`-point real FFT via an
     /// `n/2`-point complex FFT of `z[k] = x[2k] + i·x[2k+1]`.
-    fn forward_packed(&self, x: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+    fn forward_packed<T: Tally>(&self, x: &[f64], ops: &mut T) -> Vec<f64> {
         let n = self.n;
         let m = n / 2;
         let plan = self
@@ -175,7 +175,7 @@ impl RealFft {
     }
 
     /// Packed real-input inverse transform.
-    fn inverse_packed(&self, hc: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+    fn inverse_packed<T: Tally>(&self, hc: &[f64], ops: &mut T) -> Vec<f64> {
         let n = self.n;
         let m = n / 2;
         let plan = self
@@ -220,7 +220,7 @@ impl RealFft {
 /// # Panics
 ///
 /// Panics if the spectra have different lengths.
-pub fn halfcomplex_mul(a: &[f64], b: &[f64], ops: &mut OpCounter) -> Vec<f64> {
+pub fn halfcomplex_mul<T: Tally>(a: &[f64], b: &[f64], ops: &mut T) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "half-complex product length mismatch");
     let n = a.len();
     let mut out = vec![0.0; n];
@@ -289,6 +289,7 @@ mod tests {
     use super::*;
     use crate::dft_naive;
     use streamlin_support::num::assert_slices_close;
+    use streamlin_support::OpCounter;
 
     fn real_signal(n: usize) -> Vec<f64> {
         (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect()

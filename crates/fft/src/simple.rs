@@ -3,7 +3,7 @@
 
 use crate::{Complex, FftError};
 use streamlin_support::num::log2_exact;
-use streamlin_support::OpCounter;
+use streamlin_support::Tally;
 
 /// Recursive radix-2 FFT following the thesis derivation.
 ///
@@ -38,7 +38,7 @@ impl SimpleFft {
     ///
     /// Returns [`FftError::SizeNotPowerOfTwo`] when `x.len()` is not a
     /// positive power of two.
-    pub fn forward(&self, x: &[Complex], ops: &mut OpCounter) -> Result<Vec<Complex>, FftError> {
+    pub fn forward<T: Tally>(&self, x: &[Complex], ops: &mut T) -> Result<Vec<Complex>, FftError> {
         if !x.len().is_power_of_two() {
             return Err(FftError::SizeNotPowerOfTwo(x.len()));
         }
@@ -53,7 +53,7 @@ impl SimpleFft {
     ///
     /// Returns [`FftError::SizeNotPowerOfTwo`] when `x.len()` is not a
     /// positive power of two.
-    pub fn inverse(&self, x: &[Complex], ops: &mut OpCounter) -> Result<Vec<Complex>, FftError> {
+    pub fn inverse<T: Tally>(&self, x: &[Complex], ops: &mut T) -> Result<Vec<Complex>, FftError> {
         let conj: Vec<Complex> = x.iter().map(|z| z.conj()).collect();
         let mut y = self.forward(&conj, ops)?;
         let inv_n = 1.0 / x.len() as f64;
@@ -64,7 +64,7 @@ impl SimpleFft {
     }
 }
 
-fn fft_rec(x: &[Complex], ops: &mut OpCounter) -> Vec<Complex> {
+fn fft_rec<T: Tally>(x: &[Complex], ops: &mut T) -> Vec<Complex> {
     let n = x.len();
     if n == 1 {
         return vec![x[0]];
@@ -92,6 +92,7 @@ fn fft_rec(x: &[Complex], ops: &mut OpCounter) -> Vec<Complex> {
 mod tests {
     use super::*;
     use crate::dft_naive;
+    use streamlin_support::OpCounter;
 
     fn assert_spectra_close(a: &[Complex], b: &[Complex]) {
         assert_eq!(a.len(), b.len());

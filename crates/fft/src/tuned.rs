@@ -1,7 +1,7 @@
 //! The tuned, planned FFT — `streamlin`'s FFTW stand-in.
 
 use crate::{Complex, FftError};
-use streamlin_support::OpCounter;
+use streamlin_support::Tally;
 
 /// A precomputed plan for an iterative radix-2 Cooley-Tukey FFT.
 ///
@@ -30,6 +30,8 @@ pub struct FftPlan {
     /// `twiddle[len/2 + j] = e^{-2πi·j/len}` for each stage size `len`.
     twiddle: Vec<Complex>,
     bitrev: Vec<u32>,
+    /// Runtime AVX support (checked once; used by the uncounted path).
+    use_avx: bool,
 }
 
 impl FftPlan {
@@ -62,7 +64,16 @@ impl FftPlan {
                 }
             })
             .collect();
-        Ok(FftPlan { n, twiddle, bitrev })
+        #[cfg(target_arch = "x86_64")]
+        let use_avx = std::arch::is_x86_feature_detected!("avx");
+        #[cfg(not(target_arch = "x86_64"))]
+        let use_avx = false;
+        Ok(FftPlan {
+            n,
+            twiddle,
+            bitrev,
+            use_avx,
+        })
     }
 
     /// The transform size.
@@ -80,7 +91,7 @@ impl FftPlan {
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the planned size.
-    pub fn forward(&self, data: &mut [Complex], ops: &mut OpCounter) {
+    pub fn forward<T: Tally>(&self, data: &mut [Complex], ops: &mut T) {
         assert_eq!(
             data.len(),
             self.n,
@@ -95,6 +106,18 @@ impl FftPlan {
                 data.swap(i, j);
             }
         }
+        #[cfg(target_arch = "x86_64")]
+        if !T::COUNTING && self.use_avx {
+            // SAFETY: `use_avx` is only set when runtime detection
+            // confirmed the `avx` target feature (see `FftPlan::new`).
+            unsafe { self.butterflies_avx(data) };
+            return;
+        }
+        self.butterflies(data, ops);
+    }
+
+    /// The scalar butterfly passes, counted through the tally.
+    fn butterflies<T: Tally>(&self, data: &mut [Complex], ops: &mut T) {
         let mut len = 2;
         while len <= self.n {
             let half = len / 2;
@@ -118,12 +141,75 @@ impl FftPlan {
         }
     }
 
+    /// The AVX butterfly passes: two butterflies per iteration on 4-wide
+    /// registers. Butterflies within a stage are independent and every
+    /// complex multiply/add is evaluated with exactly the scalar path's
+    /// operations (separate multiplies, `addsub` for the `rr − ii` /
+    /// `ri + ir` pair — no fusion), so the spectra are bit-identical to
+    /// [`FftPlan::butterflies`]; only the bookkeeping-free uncounted path
+    /// dispatches here.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX support at runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn butterflies_avx(&self, data: &mut [Complex]) {
+        use std::arch::x86_64::*;
+        let ptr = data.as_mut_ptr() as *mut f64;
+        let mut len = 2;
+        while len <= self.n {
+            let half = len / 2;
+            let tw = &self.twiddle[half..len];
+            let twp = tw.as_ptr() as *const f64;
+            let mut start = 0;
+            while start < self.n {
+                // j == 0: twiddle is exactly 1, skip the multiply.
+                let u = data[start];
+                let v = data[start + half];
+                data[start] = u + v;
+                data[start + half] = u - v;
+                if half >= 2 {
+                    // j == 1 stays scalar so the vector loop works on
+                    // aligned pairs (2, 3), (4, 5), …
+                    let u = data[start + 1];
+                    let v = data[start + 1 + half] * tw[1];
+                    data[start + 1] = u + v;
+                    data[start + 1 + half] = u - v;
+                    let mut j = 2;
+                    while j + 2 <= half {
+                        let up = ptr.add(2 * (start + j));
+                        let vp = ptr.add(2 * (start + j + half));
+                        let u = _mm256_loadu_pd(up);
+                        let v = _mm256_loadu_pd(vp);
+                        let t = _mm256_loadu_pd(twp.add(2 * j));
+                        // z = v · t, elementwise exactly as mul_counted:
+                        // (vre·tre − vim·tim, vre·tim + vim·tre).
+                        let v_re = _mm256_movedup_pd(v);
+                        let v_im = _mm256_permute_pd(v, 0b1111);
+                        let t_sw = _mm256_permute_pd(t, 0b0101);
+                        let p1 = _mm256_mul_pd(v_re, t);
+                        let p2 = _mm256_mul_pd(v_im, t_sw);
+                        let z = _mm256_addsub_pd(p1, p2);
+                        _mm256_storeu_pd(up, _mm256_add_pd(u, z));
+                        _mm256_storeu_pd(vp, _mm256_sub_pd(u, z));
+                        j += 2;
+                    }
+                    // half == 2 ends at j == 2; larger halves are even,
+                    // so the pair loop covers everything up to `half`.
+                }
+                start += len;
+            }
+            len *= 2;
+        }
+    }
+
     /// In-place inverse DFT with 1/N normalization.
     ///
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the planned size.
-    pub fn inverse(&self, data: &mut [Complex], ops: &mut OpCounter) {
+    pub fn inverse<T: Tally>(&self, data: &mut [Complex], ops: &mut T) {
         for z in data.iter_mut() {
             *z = z.conj();
         }
@@ -139,6 +225,7 @@ impl FftPlan {
 mod tests {
     use super::*;
     use crate::{dft_naive, SimpleFft};
+    use streamlin_support::OpCounter;
 
     fn assert_spectra_close(a: &[Complex], b: &[Complex]) {
         assert_eq!(a.len(), b.len());
@@ -206,6 +293,37 @@ mod tests {
             tuned_ops.mults(),
             simple_ops.mults()
         );
+    }
+
+    #[test]
+    fn uncounted_path_is_bit_identical_to_counted() {
+        use streamlin_support::NoCount;
+        // Covers the AVX dispatch (j == 0 / j == 1 scalar edges, pair
+        // loop) on machines that have it, and the shared scalar path
+        // everywhere else.
+        for log_n in 0..10 {
+            let n = 1usize << log_n;
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin() * 3.0, (i as f64 * 0.91).cos()))
+                .collect();
+            let plan = FftPlan::new(n).unwrap();
+            let mut counted = x.clone();
+            plan.forward(&mut counted, &mut OpCounter::new());
+            let mut free = x.clone();
+            plan.forward(&mut free, &mut NoCount);
+            for (i, (a, b)) in counted.iter().zip(&free).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "n {n} bin {i} re");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "n {n} bin {i} im");
+            }
+            let mut counted_inv = counted.clone();
+            plan.inverse(&mut counted_inv, &mut OpCounter::new());
+            let mut free_inv = free.clone();
+            plan.inverse(&mut free_inv, &mut NoCount);
+            for (a, b) in counted_inv.iter().zip(&free_inv) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
     }
 
     #[test]

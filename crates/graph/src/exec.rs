@@ -125,6 +125,38 @@ impl<'a> Env<'a> {
     }
 }
 
+/// A small inline buffer for evaluated array indices. Benchmark arrays
+/// are at most 2-D, so index evaluation never allocates; deeper shapes
+/// spill to the heap.
+#[derive(Debug, Default)]
+struct IndexBuf {
+    inline: [usize; 2],
+    len: usize,
+    spill: Vec<usize>,
+}
+
+impl IndexBuf {
+    fn push(&mut self, i: usize) {
+        if self.len < self.inline.len() {
+            self.inline[self.len] = i;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(i);
+        }
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[usize] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
 /// Whether a block finished normally or via `return`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Flow {
@@ -296,21 +328,35 @@ impl<'h, H: Host> Interp<'h, H> {
 
     fn read_lvalue(&mut self, env: &mut Env<'_>, lv: &LValue) -> Result<Value, EvalError> {
         match lv {
-            LValue::Var(name) => match env.lookup_mut(name)? {
-                Cell::Scalar(_, v) => Ok(*v),
-                Cell::Array(_) => Err(EvalError::new(format!(
-                    "`{name}` is an array; index it to read an element"
-                ))),
-            },
-            LValue::Index(name, idx_exprs) => {
-                let idx = self.eval_indices(env, idx_exprs)?;
-                match env.lookup_mut(name)? {
-                    Cell::Array(a) => a.get(&idx),
-                    Cell::Scalar(..) => Err(EvalError::new(format!(
-                        "`{name}` is a scalar, not an array"
-                    ))),
-                }
-            }
+            LValue::Var(name) => self.read_var(env, name),
+            LValue::Index(name, idx_exprs) => self.read_index(env, name, idx_exprs),
+        }
+    }
+
+    /// `read_lvalue` for a plain variable, on borrowed parts — the
+    /// interpreter's hottest read; no allocation, no AST cloning.
+    fn read_var(&mut self, env: &mut Env<'_>, name: &str) -> Result<Value, EvalError> {
+        match env.lookup_mut(name)? {
+            Cell::Scalar(_, v) => Ok(*v),
+            Cell::Array(_) => Err(EvalError::new(format!(
+                "`{name}` is an array; index it to read an element"
+            ))),
+        }
+    }
+
+    /// `read_lvalue` for an array element, on borrowed parts.
+    fn read_index(
+        &mut self,
+        env: &mut Env<'_>,
+        name: &str,
+        idx_exprs: &[Expr],
+    ) -> Result<Value, EvalError> {
+        let idx = self.eval_indices(env, idx_exprs)?;
+        match env.lookup_mut(name)? {
+            Cell::Array(a) => a.get(idx.as_slice()),
+            Cell::Scalar(..) => Err(EvalError::new(format!(
+                "`{name}` is a scalar, not an array"
+            ))),
         }
     }
 
@@ -328,7 +374,7 @@ impl<'h, H: Host> Interp<'h, H> {
             LValue::Index(name, idx_exprs) => {
                 let idx = self.eval_indices(env, idx_exprs)?;
                 match env.lookup_mut(name)? {
-                    Cell::Array(a) => a.set(&idx, v),
+                    Cell::Array(a) => a.set(idx.as_slice(), v),
                     Cell::Scalar(..) => Err(EvalError::new(format!(
                         "`{name}` is a scalar, not an array"
                     ))),
@@ -337,11 +383,12 @@ impl<'h, H: Host> Interp<'h, H> {
         }
     }
 
-    fn eval_indices(&mut self, env: &mut Env<'_>, exprs: &[Expr]) -> Result<Vec<usize>, EvalError> {
-        exprs
-            .iter()
-            .map(|e| self.eval(env, e)?.as_index())
-            .collect()
+    fn eval_indices(&mut self, env: &mut Env<'_>, exprs: &[Expr]) -> Result<IndexBuf, EvalError> {
+        let mut idx = IndexBuf::default();
+        for e in exprs {
+            idx.push(self.eval(env, e)?.as_index()?);
+        }
+        Ok(idx)
     }
 
     fn count_binop(&mut self, op: BinOp, a: Value, b: Value) {
@@ -369,10 +416,8 @@ impl<'h, H: Host> Interp<'h, H> {
             Expr::Float(v) => Ok(Value::Float(*v)),
             Expr::Bool(v) => Ok(Value::Bool(*v)),
             Expr::Pi => Ok(Value::Float(std::f64::consts::PI)),
-            Expr::Var(name) => self.read_lvalue(env, &LValue::Var(name.clone())),
-            Expr::Index(name, idx) => {
-                self.read_lvalue(env, &LValue::Index(name.clone(), idx.clone()))
-            }
+            Expr::Var(name) => self.read_var(env, name),
+            Expr::Index(name, idx) => self.read_index(env, name, idx),
             Expr::Unary(op, e) => {
                 let v = self.eval(env, e)?;
                 if *op == UnOp::Neg && v.is_float() {

@@ -114,6 +114,13 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
+    /// Runs in i-k-j order so both the output row and the `rhs` row are
+    /// swept contiguously (no column-strided access anywhere), with the
+    /// output row borrowed once per `i` and zero entries of `self`
+    /// skipping their whole `rhs` row — this is the inner loop of every
+    /// pipeline/splitjoin combination in `streamlin-core`, where the
+    /// shifted-copy structure makes the left factor mostly zeros.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
@@ -124,14 +131,13 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
+        for (r, out_row) in out.data.chunks_exact_mut(rhs.cols.max(1)).enumerate() {
+            let lhs_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (k, &a) in lhs_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let rhs_row = rhs.row(k);
-                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
                 }

@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use streamlin_graph::exec::{Env, Flow, Host, Interp};
 use streamlin_graph::value::{EvalError, Value};
-use streamlin_support::OpCounter;
+use streamlin_support::{OpCounter, Tally};
 
 use crate::flat::{FlatGraph, FlatNode, InterpState, NodeKind};
 
@@ -40,7 +40,7 @@ const CHANNEL_CAP_MAX: usize = 1 << 24;
 /// Shared mutable execution state (kept apart from the nodes so a firing
 /// can borrow both).
 #[derive(Debug)]
-struct EngineState {
+struct EngineState<T> {
     channels: Vec<VecDeque<f64>>,
     /// Per-channel occupancy bound. Starts tight (a small multiple of the
     /// endpoints' rates) so producers cannot run far ahead of demand —
@@ -50,18 +50,20 @@ struct EngineState {
     /// deeper buffering.
     caps: Vec<usize>,
     printed: Vec<f64>,
-    ops: OpCounter,
+    ops: T,
     firings: u64,
 }
 
-/// An executable program instance.
+/// An executable program instance, generic over the [`Tally`] that its
+/// arithmetic threads through ([`OpCounter`] for the measured experiment,
+/// [`streamlin_support::NoCount`] for production execution).
 #[derive(Debug)]
-pub struct Engine {
+pub struct Engine<T: Tally = OpCounter> {
     nodes: Vec<FlatNode>,
-    state: EngineState,
+    state: EngineState<T>,
 }
 
-impl Engine {
+impl<T: Tally + Default> Engine<T> {
     /// Instantiates a flattened graph (applying feedback preloads).
     pub fn new(flat: FlatGraph) -> Self {
         let mut channels = vec![VecDeque::new(); flat.num_channels];
@@ -88,19 +90,22 @@ impl Engine {
                 channels,
                 caps,
                 printed: Vec::new(),
-                ops: OpCounter::new(),
+                ops: T::default(),
                 firings: 0,
             },
         }
     }
+}
 
+impl<T: Tally> Engine<T> {
     /// Values printed so far (the program's output stream).
     pub fn printed(&self) -> &[f64] {
         &self.state.printed
     }
 
-    /// Operation counts so far.
-    pub fn ops(&self) -> &OpCounter {
+    /// The tally so far (use [`Tally::counts`] for the numbers; a
+    /// `NoCount` engine reports all-zero tallies).
+    pub fn ops(&self) -> &T {
         &self.state.ops
     }
 
@@ -250,13 +255,15 @@ fn node_demands(node: &FlatNode) -> (Vec<usize>, Vec<usize>) {
             (vec![peek], vec![push])
         }
         NodeKind::Decimator { pop, push } => (vec![*pop], vec![*push]),
+        NodeKind::Periodic { .. } => (vec![], vec![1]),
+        NodeKind::PrintSink { pop } | NodeKind::DiscardSink { pop } => (vec![*pop], vec![]),
         NodeKind::Duplicate => (vec![1], vec![1; node.outputs.len()]),
         NodeKind::SplitRR(w) => (vec![w.iter().sum()], w.clone()),
         NodeKind::JoinRR(w) => (w.clone(), vec![w.iter().sum()]),
     }
 }
 
-fn fire(node: &mut FlatNode, state: &mut EngineState) -> Result<(), RunError> {
+fn fire<T: Tally>(node: &mut FlatNode, state: &mut EngineState<T>) -> Result<(), RunError> {
     state.firings += 1;
     match &mut node.kind {
         NodeKind::Interp(interp) => fire_interp(interp, &node.inputs, &node.outputs, state),
@@ -297,6 +304,26 @@ fn fire(node: &mut FlatNode, state: &mut EngineState) -> Result<(), RunError> {
             produce(state, node.outputs.first().copied(), &kept);
             Ok(())
         }
+        NodeKind::Periodic { values, pos } => {
+            let v = values[*pos];
+            *pos = (*pos + 1) % values.len();
+            produce(state, node.outputs.first().copied(), &[v]);
+            Ok(())
+        }
+        NodeKind::PrintSink { pop } => {
+            let chan = node.inputs[0];
+            for _ in 0..*pop {
+                let v = state.channels[chan]
+                    .pop_front()
+                    .expect("fireable checked occupancy");
+                state.printed.push(v);
+            }
+            Ok(())
+        }
+        NodeKind::DiscardSink { pop } => {
+            consume(state, node.inputs.first().copied(), *pop);
+            Ok(())
+        }
         NodeKind::Duplicate => {
             let v = state.channels[node.inputs[0]]
                 .pop_front()
@@ -333,14 +360,14 @@ fn fire(node: &mut FlatNode, state: &mut EngineState) -> Result<(), RunError> {
     }
 }
 
-fn read_window(state: &EngineState, chan: Option<usize>, peek: usize) -> Vec<f64> {
+fn read_window<T>(state: &EngineState<T>, chan: Option<usize>, peek: usize) -> Vec<f64> {
     match chan {
         None => Vec::new(),
         Some(c) => state.channels[c].iter().take(peek).copied().collect(),
     }
 }
 
-fn consume(state: &mut EngineState, chan: Option<usize>, pop: usize) {
+fn consume<T>(state: &mut EngineState<T>, chan: Option<usize>, pop: usize) {
     if let Some(c) = chan {
         for _ in 0..pop {
             state.channels[c]
@@ -350,7 +377,7 @@ fn consume(state: &mut EngineState, chan: Option<usize>, pop: usize) {
     }
 }
 
-fn produce(state: &mut EngineState, chan: Option<usize>, items: &[f64]) {
+fn produce<T>(state: &mut EngineState<T>, chan: Option<usize>, items: &[f64]) {
     if let Some(c) = chan {
         state.channels[c].extend(items.iter().copied());
     }
@@ -360,15 +387,15 @@ fn produce(state: &mut EngineState, chan: Option<usize>, items: &[f64]) {
 
 /// Tape host over a window snapshot: peeks/pops index into the window,
 /// pushes and prints are collected, float operations are tallied.
-struct WindowHost<'a> {
+struct WindowHost<'a, T> {
     window: &'a [f64],
     cursor: usize,
     pushed: Vec<f64>,
     printed: &'a mut Vec<f64>,
-    ops: &'a mut OpCounter,
+    ops: &'a mut T,
 }
 
-impl Host for WindowHost<'_> {
+impl<T: Tally> Host for WindowHost<'_, T> {
     fn peek(&mut self, i: usize) -> Result<f64, EvalError> {
         self.window.get(self.cursor + i).copied().ok_or_else(|| {
             EvalError::new(format!(
@@ -424,11 +451,11 @@ pub(crate) fn interp_phase_rates(interp: &InterpState) -> (usize, usize, usize) 
 /// owns channel consumption/production. Shared by the data-driven engine
 /// and the static-plan engine so both execute byte-for-byte the same
 /// work-function semantics.
-pub(crate) fn run_work_phase(
+pub(crate) fn run_work_phase<T: Tally>(
     interp: &mut InterpState,
     window: &[f64],
     printed: &mut Vec<f64>,
-    ops: &mut OpCounter,
+    ops: &mut T,
 ) -> Result<(usize, Vec<f64>), RunError> {
     let use_init = interp.first && interp.inst.init_work.is_some();
     let phase = if use_init {
@@ -476,11 +503,11 @@ pub(crate) fn run_work_phase(
     Ok((phase.pop, pushed))
 }
 
-fn fire_interp(
+fn fire_interp<T: Tally>(
     interp: &mut InterpState,
     inputs: &[usize],
     outputs: &[usize],
-    state: &mut EngineState,
+    state: &mut EngineState<T>,
 ) -> Result<(), RunError> {
     let (peek, _, _) = interp_phase_rates(interp);
     let window = read_window(state, inputs.first().copied(), peek);

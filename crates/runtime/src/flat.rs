@@ -7,7 +7,8 @@ use streamlin_core::frequency::FreqExec;
 use streamlin_core::opt::OptStream;
 use streamlin_core::redundancy::RedundExec;
 use streamlin_graph::ir::{FilterInst, Splitter};
-use streamlin_graph::value::Cell;
+use streamlin_graph::value::{Cell, Value};
+use streamlin_lang::ast::{BinOp, DataType, Expr, LValue, Stmt};
 
 use crate::linear_exec::{LinearExec, MatMulStrategy};
 
@@ -55,6 +56,31 @@ pub enum NodeKind {
         pop: usize,
         /// Items kept per firing.
         push: usize,
+    },
+    /// Peephole-compiled periodic source: a filter whose work function
+    /// is exactly `push(arr[idx]); idx = (idx + 1) % m;` pushes the
+    /// first `m` elements of `arr` cyclically — executed natively, one
+    /// table read per firing instead of an interpreter round trip. The
+    /// firing semantics (values, rates, zero FP tallies) are identical.
+    Periodic {
+        /// The cycle (the first `m` array elements, starting phase
+        /// applied).
+        values: Vec<f64>,
+        /// Next position in the cycle.
+        pos: usize,
+    },
+    /// Peephole-compiled printing sink: a work function of exactly `pop`
+    /// repetitions of `println(pop());` — every consumed item becomes a
+    /// program output, executed as one slice append per firing.
+    PrintSink {
+        /// Items consumed (= printed) per firing.
+        pop: usize,
+    },
+    /// Peephole-compiled discarding sink: `pop` repetitions of `pop();`
+    /// — consumes silently (Figure A-1's FloatSink).
+    DiscardSink {
+        /// Items consumed per firing.
+        pop: usize,
     },
     /// Duplicate splitter (1 in, one copy to each output).
     Duplicate,
@@ -164,10 +190,12 @@ impl Builder {
                 let out = (inst.work.push > 0
                     || inst.init_work.as_ref().is_some_and(|w| w.push > 0))
                 .then(|| self.chan());
-                let kind = NodeKind::Interp(InterpState {
-                    inst: Rc::clone(inst),
-                    state: inst.state.clone(),
-                    first: true,
+                let kind = compile_peephole(inst).unwrap_or_else(|| {
+                    NodeKind::Interp(InterpState {
+                        inst: Rc::clone(inst),
+                        state: inst.state.clone(),
+                        first: true,
+                    })
                 });
                 self.add_node(
                     inst.name.clone(),
@@ -320,6 +348,104 @@ impl Builder {
             }
         }
     }
+}
+
+/// Peephole compilation of ubiquitous plumbing filters.
+///
+/// Benchmark programs spend a large share of their steady state in two
+/// trivial interpreted filters: the printing/discarding sink of Figure
+/// A-1 and ring-buffer sources like FIR's `FloatSource`. Their work
+/// functions are so small that the interpreter round trip (scope setup,
+/// name lookups, AST dispatch) costs an order of magnitude more than the
+/// work itself, which would put an interpretation floor under every
+/// throughput measurement of the compiled kernels. When a work function
+/// matches one of these exact shapes it is compiled to a native node with
+/// identical firing semantics — same values bit for bit, same rates, same
+/// (zero) floating-point tallies; anything else still interprets.
+fn compile_peephole(inst: &FilterInst) -> Option<NodeKind> {
+    if inst.init_work.is_some() {
+        return None;
+    }
+    let w = &inst.work;
+    let stmts = &w.body.stmts;
+    if w.push == 0 && w.pop > 0 && w.peek == w.pop && stmts.len() == w.pop {
+        // `work pop P { println(pop()); × P }` — the printing sink.
+        if stmts.iter().all(is_println_pop) {
+            return Some(NodeKind::PrintSink { pop: w.pop });
+        }
+        // `work pop P { pop(); × P }` — the discarding sink.
+        if stmts.iter().all(is_bare_pop) {
+            return Some(NodeKind::DiscardSink { pop: w.pop });
+        }
+    }
+    if w.push == 1 && w.pop == 0 && w.peek == 0 && stmts.len() == 2 {
+        return compile_periodic(inst, stmts);
+    }
+    None
+}
+
+fn is_println_pop(s: &Stmt) -> bool {
+    matches!(s, Stmt::Expr(Expr::Call(name, args))
+        if name == "println" && matches!(args[..], [Expr::Pop]))
+}
+
+fn is_bare_pop(s: &Stmt) -> bool {
+    matches!(s, Stmt::Expr(Expr::Pop))
+}
+
+/// Matches `push(arr[idx]); idx = (idx + 1) % m;` over a 1-D float array
+/// field and an int cursor field — the ring-buffer source idiom. The
+/// post-`init` state supplies the cycle values and starting phase.
+fn compile_periodic(inst: &FilterInst, stmts: &[Stmt]) -> Option<NodeKind> {
+    let Stmt::Expr(Expr::Push(pushed)) = &stmts[0] else {
+        return None;
+    };
+    let Expr::Index(arr_name, idx_exprs) = &**pushed else {
+        return None;
+    };
+    let [Expr::Var(idx_name)] = &idx_exprs[..] else {
+        return None;
+    };
+    let Stmt::Assign {
+        target: LValue::Var(tgt),
+        op: None,
+        value,
+    } = &stmts[1]
+    else {
+        return None;
+    };
+    if tgt != idx_name {
+        return None;
+    }
+    let Expr::Binary(BinOp::Rem, sum, modulus) = value else {
+        return None;
+    };
+    let Expr::Int(m) = &**modulus else {
+        return None;
+    };
+    let Expr::Binary(BinOp::Add, base, step) = &**sum else {
+        return None;
+    };
+    if !matches!(&**base, Expr::Var(v) if v == idx_name) || !matches!(&**step, Expr::Int(1)) {
+        return None;
+    }
+    let m = usize::try_from(*m).ok().filter(|&m| m > 0)?;
+    let Cell::Array(arr) = inst.state.get(arr_name)? else {
+        return None;
+    };
+    if arr.dims != [arr.dims[0]] || arr.dims[0] < m || arr.elem != DataType::Float {
+        return None;
+    }
+    let Cell::Scalar(DataType::Int, Value::Int(start)) = inst.state.get(idx_name)? else {
+        return None;
+    };
+    let pos = usize::try_from(*start).ok().filter(|&s| s < m)?;
+    let mut values = Vec::with_capacity(m);
+    for v in &arr.data[..m] {
+        let Value::Float(f) = v else { return None };
+        values.push(*f);
+    }
+    Some(NodeKind::Periodic { values, pos })
 }
 
 #[cfg(test)]

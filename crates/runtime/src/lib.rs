@@ -4,9 +4,13 @@
 //! runtime library (§5.1): it lowers an optimized stream
 //! ([`streamlin_core::OptStream`]) to a flat graph of nodes connected by
 //! FIFO channels and executes it until the program has produced a requested
-//! number of outputs, tallying every floating-point operation through
-//! [`streamlin_support::OpCounter`] (the DynamoRIO substitute) and
-//! measuring wall-clock time.
+//! number of outputs, measuring wall-clock time. Execution is generic over
+//! [`streamlin_support::Tally`]: under [`measure::ExecMode::Measured`]
+//! every floating-point operation is tallied through
+//! [`streamlin_support::OpCounter`] (the DynamoRIO substitute); under
+//! [`measure::ExecMode::Fast`] the same engines monomorphize over
+//! [`streamlin_support::NoCount`] — bit-identical outputs, no accounting,
+//! vectorized linear kernels ([`linear_exec::MatMulStrategy::Simd`]).
 //!
 //! Node executors:
 //!
@@ -64,5 +68,5 @@ pub mod ring;
 
 pub use engine::{Engine, RunError};
 pub use linear_exec::MatMulStrategy;
-pub use measure::{profile, profile_sched, Profile, Scheduler};
+pub use measure::{profile, profile_mode, profile_sched, ExecMode, Profile, Scheduler};
 pub use plan::{ExecPlan, PlanEngine, PlanError};

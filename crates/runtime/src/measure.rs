@@ -8,7 +8,7 @@
 use std::time::{Duration, Instant};
 
 use streamlin_core::opt::OptStream;
-use streamlin_support::OpCounter;
+use streamlin_support::{NoCount, OpCounter, Tally};
 
 use crate::engine::{Engine, RunError};
 use crate::flat::{flatten, FlattenError};
@@ -39,6 +39,45 @@ impl Scheduler {
     }
 }
 
+/// Whether execution pays for instruction accounting.
+///
+/// The paper's experiments (§5.1) count every floating-point instruction;
+/// our runtime reproduces that with [`OpCounter`]. Production execution
+/// should not carry that tax, so the kernels are generic over
+/// [`Tally`] and the profiler monomorphizes the whole engine twice:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Count every floating-point operation ([`streamlin_support::CountOps`]).
+    /// The default, and the only mode whose [`Profile::ops`] is meaningful.
+    #[default]
+    Measured,
+    /// Bare arithmetic ([`streamlin_support::NoCount`]): the same kernels
+    /// monomorphized with a zero-sized tally — bit-identical outputs, no
+    /// counting overhead, vectorizable inner loops. [`Profile::ops`] is
+    /// all zeros.
+    Fast,
+}
+
+impl ExecMode {
+    /// Short label used in tables and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Measured => "measured",
+            ExecMode::Fast => "fast",
+        }
+    }
+
+    /// The matrix-multiply strategy this mode ships with when the caller
+    /// doesn't pick one explicitly: the paper's unrolled kernel for the
+    /// measured experiment, the vectorized dense kernel for production.
+    pub fn default_strategy(self) -> MatMulStrategy {
+        match self {
+            ExecMode::Measured => MatMulStrategy::Unrolled,
+            ExecMode::Fast => MatMulStrategy::Simd,
+        }
+    }
+}
+
 /// Measured results of one program execution.
 #[derive(Debug, Clone)]
 pub struct Profile {
@@ -55,6 +94,9 @@ pub struct Profile {
     /// The scheduler that actually ran ([`Scheduler::Static`] or
     /// [`Scheduler::Dynamic`], never `Auto`).
     pub sched: Scheduler,
+    /// The execution mode that ran ([`ExecMode::Fast`] leaves `ops` at
+    /// zero).
+    pub mode: ExecMode,
 }
 
 impl Profile {
@@ -146,6 +188,38 @@ pub fn profile_sched(
     strategy: MatMulStrategy,
     sched: Scheduler,
 ) -> Result<Profile, ProfileError> {
+    profile_mode(opt, outputs, strategy, sched, ExecMode::Measured)
+}
+
+/// [`profile_sched`] with an explicit execution mode: [`ExecMode::Fast`]
+/// runs the identical schedule and kernels monomorphized over the
+/// zero-sized [`NoCount`] tally — same outputs bit for bit, no
+/// instruction accounting, vectorizable hot loops.
+///
+/// # Errors
+///
+/// As [`profile_sched`].
+pub fn profile_mode(
+    opt: &OptStream,
+    outputs: usize,
+    strategy: MatMulStrategy,
+    sched: Scheduler,
+    mode: ExecMode,
+) -> Result<Profile, ProfileError> {
+    match mode {
+        ExecMode::Measured => profile_with::<OpCounter>(opt, outputs, strategy, sched, mode),
+        ExecMode::Fast => profile_with::<NoCount>(opt, outputs, strategy, sched, mode),
+    }
+}
+
+/// The profiler body, monomorphized per tally.
+fn profile_with<T: Tally + Default>(
+    opt: &OptStream,
+    outputs: usize,
+    strategy: MatMulStrategy,
+    sched: Scheduler,
+    mode: ExecMode,
+) -> Result<Profile, ProfileError> {
     let flat = flatten(opt, strategy)?;
     let compiled = match sched {
         Scheduler::Dynamic => None,
@@ -157,27 +231,29 @@ pub fn profile_sched(
     };
     let mut prof = match compiled {
         Some(plan) => {
-            let mut engine = PlanEngine::new(flat, plan);
+            let mut engine = PlanEngine::<T>::new(flat, plan);
             let start = Instant::now();
             engine.run_until_outputs(outputs)?;
             Profile {
                 wall: start.elapsed(),
                 outputs: engine.printed().to_vec(),
-                ops: *engine.ops(),
+                ops: engine.ops().counts(),
                 firings: engine.firings(),
                 sched: Scheduler::Static,
+                mode,
             }
         }
         None => {
-            let mut engine = Engine::new(flat);
+            let mut engine = Engine::<T>::new(flat);
             let start = Instant::now();
             engine.run_until_outputs(outputs)?;
             Profile {
                 wall: start.elapsed(),
                 outputs: engine.printed().to_vec(),
-                ops: *engine.ops(),
+                ops: engine.ops().counts(),
                 firings: engine.firings(),
                 sched: Scheduler::Dynamic,
+                mode,
             }
         }
     };

@@ -33,7 +33,7 @@
 //! every benchmark.
 
 use streamlin_graph::steady::{balance, RateEdge};
-use streamlin_support::OpCounter;
+use streamlin_support::{OpCounter, Tally};
 
 use crate::engine::{interp_phase_rates, run_work_phase, RunError};
 use crate::flat::{FlatGraph, FlatNode, NodeKind};
@@ -211,6 +211,14 @@ fn node_rates(node: &FlatNode) -> Rates {
         }
         NodeKind::Decimator { pop, push } => Rates {
             steady: phase_for(node, *pop as u64, *pop as u64, *push as u64),
+            first: None,
+        },
+        NodeKind::Periodic { .. } => Rates {
+            steady: phase_for(node, 0, 0, 1),
+            first: None,
+        },
+        NodeKind::PrintSink { pop } | NodeKind::DiscardSink { pop } => Rates {
+            steady: phase_for(node, *pop as u64, *pop as u64, 0),
             first: None,
         },
         NodeKind::Duplicate => Rates {
@@ -595,21 +603,24 @@ impl Sim<'_> {
 /// Mutable run state, kept apart from the nodes so a firing can borrow
 /// both (mirrors the dynamic engine's split).
 #[derive(Debug)]
-struct PlanState {
+struct PlanState<T> {
     rings: RingSet,
     printed: Vec<f64>,
-    ops: OpCounter,
+    ops: T,
     firings: u64,
     /// Reusable staging buffer for batched outputs.
     out_buf: Vec<f64>,
 }
 
-/// Executes a compiled [`ExecPlan`] over ring buffers.
+/// Executes a compiled [`ExecPlan`] over ring buffers, generic over the
+/// [`Tally`] its arithmetic threads through ([`OpCounter`] for the
+/// measured experiment, [`streamlin_support::NoCount`] for production
+/// execution).
 #[derive(Debug)]
-pub struct PlanEngine {
+pub struct PlanEngine<T: Tally = OpCounter> {
     nodes: Vec<FlatNode>,
     plan: ExecPlan,
-    state: PlanState,
+    state: PlanState<T>,
     init_done: bool,
     /// Next steady step to execute (the cycle position survives across
     /// calls, so a run can stop a few firings past the requested output
@@ -621,7 +632,7 @@ pub struct PlanEngine {
     printed_at_wrap: usize,
 }
 
-impl PlanEngine {
+impl<T: Tally + Default> PlanEngine<T> {
     /// Instantiates a flat graph under a plan compiled from it.
     pub fn new(flat: FlatGraph, plan: ExecPlan) -> Self {
         let rings = RingSet::new(&plan.caps, &flat.initial);
@@ -631,7 +642,7 @@ impl PlanEngine {
             state: PlanState {
                 rings,
                 printed: Vec::new(),
-                ops: OpCounter::new(),
+                ops: T::default(),
                 firings: 0,
                 out_buf: Vec::new(),
             },
@@ -641,7 +652,9 @@ impl PlanEngine {
             printed_at_wrap: 0,
         }
     }
+}
 
+impl<T: Tally> PlanEngine<T> {
     /// The compiled plan this engine runs.
     pub fn plan(&self) -> &ExecPlan {
         &self.plan
@@ -652,8 +665,9 @@ impl PlanEngine {
         &self.state.printed
     }
 
-    /// Operation counts so far.
-    pub fn ops(&self) -> &OpCounter {
+    /// The tally so far (use [`Tally::counts`] for the numbers; a
+    /// `NoCount` engine reports all-zero tallies).
+    pub fn ops(&self) -> &T {
         &self.state.ops
     }
 
@@ -731,10 +745,10 @@ impl PlanEngine {
 /// outputs exist — exactly like the data-driven engine's between-firing
 /// check — and report how many firings actually ran; all other node kinds
 /// always complete the batch.
-fn exec_batch(
+fn exec_batch<T: Tally>(
     node: &mut FlatNode,
     times: u32,
-    state: &mut PlanState,
+    state: &mut PlanState<T>,
     stop_at: usize,
 ) -> Result<u32, RunError> {
     let input = node.inputs.first().copied();
@@ -832,6 +846,42 @@ fn exec_batch(
             }
             Ok(times)
         }
+        NodeKind::Periodic { values, pos } => {
+            state.firings += times as u64;
+            state.out_buf.clear();
+            for _ in 0..times {
+                state.out_buf.push(values[*pos]);
+                *pos = (*pos + 1) % values.len();
+            }
+            if let Some(c) = output {
+                state.rings.produce(c, &state.out_buf);
+            }
+            Ok(times)
+        }
+        NodeKind::PrintSink { pop } => {
+            let pop = *pop;
+            let c_in = input.expect("sinks always have an input");
+            // Every firing prints exactly `pop` items, so the number of
+            // firings before the print target interrupts the batch is
+            // known up front — run them as one slice append.
+            let deficit = stop_at.saturating_sub(state.printed.len());
+            if deficit == 0 {
+                return Ok(0);
+            }
+            let run = (times as usize).min(deficit.div_ceil(pop)) as u32;
+            let span = run as usize * pop;
+            let PlanState { rings, printed, .. } = state;
+            printed.extend_from_slice(rings.window(c_in, span));
+            state.rings.consume(c_in, span);
+            state.firings += run as u64;
+            Ok(run)
+        }
+        NodeKind::DiscardSink { pop } => {
+            state.firings += times as u64;
+            let c_in = input.expect("sinks always have an input");
+            state.rings.consume(c_in, *pop * times as usize);
+            Ok(times)
+        }
         NodeKind::Duplicate => {
             state.firings += times as u64;
             let c_in = input.expect("splitters always have an input");
@@ -902,7 +952,7 @@ mod tests {
     fn plan_engine_matches_dynamic_output() {
         let flat = flat_for(RAMP);
         let plan = compile(&flat).unwrap();
-        let mut e = PlanEngine::new(flat, plan);
+        let mut e = PlanEngine::<OpCounter>::new(flat, plan);
         e.run_until_outputs(4).unwrap();
         assert_eq!(&e.printed()[..4], &[0.0, 3.0, 6.0, 9.0]);
         assert!(e.ops().mults() >= 4);
@@ -923,7 +973,7 @@ mod tests {
         assert_eq!(plan.init_firings(), 2, "{plan:?}");
         // Channel S->D holds the 2-item prologue plus the in-cycle item.
         assert_eq!(plan.caps[0], 3);
-        let mut e = PlanEngine::new(flat, plan);
+        let mut e = PlanEngine::<OpCounter>::new(flat, plan);
         e.run_until_outputs(3).unwrap();
         assert_eq!(&e.printed()[..3], &[2.0, 2.0, 2.0]);
     }
@@ -941,7 +991,7 @@ mod tests {
         );
         let plan = compile(&flat).unwrap();
         assert!(plan.init_firings() >= 1, "{plan:?}");
-        let mut e = PlanEngine::new(flat, plan);
+        let mut e = PlanEngine::<OpCounter>::new(flat, plan);
         e.run_until_outputs(3).unwrap();
         // Same semantics as the dynamic engine's init_work test.
         assert_eq!(&e.printed()[..3], &[1.0, 2.0, 3.0]);
@@ -959,7 +1009,7 @@ mod tests {
         let plan = compile(&flat).unwrap();
         // E pushes 3, C pops 2: q = [2, 2, 3, 3].
         assert_eq!(plan.steady_firings(), 10, "{plan:?}");
-        let mut e = PlanEngine::new(flat, plan);
+        let mut e = PlanEngine::<OpCounter>::new(flat, plan);
         e.run_until_outputs(6).unwrap();
         assert_eq!(e.printed()[0], 1.0);
     }
@@ -978,7 +1028,7 @@ mod tests {
              float->void filter K { work pop 2 { println(pop()); println(pop()); } }",
         );
         let plan = compile(&flat).unwrap();
-        let mut e = PlanEngine::new(flat, plan);
+        let mut e = PlanEngine::<OpCounter>::new(flat, plan);
         e.run_until_outputs(4).unwrap();
         assert_eq!(&e.printed()[..4], &[0.0, 0.0, 10.0, 100.0]);
     }
@@ -1019,7 +1069,7 @@ mod tests {
              }",
         );
         let plan = compile(&flat).unwrap();
-        let mut e = PlanEngine::new(flat, plan);
+        let mut e = PlanEngine::<OpCounter>::new(flat, plan);
         e.run_until_outputs(3).unwrap();
         assert_eq!(&e.printed()[..3], &[2.0, 5.0, 8.0]);
     }
@@ -1032,7 +1082,7 @@ mod tests {
              float->void filter K { work pop 1 { println(pop()); } }",
         );
         let plan = compile(&flat).unwrap();
-        let mut e = PlanEngine::new(flat, plan);
+        let mut e = PlanEngine::<OpCounter>::new(flat, plan);
         let err = e.run_until_outputs(1).unwrap_err();
         assert!(matches!(err, RunError::RateViolation(_)), "{err}");
     }

@@ -5,7 +5,17 @@
 //! instruction families (note that divisions are counted as multiplications
 //! there; we preserve that convention). This module is the DynamoRIO
 //! substitute: every arithmetic kernel of the runtime, matrix, and FFT crates
-//! routes its float operations through an [`OpCounter`].
+//! routes its float operations through a [`Tally`].
+//!
+//! Measurement is a *mode*, not a tax: kernels are generic over the
+//! [`Tally`] trait, which has two statically-dispatched implementations.
+//! [`CountOps`] (an alias for [`OpCounter`]) reproduces the paper's
+//! instruction counting exactly; [`NoCount`] is a zero-sized type whose
+//! methods monomorphize to the bare arithmetic, so the "production" build
+//! of every kernel carries no counter state, no serial dependency on a
+//! tally, and nothing that blocks vectorization. Both implementations
+//! evaluate the same floating-point expressions in the same order, so
+//! their numerical results are bit-identical.
 
 /// Tallies executed floating-point operations.
 ///
@@ -157,6 +167,158 @@ impl OpCounter {
     }
 }
 
+/// Statically-dispatched floating-point arithmetic with optional
+/// accounting.
+///
+/// Every arithmetic kernel in the workspace is generic over a `Tally`.
+/// The two implementations are [`CountOps`] (count every operation, the
+/// paper's measured experiment) and [`NoCount`] (bare arithmetic, the
+/// shipped kernel). Both compute the identical expressions — e.g.
+/// [`fma`](Tally::fma) is always the *unfused* `acc + a * b`, matching
+/// the separate `fmul`/`fadd` instructions the paper's backend emits —
+/// so switching the tally never changes a single output bit.
+///
+/// # Examples
+///
+/// ```
+/// use streamlin_support::flops::{NoCount, OpCounter, Tally};
+///
+/// fn dot<T: Tally>(a: &[f64], b: &[f64], ops: &mut T) -> f64 {
+///     a.iter().zip(b).fold(0.0, |acc, (&x, &y)| ops.fma(acc, x, y))
+/// }
+///
+/// let (a, b) = ([1.0, 2.0], [3.0, 4.0]);
+/// let mut counted = OpCounter::new();
+/// let mut free = NoCount;
+/// assert_eq!(dot(&a, &b, &mut counted), dot(&a, &b, &mut free));
+/// assert_eq!(counted.mults(), 2);
+/// assert_eq!(free.counts().flops(), 0);
+/// ```
+pub trait Tally {
+    /// Whether this tally records anything. Kernels may use this to pick
+    /// between a counted scalar loop and an explicit-SIMD loop with the
+    /// *same* accumulation structure — the results must stay bit-identical
+    /// either way; only the bookkeeping may differ.
+    const COUNTING: bool;
+    /// Addition `a + b`.
+    fn add(&mut self, a: f64, b: f64) -> f64;
+    /// Subtraction `a - b`.
+    fn sub(&mut self, a: f64, b: f64) -> f64;
+    /// Multiplication `a * b`.
+    fn mul(&mut self, a: f64, b: f64) -> f64;
+    /// Division `a / b`.
+    fn div(&mut self, a: f64, b: f64) -> f64;
+    /// Unfused multiply-add `acc + a * b` (two operations; never a fused
+    /// `mul_add`, so results are identical across tallies and targets).
+    fn fma(&mut self, acc: f64, a: f64, b: f64) -> f64;
+    /// Negation `-a`.
+    fn neg(&mut self, a: f64) -> f64;
+    /// Unary call such as `sin`, `sqrt`, `abs`.
+    fn call(&mut self, f: impl FnOnce(f64) -> f64, a: f64) -> f64;
+    /// A floating-point comparison.
+    fn cmp(&mut self);
+    /// `n` extra operations in the "other" category.
+    fn other(&mut self, n: u64);
+    /// Snapshot of the tallies ([`OpCounter::default`] for [`NoCount`]).
+    fn counts(&self) -> OpCounter;
+}
+
+/// The counting tally — the paper's measured experiment. An alias for
+/// [`OpCounter`], which implements [`Tally`] by doing what it always did.
+pub type CountOps = OpCounter;
+
+impl Tally for OpCounter {
+    const COUNTING: bool = true;
+    #[inline]
+    fn add(&mut self, a: f64, b: f64) -> f64 {
+        OpCounter::add(self, a, b)
+    }
+    #[inline]
+    fn sub(&mut self, a: f64, b: f64) -> f64 {
+        OpCounter::sub(self, a, b)
+    }
+    #[inline]
+    fn mul(&mut self, a: f64, b: f64) -> f64 {
+        OpCounter::mul(self, a, b)
+    }
+    #[inline]
+    fn div(&mut self, a: f64, b: f64) -> f64 {
+        OpCounter::div(self, a, b)
+    }
+    #[inline]
+    fn fma(&mut self, acc: f64, a: f64, b: f64) -> f64 {
+        OpCounter::fma(self, acc, a, b)
+    }
+    #[inline]
+    fn neg(&mut self, a: f64) -> f64 {
+        OpCounter::neg(self, a)
+    }
+    #[inline]
+    fn call(&mut self, f: impl FnOnce(f64) -> f64, a: f64) -> f64 {
+        OpCounter::call(self, f, a)
+    }
+    #[inline]
+    fn cmp(&mut self) {
+        OpCounter::cmp(self)
+    }
+    #[inline]
+    fn other(&mut self, n: u64) {
+        OpCounter::other(self, n)
+    }
+    #[inline]
+    fn counts(&self) -> OpCounter {
+        *self
+    }
+}
+
+/// The free tally: a zero-sized type whose methods monomorphize to bare
+/// arithmetic. Kernels instantiated with `NoCount` compile to exactly the
+/// code they would contain with no accounting at all — no counter loads or
+/// stores, no serial dependency between operations, and loop bodies the
+/// compiler can unroll and vectorize.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoCount;
+
+impl Tally for NoCount {
+    const COUNTING: bool = false;
+    #[inline(always)]
+    fn add(&mut self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    #[inline(always)]
+    fn sub(&mut self, a: f64, b: f64) -> f64 {
+        a - b
+    }
+    #[inline(always)]
+    fn mul(&mut self, a: f64, b: f64) -> f64 {
+        a * b
+    }
+    #[inline(always)]
+    fn div(&mut self, a: f64, b: f64) -> f64 {
+        a / b
+    }
+    #[inline(always)]
+    fn fma(&mut self, acc: f64, a: f64, b: f64) -> f64 {
+        acc + a * b
+    }
+    #[inline(always)]
+    fn neg(&mut self, a: f64) -> f64 {
+        -a
+    }
+    #[inline(always)]
+    fn call(&mut self, f: impl FnOnce(f64) -> f64, a: f64) -> f64 {
+        f(a)
+    }
+    #[inline(always)]
+    fn cmp(&mut self) {}
+    #[inline(always)]
+    fn other(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn counts(&self) -> OpCounter {
+        OpCounter::default()
+    }
+}
+
 impl std::fmt::Display for OpCounter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -231,5 +393,51 @@ mod tests {
     fn display_is_never_empty() {
         let ops = OpCounter::new();
         assert!(!format!("{ops}").is_empty());
+    }
+
+    /// Exercises every `Tally` method through a generic function, the way
+    /// the kernels do.
+    fn tally_all<T: Tally>(ops: &mut T) -> [f64; 7] {
+        [
+            ops.add(1.5, 2.25),
+            ops.sub(5.0, 0.125),
+            ops.mul(3.0, 7.0),
+            ops.div(9.0, 4.0),
+            ops.fma(1.0, 2.0, 3.0),
+            ops.neg(6.5),
+            ops.call(f64::sqrt, 2.0),
+        ]
+    }
+
+    #[test]
+    fn nocount_is_bit_identical_to_countops() {
+        let mut counted = CountOps::new();
+        let mut free = NoCount;
+        let a = tally_all(&mut counted);
+        let b = tally_all(&mut free);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(counted.counts().flops(), 8); // fma counts twice
+        assert_eq!(free.counts(), OpCounter::default());
+    }
+
+    #[test]
+    fn countops_tally_matches_inherent_methods() {
+        let mut via_trait = OpCounter::new();
+        tally_all(&mut via_trait);
+        Tally::cmp(&mut via_trait);
+        Tally::other(&mut via_trait, 3);
+        let mut direct = OpCounter::new();
+        direct.add(0.0, 0.0);
+        direct.sub(0.0, 0.0);
+        direct.mul(0.0, 0.0);
+        direct.div(1.0, 1.0);
+        direct.fma(0.0, 0.0, 0.0);
+        direct.neg(0.0);
+        direct.call(f64::sin, 0.0);
+        direct.cmp();
+        direct.other(3);
+        assert_eq!(via_trait, direct);
     }
 }

@@ -5,10 +5,13 @@
 //!
 //! * [`flops`] — floating-point operation accounting. The paper measures its
 //!   optimizations in retired IA-32 floating-point instructions (counted with
-//!   a DynamoRIO client, Table 5.1). Our substitute is [`flops::OpCounter`],
-//!   which every arithmetic kernel in the workspace threads through so that
+//!   a DynamoRIO client, Table 5.1). Our substitute is the [`flops::Tally`]
+//!   trait, which every arithmetic kernel in the workspace is generic over:
+//!   instantiated with [`flops::CountOps`] (= [`flops::OpCounter`]) the
 //!   executed additions, multiplications, divisions and transcendental calls
-//!   are tallied at the exact point they happen.
+//!   are tallied at the exact point they happen; instantiated with
+//!   [`flops::NoCount`] the same kernels monomorphize to bare, vectorizable
+//!   arithmetic with bit-identical results.
 //! * [`ratio`] — exact rational arithmetic used by the steady-state scheduler.
 //! * [`num`] — gcd/lcm, powers of two and approximate float comparison.
 //!
@@ -29,5 +32,5 @@ pub mod flops;
 pub mod num;
 pub mod ratio;
 
-pub use flops::OpCounter;
+pub use flops::{CountOps, NoCount, OpCounter, Tally};
 pub use ratio::Ratio;

@@ -8,6 +8,7 @@
 //! $ streamlinc program.str                        # autosel, 1000 outputs
 //! $ streamlinc program.str --config freq -n 5000
 //! $ streamlinc program.str --sched dynamic        # data-driven engine
+//! $ streamlinc program.str --mode fast            # uncounted, SIMD kernels
 //! $ streamlinc program.str --emit-graph           # print the structures
 //! $ streamlinc program.str --quiet                # program output only
 //! ```
@@ -23,15 +24,27 @@ struct Args {
     path: String,
     config: String,
     sched: Scheduler,
+    mode: ExecMode,
+    matmul: Option<MatMulStrategy>,
     outputs: usize,
     emit_graph: bool,
     quiet: bool,
 }
 
+impl Args {
+    /// The matrix-multiply strategy to execute with: an explicit
+    /// `--matmul` wins; otherwise `fast` mode selects the vectorized
+    /// dense kernel and `measured` mode the paper's unrolled one.
+    fn strategy(&self) -> MatMulStrategy {
+        self.matmul.unwrap_or_else(|| self.mode.default_strategy())
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: streamlinc <program.str> [--config baseline|linear|freq|redund|autosel]\n\
-         \x20                [--sched auto|static|dynamic] [-n <outputs>]\n\
+         \x20                [--sched auto|static|dynamic] [--mode measured|fast]\n\
+         \x20                [--matmul unrolled|diagonal|blocked|simd] [-n <outputs>]\n\
          \x20                [--emit-graph] [--quiet]"
     );
     std::process::exit(2);
@@ -42,6 +55,8 @@ fn parse_args() -> Args {
         path: String::new(),
         config: "autosel".into(),
         sched: Scheduler::Auto,
+        mode: ExecMode::Measured,
+        matmul: None,
         outputs: 1000,
         emit_graph: false,
         quiet: false,
@@ -57,6 +72,22 @@ fn parse_args() -> Args {
                     Some("dynamic") => Scheduler::Dynamic,
                     _ => usage(),
                 }
+            }
+            "--mode" => {
+                args.mode = match it.next().as_deref() {
+                    Some("measured") => ExecMode::Measured,
+                    Some("fast") => ExecMode::Fast,
+                    _ => usage(),
+                }
+            }
+            "--matmul" => {
+                args.matmul = Some(match it.next().as_deref() {
+                    Some("unrolled") => MatMulStrategy::Unrolled,
+                    Some("diagonal") => MatMulStrategy::Diagonal,
+                    Some("blocked") => MatMulStrategy::Blocked,
+                    Some("simd") => MatMulStrategy::Simd,
+                    _ => usage(),
+                })
             }
             "-n" | "--outputs" => {
                 args.outputs = it
@@ -136,7 +167,7 @@ fn run(args: &Args) -> Result<(), String> {
         if args.sched == Scheduler::Dynamic {
             eprintln!("schedule: data-driven (dynamic scheduler requested)");
         } else {
-            match streamlin::runtime::flat::flatten(&opt, MatMulStrategy::Unrolled)
+            match streamlin::runtime::flat::flatten(&opt, args.strategy())
                 .map_err(|e| e.to_string())
                 .and_then(|f| streamlin::runtime::plan::compile(&f).map_err(|e| e.to_string()))
             {
@@ -146,7 +177,7 @@ fn run(args: &Args) -> Result<(), String> {
         }
     }
 
-    let prof = profile_sched(&opt, args.outputs, MatMulStrategy::Unrolled, args.sched)
+    let prof = profile_mode(&opt, args.outputs, args.strategy(), args.sched, args.mode)
         .map_err(|e| e.to_string())?;
     if args.quiet {
         for v in &prof.outputs {
@@ -158,14 +189,24 @@ fn run(args: &Args) -> Result<(), String> {
             "nodes: {} ({} interpreted, {} linear, {} freq, {} redund)",
             stats.filters, stats.originals, stats.linear, stats.freq, stats.redund
         );
-        eprintln!(
-            "{} outputs in {:?} [{} scheduler]: {:.1} flops/output, {:.1} mults/output",
-            prof.outputs.len(),
-            prof.wall,
-            prof.sched.label(),
-            prof.flops_per_output(),
-            prof.mults_per_output()
-        );
+        match args.mode {
+            ExecMode::Measured => eprintln!(
+                "{} outputs in {:?} [{} scheduler]: {:.1} flops/output, {:.1} mults/output",
+                prof.outputs.len(),
+                prof.wall,
+                prof.sched.label(),
+                prof.flops_per_output(),
+                prof.mults_per_output()
+            ),
+            ExecMode::Fast => eprintln!(
+                "{} outputs in {:?} [{} scheduler, fast/{}]: {:.0} outputs/sec (uncounted)",
+                prof.outputs.len(),
+                prof.wall,
+                prof.sched.label(),
+                args.strategy().label(),
+                prof.outputs.len() as f64 / prof.wall.as_secs_f64().max(1e-9),
+            ),
+        }
         for v in prof.outputs.iter().take(10) {
             println!("{v}");
         }

@@ -67,7 +67,9 @@ pub mod prelude {
     pub use streamlin_graph::elaborate::{elaborate, elaborate_named};
     pub use streamlin_graph::ir::Stream;
     pub use streamlin_lang::parse;
-    pub use streamlin_runtime::measure::{profile, profile_sched, Scheduler};
+    pub use streamlin_runtime::measure::{
+        profile, profile_mode, profile_sched, ExecMode, Scheduler,
+    };
     pub use streamlin_runtime::MatMulStrategy;
     pub use streamlin_support::OpCounter;
 }

@@ -9,8 +9,18 @@ use streamlin::core::combine::{analyze_graph, replace, ReplaceOptions, ReplaceTa
 use streamlin::core::cost::CostModel;
 use streamlin::core::select::{select, SelectOptions};
 use streamlin::core::OptStream;
-use streamlin::runtime::measure::{profile_sched, Scheduler};
+use streamlin::runtime::measure::{profile_mode, ExecMode, Scheduler};
 use streamlin::runtime::MatMulStrategy;
+
+/// CI runs this suite once per execution mode: `STREAMLIN_TEST_MODE=fast`
+/// selects the uncounted production path, which must print the same bits
+/// under either scheduler just like the measured path does.
+fn test_mode() -> ExecMode {
+    match std::env::var("STREAMLIN_TEST_MODE").as_deref() {
+        Ok("fast") => ExecMode::Fast,
+        _ => ExecMode::Measured,
+    }
+}
 
 fn configs(bench: &streamlin::benchmarks::Benchmark) -> Vec<(&'static str, OptStream)> {
     let analysis = analyze_graph(bench.graph());
@@ -54,8 +64,15 @@ fn configs(bench: &streamlin::benchmarks::Benchmark) -> Vec<(&'static str, OptSt
 
 fn check(bench: &streamlin::benchmarks::Benchmark, outputs: usize) {
     for (label, opt) in configs(bench) {
-        let dynamic = profile_sched(&opt, outputs, MatMulStrategy::Unrolled, Scheduler::Dynamic)
-            .unwrap_or_else(|e| panic!("{} {label} dynamic: {e}", bench.name()));
+        let mode = test_mode();
+        let dynamic = profile_mode(
+            &opt,
+            outputs,
+            MatMulStrategy::Unrolled,
+            Scheduler::Dynamic,
+            mode,
+        )
+        .unwrap_or_else(|e| panic!("{} {label} dynamic: {e}", bench.name()));
         // Feedback programs have no static plan; `Auto` must still run
         // them (via the fallback) with identical output.
         let sched = if opt.has_feedback() {
@@ -63,7 +80,7 @@ fn check(bench: &streamlin::benchmarks::Benchmark, outputs: usize) {
         } else {
             Scheduler::Static
         };
-        let staticp = profile_sched(&opt, outputs, MatMulStrategy::Unrolled, sched)
+        let staticp = profile_mode(&opt, outputs, MatMulStrategy::Unrolled, sched, mode)
             .unwrap_or_else(|e| panic!("{} {label} static: {e}", bench.name()));
         if !opt.has_feedback() {
             assert_eq!(
@@ -142,8 +159,14 @@ fn every_feedback_free_benchmark_compiles_a_plan() {
     for b in streamlin::benchmarks::all_default() {
         let analysis = analyze_graph(b.graph());
         let opt = replace(b.graph(), &analysis, &ReplaceOptions::per_filter());
-        let prof = profile_sched(&opt, 64, MatMulStrategy::Unrolled, Scheduler::Auto)
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let prof = profile_mode(
+            &opt,
+            64,
+            MatMulStrategy::Unrolled,
+            Scheduler::Auto,
+            test_mode(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
         let expected = if opt.has_feedback() {
             Scheduler::Dynamic
         } else {

@@ -1,0 +1,178 @@
+//! `bench_json` — machine-readable end-to-end throughput measurements.
+//!
+//! Runs the same benchmark × configuration matrix as the criterion
+//! `end_to_end` bench under both execution modes and emits
+//! `BENCH_<label>.json` with items/sec per row, so the performance
+//! trajectory of the runtime is comparable across PRs without parsing
+//! criterion's output:
+//!
+//! ```console
+//! $ cargo run --release -p bench-json -- pr2          # BENCH_pr2.json
+//! $ cargo run --release -p bench-json -- pr2 0.25     # quarter-size runs
+//! ```
+//!
+//! Each row records the benchmark, configuration, scheduler, execution
+//! mode ([`ExecMode::Measured`] counts every FLOP, [`ExecMode::Fast`] is
+//! the uncounted production path with the `Simd` kernel) and the best
+//! observed throughput over a fixed measuring budget. The summary table
+//! on stderr reports the fast/measured speedup per row pair.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use streamlin_bench::{configure, Config};
+use streamlin_benchmarks::Benchmark;
+use streamlin_runtime::measure::{profile_mode, ExecMode, Scheduler};
+
+/// Minimum accumulated run time per row before the best sample counts.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+struct Row {
+    benchmark: String,
+    config: &'static str,
+    sched: &'static str,
+    mode: &'static str,
+    strategy: &'static str,
+    outputs: usize,
+    items_per_sec: f64,
+}
+
+/// Best observed throughput (outputs/sec of engine run time) for one
+/// benchmark × config × mode, under the static-with-fallback scheduler.
+fn measure(bench: &Benchmark, config: Config, mode: ExecMode, outputs: usize) -> Row {
+    let opt = configure(bench, config);
+    let strategy = mode.default_strategy();
+    let mut best = 0.0f64;
+    let mut spent = Duration::ZERO;
+    let mut sched_ran = Scheduler::Auto;
+    // One warmup run, then sample until the budget is spent.
+    for warmup in [true, false, false, false, false, false, false, false] {
+        let prof = profile_mode(&opt, outputs, strategy, Scheduler::Auto, mode)
+            .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), config.label()));
+        sched_ran = prof.sched;
+        if warmup {
+            continue;
+        }
+        let rate = prof.outputs.len() as f64 / prof.wall.as_secs_f64().max(1e-9);
+        best = best.max(rate);
+        spent += prof.wall;
+        if spent >= MEASURE_BUDGET {
+            break;
+        }
+    }
+    Row {
+        benchmark: bench.name().to_string(),
+        config: config.label(),
+        sched: sched_ran.label(),
+        mode: mode.label(),
+        strategy: strategy.label(),
+        outputs,
+        items_per_sec: best,
+    }
+}
+
+fn main() {
+    // The label lands in both the output filename and a JSON string:
+    // keep only filename/JSON-safe characters.
+    let label: String = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "local".into())
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        .collect();
+    let label = if label.is_empty() {
+        "local".into()
+    } else {
+        label
+    };
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+
+    // The matrix: the FIR kernel paths the acceptance criteria read
+    // (direct linear and frequency/FFT), plus the end_to_end suite.
+    // `fir(256)` is the paper's default instance; `fir(1024)` is the
+    // §5.5 scaling point where the linear kernel dominates end to end.
+    let cases: Vec<(&str, Benchmark, Vec<Config>)> = vec![
+        (
+            "FIR",
+            streamlin_benchmarks::fir(256),
+            vec![
+                Config::Baseline,
+                Config::Linear,
+                Config::Freq,
+                Config::AutoSel,
+            ],
+        ),
+        (
+            "FIR-1024",
+            streamlin_benchmarks::fir(1024),
+            vec![Config::Baseline, Config::Linear, Config::Freq],
+        ),
+        (
+            "RateConvert",
+            streamlin_benchmarks::rate_convert(),
+            vec![Config::Baseline, Config::AutoSel],
+        ),
+        (
+            "FilterBank",
+            streamlin_benchmarks::filter_bank(),
+            vec![Config::Baseline, Config::AutoSel],
+        ),
+        (
+            "Oversampler",
+            streamlin_benchmarks::oversampler(),
+            vec![Config::Baseline, Config::AutoSel],
+        ),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, bench, configs) in &cases {
+        let outputs = ((bench.default_outputs() as f64 * scale) as usize / 4).max(64);
+        for &config in configs {
+            let mut pair = Vec::new();
+            for mode in [ExecMode::Measured, ExecMode::Fast] {
+                let mut row = measure(bench, config, mode, outputs);
+                row.benchmark = label.to_string();
+                eprintln!(
+                    "{:>12} {:>9} {:>8} {:>8}: {:>12.0} items/sec",
+                    row.benchmark, row.config, row.sched, row.mode, row.items_per_sec
+                );
+                pair.push(row.items_per_sec);
+                rows.push(row);
+            }
+            if let [measured, fast] = pair[..] {
+                eprintln!(
+                    "{:>12} {:>9} {:>17}: {:.2}x fast/measured",
+                    label,
+                    config.label(),
+                    "",
+                    fast / measured
+                );
+            }
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"streamlin-bench-json/v1\",");
+    let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"sched\": \"{}\", \
+             \"mode\": \"{}\", \"strategy\": \"{}\", \"outputs\": {}, \
+             \"items_per_sec\": {:.1}}}{}",
+            r.benchmark, r.config, r.sched, r.mode, r.strategy, r.outputs, r.items_per_sec, comma
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let path = format!("BENCH_{label}.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
