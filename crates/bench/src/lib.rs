@@ -19,6 +19,10 @@ use streamlin_runtime::MatMulStrategy;
 /// The measured configurations of §5.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Config {
+    /// Fully interpreted program: no linear replacement at all, every
+    /// work function runs in the slot-resolved interpreter. The
+    /// interpreter-bound row of the perf trajectory.
+    Interp,
     /// Unoptimized program (per-filter direct execution — the paper's
     /// compiled-C baseline; see DESIGN.md's substitution notes).
     Baseline,
@@ -40,6 +44,7 @@ impl Config {
     /// Short label used in the printed tables.
     pub fn label(self) -> &'static str {
         match self {
+            Config::Interp => "interp",
             Config::Baseline => "baseline",
             Config::Linear => "linear",
             Config::Freq => "freq",
@@ -67,6 +72,7 @@ pub fn configure(bench: &Benchmark, config: Config) -> OptStream {
         },
     };
     match config {
+        Config::Interp => OptStream::from_graph(bench.graph()),
         Config::Baseline => replace(bench.graph(), &analysis, &ReplaceOptions::per_filter()),
         Config::Linear => replace(bench.graph(), &analysis, &ReplaceOptions::maximal_linear()),
         Config::Freq => replace(bench.graph(), &analysis, &freq(true)),

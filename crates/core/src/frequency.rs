@@ -21,7 +21,7 @@
 //! Nodes with `pop > 1` get a separate *decimator* stage that keeps the
 //! first `u` of every `u·o` outputs (the paper's `Decimator(o, u)`).
 
-use streamlin_fft::{halfcomplex_mul, FftKind, RealFft};
+use streamlin_fft::{halfcomplex_mul_into, FftKind, RealFft, RealFftScratch};
 use streamlin_support::num::next_pow2;
 use streamlin_support::{OpCounter, Tally};
 
@@ -223,10 +223,22 @@ pub struct FreqExec {
     /// Edge partials per output column (Optimized only), length `e − 1`.
     partials: Vec<Vec<f64>>,
     first: bool,
+    /// Zero-padded input block (`N` samples); the tail past the peek
+    /// window stays zero, so only the window is rewritten per firing.
+    block: Vec<f64>,
+    /// Forward spectrum of the block.
+    spectrum: Vec<f64>,
+    /// Column spectrum product `X .* H_j` (reused across columns).
+    product: Vec<f64>,
+    /// Per-column time-domain blocks.
+    columns: Vec<Vec<f64>>,
+    /// Complex workspace shared by the packed transforms.
+    scratch: RealFftScratch,
 }
 
 impl FreqExec {
-    /// Creates an executor over a plan.
+    /// Creates an executor over a plan. All per-firing buffers live here —
+    /// a firing performs no allocation beyond its returned output vector.
     pub fn new(spec: FreqSpec) -> Self {
         let fft = RealFft::new(spec.kind, spec.n).expect("spec holds a valid size");
         let u = spec.node.push();
@@ -235,6 +247,11 @@ impl FreqExec {
             fft,
             partials: vec![vec![0.0; e.saturating_sub(1)]; u],
             first: true,
+            block: vec![0.0; spec.n],
+            spectrum: Vec::new(),
+            product: Vec::new(),
+            columns: vec![Vec::new(); u],
+            scratch: RealFftScratch::default(),
             spec,
         }
     }
@@ -272,19 +289,22 @@ impl FreqExec {
         let e = self.spec.node.peek();
         let u = self.spec.node.push();
         let m = self.spec.m;
-        let n = self.spec.n;
 
-        // x ← window zero-padded to N; X ← FFT(N, x)
-        let mut x = vec![0.0; n];
-        x[..window.len()].copy_from_slice(window);
-        let spectrum = self.fft.forward(&x, ops);
+        // x ← window zero-padded to N; X ← FFT(N, x). The block buffer is
+        // owned by the executor: its tail past the (constant) peek window
+        // is zero from construction, so only the window is copied.
+        self.block[..window.len()].copy_from_slice(window);
+        self.fft
+            .forward_into(&self.block, &mut self.spectrum, &mut self.scratch, ops);
 
-        // Per column: Y = X .* H_j ; y = IFFT(Y)
-        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(u);
+        // Per column: Y = X .* H_j ; y = IFFT(Y) — into the executor's
+        // reused column buffers.
         for j in 0..u {
-            let y = halfcomplex_mul(&spectrum, &self.spec.h[j], ops);
-            columns.push(self.fft.inverse(&y, ops));
+            halfcomplex_mul_into(&self.spectrum, &self.spec.h[j], &mut self.product, ops);
+            self.fft
+                .inverse_into(&self.product, &mut self.columns[j], &mut self.scratch, ops);
         }
+        let columns = &self.columns;
 
         let mut out = Vec::with_capacity(push);
         let node = &self.spec.node;

@@ -45,7 +45,9 @@ mod simple;
 mod tuned;
 
 pub use complex::Complex;
-pub use real::{halfcomplex_len, halfcomplex_mul, FftKind, RealFft};
+pub use real::{
+    halfcomplex_len, halfcomplex_mul, halfcomplex_mul_into, FftKind, RealFft, RealFftScratch,
+};
 pub use reference::dft_naive;
 pub use simple::SimpleFft;
 pub use tuned::FftPlan;

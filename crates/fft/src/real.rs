@@ -27,6 +27,15 @@ pub fn halfcomplex_len(n: usize) -> usize {
     n
 }
 
+/// Reusable complex workspace for the packed real transforms. Callers
+/// that transform repeatedly (e.g. the frequency-stage executor firing
+/// once per block) hold one of these so the `n/2`-point complex buffer is
+/// allocated once instead of per transform.
+#[derive(Debug, Clone, Default)]
+pub struct RealFftScratch {
+    z: Vec<Complex>,
+}
+
 /// A real-input/real-output FFT of fixed power-of-two size.
 ///
 /// # Examples
@@ -100,9 +109,31 @@ impl RealFft {
     ///
     /// Panics if `x.len() != self.len()`.
     pub fn forward<T: Tally>(&self, x: &[f64], ops: &mut T) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.forward_into(x, &mut out, &mut RealFftScratch::default(), ops);
+        out
+    }
+
+    /// [`Self::forward`] into a caller-owned output buffer and complex
+    /// workspace — identical arithmetic in identical order, allocation-free
+    /// when the buffers are reused across calls (the `Simple` reference
+    /// tier still allocates internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn forward_into<T: Tally>(
+        &self,
+        x: &[f64],
+        out: &mut Vec<f64>,
+        scratch: &mut RealFftScratch,
+        ops: &mut T,
+    ) {
         assert_eq!(x.len(), self.n, "real fft input length mismatch");
+        out.clear();
         if self.n == 1 {
-            return vec![x[0]];
+            out.push(x[0]);
+            return;
         }
         match self.kind {
             FftKind::Simple => {
@@ -110,9 +141,9 @@ impl RealFft {
                 let spec = SimpleFft
                     .forward(&buf, ops)
                     .expect("size validated at construction");
-                pack_halfcomplex(&spec)
+                out.extend_from_slice(&pack_halfcomplex(&spec));
             }
-            FftKind::Tuned => self.forward_packed(x, ops),
+            FftKind::Tuned => self.forward_packed(x, out, scratch, ops),
         }
     }
 
@@ -123,9 +154,29 @@ impl RealFft {
     ///
     /// Panics if `hc.len() != self.len()`.
     pub fn inverse<T: Tally>(&self, hc: &[f64], ops: &mut T) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.inverse_into(hc, &mut out, &mut RealFftScratch::default(), ops);
+        out
+    }
+
+    /// [`Self::inverse`] into a caller-owned output buffer and complex
+    /// workspace (see [`Self::forward_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hc.len() != self.len()`.
+    pub fn inverse_into<T: Tally>(
+        &self,
+        hc: &[f64],
+        out: &mut Vec<f64>,
+        scratch: &mut RealFftScratch,
+        ops: &mut T,
+    ) {
         assert_eq!(hc.len(), self.n, "real ifft input length mismatch");
+        out.clear();
         if self.n == 1 {
-            return vec![hc[0]];
+            out.push(hc[0]);
+            return;
         }
         match self.kind {
             FftKind::Simple => {
@@ -133,26 +184,32 @@ impl RealFft {
                 let time = SimpleFft
                     .inverse(&spec, ops)
                     .expect("size validated at construction");
-                time.into_iter().map(|z| z.re).collect()
+                out.extend(time.into_iter().map(|z| z.re));
             }
-            FftKind::Tuned => self.inverse_packed(hc, ops),
+            FftKind::Tuned => self.inverse_packed(hc, out, scratch, ops),
         }
     }
 
     /// Packed real-input forward transform: an `n`-point real FFT via an
     /// `n/2`-point complex FFT of `z[k] = x[2k] + i·x[2k+1]`.
-    fn forward_packed<T: Tally>(&self, x: &[f64], ops: &mut T) -> Vec<f64> {
+    fn forward_packed<T: Tally>(
+        &self,
+        x: &[f64],
+        out: &mut Vec<f64>,
+        scratch: &mut RealFftScratch,
+        ops: &mut T,
+    ) {
         let n = self.n;
         let m = n / 2;
         let plan = self
             .half_plan
             .as_ref()
             .expect("tuned plan present for n >= 2");
-        let mut z: Vec<Complex> = (0..m)
-            .map(|k| Complex::new(x[2 * k], x[2 * k + 1]))
-            .collect();
-        plan.forward(&mut z, ops);
-        let mut out = vec![0.0; n];
+        let z = &mut scratch.z;
+        z.clear();
+        z.extend((0..m).map(|k| Complex::new(x[2 * k], x[2 * k + 1])));
+        plan.forward(z, ops);
+        out.resize(n, 0.0);
         for k in 0..=m {
             let zk = z[k % m];
             let zmk = z[(m - k) % m].conj();
@@ -171,11 +228,16 @@ impl RealFft {
                 out[n - k] = xk.im;
             }
         }
-        out
     }
 
     /// Packed real-input inverse transform.
-    fn inverse_packed<T: Tally>(&self, hc: &[f64], ops: &mut T) -> Vec<f64> {
+    fn inverse_packed<T: Tally>(
+        &self,
+        hc: &[f64],
+        out: &mut Vec<f64>,
+        scratch: &mut RealFftScratch,
+        ops: &mut T,
+    ) {
         let n = self.n;
         let m = n / 2;
         let plan = self
@@ -191,7 +253,9 @@ impl RealFft {
                 Complex::new(hc[k], hc[n - k])
             }
         };
-        let mut z = vec![Complex::zero(); m];
+        let z = &mut scratch.z;
+        z.clear();
+        z.resize(m, Complex::zero());
         for (k, zk) in z.iter_mut().enumerate() {
             let xk = bin(k);
             let xmk = bin(m - k).conj();
@@ -203,13 +267,12 @@ impl RealFft {
             *zk = Complex::new(fe.re - fo.im, fe.im + fo.re);
             ops.other(2);
         }
-        plan.inverse(&mut z, ops);
-        let mut out = vec![0.0; n];
+        plan.inverse(z, ops);
+        out.resize(n, 0.0);
         for (k, zk) in z.iter().enumerate() {
             out[2 * k] = zk.re;
             out[2 * k + 1] = zk.im;
         }
-        out
     }
 }
 
@@ -221,15 +284,28 @@ impl RealFft {
 ///
 /// Panics if the spectra have different lengths.
 pub fn halfcomplex_mul<T: Tally>(a: &[f64], b: &[f64], ops: &mut T) -> Vec<f64> {
+    let mut out = Vec::new();
+    halfcomplex_mul_into(a, b, &mut out, ops);
+    out
+}
+
+/// [`halfcomplex_mul`] into a caller-owned buffer — identical arithmetic,
+/// allocation-free when the buffer is reused across calls.
+///
+/// # Panics
+///
+/// Panics if the spectra have different lengths.
+pub fn halfcomplex_mul_into<T: Tally>(a: &[f64], b: &[f64], out: &mut Vec<f64>, ops: &mut T) {
     assert_eq!(a.len(), b.len(), "half-complex product length mismatch");
     let n = a.len();
-    let mut out = vec![0.0; n];
+    out.clear();
+    out.resize(n, 0.0);
     if n == 0 {
-        return out;
+        return;
     }
     out[0] = ops.mul(a[0], b[0]);
     if n == 1 {
-        return out;
+        return;
     }
     let m = n / 2;
     if n.is_multiple_of(2) {
@@ -248,7 +324,6 @@ pub fn halfcomplex_mul<T: Tally>(a: &[f64], b: &[f64], ops: &mut T) -> Vec<f64> 
         out[k] = ops.sub(rr, ii);
         out[n - k] = ops.add(ri, ir);
     }
-    out
 }
 
 /// Packs a full conjugate-symmetric spectrum into half-complex layout.

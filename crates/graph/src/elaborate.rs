@@ -282,6 +282,12 @@ impl<'a> Elaborator<'a> {
             .map(|w| self.resolve_work(w, &mut env))
             .transpose()?;
 
+        // Slot-resolve the work phases against the now-complete state:
+        // the runtime executes this form, and name errors surface here at
+        // elaboration instead of on the Nth firing.
+        let lowered = crate::lower::lower_filter(&env, &work, init_work.as_ref())
+            .map_err(|e| ElabError::new(format!("in a work function: {}", e.message)))?;
+
         let prints = block_prints(&f.work.body)
             || f.init_work.as_ref().is_some_and(|w| block_prints(&w.body));
 
@@ -305,6 +311,7 @@ impl<'a> Elaborator<'a> {
             work,
             init_work,
             prints,
+            lowered,
         })))
     }
 

@@ -1,15 +1,19 @@
 //! A statement/expression interpreter over the dialect AST.
 //!
-//! The same engine serves two masters:
+//! This is the **constant-context** engine: elaboration runs container
+//! bodies, filter `init` blocks and rate expressions through it under
+//! [`PureHost`], which rejects tape operations — mirroring how the
+//! StreamIt compiler resolves rates and weights at compile time (§2.1).
+//! Its environment is name-based (`HashMap<String, Cell>` scopes) because
+//! elaboration environments are genuinely dynamic.
 //!
-//! * **Constant evaluation** during elaboration (container bodies, filter
-//!   `init` blocks, rate expressions) uses [`PureHost`], which rejects tape
-//!   operations — mirroring how the StreamIt compiler resolves rates and
-//!   weights at compile time (§2.1).
-//! * **Runtime execution** of non-linear work functions in
-//!   `streamlin-runtime` supplies a tape-connected [`Host`] that also tallies
-//!   floating-point operations (the DynamoRIO-substitute accounting;
-//!   integer index arithmetic is free, matching the paper's FLOP metric).
+//! **Runtime execution** of work functions no longer goes through this
+//! engine: `streamlin-runtime` executes the slot-resolved form produced by
+//! [`crate::lower`], which shares this module's [`Host`] trait (tape
+//! access, printing, and the DynamoRIO-substitute FLOP accounting;
+//! integer index arithmetic is free, matching the paper's FLOP metric)
+//! and performs byte-for-byte the same arithmetic — the differential
+//! suite in `tests/interp_differential.rs` holds the two engines equal.
 
 use std::collections::HashMap;
 
@@ -127,16 +131,17 @@ impl<'a> Env<'a> {
 
 /// A small inline buffer for evaluated array indices. Benchmark arrays
 /// are at most 2-D, so index evaluation never allocates; deeper shapes
-/// spill to the heap.
+/// spill to the heap. Shared with the slot-resolved interpreter in
+/// [`crate::lower`].
 #[derive(Debug, Default)]
-struct IndexBuf {
+pub(crate) struct IndexBuf {
     inline: [usize; 2],
     len: usize,
     spill: Vec<usize>,
 }
 
 impl IndexBuf {
-    fn push(&mut self, i: usize) {
+    pub(crate) fn push(&mut self, i: usize) {
         if self.len < self.inline.len() {
             self.inline[self.len] = i;
         } else {
@@ -148,7 +153,7 @@ impl IndexBuf {
         self.len += 1;
     }
 
-    fn as_slice(&self) -> &[usize] {
+    pub(crate) fn as_slice(&self) -> &[usize] {
         if self.spill.is_empty() {
             &self.inline[..self.len]
         } else {
@@ -230,15 +235,12 @@ impl<'h, H: Host> Interp<'h, H> {
             }
             Stmt::Assign { target, op, value } => {
                 let rhs = self.eval(env, value)?;
-                let v = match op {
-                    None => rhs,
+                match op {
+                    None => self.assign(env, target, rhs)?,
                     Some(op) => {
-                        let cur = self.read_lvalue(env, target)?;
-                        self.count_binop(*op, cur, rhs);
-                        bin_op(*op, cur, rhs)?
+                        self.read_modify_write(env, target, *op, rhs)?;
                     }
-                };
-                self.assign(env, target, v)?;
+                }
                 Ok(Flow::Normal)
             }
             Stmt::If {
@@ -326,14 +328,7 @@ impl<'h, H: Host> Interp<'h, H> {
         })
     }
 
-    fn read_lvalue(&mut self, env: &mut Env<'_>, lv: &LValue) -> Result<Value, EvalError> {
-        match lv {
-            LValue::Var(name) => self.read_var(env, name),
-            LValue::Index(name, idx_exprs) => self.read_index(env, name, idx_exprs),
-        }
-    }
-
-    /// `read_lvalue` for a plain variable, on borrowed parts — the
+    /// Reads a plain variable, on borrowed parts — the
     /// interpreter's hottest read; no allocation, no AST cloning.
     fn read_var(&mut self, env: &mut Env<'_>, name: &str) -> Result<Value, EvalError> {
         match env.lookup_mut(name)? {
@@ -344,7 +339,7 @@ impl<'h, H: Host> Interp<'h, H> {
         }
     }
 
-    /// `read_lvalue` for an array element, on borrowed parts.
+    /// Reads an array element, on borrowed parts.
     fn read_index(
         &mut self,
         env: &mut Env<'_>,
@@ -357,6 +352,46 @@ impl<'h, H: Host> Interp<'h, H> {
             Cell::Scalar(..) => Err(EvalError::new(format!(
                 "`{name}` is a scalar, not an array"
             ))),
+        }
+    }
+
+    /// Applies `op` between the current value of `target` and `rhs` and
+    /// writes the result back, returning `(old, new)`. Index expressions
+    /// are evaluated exactly **once**, so a side-effecting index like
+    /// `a[i++] += x` bumps `i` a single time and reads and writes the same
+    /// element (compound assignment and `++`/`--` are read-modify-write of
+    /// one location, as in C).
+    fn read_modify_write(
+        &mut self,
+        env: &mut Env<'_>,
+        target: &LValue,
+        op: BinOp,
+        rhs: Value,
+    ) -> Result<(Value, Value), EvalError> {
+        match target {
+            LValue::Var(name) => {
+                let cur = self.read_var(env, name)?;
+                self.count_binop(op, cur, rhs);
+                let next = bin_op(op, cur, rhs)?;
+                match env.lookup_mut(name)? {
+                    Cell::Scalar(ty, slot) => *slot = next.coerce_to(*ty)?,
+                    Cell::Array(_) => unreachable!("read_var rejects arrays"),
+                }
+                Ok((cur, next))
+            }
+            LValue::Index(name, idx_exprs) => {
+                let idx = self.eval_indices(env, idx_exprs)?;
+                let Cell::Array(a) = env.lookup_mut(name)? else {
+                    return Err(EvalError::new(format!(
+                        "`{name}` is a scalar, not an array"
+                    )));
+                };
+                let cur = a.get(idx.as_slice())?;
+                self.count_binop(op, cur, rhs);
+                let next = bin_op(op, cur, rhs)?;
+                a.set(idx.as_slice(), next)?;
+                Ok((cur, next))
+            }
         }
     }
 
@@ -477,12 +512,8 @@ impl<'h, H: Host> Interp<'h, H> {
                 Ok(r)
             }
             Expr::PostIncDec { target, inc } => {
-                let cur = self.read_lvalue(env, target)?;
-                let one = Value::Int(1);
                 let op = if *inc { BinOp::Add } else { BinOp::Sub };
-                self.count_binop(op, cur, one);
-                let next = bin_op(op, cur, one)?;
-                self.assign(env, target, next)?;
+                let (cur, _) = self.read_modify_write(env, target, op, Value::Int(1))?;
                 Ok(cur)
             }
         }
@@ -743,6 +774,47 @@ mod tests {
             vec![0.0],
         );
         assert_eq!(host.pushed, vec![10.0, 1.0]);
+    }
+
+    #[test]
+    fn side_effecting_index_is_evaluated_once_in_compound_assign() {
+        // `a[i++] += 10` must bump `i` exactly once and read/write the
+        // same element (a regression: the index used to be evaluated for
+        // the read and again for the write).
+        let host = run_work(
+            "void->float filter F {
+                work push 3 {
+                    float[2] a;
+                    a[0] = 1; a[1] = 2;
+                    int i = 0;
+                    a[i++] += 10;
+                    push(a[0]);
+                    push(a[1]);
+                    push(i);
+                }
+            }",
+            vec![],
+        );
+        assert_eq!(host.pushed, vec![11.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn side_effecting_index_is_evaluated_once_in_post_inc() {
+        // `a[i++]++` must increment a[0] (old i), not a[1], and leave i=1.
+        let host = run_work(
+            "void->float filter F {
+                work push 3 {
+                    float[2] a;
+                    int i = 0;
+                    a[i++]++;
+                    push(a[0]);
+                    push(a[1]);
+                    push(i);
+                }
+            }",
+            vec![],
+        );
+        assert_eq!(host.pushed, vec![1.0, 0.0, 1.0]);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::rc::Rc;
 
 use streamlin_lang::ast::{Block, DataType};
 
+use crate::lower::LoweredFilter;
 use crate::value::Cell;
 
 /// Resolved I/O rates and body of one work phase.
@@ -54,6 +55,11 @@ pub struct FilterInst {
     /// True if any work body prints (a side effect that must never be
     /// collapsed away — printing filters are treated as non-linear).
     pub prints: bool,
+    /// The slot-resolved form of the work phases (see [`crate::lower`]):
+    /// what the runtime interpreter actually executes. The AST bodies in
+    /// [`Self::work`]/[`Self::init_work`] remain the input of the linear
+    /// extraction analysis and the pretty-printer.
+    pub lowered: LoweredFilter,
 }
 
 impl FilterInst {
@@ -204,6 +210,7 @@ mod tests {
             },
             init_work: None,
             prints: false,
+            lowered: LoweredFilter::default(),
         }))
     }
 

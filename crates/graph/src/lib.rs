@@ -14,10 +14,16 @@
 //!   filter instances (with evaluated field values and I/O rates) composed
 //!   by pipelines, splitjoins and feedbackloops, mirroring the StreamIt SIR
 //!   the paper's compiler operates on (§4.4).
+//! * [`lower`] — slot resolution of work-function bodies: every field,
+//!   parameter and lexical local is assigned a storage slot at elaboration
+//!   (shadowing resolved statically), and the runtime executes the
+//!   resolved tree over plain `Vec<Cell>` storage — no name hashing on the
+//!   firing path.
 //! * [`elaborate`] — instantiation of parameterized stream declarations:
 //!   runs container bodies and filter `init` blocks under constant
 //!   evaluation, exactly like the StreamIt compiler resolves its graph at
-//!   compile time (§2.1: "these rates must be resolvable at compile time").
+//!   compile time (§2.1: "these rates must be resolvable at compile time"),
+//!   and lowers each filter's work phases to their slot-resolved form.
 //! * [`steady`] — the steady-state schedule solver (SDF balance equations,
 //!   solved hierarchically with exact rationals), providing the repetition
 //!   counts used by the cost model of the optimization-selection pass.
@@ -42,10 +48,12 @@
 pub mod elaborate;
 pub mod exec;
 pub mod ir;
+pub mod lower;
 pub mod stats;
 pub mod steady;
 pub mod value;
 
 pub use elaborate::{elaborate, ElabError};
 pub use ir::{FilterInst, Joiner, Splitter, Stream};
+pub use lower::{LoweredFilter, SlotInterp, SlotStore};
 pub use value::Value;

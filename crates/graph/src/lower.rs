@@ -1,0 +1,1023 @@
+//! Slot resolution: compiling work-function bodies for the runtime.
+//!
+//! The paper's compiler resolves every filter name at elaboration time
+//! (§2.1, §4.4): fields, parameters and locals are ordinary storage by the
+//! time code runs. The AST interpreter in [`crate::exec`] instead resolved
+//! names *per access* — a `HashMap<String, Cell>` probe for every variable
+//! read and a fresh scope map for every executed block — which put a
+//! hashing floor under every interpreted benchmark. This module removes
+//! that floor:
+//!
+//! * [`lower_filter`] walks each work body **once** at elaboration,
+//!   assigns every field/parameter a *global* slot and every lexical local
+//!   a *frame* slot (static scoping, shadowing resolved at lowering), and
+//!   emits a resolved tree ([`RStmt`]/[`RExpr`]) in which `Expr::Var(name)`
+//!   has become [`RExpr::Var`]`(`[`Slot`]`)`. Unknown names, unknown
+//!   functions, wrong intrinsic arity and `add` statements are reported
+//!   here — at compile time — instead of on the Nth firing.
+//! * [`SlotInterp`] executes the resolved tree over two plain `Vec<Cell>`
+//!   arrays (persistent globals + a reusable frame): no per-block scope
+//!   maps, no string hashing, no name cloning on the firing path. It
+//!   drives the same [`Host`] trait as the AST interpreter and performs
+//!   byte-for-byte the same arithmetic in the same order, so outputs and
+//!   operation tallies are identical — `tests/interp_differential.rs`
+//!   pins that down across the nine benchmarks.
+//!
+//! The name-based [`crate::exec::Interp`] remains the engine for constant
+//! contexts (container bodies, `init` blocks, rate expressions), where
+//! the environment is genuinely dynamic.
+
+use std::collections::HashMap;
+
+use streamlin_lang::ast::{BinOp, Block, DataType, Expr, LValue, Stmt, UnOp};
+
+use crate::exec::{Flow, Host, IndexBuf};
+use crate::ir::WorkFn;
+use crate::value::{bin_op, un_op, ArrayVal, Cell, EvalError, MathFn, Value};
+
+/// A static resolution error (undefined name, unknown function, `add` in a
+/// work body). Reported at elaboration time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl LowerError {
+    fn new(message: impl Into<String>) -> Self {
+        LowerError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// A resolved storage location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// Persistent cell (field, stream parameter or captured constant):
+    /// index into the instance's global vector, fixed by
+    /// [`LoweredFilter::globals`].
+    Global(u32),
+    /// Per-firing local: index into the frame vector. Disjoint lexical
+    /// scopes reuse frame slots; every local is (re)declared before use,
+    /// so stale frame contents are never observable.
+    Frame(u32),
+}
+
+/// A resolved assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RLValue {
+    /// A scalar variable.
+    Var(Slot),
+    /// An array element.
+    Index(Slot, Vec<RExpr>),
+}
+
+/// A resolved expression. Mirrors [`Expr`] with names replaced by slots,
+/// `pi` folded to its value, intrinsics resolved to [`MathFn`], and
+/// `print`/`println` split out of the call form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (also lowered `pi`).
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable read.
+    Var(Slot),
+    /// Array element read.
+    Index(Slot, Vec<RExpr>),
+    /// Unary operation.
+    Unary(UnOp, Box<RExpr>),
+    /// Binary operation (`&&`/`||` short-circuit).
+    Binary(BinOp, Box<RExpr>, Box<RExpr>),
+    /// `peek(i)`.
+    Peek(Box<RExpr>),
+    /// `pop()`.
+    Pop,
+    /// `push(v)`.
+    Push(Box<RExpr>),
+    /// Math intrinsic call (arity validated at lowering; never above 2).
+    Math(MathFn, Vec<RExpr>),
+    /// `print(v)` / `println(v)`.
+    Print {
+        /// True for `println`.
+        newline: bool,
+        /// The printed value.
+        arg: Box<RExpr>,
+    },
+    /// Postfix `++`/`--` (evaluates to the pre-increment value).
+    PostIncDec {
+        /// The mutated location.
+        target: RLValue,
+        /// `true` for `++`.
+        inc: bool,
+    },
+}
+
+/// A resolved statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RStmt {
+    /// Local declaration into a frame slot. Executing it installs a fresh
+    /// zero cell (dimensions re-evaluated), then applies the initializer.
+    Decl {
+        /// Target frame slot.
+        slot: u32,
+        /// Element type.
+        base: DataType,
+        /// Array dimensions (empty for scalars).
+        dims: Vec<RExpr>,
+        /// Optional initializer.
+        init: Option<RExpr>,
+    },
+    /// Assignment through `=` or a compound operator.
+    Assign {
+        /// Target location.
+        target: RLValue,
+        /// Compound operator (`None` for plain `=`).
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: RExpr,
+    },
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: RExpr,
+        /// Then branch.
+        then_blk: Vec<RStmt>,
+        /// Optional else branch.
+        else_blk: Option<Vec<RStmt>>,
+    },
+    /// C-style `for`.
+    For {
+        /// Initialization statement.
+        init: Option<Box<RStmt>>,
+        /// Condition (absent means `true`).
+        cond: Option<RExpr>,
+        /// Step statement.
+        step: Option<Box<RStmt>>,
+        /// Body.
+        body: Vec<RStmt>,
+    },
+    /// `while`.
+    While {
+        /// Condition.
+        cond: RExpr,
+        /// Body.
+        body: Vec<RStmt>,
+    },
+    /// Expression statement.
+    Expr(RExpr),
+    /// `return;`.
+    Return,
+}
+
+/// One lowered work phase.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoweredWork {
+    /// The resolved body.
+    pub body: Vec<RStmt>,
+    /// Frame slots this phase needs.
+    pub frame_slots: usize,
+}
+
+/// The slot-resolved form of a filter's work phases, produced at
+/// elaboration and carried on [`crate::ir::FilterInst`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoweredFilter {
+    /// Global slot `i` holds the cell of `globals[i]` (sorted field,
+    /// parameter and captured-constant names — the deterministic order the
+    /// runtime uses to build its `Vec<Cell>` from the instance state).
+    pub globals: Vec<String>,
+    /// The steady-state work phase.
+    pub work: LoweredWork,
+    /// The optional first-firing phase.
+    pub init_work: Option<LoweredWork>,
+}
+
+impl LoweredFilter {
+    /// Frame slots needed to run any phase of this filter.
+    pub fn frame_slots(&self) -> usize {
+        self.work
+            .frame_slots
+            .max(self.init_work.as_ref().map_or(0, |w| w.frame_slots))
+    }
+}
+
+/// Lowers a filter's work phases against its persistent state (fields,
+/// parameters, captured constants).
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] for undefined names, unknown functions, wrong
+/// intrinsic arity, or `add` statements inside a work body.
+pub fn lower_filter(
+    state: &HashMap<String, Cell>,
+    work: &WorkFn,
+    init_work: Option<&WorkFn>,
+) -> Result<LoweredFilter, LowerError> {
+    let mut globals: Vec<String> = state.keys().cloned().collect();
+    globals.sort();
+    let index: HashMap<&str, u32> = globals
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as u32))
+        .collect();
+    let lowered_work = lower_work(&index, &work.body)?;
+    let lowered_init = init_work.map(|w| lower_work(&index, &w.body)).transpose()?;
+    Ok(LoweredFilter {
+        globals,
+        work: lowered_work,
+        init_work: lowered_init,
+    })
+}
+
+fn lower_work(globals: &HashMap<&str, u32>, body: &Block) -> Result<LoweredWork, LowerError> {
+    let mut lo = Lowerer {
+        globals,
+        scopes: Vec::new(),
+        next_frame: 0,
+        max_frame: 0,
+    };
+    let body = lo.lower_block(body)?;
+    Ok(LoweredWork {
+        body,
+        frame_slots: lo.max_frame as usize,
+    })
+}
+
+/// The lowering pass: a lexical scope stack mapping names to frame slots,
+/// with the persistent names underneath. Slot allocation is stack-shaped:
+/// leaving a scope releases its slots for reuse by sibling scopes, and
+/// `max_frame` records the high-water mark that sizes the runtime frame.
+struct Lowerer<'a> {
+    globals: &'a HashMap<&'a str, u32>,
+    scopes: Vec<(HashMap<String, u32>, u32)>,
+    next_frame: u32,
+    max_frame: u32,
+}
+
+impl Lowerer<'_> {
+    fn push_scope(&mut self) {
+        self.scopes.push((HashMap::new(), self.next_frame));
+    }
+
+    fn pop_scope(&mut self) {
+        let (_, watermark) = self.scopes.pop().expect("scope stack underflow");
+        self.next_frame = watermark;
+    }
+
+    fn declare(&mut self, name: &str) -> u32 {
+        let slot = self.next_frame;
+        self.next_frame += 1;
+        self.max_frame = self.max_frame.max(self.next_frame);
+        self.scopes
+            .last_mut()
+            .expect("declarations only occur inside a scope")
+            .0
+            .insert(name.to_string(), slot);
+        slot
+    }
+
+    fn resolve(&self, name: &str) -> Result<Slot, LowerError> {
+        for (scope, _) in self.scopes.iter().rev() {
+            if let Some(&s) = scope.get(name) {
+                return Ok(Slot::Frame(s));
+            }
+        }
+        self.globals
+            .get(name)
+            .map(|&i| Slot::Global(i))
+            .ok_or_else(|| LowerError::new(format!("undefined variable `{name}`")))
+    }
+
+    fn lower_block(&mut self, block: &Block) -> Result<Vec<RStmt>, LowerError> {
+        self.push_scope();
+        let r = self.lower_stmts(&block.stmts);
+        self.pop_scope();
+        r
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<RStmt>, LowerError> {
+        stmts.iter().map(|s| self.lower_stmt(s)).collect()
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<RStmt, LowerError> {
+        Ok(match stmt {
+            Stmt::Decl { ty, name, init } => {
+                // Dimensions are evaluated before the name becomes
+                // visible; the initializer sees the new (zeroed) variable,
+                // exactly as in the AST interpreter.
+                let dims = self.lower_exprs(&ty.dims)?;
+                let slot = self.declare(name);
+                let init = init.as_ref().map(|e| self.lower_expr(e)).transpose()?;
+                RStmt::Decl {
+                    slot,
+                    base: ty.base,
+                    dims,
+                    init,
+                }
+            }
+            Stmt::Assign { target, op, value } => RStmt::Assign {
+                target: self.lower_lvalue(target)?,
+                op: *op,
+                value: self.lower_expr(value)?,
+            },
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => RStmt::If {
+                cond: self.lower_expr(cond)?,
+                then_blk: self.lower_block(then_blk)?,
+                else_blk: else_blk.as_ref().map(|b| self.lower_block(b)).transpose()?,
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // The init declaration lives in its own scope that also
+                // encloses the condition, step and body.
+                self.push_scope();
+                let r = (|| {
+                    Ok(RStmt::For {
+                        init: init
+                            .as_deref()
+                            .map(|s| self.lower_stmt(s).map(Box::new))
+                            .transpose()?,
+                        cond: cond.as_ref().map(|e| self.lower_expr(e)).transpose()?,
+                        step: step
+                            .as_deref()
+                            .map(|s| self.lower_stmt(s).map(Box::new))
+                            .transpose()?,
+                        body: self.lower_block(body)?,
+                    })
+                })();
+                self.pop_scope();
+                r?
+            }
+            Stmt::While { cond, body } => RStmt::While {
+                cond: self.lower_expr(cond)?,
+                body: self.lower_block(body)?,
+            },
+            Stmt::Expr(e) => RStmt::Expr(self.lower_expr(e)?),
+            Stmt::Return => RStmt::Return,
+            Stmt::Add(_) => {
+                return Err(LowerError::new(
+                    "`add` is only allowed in stream container bodies",
+                ))
+            }
+        })
+    }
+
+    fn lower_lvalue(&mut self, lv: &LValue) -> Result<RLValue, LowerError> {
+        Ok(match lv {
+            LValue::Var(name) => RLValue::Var(self.resolve(name)?),
+            LValue::Index(name, idx) => RLValue::Index(self.resolve(name)?, self.lower_exprs(idx)?),
+        })
+    }
+
+    fn lower_exprs(&mut self, exprs: &[Expr]) -> Result<Vec<RExpr>, LowerError> {
+        exprs.iter().map(|e| self.lower_expr(e)).collect()
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<RExpr, LowerError> {
+        Ok(match expr {
+            Expr::Int(v) => RExpr::Int(*v),
+            Expr::Float(v) => RExpr::Float(*v),
+            Expr::Bool(v) => RExpr::Bool(*v),
+            Expr::Pi => RExpr::Float(std::f64::consts::PI),
+            Expr::Var(name) => RExpr::Var(self.resolve(name)?),
+            Expr::Index(name, idx) => RExpr::Index(self.resolve(name)?, self.lower_exprs(idx)?),
+            Expr::Unary(op, e) => RExpr::Unary(*op, Box::new(self.lower_expr(e)?)),
+            Expr::Binary(op, a, b) => RExpr::Binary(
+                *op,
+                Box::new(self.lower_expr(a)?),
+                Box::new(self.lower_expr(b)?),
+            ),
+            Expr::Peek(i) => RExpr::Peek(Box::new(self.lower_expr(i)?)),
+            Expr::Pop => RExpr::Pop,
+            Expr::Push(e) => RExpr::Push(Box::new(self.lower_expr(e)?)),
+            Expr::Call(name, args) => {
+                if name == "print" || name == "println" {
+                    if args.len() != 1 {
+                        return Err(LowerError::new(format!("{name} expects 1 argument")));
+                    }
+                    return Ok(RExpr::Print {
+                        newline: name == "println",
+                        arg: Box::new(self.lower_expr(&args[0])?),
+                    });
+                }
+                let f = MathFn::from_name(name)
+                    .ok_or_else(|| LowerError::new(format!("unknown function `{name}`")))?;
+                if args.len() != f.arity() {
+                    return Err(LowerError::new(format!(
+                        "{name} expects {} argument(s), got {}",
+                        f.arity(),
+                        args.len()
+                    )));
+                }
+                RExpr::Math(f, self.lower_exprs(args)?)
+            }
+            Expr::PostIncDec { target, inc } => RExpr::PostIncDec {
+                target: self.lower_lvalue(target)?,
+                inc: *inc,
+            },
+        })
+    }
+}
+
+// ---- execution --------------------------------------------------------------
+
+/// The storage a firing executes over: the instance's persistent globals
+/// (ordered by [`LoweredFilter::globals`]) and a reusable local frame.
+#[derive(Debug)]
+pub struct SlotStore<'a> {
+    /// Persistent cells, global slot order.
+    pub globals: &'a mut [Cell],
+    /// Frame cells; contents need not be initialized (every local is
+    /// declared before use).
+    pub frame: &'a mut [Cell],
+}
+
+impl SlotStore<'_> {
+    #[inline]
+    fn cell_mut(&mut self, slot: Slot) -> &mut Cell {
+        match slot {
+            Slot::Global(i) => &mut self.globals[i as usize],
+            Slot::Frame(i) => &mut self.frame[i as usize],
+        }
+    }
+}
+
+/// The slot-resolved interpreter: same [`Host`] protocol, same fuel
+/// discipline and byte-for-byte the same arithmetic as
+/// [`crate::exec::Interp`], over direct vector indexing instead of name
+/// lookup.
+#[derive(Debug)]
+pub struct SlotInterp<'h, H: Host> {
+    host: &'h mut H,
+    fuel: u64,
+}
+
+impl<'h, H: Host> SlotInterp<'h, H> {
+    /// Creates an interpreter with the given fuel budget.
+    pub fn new(host: &'h mut H, fuel: u64) -> Self {
+        SlotInterp { host, fuel }
+    }
+
+    #[inline]
+    fn spend(&mut self) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::new(
+                "execution fuel exhausted (possible infinite loop)",
+            ));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Executes a lowered work body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EvalError`] from the statements.
+    pub fn exec_work(
+        &mut self,
+        store: &mut SlotStore<'_>,
+        body: &[RStmt],
+    ) -> Result<Flow, EvalError> {
+        self.exec_stmts(store, body)
+    }
+
+    fn exec_stmts(
+        &mut self,
+        store: &mut SlotStore<'_>,
+        stmts: &[RStmt],
+    ) -> Result<Flow, EvalError> {
+        for s in stmts {
+            if self.exec_stmt(store, s)? == Flow::Return {
+                return Ok(Flow::Return);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, store: &mut SlotStore<'_>, stmt: &RStmt) -> Result<Flow, EvalError> {
+        self.spend()?;
+        match stmt {
+            RStmt::Decl {
+                slot,
+                base,
+                dims,
+                init,
+            } => {
+                let cell = if dims.is_empty() {
+                    Cell::Scalar(*base, Value::zero_of(*base))
+                } else {
+                    let mut sizes = Vec::with_capacity(dims.len());
+                    for d in dims {
+                        sizes.push(self.eval(store, d)?.as_index()?);
+                    }
+                    Cell::Array(ArrayVal::zeros(*base, sizes))
+                };
+                store.frame[*slot as usize] = cell;
+                if let Some(e) = init {
+                    let v = self.eval(store, e)?;
+                    match &mut store.frame[*slot as usize] {
+                        Cell::Scalar(ty, cur) => *cur = v.coerce_to(*ty)?,
+                        Cell::Array(_) => {
+                            return Err(EvalError::new("cannot assign a scalar to an array"))
+                        }
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            RStmt::Assign { target, op, value } => {
+                let rhs = self.eval(store, value)?;
+                match op {
+                    None => self.assign(store, target, rhs)?,
+                    Some(op) => {
+                        self.read_modify_write(store, target, *op, rhs)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            RStmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self.eval(store, cond)?.as_bool()?;
+                if c {
+                    self.exec_stmts(store, then_blk)
+                } else if let Some(e) = else_blk {
+                    self.exec_stmts(store, e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            RStmt::While { cond, body } => {
+                loop {
+                    self.spend()?;
+                    if !self.eval(store, cond)?.as_bool()? {
+                        break;
+                    }
+                    if self.exec_stmts(store, body)? == Flow::Return {
+                        return Ok(Flow::Return);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            RStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    if self.exec_stmt(store, i)? == Flow::Return {
+                        return Ok(Flow::Return);
+                    }
+                }
+                loop {
+                    self.spend()?;
+                    let go = match cond {
+                        Some(c) => self.eval(store, c)?.as_bool()?,
+                        None => true,
+                    };
+                    if !go {
+                        break;
+                    }
+                    if self.exec_stmts(store, body)? == Flow::Return {
+                        return Ok(Flow::Return);
+                    }
+                    if let Some(s) = step {
+                        if self.exec_stmt(store, s)? == Flow::Return {
+                            return Ok(Flow::Return);
+                        }
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            RStmt::Expr(e) => {
+                self.eval(store, e)?;
+                Ok(Flow::Normal)
+            }
+            RStmt::Return => Ok(Flow::Return),
+        }
+    }
+
+    #[inline]
+    fn read_var(&mut self, store: &mut SlotStore<'_>, slot: Slot) -> Result<Value, EvalError> {
+        match store.cell_mut(slot) {
+            Cell::Scalar(_, v) => Ok(*v),
+            Cell::Array(_) => Err(EvalError::new(
+                "variable is an array; index it to read an element",
+            )),
+        }
+    }
+
+    fn read_index(
+        &mut self,
+        store: &mut SlotStore<'_>,
+        slot: Slot,
+        idx_exprs: &[RExpr],
+    ) -> Result<Value, EvalError> {
+        let idx = self.eval_indices(store, idx_exprs)?;
+        match store.cell_mut(slot) {
+            Cell::Array(a) => a.get(idx.as_slice()),
+            Cell::Scalar(..) => Err(EvalError::new("variable is a scalar, not an array")),
+        }
+    }
+
+    fn assign(
+        &mut self,
+        store: &mut SlotStore<'_>,
+        lv: &RLValue,
+        v: Value,
+    ) -> Result<(), EvalError> {
+        match lv {
+            RLValue::Var(slot) => match store.cell_mut(*slot) {
+                Cell::Scalar(ty, cur) => {
+                    *cur = v.coerce_to(*ty)?;
+                    Ok(())
+                }
+                Cell::Array(_) => Err(EvalError::new("cannot assign a scalar to an array")),
+            },
+            RLValue::Index(slot, idx_exprs) => {
+                let idx = self.eval_indices(store, idx_exprs)?;
+                match store.cell_mut(*slot) {
+                    Cell::Array(a) => a.set(idx.as_slice(), v),
+                    Cell::Scalar(..) => Err(EvalError::new("variable is a scalar, not an array")),
+                }
+            }
+        }
+    }
+
+    /// Read-modify-write of one location with a single index evaluation
+    /// (the same single-evaluation semantics as
+    /// [`crate::exec::Interp`]). Returns `(old, new)`.
+    fn read_modify_write(
+        &mut self,
+        store: &mut SlotStore<'_>,
+        target: &RLValue,
+        op: BinOp,
+        rhs: Value,
+    ) -> Result<(Value, Value), EvalError> {
+        match target {
+            RLValue::Var(slot) => {
+                let cur = self.read_var(store, *slot)?;
+                self.count_binop(op, cur, rhs);
+                let next = bin_op(op, cur, rhs)?;
+                match store.cell_mut(*slot) {
+                    Cell::Scalar(ty, cell) => *cell = next.coerce_to(*ty)?,
+                    Cell::Array(_) => unreachable!("read_var rejects arrays"),
+                }
+                Ok((cur, next))
+            }
+            RLValue::Index(slot, idx_exprs) => {
+                let idx = self.eval_indices(store, idx_exprs)?;
+                let Cell::Array(a) = store.cell_mut(*slot) else {
+                    return Err(EvalError::new("variable is a scalar, not an array"));
+                };
+                let cur = a.get(idx.as_slice())?;
+                self.count_binop(op, cur, rhs);
+                let next = bin_op(op, cur, rhs)?;
+                a.set(idx.as_slice(), next)?;
+                Ok((cur, next))
+            }
+        }
+    }
+
+    fn eval_indices(
+        &mut self,
+        store: &mut SlotStore<'_>,
+        exprs: &[RExpr],
+    ) -> Result<IndexBuf, EvalError> {
+        let mut idx = IndexBuf::default();
+        for e in exprs {
+            idx.push(self.eval(store, e)?.as_index()?);
+        }
+        Ok(idx)
+    }
+
+    fn count_binop(&mut self, op: BinOp, a: Value, b: Value) {
+        if !(a.is_float() || b.is_float()) {
+            return; // integer/boolean ops are not FP instructions
+        }
+        match op {
+            BinOp::Add | BinOp::Sub => self.host.count_add(),
+            BinOp::Mul => self.host.count_mul(),
+            BinOp::Div => self.host.count_div(),
+            BinOp::Rem => self.host.count_other(), // fprem
+            op if op.is_comparison() => self.host.count_other(), // fcom
+            _ => {}
+        }
+    }
+
+    /// Evaluates a resolved expression.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EvalError`].
+    pub fn eval(&mut self, store: &mut SlotStore<'_>, expr: &RExpr) -> Result<Value, EvalError> {
+        match expr {
+            RExpr::Int(v) => Ok(Value::Int(*v)),
+            RExpr::Float(v) => Ok(Value::Float(*v)),
+            RExpr::Bool(v) => Ok(Value::Bool(*v)),
+            RExpr::Var(slot) => self.read_var(store, *slot),
+            RExpr::Index(slot, idx) => self.read_index(store, *slot, idx),
+            RExpr::Unary(op, e) => {
+                let v = self.eval(store, e)?;
+                if *op == UnOp::Neg && v.is_float() {
+                    self.host.count_other(); // fchs
+                }
+                un_op(*op, v)
+            }
+            RExpr::Binary(op, a, b) => {
+                // Short-circuit logical operators.
+                if *op == BinOp::And {
+                    return Ok(Value::Bool(
+                        self.eval(store, a)?.as_bool()? && self.eval(store, b)?.as_bool()?,
+                    ));
+                }
+                if *op == BinOp::Or {
+                    return Ok(Value::Bool(
+                        self.eval(store, a)?.as_bool()? || self.eval(store, b)?.as_bool()?,
+                    ));
+                }
+                let x = self.eval(store, a)?;
+                let y = self.eval(store, b)?;
+                self.count_binop(*op, x, y);
+                bin_op(*op, x, y)
+            }
+            RExpr::Peek(i) => {
+                let i = self.eval(store, i)?.as_index()?;
+                Ok(Value::Float(self.host.peek(i)?))
+            }
+            RExpr::Pop => Ok(Value::Float(self.host.pop()?)),
+            RExpr::Push(e) => {
+                let v = self.eval(store, e)?.as_f64()?;
+                self.host.push(v)?;
+                // `push` has no value; Int(0) keeps it harmless in
+                // expression statements.
+                Ok(Value::Int(0))
+            }
+            RExpr::Math(f, args) => {
+                // Arity was validated at lowering and never exceeds 2, so
+                // argument evaluation needs no heap.
+                let mut vals = [Value::Int(0); 2];
+                for (slot, a) in vals.iter_mut().zip(args) {
+                    *slot = self.eval(store, a)?;
+                }
+                let r = f.call(&vals[..args.len()])?;
+                if r.is_float() {
+                    self.host.count_other(); // transcendental FP instruction
+                }
+                Ok(r)
+            }
+            RExpr::Print { newline, arg } => {
+                let v = self.eval(store, arg)?;
+                self.host.print(v, *newline)?;
+                Ok(Value::Int(0))
+            }
+            RExpr::PostIncDec { target, inc } => {
+                let op = if *inc { BinOp::Add } else { BinOp::Sub };
+                let (cur, _) = self.read_modify_write(store, target, op, Value::Int(1))?;
+                Ok(cur)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlin_lang::ast::StreamKind;
+    use streamlin_lang::parse;
+
+    fn lowered_for(src: &str) -> (LoweredFilter, HashMap<String, Cell>) {
+        let p = parse(src).unwrap();
+        let StreamKind::Filter(f) = &p.decls[0].kind else {
+            panic!("expected filter");
+        };
+        let mut state = HashMap::new();
+        for field in &f.fields {
+            state.insert(field.name.clone(), Cell::zero_of(field.ty.base, Vec::new()));
+        }
+        let work = WorkFn {
+            peek: 0,
+            pop: 0,
+            push: 0,
+            body: f.work.body.clone(),
+        };
+        (lower_filter(&state, &work, None).unwrap(), state)
+    }
+
+    /// Host used by the lowering unit tests.
+    #[derive(Default)]
+    struct TestHost {
+        pushed: Vec<f64>,
+    }
+
+    impl Host for TestHost {
+        fn peek(&mut self, _i: usize) -> Result<f64, EvalError> {
+            Err(EvalError::new("no input"))
+        }
+        fn pop(&mut self) -> Result<f64, EvalError> {
+            Err(EvalError::new("no input"))
+        }
+        fn push(&mut self, v: f64) -> Result<(), EvalError> {
+            self.pushed.push(v);
+            Ok(())
+        }
+        fn print(&mut self, v: Value, _nl: bool) -> Result<(), EvalError> {
+            self.pushed.push(v.as_f64()?);
+            Ok(())
+        }
+    }
+
+    fn run(src: &str) -> Vec<f64> {
+        let (lowered, state) = lowered_for(src);
+        let mut globals: Vec<Cell> = lowered.globals.iter().map(|n| state[n].clone()).collect();
+        let mut frame = vec![Cell::Scalar(DataType::Int, Value::Int(0)); lowered.frame_slots()];
+        let mut host = TestHost::default();
+        let mut interp = SlotInterp::new(&mut host, 1_000_000);
+        let mut store = SlotStore {
+            globals: &mut globals,
+            frame: &mut frame,
+        };
+        interp.exec_work(&mut store, &lowered.work.body).unwrap();
+        host.pushed
+    }
+
+    #[test]
+    fn globals_are_sorted_and_resolved() {
+        let (lowered, _) = lowered_for(
+            "void->float filter F {
+                float z; float a;
+                work push 1 { push(a + z); }
+            }",
+        );
+        assert_eq!(lowered.globals, vec!["a".to_string(), "z".to_string()]);
+        // `a + z` resolves to Global(0) + Global(1).
+        let RStmt::Expr(RExpr::Push(e)) = &lowered.work.body[0] else {
+            panic!("{:?}", lowered.work.body);
+        };
+        let RExpr::Binary(BinOp::Add, lhs, rhs) = &**e else {
+            panic!()
+        };
+        assert_eq!(**lhs, RExpr::Var(Slot::Global(0)));
+        assert_eq!(**rhs, RExpr::Var(Slot::Global(1)));
+    }
+
+    #[test]
+    fn locals_shadow_globals_statically() {
+        let (lowered, _) = lowered_for(
+            "void->float filter F {
+                float x;
+                work push 2 {
+                    push(x);
+                    float x = 7;
+                    push(x);
+                }
+            }",
+        );
+        let RStmt::Expr(RExpr::Push(first)) = &lowered.work.body[0] else {
+            panic!()
+        };
+        assert_eq!(**first, RExpr::Var(Slot::Global(0)));
+        let RStmt::Expr(RExpr::Push(second)) = &lowered.work.body[2] else {
+            panic!()
+        };
+        assert_eq!(**second, RExpr::Var(Slot::Frame(0)));
+    }
+
+    #[test]
+    fn inner_scopes_shadow_and_restore() {
+        // Mirrors exec.rs's scoping_shadows_and_restores, through slots.
+        let pushed = run("void->float filter F {
+                work push 2 {
+                    int x = 1;
+                    for (int x = 10; x < 11; x++) { push(x); }
+                    push(x);
+                }
+            }");
+        assert_eq!(pushed, vec![10.0, 1.0]);
+    }
+
+    #[test]
+    fn sibling_scopes_reuse_frame_slots() {
+        let (lowered, _) = lowered_for(
+            "void->float filter F {
+                work push 2 {
+                    if (true) { int a = 1; push(a); }
+                    if (true) { int b = 2; push(b); }
+                }
+            }",
+        );
+        // Both branch locals occupy frame slot 0; the frame never grows
+        // past one slot.
+        assert_eq!(lowered.work.frame_slots, 1);
+    }
+
+    #[test]
+    fn declaration_initializer_sees_the_new_zeroed_variable() {
+        // `int x = x + 1` reads the freshly declared x (0), not an outer
+        // binding — the AST interpreter's declare-then-assign order.
+        let pushed = run("void->float filter F {
+                work push 2 {
+                    int x = 40;
+                    if (true) {
+                        int x = x + 1;
+                        push(x);
+                    }
+                    push(x);
+                }
+            }");
+        assert_eq!(pushed, vec![1.0, 40.0]);
+    }
+
+    #[test]
+    fn undefined_variable_is_a_lowering_error() {
+        let p = parse("void->float filter F { work push 1 { push(nope); } }").unwrap();
+        let StreamKind::Filter(f) = &p.decls[0].kind else {
+            panic!()
+        };
+        let work = WorkFn {
+            peek: 0,
+            pop: 0,
+            push: 1,
+            body: f.work.body.clone(),
+        };
+        let err = lower_filter(&HashMap::new(), &work, None).unwrap_err();
+        assert!(err.message.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn unknown_function_is_a_lowering_error() {
+        let p = parse("void->float filter F { work push 1 { push(frob(1)); } }").unwrap();
+        let StreamKind::Filter(f) = &p.decls[0].kind else {
+            panic!()
+        };
+        let work = WorkFn {
+            peek: 0,
+            pop: 0,
+            push: 1,
+            body: f.work.body.clone(),
+        };
+        let err = lower_filter(&HashMap::new(), &work, None).unwrap_err();
+        assert!(err.message.contains("frob"), "{err}");
+    }
+
+    #[test]
+    fn loop_locals_redeclare_per_iteration() {
+        let pushed = run("void->float filter F {
+                work push 3 {
+                    for (int i = 0; i < 3; i++) {
+                        float s;
+                        s = s + i;
+                        push(s);
+                    }
+                }
+            }");
+        // `s` is re-zeroed by its declaration every iteration.
+        assert_eq!(pushed, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn side_effecting_index_evaluated_once() {
+        let pushed = run("void->float filter F {
+                work push 3 {
+                    float[2] a;
+                    int i = 0;
+                    a[i++] += 10;
+                    push(a[0]);
+                    push(a[1]);
+                    push(i);
+                }
+            }");
+        assert_eq!(pushed, vec![10.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn pi_is_folded_at_lowering() {
+        let (lowered, _) = lowered_for("void->float filter F { work push 1 { push(pi); } }");
+        let RStmt::Expr(RExpr::Push(e)) = &lowered.work.body[0] else {
+            panic!()
+        };
+        assert_eq!(**e, RExpr::Float(std::f64::consts::PI));
+    }
+}

@@ -232,6 +232,153 @@ pub fn un_op(op: UnOp, a: Value) -> Result<Value, EvalError> {
     }
 }
 
+/// A math intrinsic of the dialect, resolved from its source name once (at
+/// lowering time) so dispatch on the firing path is a jump table rather
+/// than a string comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants mirror the C math functions they wrap
+pub enum MathFn {
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Exp,
+    Log,
+    Log10,
+    Sqrt,
+    Abs,
+    Floor,
+    Ceil,
+    Round,
+    Pow,
+    Atan2,
+    Min,
+    Max,
+}
+
+impl MathFn {
+    /// Resolves a source-level name, or `None` for unknown functions.
+    pub fn from_name(name: &str) -> Option<MathFn> {
+        Some(match name {
+            "sin" => MathFn::Sin,
+            "cos" => MathFn::Cos,
+            "tan" => MathFn::Tan,
+            "asin" => MathFn::Asin,
+            "acos" => MathFn::Acos,
+            "atan" => MathFn::Atan,
+            "exp" => MathFn::Exp,
+            "log" => MathFn::Log,
+            "log10" => MathFn::Log10,
+            "sqrt" => MathFn::Sqrt,
+            "abs" => MathFn::Abs,
+            "floor" => MathFn::Floor,
+            "ceil" => MathFn::Ceil,
+            "round" => MathFn::Round,
+            "pow" => MathFn::Pow,
+            "atan2" => MathFn::Atan2,
+            "min" => MathFn::Min,
+            "max" => MathFn::Max,
+            _ => return None,
+        })
+    }
+
+    /// The source-level name (for error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            MathFn::Sin => "sin",
+            MathFn::Cos => "cos",
+            MathFn::Tan => "tan",
+            MathFn::Asin => "asin",
+            MathFn::Acos => "acos",
+            MathFn::Atan => "atan",
+            MathFn::Exp => "exp",
+            MathFn::Log => "log",
+            MathFn::Log10 => "log10",
+            MathFn::Sqrt => "sqrt",
+            MathFn::Abs => "abs",
+            MathFn::Floor => "floor",
+            MathFn::Ceil => "ceil",
+            MathFn::Round => "round",
+            MathFn::Pow => "pow",
+            MathFn::Atan2 => "atan2",
+            MathFn::Min => "min",
+            MathFn::Max => "max",
+        }
+    }
+
+    /// How many arguments the function takes.
+    pub fn arity(self) -> usize {
+        match self {
+            MathFn::Pow | MathFn::Atan2 | MathFn::Min | MathFn::Max => 2,
+            _ => 1,
+        }
+    }
+
+    /// Applies the function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] for wrong arity or non-numeric arguments.
+    pub fn call(self, args: &[Value]) -> Result<Value, EvalError> {
+        let name = self.name();
+        let unary = |f: fn(f64) -> f64| -> Result<Value, EvalError> {
+            if args.len() != 1 {
+                return Err(EvalError::new(format!("{name} expects 1 argument")));
+            }
+            Ok(Value::Float(f(args[0].as_f64()?)))
+        };
+        let binary = |f: fn(f64, f64) -> f64| -> Result<Value, EvalError> {
+            if args.len() != 2 {
+                return Err(EvalError::new(format!("{name} expects 2 arguments")));
+            }
+            Ok(Value::Float(f(args[0].as_f64()?, args[1].as_f64()?)))
+        };
+        match self {
+            MathFn::Sin => unary(f64::sin),
+            MathFn::Cos => unary(f64::cos),
+            MathFn::Tan => unary(f64::tan),
+            MathFn::Asin => unary(f64::asin),
+            MathFn::Acos => unary(f64::acos),
+            MathFn::Atan => unary(f64::atan),
+            MathFn::Exp => unary(f64::exp),
+            MathFn::Log => unary(f64::ln),
+            MathFn::Log10 => unary(f64::log10),
+            MathFn::Sqrt => unary(f64::sqrt),
+            MathFn::Abs => {
+                if args.len() != 1 {
+                    return Err(EvalError::new("abs expects 1 argument"));
+                }
+                match args[0] {
+                    Value::Int(v) => Ok(Value::Int(v.abs())),
+                    other => Ok(Value::Float(other.as_f64()?.abs())),
+                }
+            }
+            MathFn::Floor => unary(f64::floor),
+            MathFn::Ceil => unary(f64::ceil),
+            MathFn::Round => unary(f64::round),
+            MathFn::Pow => binary(f64::powf),
+            MathFn::Atan2 => binary(f64::atan2),
+            MathFn::Min | MathFn::Max => {
+                if args.len() != 2 {
+                    return Err(EvalError::new(format!("{name} expects 2 arguments")));
+                }
+                let is_min = self == MathFn::Min;
+                match (args[0], args[1]) {
+                    (Value::Int(x), Value::Int(y)) => {
+                        Ok(Value::Int(if is_min { x.min(y) } else { x.max(y) }))
+                    }
+                    (x, y) => {
+                        let (x, y) = (x.as_f64()?, y.as_f64()?);
+                        Ok(Value::Float(if is_min { x.min(y) } else { x.max(y) }))
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Applies a named math intrinsic.
 ///
 /// Supported: `sin cos tan asin acos atan exp log log10 sqrt abs floor ceil
@@ -241,88 +388,14 @@ pub fn un_op(op: UnOp, a: Value) -> Result<Value, EvalError> {
 ///
 /// Returns an [`EvalError`] for unknown names or wrong arity.
 pub fn math_call(name: &str, args: &[Value]) -> Result<Value, EvalError> {
-    let unary = |f: fn(f64) -> f64| -> Result<Value, EvalError> {
-        if args.len() != 1 {
-            return Err(EvalError::new(format!("{name} expects 1 argument")));
-        }
-        Ok(Value::Float(f(args[0].as_f64()?)))
-    };
-    let binary = |f: fn(f64, f64) -> f64| -> Result<Value, EvalError> {
-        if args.len() != 2 {
-            return Err(EvalError::new(format!("{name} expects 2 arguments")));
-        }
-        Ok(Value::Float(f(args[0].as_f64()?, args[1].as_f64()?)))
-    };
-    match name {
-        "sin" => unary(f64::sin),
-        "cos" => unary(f64::cos),
-        "tan" => unary(f64::tan),
-        "asin" => unary(f64::asin),
-        "acos" => unary(f64::acos),
-        "atan" => unary(f64::atan),
-        "exp" => unary(f64::exp),
-        "log" => unary(f64::ln),
-        "log10" => unary(f64::log10),
-        "sqrt" => unary(f64::sqrt),
-        "abs" => {
-            if args.len() != 1 {
-                return Err(EvalError::new("abs expects 1 argument"));
-            }
-            match args[0] {
-                Value::Int(v) => Ok(Value::Int(v.abs())),
-                other => Ok(Value::Float(other.as_f64()?.abs())),
-            }
-        }
-        "floor" => unary(f64::floor),
-        "ceil" => unary(f64::ceil),
-        "round" => unary(f64::round),
-        "pow" => binary(f64::powf),
-        "atan2" => binary(f64::atan2),
-        "min" | "max" => {
-            if args.len() != 2 {
-                return Err(EvalError::new(format!("{name} expects 2 arguments")));
-            }
-            match (args[0], args[1]) {
-                (Value::Int(x), Value::Int(y)) => {
-                    Ok(Value::Int(if name == "min" { x.min(y) } else { x.max(y) }))
-                }
-                (x, y) => {
-                    let (x, y) = (x.as_f64()?, y.as_f64()?);
-                    Ok(Value::Float(if name == "min" {
-                        x.min(y)
-                    } else {
-                        x.max(y)
-                    }))
-                }
-            }
-        }
-        _ => Err(EvalError::new(format!("unknown function `{name}`"))),
-    }
+    MathFn::from_name(name)
+        .ok_or_else(|| EvalError::new(format!("unknown function `{name}`")))?
+        .call(args)
 }
 
 /// True if `name` is a math intrinsic handled by [`math_call`].
 pub fn is_math_fn(name: &str) -> bool {
-    matches!(
-        name,
-        "sin"
-            | "cos"
-            | "tan"
-            | "asin"
-            | "acos"
-            | "atan"
-            | "exp"
-            | "log"
-            | "log10"
-            | "sqrt"
-            | "abs"
-            | "floor"
-            | "ceil"
-            | "round"
-            | "pow"
-            | "atan2"
-            | "min"
-            | "max"
-    )
+    MathFn::from_name(name).is_some()
 }
 
 /// A dense array value with row-major storage.

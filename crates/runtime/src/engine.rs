@@ -2,7 +2,8 @@
 
 use std::collections::VecDeque;
 
-use streamlin_graph::exec::{Env, Flow, Host, Interp};
+use streamlin_graph::exec::{Flow, Host};
+use streamlin_graph::lower::{SlotInterp, SlotStore};
 use streamlin_graph::value::{EvalError, Value};
 use streamlin_support::{OpCounter, Tally};
 
@@ -268,18 +269,21 @@ fn fire<T: Tally>(node: &mut FlatNode, state: &mut EngineState<T>) -> Result<(),
     match &mut node.kind {
         NodeKind::Interp(interp) => fire_interp(interp, &node.inputs, &node.outputs, state),
         NodeKind::Linear(exec) => {
-            let n = exec.node().clone();
-            let window = read_window(state, node.inputs.first().copied(), n.peek());
+            // Read the rates out before the mutable `fire` borrow — the
+            // old `exec.node().clone()` copied the whole coefficient
+            // matrix every firing.
+            let (peek, pop) = (exec.node().peek(), exec.node().pop());
+            let window = read_window(state, node.inputs.first().copied(), peek);
             let out = exec.fire(&window, &mut state.ops);
-            consume(state, node.inputs.first().copied(), n.pop());
+            consume(state, node.inputs.first().copied(), pop);
             produce(state, node.outputs.first().copied(), &out);
             Ok(())
         }
         NodeKind::Redund(exec) => {
-            let n = exec.spec().node().clone();
-            let window = read_window(state, node.inputs.first().copied(), n.peek());
+            let (peek, pop) = (exec.spec().node().peek(), exec.spec().node().pop());
+            let window = read_window(state, node.inputs.first().copied(), peek);
             let out = exec.fire(&window, &mut state.ops);
-            consume(state, node.inputs.first().copied(), n.pop());
+            consume(state, node.inputs.first().copied(), pop);
             produce(state, node.outputs.first().copied(), &out);
             Ok(())
         }
@@ -334,7 +338,8 @@ fn fire<T: Tally>(node: &mut FlatNode, state: &mut EngineState<T>) -> Result<(),
             Ok(())
         }
         NodeKind::SplitRR(w) => {
-            let w = w.clone();
+            // The weights and the channels live in disjoint structures, so
+            // no per-firing `w.clone()` is needed.
             for (k, &count) in w.iter().enumerate() {
                 for _ in 0..count {
                     let v = state.channels[node.inputs[0]]
@@ -346,7 +351,6 @@ fn fire<T: Tally>(node: &mut FlatNode, state: &mut EngineState<T>) -> Result<(),
             Ok(())
         }
         NodeKind::JoinRR(w) => {
-            let w = w.clone();
             for (k, &count) in w.iter().enumerate() {
                 for _ in 0..count {
                     let v = state.channels[node.inputs[k]]
@@ -450,7 +454,9 @@ pub(crate) fn interp_phase_rates(interp: &InterpState) -> (usize, usize, usize) 
 /// validating the declared rates. Returns `(popped, pushed)`; the caller
 /// owns channel consumption/production. Shared by the data-driven engine
 /// and the static-plan engine so both execute byte-for-byte the same
-/// work-function semantics.
+/// work-function semantics. Execution is the slot-resolved interpreter
+/// over the filter's `Vec<Cell>` storage — no name hashing, no per-block
+/// scope maps (see [`streamlin_graph::lower`]).
 pub(crate) fn run_work_phase<T: Tally>(
     interp: &mut InterpState,
     window: &[f64],
@@ -458,10 +464,18 @@ pub(crate) fn run_work_phase<T: Tally>(
     ops: &mut T,
 ) -> Result<(usize, Vec<f64>), RunError> {
     let use_init = interp.first && interp.inst.init_work.is_some();
-    let phase = if use_init {
-        interp.inst.init_work.as_ref().expect("checked")
+    let (phase, code) = if use_init {
+        (
+            interp.inst.init_work.as_ref().expect("checked"),
+            interp
+                .inst
+                .lowered
+                .init_work
+                .as_ref()
+                .expect("lowered alongside init_work"),
+        )
     } else {
-        &interp.inst.work
+        (&interp.inst.work, &interp.inst.lowered.work)
     };
     interp.first = false;
 
@@ -473,9 +487,12 @@ pub(crate) fn run_work_phase<T: Tally>(
             printed,
             ops,
         };
-        let mut engine = Interp::new(&mut host, FIRING_FUEL);
-        let mut env = Env::new(&mut interp.state);
-        match engine.exec_block(&mut env, &phase.body) {
+        let mut engine = SlotInterp::new(&mut host, FIRING_FUEL);
+        let mut store = SlotStore {
+            globals: &mut interp.globals,
+            frame: &mut interp.frame,
+        };
+        match engine.exec_work(&mut store, &code.body) {
             Ok(Flow::Normal) | Ok(Flow::Return) => {}
             Err(e) => {
                 return Err(RunError::Eval(format!(

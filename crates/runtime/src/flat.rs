@@ -1,14 +1,14 @@
 //! Lowering an optimized stream to a flat node/channel graph.
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use streamlin_core::frequency::FreqExec;
 use streamlin_core::opt::OptStream;
 use streamlin_core::redundancy::RedundExec;
 use streamlin_graph::ir::{FilterInst, Splitter};
+use streamlin_graph::lower::{RExpr, RLValue, RStmt, Slot};
 use streamlin_graph::value::{Cell, Value};
-use streamlin_lang::ast::{BinOp, DataType, Expr, LValue, Stmt};
+use streamlin_lang::ast::{BinOp, DataType};
 
 use crate::linear_exec::{LinearExec, MatMulStrategy};
 
@@ -27,15 +27,49 @@ impl std::fmt::Display for FlattenError {
 
 impl std::error::Error for FlattenError {}
 
-/// Mutable interpreter state of an original filter instance.
+/// Mutable interpreter state of an original filter instance. Storage is
+/// slot-resolved (see [`streamlin_graph::lower`]): persistent cells live
+/// in a `Vec` ordered by the lowered filter's global-slot table, and the
+/// local frame is a scratch `Vec` reused across firings — no `HashMap` on
+/// the firing path.
 #[derive(Debug, Clone)]
 pub struct InterpState {
     /// The elaborated filter.
     pub inst: Rc<FilterInst>,
-    /// Its persistent fields (a mutable copy of the initial values).
-    pub state: HashMap<String, Cell>,
+    /// Persistent cells (fields, parameters, captured constants), indexed
+    /// by the global slots of `inst.lowered` (a mutable copy of the
+    /// initial values).
+    pub globals: Vec<Cell>,
+    /// Local frame scratch, sized for the largest phase; every local is
+    /// declared before use, so contents never leak between firings.
+    pub frame: Vec<Cell>,
     /// True until the first firing has happened (selects `initWork`).
     pub first: bool,
+}
+
+impl InterpState {
+    /// Instantiates runtime storage for a filter from its elaborated
+    /// initial state.
+    pub fn new(inst: &Rc<FilterInst>) -> Self {
+        let globals = inst
+            .lowered
+            .globals
+            .iter()
+            .map(|name| {
+                inst.state
+                    .get(name)
+                    .unwrap_or_else(|| panic!("lowered global `{name}` missing from state"))
+                    .clone()
+            })
+            .collect();
+        let frame = vec![Cell::Scalar(DataType::Int, Value::Int(0)); inst.lowered.frame_slots()];
+        InterpState {
+            inst: Rc::clone(inst),
+            globals,
+            frame,
+            first: true,
+        }
+    }
 }
 
 /// An executable node kind.
@@ -190,13 +224,8 @@ impl Builder {
                 let out = (inst.work.push > 0
                     || inst.init_work.as_ref().is_some_and(|w| w.push > 0))
                 .then(|| self.chan());
-                let kind = compile_peephole(inst).unwrap_or_else(|| {
-                    NodeKind::Interp(InterpState {
-                        inst: Rc::clone(inst),
-                        state: inst.state.clone(),
-                        first: true,
-                    })
-                });
+                let kind = compile_peephole(inst)
+                    .unwrap_or_else(|| NodeKind::Interp(InterpState::new(inst)));
                 self.add_node(
                     inst.name.clone(),
                     kind,
@@ -355,19 +384,21 @@ impl Builder {
 /// Benchmark programs spend a large share of their steady state in two
 /// trivial interpreted filters: the printing/discarding sink of Figure
 /// A-1 and ring-buffer sources like FIR's `FloatSource`. Their work
-/// functions are so small that the interpreter round trip (scope setup,
-/// name lookups, AST dispatch) costs an order of magnitude more than the
-/// work itself, which would put an interpretation floor under every
-/// throughput measurement of the compiled kernels. When a work function
-/// matches one of these exact shapes it is compiled to a native node with
-/// identical firing semantics — same values bit for bit, same rates, same
-/// (zero) floating-point tallies; anything else still interprets.
+/// functions are so small that the interpreter round trip costs an order
+/// of magnitude more than the work itself, which would put an
+/// interpretation floor under every throughput measurement of the
+/// compiled kernels. The matchers run over the **slot-resolved** body
+/// (see [`streamlin_graph::lower`]) — the form the runtime would
+/// otherwise execute. When a work function matches one of these exact
+/// shapes it is compiled to a native node with identical firing semantics
+/// — same values bit for bit, same rates, same (zero) floating-point
+/// tallies; anything else still interprets.
 fn compile_peephole(inst: &FilterInst) -> Option<NodeKind> {
     if inst.init_work.is_some() {
         return None;
     }
     let w = &inst.work;
-    let stmts = &w.body.stmts;
+    let stmts = &inst.lowered.work.body;
     if w.push == 0 && w.pop > 0 && w.peek == w.pop && stmts.len() == w.pop {
         // `work pop P { println(pop()); × P }` — the printing sink.
         if stmts.iter().all(is_println_pop) {
@@ -384,52 +415,56 @@ fn compile_peephole(inst: &FilterInst) -> Option<NodeKind> {
     None
 }
 
-fn is_println_pop(s: &Stmt) -> bool {
-    matches!(s, Stmt::Expr(Expr::Call(name, args))
-        if name == "println" && matches!(args[..], [Expr::Pop]))
+fn is_println_pop(s: &RStmt) -> bool {
+    matches!(s, RStmt::Expr(RExpr::Print { newline: true, arg })
+        if matches!(**arg, RExpr::Pop))
 }
 
-fn is_bare_pop(s: &Stmt) -> bool {
-    matches!(s, Stmt::Expr(Expr::Pop))
+fn is_bare_pop(s: &RStmt) -> bool {
+    matches!(s, RStmt::Expr(RExpr::Pop))
 }
 
 /// Matches `push(arr[idx]); idx = (idx + 1) % m;` over a 1-D float array
 /// field and an int cursor field — the ring-buffer source idiom. The
 /// post-`init` state supplies the cycle values and starting phase.
-fn compile_periodic(inst: &FilterInst, stmts: &[Stmt]) -> Option<NodeKind> {
-    let Stmt::Expr(Expr::Push(pushed)) = &stmts[0] else {
+fn compile_periodic(inst: &FilterInst, stmts: &[RStmt]) -> Option<NodeKind> {
+    let RStmt::Expr(RExpr::Push(pushed)) = &stmts[0] else {
         return None;
     };
-    let Expr::Index(arr_name, idx_exprs) = &**pushed else {
+    let RExpr::Index(Slot::Global(arr_slot), idx_exprs) = &**pushed else {
         return None;
     };
-    let [Expr::Var(idx_name)] = &idx_exprs[..] else {
+    let [RExpr::Var(Slot::Global(idx_slot))] = &idx_exprs[..] else {
         return None;
     };
-    let Stmt::Assign {
-        target: LValue::Var(tgt),
+    let RStmt::Assign {
+        target: RLValue::Var(Slot::Global(tgt)),
         op: None,
         value,
     } = &stmts[1]
     else {
         return None;
     };
-    if tgt != idx_name {
+    if tgt != idx_slot {
         return None;
     }
-    let Expr::Binary(BinOp::Rem, sum, modulus) = value else {
+    let RExpr::Binary(BinOp::Rem, sum, modulus) = value else {
         return None;
     };
-    let Expr::Int(m) = &**modulus else {
+    let RExpr::Int(m) = &**modulus else {
         return None;
     };
-    let Expr::Binary(BinOp::Add, base, step) = &**sum else {
+    let RExpr::Binary(BinOp::Add, base, step) = &**sum else {
         return None;
     };
-    if !matches!(&**base, Expr::Var(v) if v == idx_name) || !matches!(&**step, Expr::Int(1)) {
+    if !matches!(&**base, RExpr::Var(Slot::Global(v)) if v == idx_slot)
+        || !matches!(&**step, RExpr::Int(1))
+    {
         return None;
     }
     let m = usize::try_from(*m).ok().filter(|&m| m > 0)?;
+    let arr_name = &inst.lowered.globals[*arr_slot as usize];
+    let idx_name = &inst.lowered.globals[*idx_slot as usize];
     let Cell::Array(arr) = inst.state.get(arr_name)? else {
         return None;
     };

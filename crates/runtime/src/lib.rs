@@ -14,8 +14,10 @@
 //!
 //! Node executors:
 //!
-//! * **original filters** run in the work-function interpreter (the same
-//!   engine elaboration uses, with a tape-connected host);
+//! * **original filters** run in the slot-resolved work-function
+//!   interpreter ([`streamlin_graph::lower`], with a tape-connected
+//!   host): storage resolved to `Vec<Cell>` slots at elaboration, no name
+//!   hashing on the firing path;
 //! * **linear nodes** run as direct matrix-vector products with a choice of
 //!   [`linear_exec::MatMulStrategy`] — the default zero-skipping column
 //!   loops of the paper's code generator (Figure 5-7) or the cache-blocked

@@ -27,10 +27,11 @@
 //! to the data-driven [`crate::engine::Engine`] for those.
 //!
 //! The firing *semantics* are shared with the dynamic engine (same
-//! work-function interpreter, same kernels, same operation counting), so a
-//! program's printed output is bit-identical under either scheduler; the
-//! equivalence suite in `tests/sched_equivalence.rs` pins that down for
-//! every benchmark.
+//! slot-resolved work-function interpreter via
+//! [`crate::engine::run_work_phase`], same kernels, same operation
+//! counting), so a program's printed output is bit-identical under either
+//! scheduler; the equivalence suite in `tests/sched_equivalence.rs` pins
+//! that down for every benchmark.
 
 use streamlin_graph::steady::{balance, RateEdge};
 use streamlin_support::{OpCounter, Tally};

@@ -94,11 +94,15 @@ fn main() {
     // (direct linear and frequency/FFT), plus the end_to_end suite.
     // `fir(256)` is the paper's default instance; `fir(1024)` is the
     // §5.5 scaling point where the linear kernel dominates end to end.
+    // The `interp` rows run with no replacement at all — every work
+    // function in the slot-resolved interpreter — so interpreter-path
+    // changes show up in the trajectory directly.
     let cases: Vec<(&str, Benchmark, Vec<Config>)> = vec![
         (
             "FIR",
             streamlin_benchmarks::fir(256),
             vec![
+                Config::Interp,
                 Config::Baseline,
                 Config::Linear,
                 Config::Freq,
@@ -124,6 +128,21 @@ fn main() {
             "Oversampler",
             streamlin_benchmarks::oversampler(),
             vec![Config::Baseline, Config::AutoSel],
+        ),
+        (
+            "FMRadio",
+            streamlin_benchmarks::fm_radio(),
+            vec![Config::Interp],
+        ),
+        (
+            "TargetDetect",
+            streamlin_benchmarks::target_detect(),
+            vec![Config::Interp],
+        ),
+        (
+            "Vocoder",
+            streamlin_benchmarks::vocoder(),
+            vec![Config::Interp],
         ),
     ];
 
