@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use streamlin_bench::{configure, Config};
-use streamlin_runtime::measure::{profile_mode, ExecMode, Scheduler};
+use streamlin_runtime::measure::{profile_mode, profile_threads, ExecMode, Scheduler};
 
 fn bench_suite(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
@@ -97,5 +97,60 @@ fn bench_kernel_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_suite, bench_kernel_paths);
+/// The threads dimension: the pipeline-parallel executor against the
+/// single-threaded static engine, Fast mode (the production path), on the
+/// benchmarks with enough stages to cut. On a single-core host the t>1
+/// rows measure protocol overhead, not parallelism.
+fn bench_pipeline_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_threads");
+    group.sample_size(10);
+    for bench in [
+        streamlin_benchmarks::fir(256),
+        streamlin_benchmarks::filter_bank(),
+        streamlin_benchmarks::oversampler(),
+        streamlin_benchmarks::target_detect(),
+    ] {
+        let outputs = (bench.default_outputs() / 4).max(64);
+        let opt = configure(&bench, Config::Baseline);
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(bench.name().to_string(), format!("t{threads}")),
+                &outputs,
+                |b, &n| {
+                    b.iter(|| {
+                        let mode = ExecMode::Fast;
+                        black_box(if threads > 1 {
+                            profile_threads(
+                                black_box(&opt),
+                                n,
+                                mode.default_strategy(),
+                                Scheduler::Auto,
+                                mode,
+                                threads,
+                            )
+                            .unwrap()
+                        } else {
+                            profile_mode(
+                                black_box(&opt),
+                                n,
+                                mode.default_strategy(),
+                                Scheduler::Auto,
+                                mode,
+                            )
+                            .unwrap()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_suite,
+    bench_kernel_paths,
+    bench_pipeline_threads
+);
 criterion_main!(benches);

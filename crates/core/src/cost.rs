@@ -121,6 +121,31 @@ impl CostModel {
         };
         fft_stage + decim
     }
+
+    /// Estimated cost of **one firing** of a frequency-stage executor
+    /// (one block): the per-block overhead, `u + 1` real FFTs of size
+    /// `fft_n`, `u` half-complex spectral products, and the pushes. This
+    /// is the per-block term of [`CostModel::freq_total`] factored out so
+    /// the pipeline partitioner can weigh a frequency node by firings —
+    /// the decimator stage is a separate flat node with its own cost.
+    pub fn freq_firing(&self, fft_n: usize, spectra: usize, pushes: usize) -> f64 {
+        self.freq_overhead
+            + (spectra as f64 + 1.0) * self.fft_flops(fft_n)
+            + spectra as f64 * self.hc_mul * fft_n as f64
+            + self.push_cost * pushes as f64
+    }
+
+    /// Rough per-firing cost of an *interpreted* work function, for stage
+    /// balancing only (never for optimization selection): the firing
+    /// overhead, a per-statement interpretation charge, and a per-item
+    /// charge for the peek window and pushes, which stand in for the loop
+    /// trip counts the static statement count cannot see (FIR-style
+    /// bodies loop over their peek window).
+    pub fn interp_firing(&self, stmts: usize, peek: usize, push: usize) -> f64 {
+        const PER_STMT: f64 = 8.0;
+        const PER_ITEM: f64 = 6.0;
+        self.overhead + PER_STMT * stmts as f64 + PER_ITEM * (peek + push) as f64
+    }
 }
 
 #[cfg(test)]

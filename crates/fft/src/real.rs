@@ -7,6 +7,8 @@
 //! on this layout.
 
 use crate::{Complex, FftError, FftPlan, SimpleFft};
+#[cfg(target_arch = "x86_64")]
+use streamlin_support::NoCount;
 use streamlin_support::Tally;
 
 /// Which FFT tier backs a [`RealFft`].
@@ -58,6 +60,8 @@ pub struct RealFft {
     half_plan: Option<FftPlan>,
     /// `e^{-2πik/n}` for `k = 0..=n/2` (`Tuned` only).
     unpack_tw: Vec<Complex>,
+    /// Runtime AVX support (checked once; used by the uncounted path).
+    use_avx: bool,
 }
 
 impl RealFft {
@@ -80,11 +84,16 @@ impl RealFft {
         } else {
             (None, Vec::new())
         };
+        #[cfg(target_arch = "x86_64")]
+        let use_avx = std::arch::is_x86_feature_detected!("avx");
+        #[cfg(not(target_arch = "x86_64"))]
+        let use_avx = false;
         Ok(RealFft {
             kind,
             n,
             half_plan,
             unpack_tw,
+            use_avx,
         })
     }
 
@@ -210,23 +219,74 @@ impl RealFft {
         z.extend((0..m).map(|k| Complex::new(x[2 * k], x[2 * k + 1])));
         plan.forward(z, ops);
         out.resize(n, 0.0);
+        #[cfg(target_arch = "x86_64")]
+        if !T::COUNTING && self.use_avx && m >= 2 {
+            // SAFETY: `use_avx` is only set when runtime detection
+            // confirmed the `avx` target feature (see `RealFft::new`).
+            unsafe { self.unpack_forward_avx(z, out) };
+            return;
+        }
         for k in 0..=m {
-            let zk = z[k % m];
-            let zmk = z[(m - k) % m].conj();
-            // Fe = (Z[k] + conj(Z[M-k]))/2, the spectrum of the even samples;
-            // Fo = -i(Z[k] - conj(Z[M-k]))/2, the spectrum of the odd samples.
-            let fe = zk.add_counted(zmk, ops).scale_counted(0.5, ops);
-            let diff = zk.sub_counted(zmk, ops);
-            let fo = Complex::new(diff.im, -diff.re).scale_counted(0.5, ops);
-            let xk = fe.add_counted(self.unpack_tw[k].mul_counted(fo, ops), ops);
-            if k == 0 {
-                out[0] = xk.re;
-            } else if k == m {
-                out[m] = xk.re;
-            } else {
-                out[k] = xk.re;
-                out[n - k] = xk.im;
-            }
+            unpack_fwd_k(z, &self.unpack_tw, n, out, k, ops);
+        }
+    }
+
+    /// The AVX spectrum-unpack pass of the packed forward transform: two
+    /// `k` bins per iteration on 4-wide registers. Every complex
+    /// add/sub/scale/multiply is evaluated with exactly the scalar path's
+    /// operations (separate multiplies, `addsub` for the complex product —
+    /// no fusion), so the spectra are bit-identical to the counted loop;
+    /// only the bookkeeping-free uncounted path dispatches here. The `k ==
+    /// 0`/`k == m` edges and the odd tail run the shared scalar helper.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX support at runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn unpack_forward_avx(&self, z: &[Complex], out: &mut [f64]) {
+        use std::arch::x86_64::*;
+        let n = self.n;
+        let m = n / 2;
+        unpack_fwd_k(z, &self.unpack_tw, n, out, 0, &mut NoCount);
+        unpack_fwd_k(z, &self.unpack_tw, n, out, m, &mut NoCount);
+        let half = _mm256_set1_pd(0.5);
+        // Negates the imaginary lanes (1, 3) — complex conjugation.
+        let conj = _mm256_set_pd(-0.0, 0.0, -0.0, 0.0);
+        let zp = z.as_ptr() as *const f64;
+        let twp = self.unpack_tw.as_ptr() as *const f64;
+        let op = out.as_mut_ptr();
+        let mut k = 1;
+        while k + 2 <= m {
+            let zk = _mm256_loadu_pd(zp.add(2 * k));
+            // [z[m-k-1], z[m-k]] -> swap halves -> [z[m-k], z[m-k-1]].
+            let zmk_raw = _mm256_loadu_pd(zp.add(2 * (m - k - 1)));
+            let zmk = _mm256_xor_pd(_mm256_permute2f128_pd(zmk_raw, zmk_raw, 1), conj);
+            // Fe = (Z[k] + conj(Z[M-k]))/2; Fo = -i(Z[k] - conj(Z[M-k]))/2.
+            let fe = _mm256_mul_pd(_mm256_add_pd(zk, zmk), half);
+            let diff = _mm256_sub_pd(zk, zmk);
+            // (diff.im, -diff.re): swap re/im, negate the new im lane.
+            let fo = _mm256_mul_pd(_mm256_xor_pd(_mm256_permute_pd(diff, 0b0101), conj), half);
+            // tw[k] · fo, elementwise exactly as mul_counted.
+            let t = _mm256_loadu_pd(twp.add(2 * k));
+            let fo_re = _mm256_movedup_pd(fo);
+            let fo_im = _mm256_permute_pd(fo, 0b1111);
+            let t_sw = _mm256_permute_pd(t, 0b0101);
+            let prod = _mm256_addsub_pd(_mm256_mul_pd(fo_re, t), _mm256_mul_pd(fo_im, t_sw));
+            let xk = _mm256_add_pd(fe, prod);
+            // out[k..k+2] <- re lanes; out[n-k-1..=n-k] <- im lanes,
+            // reversed (out[n-k] pairs with bin k).
+            let lo = _mm256_extractf128_pd(xk, 0);
+            let hi = _mm256_extractf128_pd(xk, 1);
+            let re = _mm_unpacklo_pd(lo, hi);
+            let im = _mm_unpackhi_pd(lo, hi);
+            _mm_storeu_pd(op.add(k), re);
+            _mm_storeu_pd(op.add(n - k - 1), _mm_shuffle_pd(im, im, 0b01));
+            k += 2;
+        }
+        while k < m {
+            unpack_fwd_k(z, &self.unpack_tw, n, out, k, &mut NoCount);
+            k += 1;
         }
     }
 
@@ -244,28 +304,24 @@ impl RealFft {
             .half_plan
             .as_ref()
             .expect("tuned plan present for n >= 2");
-        let bin = |k: usize| -> Complex {
-            if k == 0 {
-                Complex::new(hc[0], 0.0)
-            } else if k == m {
-                Complex::new(hc[m], 0.0)
-            } else {
-                Complex::new(hc[k], hc[n - k])
-            }
-        };
         let z = &mut scratch.z;
         z.clear();
         z.resize(m, Complex::zero());
-        for (k, zk) in z.iter_mut().enumerate() {
-            let xk = bin(k);
-            let xmk = bin(m - k).conj();
-            let fe = xk.add_counted(xmk, ops).scale_counted(0.5, ops);
-            let fo = self.unpack_tw[k]
-                .conj()
-                .mul_counted(xk.sub_counted(xmk, ops).scale_counted(0.5, ops), ops);
-            // z[k] = Fe[k] + i·Fo[k]
-            *zk = Complex::new(fe.re - fo.im, fe.im + fo.re);
-            ops.other(2);
+        #[cfg(target_arch = "x86_64")]
+        let packed_by_avx = !T::COUNTING && self.use_avx && m >= 2;
+        #[cfg(not(target_arch = "x86_64"))]
+        let packed_by_avx = false;
+        if packed_by_avx {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `use_avx` is only set when runtime detection
+            // confirmed the `avx` target feature (see `RealFft::new`).
+            unsafe {
+                self.pack_inverse_avx(hc, z)
+            };
+        } else {
+            for (k, zk) in z.iter_mut().enumerate() {
+                *zk = pack_inv_k(hc, &self.unpack_tw, n, k, ops);
+            }
         }
         plan.inverse(z, ops);
         out.resize(n, 0.0);
@@ -274,6 +330,120 @@ impl RealFft {
             out[2 * k + 1] = zk.im;
         }
     }
+
+    /// The AVX spectrum-pack pass of the packed inverse transform (the
+    /// mirror of [`RealFft::unpack_forward_avx`]): gathers two half-complex
+    /// bins per iteration into the `n/2`-point complex buffer with exactly
+    /// the scalar helper's arithmetic. Uncounted path only; edges and the
+    /// odd tail run the shared scalar helper.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX support at runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn pack_inverse_avx(&self, hc: &[f64], z: &mut [Complex]) {
+        use std::arch::x86_64::*;
+        let n = self.n;
+        let m = n / 2;
+        z[0] = pack_inv_k(hc, &self.unpack_tw, n, 0, &mut NoCount);
+        let half = _mm256_set1_pd(0.5);
+        let conj = _mm256_set_pd(-0.0, 0.0, -0.0, 0.0);
+        let hp = hc.as_ptr();
+        let twp = self.unpack_tw.as_ptr() as *const f64;
+        let zp = z.as_mut_ptr() as *mut f64;
+        let mut k = 1;
+        while k + 2 <= m {
+            // X[k] = (hc[k], hc[n-k]) for the pair (k, k+1).
+            let xk_re = _mm_loadu_pd(hp.add(k));
+            let xk_im_raw = _mm_loadu_pd(hp.add(n - k - 1));
+            let xk_im = _mm_shuffle_pd(xk_im_raw, xk_im_raw, 0b01);
+            let xk = _mm256_set_m128d(_mm_unpackhi_pd(xk_re, xk_im), _mm_unpacklo_pd(xk_re, xk_im));
+            // conj(X[m-k]) = (hc[m-k], -hc[m+k]) for the pair (k, k+1).
+            let xmk_re_raw = _mm_loadu_pd(hp.add(m - k - 1));
+            let xmk_re = _mm_shuffle_pd(xmk_re_raw, xmk_re_raw, 0b01);
+            let xmk_im = _mm_loadu_pd(hp.add(m + k));
+            let xmk = _mm256_xor_pd(
+                _mm256_set_m128d(
+                    _mm_unpackhi_pd(xmk_re, xmk_im),
+                    _mm_unpacklo_pd(xmk_re, xmk_im),
+                ),
+                conj,
+            );
+            let fe = _mm256_mul_pd(_mm256_add_pd(xk, xmk), half);
+            let diffh = _mm256_mul_pd(_mm256_sub_pd(xk, xmk), half);
+            // conj(tw[k]) · diffh, elementwise exactly as mul_counted.
+            let t = _mm256_xor_pd(_mm256_loadu_pd(twp.add(2 * k)), conj);
+            let d_re = _mm256_movedup_pd(diffh);
+            let d_im = _mm256_permute_pd(diffh, 0b1111);
+            let t_sw = _mm256_permute_pd(t, 0b0101);
+            let fo = _mm256_addsub_pd(_mm256_mul_pd(d_re, t), _mm256_mul_pd(d_im, t_sw));
+            // z[k] = (fe.re - fo.im, fe.im + fo.re).
+            let fo_sw = _mm256_permute_pd(fo, 0b0101);
+            _mm256_storeu_pd(zp.add(2 * k), _mm256_addsub_pd(fe, fo_sw));
+            k += 2;
+        }
+        while k < m {
+            z[k] = pack_inv_k(hc, &self.unpack_tw, n, k, &mut NoCount);
+            k += 1;
+        }
+    }
+}
+
+/// One bin of the forward spectrum unpack (shared by the counted scalar
+/// loop and the edges/tail of the AVX pass, so both compute byte-for-byte
+/// the same expressions).
+#[inline]
+fn unpack_fwd_k<T: Tally>(
+    z: &[Complex],
+    tw: &[Complex],
+    n: usize,
+    out: &mut [f64],
+    k: usize,
+    ops: &mut T,
+) {
+    let m = n / 2;
+    let zk = z[k % m];
+    let zmk = z[(m - k) % m].conj();
+    // Fe = (Z[k] + conj(Z[M-k]))/2, the spectrum of the even samples;
+    // Fo = -i(Z[k] - conj(Z[M-k]))/2, the spectrum of the odd samples.
+    let fe = zk.add_counted(zmk, ops).scale_counted(0.5, ops);
+    let diff = zk.sub_counted(zmk, ops);
+    let fo = Complex::new(diff.im, -diff.re).scale_counted(0.5, ops);
+    let xk = fe.add_counted(tw[k].mul_counted(fo, ops), ops);
+    if k == 0 {
+        out[0] = xk.re;
+    } else if k == m {
+        out[m] = xk.re;
+    } else {
+        out[k] = xk.re;
+        out[n - k] = xk.im;
+    }
+}
+
+/// One bin of the inverse spectrum pack (the scalar twin of the AVX
+/// pass's vector body).
+#[inline]
+fn pack_inv_k<T: Tally>(hc: &[f64], tw: &[Complex], n: usize, k: usize, ops: &mut T) -> Complex {
+    let m = n / 2;
+    let bin = |k: usize| -> Complex {
+        if k == 0 {
+            Complex::new(hc[0], 0.0)
+        } else if k == m {
+            Complex::new(hc[m], 0.0)
+        } else {
+            Complex::new(hc[k], hc[n - k])
+        }
+    };
+    let xk = bin(k);
+    let xmk = bin(m - k).conj();
+    let fe = xk.add_counted(xmk, ops).scale_counted(0.5, ops);
+    let fo = tw[k]
+        .conj()
+        .mul_counted(xk.sub_counted(xmk, ops).scale_counted(0.5, ops), ops);
+    // z[k] = Fe[k] + i·Fo[k]
+    ops.other(2);
+    Complex::new(fe.re - fo.im, fe.im + fo.re)
 }
 
 /// Pointwise product of two half-complex spectra of length `n` — the
@@ -303,6 +473,12 @@ pub fn halfcomplex_mul_into<T: Tally>(a: &[f64], b: &[f64], out: &mut Vec<f64>, 
     if n == 0 {
         return;
     }
+    #[cfg(target_arch = "x86_64")]
+    if !T::COUNTING && n >= 2 && std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: AVX support was just detected at runtime.
+        unsafe { hc_mul_avx(a, b, out) };
+        return;
+    }
     out[0] = ops.mul(a[0], b[0]);
     if n == 1 {
         return;
@@ -315,14 +491,77 @@ pub fn halfcomplex_mul_into<T: Tally>(a: &[f64], b: &[f64], out: &mut Vec<f64>, 
         if k == n - k {
             continue;
         }
-        let (ar, ai) = (a[k], a[n - k]);
-        let (br, bi) = (b[k], b[n - k]);
-        let rr = ops.mul(ar, br);
-        let ii = ops.mul(ai, bi);
-        let ri = ops.mul(ar, bi);
-        let ir = ops.mul(ai, br);
-        out[k] = ops.sub(rr, ii);
-        out[n - k] = ops.add(ri, ir);
+        hc_mul_k(a, b, out, k, ops);
+    }
+}
+
+/// One conjugate pair of the half-complex product (shared by the counted
+/// scalar loop and the tail of the AVX pass).
+#[inline]
+fn hc_mul_k<T: Tally>(a: &[f64], b: &[f64], out: &mut [f64], k: usize, ops: &mut T) {
+    let n = a.len();
+    let (ar, ai) = (a[k], a[n - k]);
+    let (br, bi) = (b[k], b[n - k]);
+    let rr = ops.mul(ar, br);
+    let ii = ops.mul(ai, bi);
+    let ri = ops.mul(ar, bi);
+    let ir = ops.mul(ai, br);
+    out[k] = ops.sub(rr, ii);
+    out[n - k] = ops.add(ri, ir);
+}
+
+/// The AVX half-complex product: four conjugate pairs per iteration, with
+/// each lane evaluating exactly the scalar pair's operations (four
+/// separate multiplies, one subtract, one add — no fusion), so the
+/// product is bit-identical to the counted loop. The imaginary halves are
+/// stored reversed in the half-complex layout, so they are loaded and
+/// stored through a full 4-lane reverse. Uncounted path only.
+///
+/// # Safety
+///
+/// The caller must have verified AVX support at runtime; `out` must
+/// already hold `n == a.len() == b.len()` elements with `n >= 2`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn hc_mul_avx(a: &[f64], b: &[f64], out: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let m = n / 2;
+    out[0] = a[0] * b[0];
+    if n == 1 {
+        return;
+    }
+    if n.is_multiple_of(2) {
+        out[m] = a[m] * b[m];
+    }
+    /// Reverses the four lanes of a `__m256d`.
+    #[inline]
+    unsafe fn rev(v: std::arch::x86_64::__m256d) -> std::arch::x86_64::__m256d {
+        _mm256_permute_pd(_mm256_permute2f128_pd(v, v, 1), 0b0101)
+    }
+    let half_end = n.div_ceil(2);
+    let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut k = 1;
+    // The real block [k, k+3] and the reversed imaginary block
+    // [n-k-3, n-k] must stay disjoint (and clear of the midpoint).
+    while k + 4 <= half_end && n - k - 3 > k + 3 {
+        let ar = _mm256_loadu_pd(ap.add(k));
+        let br = _mm256_loadu_pd(bp.add(k));
+        let ai = rev(_mm256_loadu_pd(ap.add(n - k - 3)));
+        let bi = rev(_mm256_loadu_pd(bp.add(n - k - 3)));
+        let rr = _mm256_mul_pd(ar, br);
+        let ii = _mm256_mul_pd(ai, bi);
+        let ri = _mm256_mul_pd(ar, bi);
+        let ir = _mm256_mul_pd(ai, br);
+        _mm256_storeu_pd(op.add(k), _mm256_sub_pd(rr, ii));
+        _mm256_storeu_pd(op.add(n - k - 3), rev(_mm256_add_pd(ri, ir)));
+        k += 4;
+    }
+    while k < half_end {
+        if k != n - k {
+            hc_mul_k(a, b, out, k, &mut NoCount);
+        }
+        k += 1;
     }
 }
 
@@ -479,5 +718,44 @@ mod tests {
     fn rejects_bad_sizes() {
         assert!(RealFft::new(FftKind::Tuned, 3).is_err());
         assert!(RealFft::new(FftKind::Simple, 0).is_err());
+    }
+
+    #[test]
+    fn uncounted_transforms_are_bit_identical_to_counted() {
+        use streamlin_support::NoCount;
+        // Covers the AVX unpack/pack passes (edges, pair loop, odd tails)
+        // on machines that have AVX, and the shared scalar path elsewhere.
+        for log_n in 1..11 {
+            let n = 1usize << log_n;
+            let x = real_signal(n);
+            let fft = RealFft::new(FftKind::Tuned, n).unwrap();
+            let counted = fft.forward(&x, &mut OpCounter::new());
+            let free = fft.forward(&x, &mut NoCount);
+            for (k, (a, b)) in counted.iter().zip(&free).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "n {n} fwd bin {k}");
+            }
+            let counted_inv = fft.inverse(&counted, &mut OpCounter::new());
+            let free_inv = fft.inverse(&free, &mut NoCount);
+            for (k, (a, b)) in counted_inv.iter().zip(&free_inv).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "n {n} inv sample {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncounted_halfcomplex_mul_is_bit_identical_to_counted() {
+        use streamlin_support::NoCount;
+        // Sizes straddling the vector width exercise the quad loop, the
+        // disjointness cutoff and the scalar tail; odd sizes have no
+        // midpoint bin.
+        for n in [1usize, 2, 3, 4, 7, 8, 9, 15, 16, 17, 32, 64, 256, 1024] {
+            let a = real_signal(n);
+            let b: Vec<f64> = (0..n).map(|i| ((i * 3 + 1) % 13) as f64 - 6.0).collect();
+            let counted = halfcomplex_mul(&a, &b, &mut OpCounter::new());
+            let free = halfcomplex_mul(&a, &b, &mut NoCount);
+            for (k, (x, y)) in counted.iter().zip(&free).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "n {n} bin {k}");
+            }
+        }
     }
 }

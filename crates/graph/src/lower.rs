@@ -190,6 +190,33 @@ pub struct LoweredWork {
     pub frame_slots: usize,
 }
 
+impl LoweredWork {
+    /// Number of statements in the body, counted recursively through
+    /// `if`/`for`/`while` blocks (each loop body once — a *static* size,
+    /// used by cost heuristics such as pipeline stage balancing, not a
+    /// dynamic execution count).
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[RStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    RStmt::If {
+                        then_blk, else_blk, ..
+                    } => 1 + count(then_blk) + else_blk.as_deref().map_or(0, count),
+                    RStmt::For {
+                        init, step, body, ..
+                    } => {
+                        1 + usize::from(init.is_some()) + usize::from(step.is_some()) + count(body)
+                    }
+                    RStmt::While { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
 /// The slot-resolved form of a filter's work phases, produced at
 /// elaboration and carried on [`crate::ir::FilterInst`].
 #[derive(Debug, Clone, PartialEq, Default)]

@@ -1,6 +1,6 @@
 //! Lowering an optimized stream to a flat node/channel graph.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use streamlin_core::frequency::FreqExec;
 use streamlin_core::opt::OptStream;
@@ -34,8 +34,9 @@ impl std::error::Error for FlattenError {}
 /// the firing path.
 #[derive(Debug, Clone)]
 pub struct InterpState {
-    /// The elaborated filter.
-    pub inst: Rc<FilterInst>,
+    /// The elaborated filter. `Arc` (not the graph's `Rc`) so flat nodes
+    /// can move to the pipeline executor's worker threads.
+    pub inst: Arc<FilterInst>,
     /// Persistent cells (fields, parameters, captured constants), indexed
     /// by the global slots of `inst.lowered` (a mutable copy of the
     /// initial values).
@@ -49,8 +50,9 @@ pub struct InterpState {
 
 impl InterpState {
     /// Instantiates runtime storage for a filter from its elaborated
-    /// initial state.
-    pub fn new(inst: &Rc<FilterInst>) -> Self {
+    /// initial state (one deep copy per instantiation — the graph hands
+    /// out `Rc`s, the runtime needs thread-shareable nodes).
+    pub fn new(inst: &FilterInst) -> Self {
         let globals = inst
             .lowered
             .globals
@@ -64,7 +66,7 @@ impl InterpState {
             .collect();
         let frame = vec![Cell::Scalar(DataType::Int, Value::Int(0)); inst.lowered.frame_slots()];
         InterpState {
-            inst: Rc::clone(inst),
+            inst: Arc::new(inst.clone()),
             globals,
             frame,
             first: true,

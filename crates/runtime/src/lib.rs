@@ -39,6 +39,15 @@
 //!   this is what runs graphs the plan compiler rejects, e.g. feedback
 //!   loops.
 //!
+//! On top of the static plan sits the **pipeline-parallel executor**
+//! ([`measure::profile_threads`], `streamlinc --threads N`): [`partition`]
+//! cuts the planned graph into cost-balanced contiguous stages and
+//! [`parallel`] runs each stage's slice of the schedule on its own worker
+//! thread, handing items across boundaries through the lock-free SPSC
+//! rings of [`ring::SharedRings`] — printed outputs stay bit-identical to
+//! the single-threaded plan for every thread count, and tallies/firing
+//! counts are identical across thread counts.
+//!
 //! Execution stops when the requested number of program outputs (captured
 //! `print`/`println` values) has been produced. Both schedulers execute
 //! identical firing semantics, so their printed output is bit-identical.
@@ -65,10 +74,16 @@ pub mod engine;
 pub mod flat;
 pub mod linear_exec;
 pub mod measure;
+pub mod parallel;
+pub mod partition;
 pub mod plan;
 pub mod ring;
 
 pub use engine::{Engine, RunError};
 pub use linear_exec::MatMulStrategy;
-pub use measure::{profile, profile_mode, profile_sched, ExecMode, Profile, Scheduler};
-pub use plan::{ExecPlan, PlanEngine, PlanError};
+pub use measure::{
+    profile, profile_mode, profile_sched, profile_threads, ExecMode, Profile, Scheduler,
+};
+pub use parallel::{run_pipeline, PipelineOutcome};
+pub use partition::{partition, Partition};
+pub use plan::{compile_partitioned, ExecPlan, PlanEngine, PlanError};

@@ -97,6 +97,9 @@ pub struct Profile {
     /// The execution mode that ran ([`ExecMode::Fast`] leaves `ops` at
     /// zero).
     pub mode: ExecMode,
+    /// Worker threads that executed the run (1 unless the pipeline
+    /// executor ran; the dynamic fallback is always single-threaded).
+    pub threads: usize,
 }
 
 impl Profile {
@@ -207,18 +210,55 @@ pub fn profile_mode(
     mode: ExecMode,
 ) -> Result<Profile, ProfileError> {
     match mode {
-        ExecMode::Measured => profile_with::<OpCounter>(opt, outputs, strategy, sched, mode),
-        ExecMode::Fast => profile_with::<NoCount>(opt, outputs, strategy, sched, mode),
+        ExecMode::Measured => profile_with::<OpCounter>(opt, outputs, strategy, sched, mode, None),
+        ExecMode::Fast => profile_with::<NoCount>(opt, outputs, strategy, sched, mode, None),
     }
 }
 
-/// The profiler body, monomorphized per tally.
-fn profile_with<T: Tally + Default>(
+/// [`profile_mode`] on the **pipeline-parallel executor**: the static
+/// plan is cut into at most `threads` cost-balanced stages
+/// ([`crate::partition`]) and each stage runs its slice of the schedule on
+/// its own worker thread ([`crate::parallel`]). Printed outputs are
+/// bit-identical to the single-threaded static plan for every thread
+/// count; tallies and firing counts are identical across thread counts
+/// (runs are quantized to whole steady cycles — `threads == 1` uses the
+/// same quantization, so the thread sweep is exactly comparable).
+///
+/// Graphs without a static plan (feedback loops) fall back to the
+/// single-threaded data-driven engine under [`Scheduler::Auto`], exactly
+/// like [`profile_mode`].
+///
+/// # Errors
+///
+/// As [`profile_sched`].
+pub fn profile_threads(
     opt: &OptStream,
     outputs: usize,
     strategy: MatMulStrategy,
     sched: Scheduler,
     mode: ExecMode,
+    threads: usize,
+) -> Result<Profile, ProfileError> {
+    match mode {
+        ExecMode::Measured => {
+            profile_with::<OpCounter>(opt, outputs, strategy, sched, mode, Some(threads))
+        }
+        ExecMode::Fast => {
+            profile_with::<NoCount>(opt, outputs, strategy, sched, mode, Some(threads))
+        }
+    }
+}
+
+/// The profiler body, monomorphized per tally. `threads: Some(n)` selects
+/// the pipeline executor over the planned graph; `None` the classic
+/// single-threaded [`PlanEngine`].
+fn profile_with<T: Tally + Default + Send>(
+    opt: &OptStream,
+    outputs: usize,
+    strategy: MatMulStrategy,
+    sched: Scheduler,
+    mode: ExecMode,
+    threads: Option<usize>,
 ) -> Result<Profile, ProfileError> {
     let flat = flatten(opt, strategy)?;
     let compiled = match sched {
@@ -229,8 +269,27 @@ fn profile_with<T: Tally + Default>(
         Scheduler::Auto if opt.has_feedback() => None,
         Scheduler::Auto => plan::compile(&flat).ok(),
     };
-    let mut prof = match compiled {
-        Some(plan) => {
+    let mut prof = match (compiled, threads) {
+        (Some(plan), Some(threads)) => {
+            let part = crate::partition::partition(
+                &flat,
+                &plan,
+                threads,
+                &streamlin_core::cost::CostModel::default(),
+            );
+            let start = Instant::now();
+            let out = crate::parallel::run_pipeline::<T>(flat, &plan, &part, outputs)?;
+            Profile {
+                wall: start.elapsed(),
+                outputs: out.printed,
+                ops: out.ops,
+                firings: out.firings,
+                sched: Scheduler::Static,
+                mode,
+                threads: out.stages,
+            }
+        }
+        (Some(plan), None) => {
             let mut engine = PlanEngine::<T>::new(flat, plan);
             let start = Instant::now();
             engine.run_until_outputs(outputs)?;
@@ -241,9 +300,10 @@ fn profile_with<T: Tally + Default>(
                 firings: engine.firings(),
                 sched: Scheduler::Static,
                 mode,
+                threads: 1,
             }
         }
-        None => {
+        (None, _) => {
             let mut engine = Engine::<T>::new(flat);
             let start = Instant::now();
             engine.run_until_outputs(outputs)?;
@@ -254,6 +314,7 @@ fn profile_with<T: Tally + Default>(
                 firings: engine.firings(),
                 sched: Scheduler::Dynamic,
                 mode,
+                threads: 1,
             }
         }
     };

@@ -1,0 +1,669 @@
+//! Pipeline-parallel execution of a partitioned static plan.
+//!
+//! Each stage of a [`Partition`] runs **its slice of the compiled
+//! schedule** on its own worker thread: the stage executes exactly the
+//! steps of [`ExecPlan::init`]/[`ExecPlan::steady`] whose nodes it owns,
+//! in schedule order, over a stage-local [`RingSet`]. Items cross stage
+//! boundaries through the lock-free SPSC rings of
+//! [`crate::ring::SharedRings`], sized by the partitioner so a producer
+//! can run several steady cycles ahead before backpressure blocks it —
+//! workers synchronize on the cycle batch, not the firing.
+//!
+//! **Determinism is the contract.** Every node fires the same number of
+//! times, on the same input windows, with the same batch sizes (the plan's
+//! steps are executed verbatim, so even the blocked linear multiplies
+//! accumulate identically) as under the single-threaded
+//! [`crate::plan::PlanEngine`] — and all nodes that can print share one
+//! stage, so the output stream is produced by a single worker in schedule
+//! order. Printed values are therefore **bit-identical for every worker
+//! count**, and because runs are quantized to whole steady cycles by a
+//! thread-count-independent pacing protocol, the operation tallies and
+//! firing counts are identical across worker counts too (the
+//! single-threaded `PlanEngine` stops a few firings earlier, mid-cycle —
+//! the printed prefix is the same).
+//!
+//! The coordinator/worker protocol is intentionally coarse: the
+//! coordinator announces a cumulative cycle target, every worker runs to
+//! it and reports its printed count, and the coordinator extends the
+//! target until the output goal is met. Estimation only looks at
+//! deterministic state (printed counts at round boundaries), which is what
+//! makes the quantization reproducible.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use streamlin_support::{OpCounter, Tally};
+
+use crate::engine::RunError;
+use crate::flat::{FlatGraph, FlatNode, NodeKind};
+use crate::partition::Partition;
+use crate::plan::{batch_need, exec_batch, node_rates, ExecPlan, PlanState, Rates};
+use crate::ring::{RingSet, SharedRings};
+
+/// Outcome of a pipeline run: the merged view a profiler needs.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The program's printed output, in schedule order.
+    pub printed: Vec<f64>,
+    /// Summed operation tallies of all workers.
+    pub ops: OpCounter,
+    /// Summed node firings of all workers.
+    pub firings: u64,
+    /// Steady cycles executed (identical for every worker count).
+    pub cycles: u64,
+    /// Worker threads that ran (= stages of the partition).
+    pub stages: usize,
+}
+
+/// Consecutive output-less steady cycles tolerated before the run is
+/// declared dead (mirrors `PlanEngine::MAX_SILENT_CYCLES`).
+const MAX_SILENT_CYCLES: u64 = 1 << 16;
+
+/// Marker detail for errors caused by *another* worker's failure; the
+/// coordinator reports the root cause instead when one exists.
+const PEER_FAILURE: &str = "aborted: a pipeline peer failed";
+
+fn peer_failure() -> RunError {
+    RunError::Deadlock {
+        detail: PEER_FAILURE.into(),
+    }
+}
+
+/// One schedule step owned by a stage, with its boundary actions.
+#[derive(Debug, Clone)]
+struct LocalStep {
+    /// Node index *within the stage's local node vector*.
+    node: usize,
+    /// Consecutive firings (verbatim from the plan — batch sizes must not
+    /// change, or blocked linear multiplies would accumulate differently).
+    times: u32,
+    /// Boundary input channels to receive on before firing:
+    /// `(input slot, channel)`.
+    recv: Vec<(usize, usize)>,
+    /// Boundary output channels to flush after firing.
+    send: Vec<usize>,
+}
+
+/// Commands from the coordinator to a worker.
+enum Cmd {
+    /// Run until `cycles == target` (the first command also runs init).
+    Run(u64),
+    /// Hand back results and exit.
+    Finish,
+}
+
+/// One worker's answer to a [`Cmd::Run`] round.
+struct Report {
+    printed: usize,
+    err: Option<RunError>,
+}
+
+/// Final per-worker results, returned through the join handle.
+struct StageResult {
+    stage: usize,
+    printed: Vec<f64>,
+    ops: OpCounter,
+    firings: u64,
+}
+
+/// A stage's executable state, moved onto its worker thread.
+struct StageWorker<'a, T: Tally> {
+    stage: usize,
+    nodes: Vec<FlatNode>,
+    /// Rate signatures, indexed like `nodes`.
+    rates: Vec<Rates>,
+    /// First firing still pending, indexed like `nodes`.
+    fresh: Vec<bool>,
+    init_steps: Vec<LocalStep>,
+    steady_steps: Vec<LocalStep>,
+    state: PlanState<T>,
+    /// Local ring capacities (for computing drain room on boundary-ins).
+    local_caps: Vec<usize>,
+    shared: &'a SharedRings,
+    poisoned: &'a AtomicBool,
+    /// True when the host has a single hardware thread (skip spinning).
+    solo: bool,
+    cycles: u64,
+    init_done: bool,
+}
+
+/// Brief spin, then yield: boundary waits are usually a few hundred
+/// nanoseconds (the peer is mid-cycle), occasionally a whole cycle. On a
+/// single-core host spinning is pure waste — the peer cannot make
+/// progress until we yield — so the spin phase is skipped there.
+fn backoff(spins: &mut u32, solo: bool) {
+    if !solo && *spins < 128 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+    *spins = spins.saturating_add(1);
+}
+
+impl<T: Tally> StageWorker<'_, T> {
+    fn poison_check(&self) -> Result<(), RunError> {
+        if self.poisoned.load(Ordering::Relaxed) {
+            Err(peer_failure())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Moves available items of a boundary-in channel from the SPSC ring
+    /// into the local ring, bounded by local space. Returns items moved.
+    fn drain(&mut self, chan: usize) -> usize {
+        let free = self.local_caps[chan] - self.state.rings.len(chan);
+        if free == 0 {
+            return 0;
+        }
+        let shared = self.shared;
+        let rings = &mut self.state.rings;
+        shared.consume(chan, free, |a, b| {
+            rings.produce(chan, a);
+            rings.produce(chan, b);
+        })
+    }
+
+    /// Pushes everything buffered on a boundary-out channel into its SPSC
+    /// ring, blocking (with backoff) while the consumer lags.
+    fn flush(&mut self, chan: usize) -> Result<(), RunError> {
+        let mut remaining = self.state.rings.len(chan);
+        let mut spins = 0u32;
+        while remaining > 0 {
+            let shared = self.shared;
+            let window = self.state.rings.window(chan, remaining);
+            let pushed = shared.produce(chan, window);
+            if pushed == 0 {
+                self.poison_check()?;
+                backoff(&mut spins, self.solo);
+            } else {
+                self.state.rings.consume(chan, pushed);
+                remaining -= pushed;
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_step(&mut self, step: &LocalStep) -> Result<(), RunError> {
+        let first = self.fresh[step.node];
+        for &(slot, chan) in &step.recv {
+            let need = batch_need(&self.rates[step.node], first, step.times as u64, slot) as usize;
+            let mut spins = 0u32;
+            while self.state.rings.len(chan) < need {
+                if self.drain(chan) == 0 {
+                    self.poison_check()?;
+                    backoff(&mut spins, self.solo);
+                }
+            }
+        }
+        exec_batch(
+            &mut self.nodes[step.node],
+            step.times,
+            &mut self.state,
+            usize::MAX,
+        )?;
+        self.fresh[step.node] = false;
+        for &chan in &step.send {
+            self.flush(chan)?;
+        }
+        Ok(())
+    }
+
+    /// Runs a whole phase (borrow juggling: the steps are taken out of
+    /// `self` for the duration so `exec_step` can borrow freely).
+    fn run_steps(&mut self, init: bool) -> Result<(), RunError> {
+        let steps = if init {
+            std::mem::take(&mut self.init_steps)
+        } else {
+            std::mem::take(&mut self.steady_steps)
+        };
+        let result = steps.iter().try_for_each(|s| self.exec_step(s));
+        if init {
+            self.init_steps = steps;
+        } else {
+            self.steady_steps = steps;
+        }
+        result
+    }
+
+    fn run_to(&mut self, target: u64) -> Result<(), RunError> {
+        if !self.init_done {
+            self.init_done = true;
+            self.run_steps(true)?;
+        }
+        while self.cycles < target {
+            self.run_steps(false)?;
+            self.cycles += 1;
+        }
+        Ok(())
+    }
+}
+
+/// The worker thread body: serve `Run` rounds until `Finish`.
+fn worker_main<T: Tally>(
+    mut w: StageWorker<'_, T>,
+    rx: Receiver<Cmd>,
+    tx: Sender<Report>,
+) -> StageResult {
+    let mut failed = false;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Run(target) => {
+                let err = if failed {
+                    None
+                } else {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| w.run_to(target))) {
+                        Ok(Ok(())) => None,
+                        Ok(Err(e)) => Some(e),
+                        Err(_) => Some(RunError::Eval(format!(
+                            "pipeline stage {} panicked",
+                            w.stage
+                        ))),
+                    }
+                };
+                if err.is_some() {
+                    failed = true;
+                    w.poisoned.store(true, Ordering::Relaxed);
+                }
+                let report = Report {
+                    printed: w.state.printed.len(),
+                    err,
+                };
+                if tx.send(report).is_err() {
+                    break;
+                }
+            }
+            Cmd::Finish => break,
+        }
+    }
+    StageResult {
+        stage: w.stage,
+        printed: std::mem::take(&mut w.state.printed),
+        ops: w.state.ops.counts(),
+        firings: w.state.firings,
+    }
+}
+
+/// Runs a partitioned plan on one worker thread per stage until at least
+/// `outputs` values have been printed, quantized to whole steady cycles.
+///
+/// # Errors
+///
+/// Propagates evaluation/rate errors from work functions; reports a
+/// deadlock when [`MAX_SILENT_CYCLES`] consecutive cycles print nothing.
+pub fn run_pipeline<T: Tally + Default + Send>(
+    flat: FlatGraph,
+    plan: &ExecPlan,
+    part: &Partition,
+    outputs: usize,
+) -> Result<PipelineOutcome, RunError> {
+    let num_stages = part.num_stages;
+    let num_channels = flat.num_channels;
+    let rates: Vec<Rates> = flat.nodes.iter().map(node_rates).collect();
+
+    // Boundary lookup: per channel, the crossing (if any) and capacity.
+    let mut spsc_caps = vec![0usize; num_channels];
+    let mut boundary_to: Vec<Option<usize>> = vec![None; num_channels];
+    let mut boundary_from: Vec<Option<usize>> = vec![None; num_channels];
+    for b in &part.boundaries {
+        spsc_caps[b.chan] = b.capacity;
+        boundary_to[b.chan] = Some(b.to_stage);
+        boundary_from[b.chan] = Some(b.from_stage);
+    }
+
+    // Expected prints per steady cycle (sinks only; interpreted printers
+    // are data-dependent and contribute nothing to the estimate).
+    let mut est_per_cycle = 0u64;
+    for step in &plan.steady {
+        if let NodeKind::PrintSink { pop } = &flat.nodes[step.node].kind {
+            est_per_cycle += step.times as u64 * *pop as u64;
+        }
+    }
+    let est_per_cycle = est_per_cycle.max(1);
+
+    // Distribute nodes, rates, ring capacities and schedule slices.
+    let mut local_idx = vec![usize::MAX; flat.nodes.len()];
+    let mut stage_nodes: Vec<Vec<FlatNode>> = (0..num_stages).map(|_| Vec::new()).collect();
+    let mut stage_rates: Vec<Vec<Rates>> = (0..num_stages).map(|_| Vec::new()).collect();
+    let mut stage_caps: Vec<Vec<usize>> = (0..num_stages).map(|_| vec![0; num_channels]).collect();
+    for (i, node) in flat.nodes.into_iter().enumerate() {
+        let s = part.stage_of[i];
+        // Ring capacities, from this node's endpoint perspective:
+        // boundary-ins get the SPSC capacity (drain headroom), everything
+        // else keeps the plan's exact bound.
+        for &c in &node.inputs {
+            stage_caps[s][c] = if boundary_to[c] == Some(s) {
+                spsc_caps[c]
+            } else {
+                plan.caps[c]
+            };
+        }
+        for &c in &node.outputs {
+            if boundary_from[c] != Some(s) {
+                stage_caps[s][c] = plan.caps[c];
+            } else {
+                // Staging room for one step's pushes before the flush.
+                stage_caps[s][c] = stage_caps[s][c].max(plan.caps[c]);
+            }
+        }
+        local_idx[i] = stage_nodes[s].len();
+        stage_rates[s].push(rates[i].clone());
+        stage_nodes[s].push(node);
+    }
+    // Initial items (feedback preloads) land in the consumer's local ring,
+    // mirroring the sequential engine's starting occupancy.
+    let mut stage_initial: Vec<Vec<(usize, Vec<f64>)>> =
+        (0..num_stages).map(|_| Vec::new()).collect();
+    for (c, items) in flat.initial {
+        let consumer_stage = (0..num_stages)
+            .find(|&s| stage_nodes[s].iter().any(|n| n.inputs.contains(&c)))
+            .expect("planned graphs have no dangling channels");
+        stage_initial[consumer_stage].push((c, items));
+    }
+
+    let slice_steps = |steps: &[crate::plan::Step]| -> Vec<Vec<LocalStep>> {
+        let mut per_stage: Vec<Vec<LocalStep>> = (0..num_stages).map(|_| Vec::new()).collect();
+        for step in steps {
+            let s = part.stage_of[step.node];
+            let node = &stage_nodes[s][local_idx[step.node]];
+            let recv = node
+                .inputs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| boundary_to[c] == Some(s))
+                .map(|(slot, &c)| (slot, c))
+                .collect();
+            let send = node
+                .outputs
+                .iter()
+                .copied()
+                .filter(|&c| boundary_from[c] == Some(s))
+                .collect();
+            per_stage[s].push(LocalStep {
+                node: local_idx[step.node],
+                times: step.times,
+                recv,
+                send,
+            });
+        }
+        per_stage
+    };
+    let mut init_slices = slice_steps(&plan.init);
+    let mut steady_slices = slice_steps(&plan.steady);
+
+    let shared = SharedRings::new(&spsc_caps);
+    let poisoned = AtomicBool::new(false);
+    let solo = std::thread::available_parallelism().is_ok_and(|n| n.get() == 1);
+    let (report_tx, report_rx) = channel::<Report>();
+
+    std::thread::scope(|scope| {
+        let mut cmd_txs = Vec::with_capacity(num_stages);
+        let mut handles = Vec::with_capacity(num_stages);
+        for stage in (0..num_stages).rev() {
+            // Built in reverse so `pop()` hands each worker its own data.
+            let nodes = stage_nodes.pop().expect("one vec per stage");
+            let srates = stage_rates.pop().expect("one vec per stage");
+            let caps = stage_caps.pop().expect("one vec per stage");
+            let initial = stage_initial.pop().expect("one vec per stage");
+            let init_steps = init_slices.pop().expect("one vec per stage");
+            let steady_steps = steady_slices.pop().expect("one vec per stage");
+            let (tx, rx) = channel::<Cmd>();
+            cmd_txs.push(tx);
+            let report_tx = report_tx.clone();
+            let shared = &shared;
+            let poisoned = &poisoned;
+            handles.push(scope.spawn(move || {
+                let fresh = vec![true; nodes.len()];
+                let worker = StageWorker {
+                    stage,
+                    rates: srates,
+                    fresh,
+                    init_steps,
+                    steady_steps,
+                    state: PlanState {
+                        rings: RingSet::new(&caps, &initial),
+                        printed: Vec::new(),
+                        ops: T::default(),
+                        firings: 0,
+                        out_buf: Vec::new(),
+                    },
+                    local_caps: caps,
+                    nodes,
+                    shared,
+                    poisoned,
+                    solo,
+                    cycles: 0,
+                    init_done: false,
+                };
+                worker_main(worker, rx, report_tx)
+            }));
+        }
+        cmd_txs.reverse(); // spawned in reverse stage order
+        drop(report_tx);
+
+        // The pacing protocol. Every quantity here is a deterministic
+        // function of printed counts at round boundaries, so the total
+        // cycle count — and with it tallies and firing counts — is
+        // independent of the worker count.
+        let mut target = 0u64;
+        let mut printed = 0usize;
+        let mut progress_at = 0u64; // target when output last grew
+        let mut round_err: Option<RunError> = None;
+        while printed < outputs && round_err.is_none() {
+            let remaining = (outputs - printed) as u64;
+            let add = if printed > 0 {
+                // Observed rate so far, rounded pessimistically upward.
+                (remaining * target).div_ceil(printed as u64)
+            } else {
+                remaining.div_ceil(est_per_cycle)
+            };
+            let silent = target - progress_at;
+            let add = add.clamp(1, MAX_SILENT_CYCLES.saturating_sub(silent).max(1));
+            target += add;
+            for tx in &cmd_txs {
+                if tx.send(Cmd::Run(target)).is_err() {
+                    round_err = Some(RunError::Eval("pipeline worker exited early".into()));
+                }
+            }
+            let before = printed;
+            for _ in 0..num_stages {
+                match report_rx.recv() {
+                    Ok(rep) => {
+                        printed = printed.max(rep.printed);
+                        if let Some(e) = rep.err {
+                            // Keep the root cause; a peer-failure abort
+                            // only stands in until the real error arrives.
+                            let is_peer = |e: &RunError| matches!(e, RunError::Deadlock { detail } if detail == PEER_FAILURE);
+                            match &round_err {
+                                None => round_err = Some(e),
+                                Some(cur) if is_peer(cur) && !is_peer(&e) => round_err = Some(e),
+                                _ => {}
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        round_err = Some(RunError::Eval("pipeline worker exited early".into()));
+                        break;
+                    }
+                }
+            }
+            if printed > before {
+                progress_at = target;
+            } else if target - progress_at >= MAX_SILENT_CYCLES && round_err.is_none() {
+                round_err = Some(RunError::Deadlock {
+                    detail: format!(
+                        "{} consecutive steady cycles produced no program output",
+                        target - progress_at
+                    ),
+                });
+            }
+        }
+
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Finish);
+        }
+        let mut results: Vec<StageResult> = Vec::with_capacity(num_stages);
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(_) => {
+                    if round_err.is_none() {
+                        round_err = Some(RunError::Eval("pipeline worker panicked".into()));
+                    }
+                }
+            }
+        }
+        if let Some(e) = round_err {
+            return Err(e);
+        }
+        results.sort_by_key(|r| r.stage);
+        let mut outcome = PipelineOutcome {
+            printed: Vec::new(),
+            ops: OpCounter::default(),
+            firings: 0,
+            cycles: target,
+            stages: num_stages,
+        };
+        for r in results {
+            // Only the printer stage contributes output; concatenation in
+            // stage order is exact because printers share one stage.
+            outcome.printed.extend(r.printed);
+            outcome.ops.merge(&r.ops);
+            outcome.firings += r.firings;
+        }
+        Ok(outcome)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::flatten;
+    use crate::linear_exec::MatMulStrategy;
+    use crate::partition::partition;
+    use crate::plan::{compile, PlanEngine};
+    use streamlin_core::cost::CostModel;
+    use streamlin_core::opt::OptStream;
+    use streamlin_support::NoCount;
+
+    fn planned(src: &str) -> (FlatGraph, ExecPlan) {
+        let p = streamlin_lang::parse(src).unwrap();
+        let g = streamlin_graph::elaborate(&p).unwrap();
+        let flat = flatten(&OptStream::from_graph(&g), MatMulStrategy::Unrolled).unwrap();
+        let plan = compile(&flat).unwrap();
+        (flat, plan)
+    }
+
+    fn run_threads(src: &str, threads: usize, outputs: usize) -> PipelineOutcome {
+        let (flat, plan) = planned(src);
+        let part = partition(&flat, &plan, threads, &CostModel::default());
+        run_pipeline::<OpCounter>(flat, &plan, &part, outputs).unwrap()
+    }
+
+    const CHAIN: &str = "void->void pipeline Main { add S(); add G(); add H(); add K(); }
+         void->float filter S { float x; work push 1 { push(x++); } }
+         float->float filter G { work pop 1 push 1 { push(3 * pop()); } }
+         float->float filter H { work peek 2 pop 1 push 1 { push(peek(1) - peek(0)); pop(); } }
+         float->void filter K { work pop 1 { println(pop()); } }";
+
+    #[test]
+    fn pipeline_matches_plan_engine_output() {
+        let (flat, plan) = planned(CHAIN);
+        let mut seq = PlanEngine::<OpCounter>::new(flat, plan);
+        seq.run_until_outputs(40).unwrap();
+        let expected: Vec<f64> = seq.printed()[..40].to_vec();
+        for threads in [1, 2, 3, 4] {
+            let out = run_threads(CHAIN, threads, 40);
+            assert!(out.printed.len() >= 40);
+            assert_eq!(&out.printed[..40], &expected[..], "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn tallies_are_identical_across_worker_counts() {
+        let one = run_threads(CHAIN, 1, 64);
+        for threads in [2, 4] {
+            let many = run_threads(CHAIN, threads, 64);
+            assert_eq!(one.cycles, many.cycles, "threads {threads}");
+            assert_eq!(one.firings, many.firings, "threads {threads}");
+            assert_eq!(one.ops, many.ops, "threads {threads}");
+            assert_eq!(one.printed, many.printed, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn multirate_splitjoin_pipeline_is_exact() {
+        const SJ: &str = "void->void pipeline Main { add S(); add SJ(); add C(); add K(); }
+             void->float filter S { float x; work push 1 { push(x++); } }
+             float->float splitjoin SJ {
+                 split duplicate;
+                 add G(10.0); add G(100.0);
+                 join roundrobin;
+             }
+             float->float filter G(float k) { work pop 1 push 1 { push(k * pop()); } }
+             float->float filter C { work pop 2 push 1 { push(pop() + pop()); } }
+             float->void filter K { work pop 1 { println(pop()); } }";
+        let (flat, plan) = planned(SJ);
+        let mut seq = PlanEngine::<OpCounter>::new(flat, plan);
+        seq.run_until_outputs(30).unwrap();
+        let expected: Vec<f64> = seq.printed()[..30].to_vec();
+        for threads in [2, 4] {
+            let out = run_threads(SJ, threads, 30);
+            assert_eq!(&out.printed[..30], &expected[..], "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn init_phases_cross_boundaries() {
+        // The peeking filter needs a 2-item prologue from the source; with
+        // a cut between them the prologue flows through the SPSC ring.
+        const PEEKY: &str = "void->void pipeline Main { add S(); add D(); add K(); }
+             void->float filter S { float x; work push 1 { push(x++); } }
+             float->float filter D {
+                 work peek 3 pop 1 push 1 { push(peek(2) - peek(0)); pop(); }
+             }
+             float->void filter K { work pop 1 { println(pop()); } }";
+        let out = run_threads(PEEKY, 3, 10);
+        assert_eq!(&out.printed[..3], &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn uncounted_mode_prints_identical_bits() {
+        let (flat, plan) = planned(CHAIN);
+        let part = partition(&flat, &plan, 2, &CostModel::default());
+        let fast = run_pipeline::<NoCount>(flat, &plan, &part, 50).unwrap();
+        let counted = run_threads(CHAIN, 2, 50);
+        assert_eq!(fast.printed.len(), counted.printed.len());
+        for (a, b) in fast.printed.iter().zip(&counted.printed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(fast.ops, OpCounter::default());
+    }
+
+    #[test]
+    fn rate_violations_poison_the_pipeline() {
+        const BAD: &str = "void->void pipeline Main { add S(); add K(); }
+             void->float filter S { float x; work push 2 { push(x++); } }
+             float->void filter K { work pop 1 { println(pop()); } }";
+        let (flat, plan) = planned(BAD);
+        let part = partition(&flat, &plan, 2, &CostModel::default());
+        let err = run_pipeline::<OpCounter>(flat, &plan, &part, 5).unwrap_err();
+        assert!(matches!(err, RunError::RateViolation(_)), "{err}");
+    }
+
+    #[test]
+    fn conditional_printers_survive_silent_cycles() {
+        const SPARSE: &str = "void->void pipeline Main { add S(); add K(); }
+             void->float filter S { float x; work push 1 { push(x++); } }
+             float->void filter K {
+                 int c;
+                 work pop 1 {
+                     c++;
+                     if (c % 3 == 0) println(pop()); else pop();
+                 }
+             }";
+        let out = run_threads(SPARSE, 2, 3);
+        assert_eq!(&out.printed[..3], &[2.0, 5.0, 8.0]);
+    }
+}

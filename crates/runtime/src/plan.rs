@@ -126,23 +126,23 @@ impl ExecPlan {
 /// `(peek, pop)` per input channel and pushes per output channel for one
 /// firing phase of a node.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Phase {
-    in_peek: Vec<u64>,
-    in_pop: Vec<u64>,
-    out_push: Vec<u64>,
+pub(crate) struct Phase {
+    pub(crate) in_peek: Vec<u64>,
+    pub(crate) in_pop: Vec<u64>,
+    pub(crate) out_push: Vec<u64>,
 }
 
 /// A node's rate signature: the steady phase, plus a distinct first-firing
 /// phase when one exists (`initWork`, frequency priming).
 #[derive(Debug, Clone)]
-struct Rates {
-    steady: Phase,
-    first: Option<Phase>,
+pub(crate) struct Rates {
+    pub(crate) steady: Phase,
+    pub(crate) first: Option<Phase>,
 }
 
 impl Rates {
     /// The phase of firing `idx` (0-based since node creation).
-    fn phase(&self, first_firing: bool) -> &Phase {
+    pub(crate) fn phase(&self, first_firing: bool) -> &Phase {
         match (&self.first, first_firing) {
             (Some(f), true) => f,
             _ => &self.steady,
@@ -174,7 +174,7 @@ fn phase_for(node: &FlatNode, peek: u64, pop: u64, push: u64) -> Phase {
     }
 }
 
-fn node_rates(node: &FlatNode) -> Rates {
+pub(crate) fn node_rates(node: &FlatNode) -> Rates {
     match &node.kind {
         NodeKind::Interp(s) => {
             let w = &s.inst.work;
@@ -251,7 +251,7 @@ fn node_rates(node: &FlatNode) -> Rates {
 
 /// Items a batch of `k` firings needs buffered on input slot `s` before it
 /// starts (the peak of `consumed-so-far + peek` over the batch).
-fn batch_need(rates: &Rates, first_firing: bool, k: u64, s: usize) -> u64 {
+pub(crate) fn batch_need(rates: &Rates, first_firing: bool, k: u64, s: usize) -> u64 {
     if k == 0 {
         return 0;
     }
@@ -265,7 +265,7 @@ fn batch_need(rates: &Rates, first_firing: bool, k: u64, s: usize) -> u64 {
 }
 
 /// Items a batch of `k` firings pops from input slot `s` in total.
-fn batch_pop(rates: &Rates, first_firing: bool, k: u64, s: usize) -> u64 {
+pub(crate) fn batch_pop(rates: &Rates, first_firing: bool, k: u64, s: usize) -> u64 {
     if k == 0 {
         return 0;
     }
@@ -274,7 +274,7 @@ fn batch_pop(rates: &Rates, first_firing: bool, k: u64, s: usize) -> u64 {
 }
 
 /// Items a batch of `k` firings pushes to output slot `s` in total.
-fn batch_push(rates: &Rates, first_firing: bool, k: u64, s: usize) -> u64 {
+pub(crate) fn batch_push(rates: &Rates, first_firing: bool, k: u64, s: usize) -> u64 {
     if k == 0 {
         return 0;
     }
@@ -505,6 +505,24 @@ pub fn compile(flat: &FlatGraph) -> Result<ExecPlan, PlanError> {
     })
 }
 
+/// [`compile`] plus pipeline partitioning: compiles the static plan and
+/// cuts it into at most `threads` cost-balanced stages for the parallel
+/// executor ([`crate::parallel::run_pipeline`]).
+///
+/// # Errors
+///
+/// As [`compile`] — partitioning itself always succeeds on a planned
+/// graph (the trivial single-stage partition is the floor).
+pub fn compile_partitioned(
+    flat: &FlatGraph,
+    threads: usize,
+    model: &streamlin_core::cost::CostModel,
+) -> Result<(ExecPlan, crate::partition::Partition), PlanError> {
+    let plan = compile(flat)?;
+    let part = crate::partition::partition(flat, &plan, threads, model);
+    Ok((plan, part))
+}
+
 /// Symbolic executor used by [`compile`]: tracks occupancies, firing
 /// budgets and high-water marks while recording the firing sequence.
 struct Sim<'a> {
@@ -604,13 +622,13 @@ impl Sim<'_> {
 /// Mutable run state, kept apart from the nodes so a firing can borrow
 /// both (mirrors the dynamic engine's split).
 #[derive(Debug)]
-struct PlanState<T> {
-    rings: RingSet,
-    printed: Vec<f64>,
-    ops: T,
-    firings: u64,
+pub(crate) struct PlanState<T> {
+    pub(crate) rings: RingSet,
+    pub(crate) printed: Vec<f64>,
+    pub(crate) ops: T,
+    pub(crate) firings: u64,
     /// Reusable staging buffer for batched outputs.
-    out_buf: Vec<f64>,
+    pub(crate) out_buf: Vec<f64>,
 }
 
 /// Executes a compiled [`ExecPlan`] over ring buffers, generic over the
@@ -746,7 +764,7 @@ impl<T: Tally> PlanEngine<T> {
 /// outputs exist — exactly like the data-driven engine's between-firing
 /// check — and report how many firings actually ran; all other node kinds
 /// always complete the batch.
-fn exec_batch<T: Tally>(
+pub(crate) fn exec_batch<T: Tally>(
     node: &mut FlatNode,
     times: u32,
     state: &mut PlanState<T>,

@@ -4,10 +4,18 @@
 //! occupancy at compile time, so channels need no growth path: all of them
 //! live side by side in a single `Vec<f64>` allocated once per program
 //! ([`RingSet`]). Peeked windows are served as contiguous slices — directly
-//! from the slab in the common case, via a copy into a shared scratch
+//! from the slab in the common case, via a copy into a per-channel scratch
 //! buffer in the rare case where a window wraps around its ring's end.
 //! This replaces the dynamic engine's per-channel `VecDeque`s (and its
 //! per-firing window allocation) on the hot path.
+//!
+//! The pipeline-parallel executor ([`crate::parallel`]) adds a second
+//! flavor: [`SharedRings`], single-producer/single-consumer rings over one
+//! shared slab with atomic head/tail counters, carrying items across stage
+//! boundaries between worker threads without locks.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Per-channel ring metadata; the items live in the shared slab.
 #[derive(Debug, Clone, Copy)]
@@ -22,12 +30,19 @@ struct Chan {
     len: usize,
 }
 
-/// All channels of a program: one slab, one scratch buffer.
+/// All channels of a program: one slab, per-channel wrap scratch.
+///
+/// Scratch buffers are per channel (allocated lazily, only for channels
+/// whose windows ever wrap) so that two channels served by the same
+/// `RingSet` — or a channel whose window is still borrowed while another
+/// is assembled — can never alias a single shared scratch buffer. The
+/// pipeline partitioner relies on this when it splits a graph's channels
+/// across stage-local ring sets.
 #[derive(Debug, Clone)]
 pub struct RingSet {
     slab: Vec<f64>,
     chans: Vec<Chan>,
-    scratch: Vec<f64>,
+    scratch: Vec<Vec<f64>>,
 }
 
 impl RingSet {
@@ -52,7 +67,7 @@ impl RingSet {
         let mut set = RingSet {
             slab: vec![0.0; off],
             chans,
-            scratch: vec![0.0; caps.iter().copied().max().unwrap_or(0)],
+            scratch: vec![Vec::new(); caps.len()],
         };
         for (chan, items) in initial {
             set.produce(*chan, items);
@@ -71,8 +86,9 @@ impl RingSet {
     }
 
     /// The oldest `n` items of a channel as one contiguous slice (borrowed
-    /// from the slab, or assembled in the scratch buffer on wrap). The
-    /// items are *not* consumed; follow with [`RingSet::consume`].
+    /// from the slab, or assembled in the channel's own scratch buffer on
+    /// wrap). The items are *not* consumed; follow with
+    /// [`RingSet::consume`].
     ///
     /// # Panics
     ///
@@ -83,10 +99,14 @@ impl RingSet {
         if c.head + n <= c.cap {
             &self.slab[c.off + c.head..c.off + c.head + n]
         } else {
+            let scratch = &mut self.scratch[chan];
+            if scratch.len() < c.cap {
+                scratch.resize(c.cap, 0.0);
+            }
             let first = c.cap - c.head;
-            self.scratch[..first].copy_from_slice(&self.slab[c.off + c.head..c.off + c.cap]);
-            self.scratch[first..n].copy_from_slice(&self.slab[c.off..c.off + n - first]);
-            &self.scratch[..n]
+            scratch[..first].copy_from_slice(&self.slab[c.off + c.head..c.off + c.cap]);
+            scratch[first..n].copy_from_slice(&self.slab[c.off..c.off + n - first]);
+            &scratch[..n]
         }
     }
 
@@ -153,6 +173,155 @@ impl RingSet {
     }
 }
 
+/// Head/tail counter on its own cache line so the producer's tail stores
+/// and the consumer's head stores never false-share.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct PaddedCounter(AtomicUsize);
+
+/// Endpoints of one SPSC channel. `head`/`tail` are monotonically
+/// increasing item counts (never wrapped); the slab index is `count %
+/// cap`. Occupancy is `tail - head`.
+#[derive(Debug)]
+struct SharedChan {
+    off: usize,
+    cap: usize,
+    /// Items consumed so far (written only by the consumer thread).
+    head: PaddedCounter,
+    /// Items produced so far (written only by the producer thread).
+    tail: PaddedCounter,
+}
+
+/// Lock-free single-producer/single-consumer rings over one shared slab —
+/// the stage-boundary channels of the pipeline-parallel executor.
+///
+/// Same design as [`RingSet`] (all channels side by side in one slab,
+/// exact capacities known up front) with the head/tail bookkeeping made
+/// atomic: for every channel, exactly one thread produces and exactly one
+/// thread consumes, so a release store on the producer's tail and an
+/// acquire load on the consumer's side (and vice versa for backpressure)
+/// are the only synchronization items ever need. Capacities are sized by
+/// the partitioner so workers synchronize once per steady-iteration
+/// batch, not per firing.
+///
+/// Channels with capacity 0 are placeholders (non-boundary channels keep
+/// their global id); producing to or consuming from them is a bug.
+#[derive(Debug)]
+pub struct SharedRings {
+    /// Per-element `UnsafeCell`s (same in-memory representation as `f64`)
+    /// so item reads and writes go through interior-mutability raw
+    /// pointers — no `&mut` over the slab is ever formed, which keeps
+    /// concurrent producer writes and consumer reads of *disjoint*
+    /// regions within Rust's aliasing rules.
+    slab: Box<[UnsafeCell<f64>]>,
+    chans: Vec<SharedChan>,
+}
+
+// SAFETY: the slab is only accessed through `produce` (writes the
+// [tail, head+cap) region, called by the channel's single producer) and
+// `consume` (reads the [head, tail) region, called by the single
+// consumer). The two regions are disjoint, all access is through
+// `UnsafeCell` raw pointers (no references to the items are retained
+// across the handoff), and the acquire/release pairs on head/tail order
+// the data accesses against the index handoff.
+unsafe impl Sync for SharedRings {}
+unsafe impl Send for SharedRings {}
+
+impl SharedRings {
+    /// Allocates rings with the given capacities (0 = unused placeholder).
+    pub fn new(caps: &[usize]) -> Self {
+        let mut chans = Vec::with_capacity(caps.len());
+        let mut off = 0;
+        for &cap in caps {
+            chans.push(SharedChan {
+                off,
+                cap,
+                head: PaddedCounter::default(),
+                tail: PaddedCounter::default(),
+            });
+            off += cap;
+        }
+        SharedRings {
+            slab: (0..off).map(|_| UnsafeCell::new(0.0)).collect(),
+            chans,
+        }
+    }
+
+    /// Capacity of one channel.
+    pub fn capacity(&self, chan: usize) -> usize {
+        self.chans[chan].cap
+    }
+
+    /// Raw base pointer of one channel's ring. `UnsafeCell<f64>` has the
+    /// same in-memory representation as `f64`, so element pointers may be
+    /// used as `*mut f64`/`*const f64` directly.
+    fn ring_ptr(&self, c: &SharedChan) -> *mut f64 {
+        self.slab[c.off..].as_ptr() as *mut f64
+    }
+
+    /// Appends as many of `items` as the ring currently has space for and
+    /// returns how many were written (0 when full — the producer spins or
+    /// yields and retries with the rest). Producer side only.
+    pub fn produce(&self, chan: usize, items: &[f64]) -> usize {
+        let c = &self.chans[chan];
+        debug_assert!(c.cap > 0, "produce on a zero-capacity shared ring");
+        // Acquire pairs with the consumer's release store of `head`: once
+        // we observe the space, the consumer's reads of it are complete.
+        let head = c.head.0.load(Ordering::Acquire);
+        let tail = c.tail.0.load(Ordering::Relaxed);
+        let n = items.len().min(c.cap - (tail - head));
+        if n == 0 {
+            return 0;
+        }
+        let start = tail % c.cap;
+        let first = n.min(c.cap - start);
+        // SAFETY: [tail, tail + n) is unoccupied (checked against head
+        // above), this thread is the channel's only producer, and the
+        // writes go through `UnsafeCell` pointers (no `&mut` is formed).
+        unsafe {
+            let ring = self.ring_ptr(c);
+            std::ptr::copy_nonoverlapping(items.as_ptr(), ring.add(start), first);
+            std::ptr::copy_nonoverlapping(items.as_ptr().add(first), ring, n - first);
+        }
+        // Release publishes the item writes to the consumer's acquire.
+        c.tail.0.store(tail + n, Ordering::Release);
+        n
+    }
+
+    /// Hands up to `max` buffered items to `f` (as up to two slices, in
+    /// FIFO order — the second is the wrapped tail), then marks them
+    /// consumed. Returns how many items were passed (0 when empty — the
+    /// consumer spins or yields and retries). Consumer side only.
+    pub fn consume(&self, chan: usize, max: usize, f: impl FnOnce(&[f64], &[f64])) -> usize {
+        let c = &self.chans[chan];
+        debug_assert!(c.cap > 0, "consume on a zero-capacity shared ring");
+        // Acquire pairs with the producer's release store of `tail`.
+        let tail = c.tail.0.load(Ordering::Acquire);
+        let head = c.head.0.load(Ordering::Relaxed);
+        let n = max.min(tail - head);
+        if n == 0 {
+            return 0;
+        }
+        let start = head % c.cap;
+        let first = n.min(c.cap - start);
+        // SAFETY: [head, head + n) is occupied (checked against tail
+        // above), this thread is the channel's only consumer, and the
+        // producer never writes an occupied region — the shared slices
+        // below alias only cells the producer will not touch until the
+        // `head` release-store after `f` returns.
+        unsafe {
+            let ring = self.ring_ptr(c) as *const f64;
+            f(
+                std::slice::from_raw_parts(ring.add(start), first),
+                std::slice::from_raw_parts(ring, n - first),
+            );
+        }
+        // Release publishes the freed space to the producer's acquire.
+        c.head.0.store(head + n, Ordering::Release);
+        n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +370,71 @@ mod tests {
         assert_eq!(r.pop_one(0), 1.0);
         assert_eq!(r.window(1, 2), &[2.0, 3.0]);
         assert_eq!(r.window(2, 3), &[4.0, 5.0, 6.0]);
+    }
+
+    fn drain(s: &SharedRings, chan: usize, max: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        s.consume(chan, max, |a, b| {
+            out.extend_from_slice(a);
+            out.extend_from_slice(b);
+        });
+        out
+    }
+
+    #[test]
+    fn spsc_ring_round_trips_in_fifo_order() {
+        let s = SharedRings::new(&[4]);
+        assert_eq!(s.produce(0, &[1.0, 2.0, 3.0]), 3);
+        assert_eq!(drain(&s, 0, 2), &[1.0, 2.0]);
+        // Wraps: writes land at slab positions 3, 0.
+        assert_eq!(s.produce(0, &[4.0, 5.0, 6.0]), 3);
+        assert_eq!(s.produce(0, &[7.0]), 0, "ring is full");
+        assert_eq!(drain(&s, 0, usize::MAX), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(drain(&s, 0, usize::MAX), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn spsc_partial_produce_reports_written_count() {
+        let s = SharedRings::new(&[2, 3]);
+        assert_eq!(s.produce(1, &[1.0, 2.0, 3.0, 4.0]), 3);
+        assert_eq!(drain(&s, 1, 1), &[1.0]);
+        assert_eq!(s.produce(1, &[4.0, 5.0]), 1);
+        assert_eq!(drain(&s, 1, usize::MAX), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn spsc_cross_thread_stream_is_lossless() {
+        const N: usize = 100_000;
+        let s = SharedRings::new(&[7]);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut sent = 0usize;
+                while sent < N {
+                    let batch: Vec<f64> = (sent..(sent + 13).min(N)).map(|i| i as f64).collect();
+                    let mut off = 0;
+                    while off < batch.len() {
+                        let n = s.produce(0, &batch[off..]);
+                        off += n;
+                        if n == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    sent += batch.len();
+                }
+            });
+            let mut got = Vec::with_capacity(N);
+            while got.len() < N {
+                if s.consume(0, usize::MAX, |a, b| {
+                    got.extend_from_slice(a);
+                    got.extend_from_slice(b);
+                }) == 0
+                {
+                    std::thread::yield_now();
+                }
+            }
+            for (i, v) in got.iter().enumerate() {
+                assert_eq!(*v, i as f64);
+            }
+        });
     }
 }

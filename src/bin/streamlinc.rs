@@ -9,6 +9,7 @@
 //! $ streamlinc program.str --config freq -n 5000
 //! $ streamlinc program.str --sched dynamic        # data-driven engine
 //! $ streamlinc program.str --mode fast            # uncounted, SIMD kernels
+//! $ streamlinc program.str --threads 4            # pipeline-parallel stages
 //! $ streamlinc program.str --emit-graph           # print the structures
 //! $ streamlinc program.str --quiet                # program output only
 //! ```
@@ -26,6 +27,10 @@ struct Args {
     sched: Scheduler,
     mode: ExecMode,
     matmul: Option<MatMulStrategy>,
+    /// `Some(n)`: run the pipeline-parallel executor over at most `n`
+    /// stages (`--sched static` without `--threads` stays the classic
+    /// single-threaded plan engine).
+    threads: Option<usize>,
     outputs: usize,
     emit_graph: bool,
     quiet: bool,
@@ -44,8 +49,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: streamlinc <program.str> [--config baseline|linear|freq|redund|autosel]\n\
          \x20                [--sched auto|static|dynamic] [--mode measured|fast]\n\
-         \x20                [--matmul unrolled|diagonal|blocked|simd] [-n <outputs>]\n\
-         \x20                [--emit-graph] [--quiet]"
+         \x20                [--matmul unrolled|diagonal|blocked|simd] [--threads <n>]\n\
+         \x20                [-n <outputs>] [--emit-graph] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -57,6 +62,7 @@ fn parse_args() -> Args {
         sched: Scheduler::Auto,
         mode: ExecMode::Measured,
         matmul: None,
+        threads: None,
         outputs: 1000,
         emit_graph: false,
         quiet: false,
@@ -88,6 +94,14 @@ fn parse_args() -> Args {
                     Some("simd") => MatMulStrategy::Simd,
                     _ => usage(),
                 })
+            }
+            "--threads" => {
+                args.threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&t| t >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "-n" | "--outputs" => {
                 args.outputs = it
@@ -167,18 +181,40 @@ fn run(args: &Args) -> Result<(), String> {
         if args.sched == Scheduler::Dynamic {
             eprintln!("schedule: data-driven (dynamic scheduler requested)");
         } else {
-            match streamlin::runtime::flat::flatten(&opt, args.strategy())
+            let planned = streamlin::runtime::flat::flatten(&opt, args.strategy())
                 .map_err(|e| e.to_string())
-                .and_then(|f| streamlin::runtime::plan::compile(&f).map_err(|e| e.to_string()))
-            {
-                Ok(plan) => eprintln!("schedule: {}", plan.summary()),
+                .and_then(|f| {
+                    streamlin::runtime::plan::compile_partitioned(
+                        &f,
+                        args.threads.unwrap_or(1),
+                        &CostModel::default(),
+                    )
+                    .map_err(|e| e.to_string())
+                });
+            match planned {
+                Ok((plan, part)) => {
+                    eprintln!("schedule: {}", plan.summary());
+                    if args.threads.is_some() {
+                        eprintln!("pipeline: {}", part.summary());
+                    }
+                }
                 Err(e) => eprintln!("schedule: dynamic fallback ({e})"),
             }
         }
     }
 
-    let prof = profile_mode(&opt, args.outputs, args.strategy(), args.sched, args.mode)
-        .map_err(|e| e.to_string())?;
+    let prof = match args.threads {
+        Some(threads) => streamlin::runtime::measure::profile_threads(
+            &opt,
+            args.outputs,
+            args.strategy(),
+            args.sched,
+            args.mode,
+            threads,
+        ),
+        None => profile_mode(&opt, args.outputs, args.strategy(), args.sched, args.mode),
+    }
+    .map_err(|e| e.to_string())?;
     if args.quiet {
         for v in &prof.outputs {
             println!("{v}");
@@ -189,20 +225,23 @@ fn run(args: &Args) -> Result<(), String> {
             "nodes: {} ({} interpreted, {} linear, {} freq, {} redund)",
             stats.filters, stats.originals, stats.linear, stats.freq, stats.redund
         );
+        let sched_desc = if prof.threads > 1 {
+            format!("{} scheduler, {} threads", prof.sched.label(), prof.threads)
+        } else {
+            format!("{} scheduler", prof.sched.label())
+        };
         match args.mode {
             ExecMode::Measured => eprintln!(
-                "{} outputs in {:?} [{} scheduler]: {:.1} flops/output, {:.1} mults/output",
+                "{} outputs in {:?} [{sched_desc}]: {:.1} flops/output, {:.1} mults/output",
                 prof.outputs.len(),
                 prof.wall,
-                prof.sched.label(),
                 prof.flops_per_output(),
                 prof.mults_per_output()
             ),
             ExecMode::Fast => eprintln!(
-                "{} outputs in {:?} [{} scheduler, fast/{}]: {:.0} outputs/sec (uncounted)",
+                "{} outputs in {:?} [{sched_desc}, fast/{}]: {:.0} outputs/sec (uncounted)",
                 prof.outputs.len(),
                 prof.wall,
-                prof.sched.label(),
                 args.strategy().label(),
                 prof.outputs.len() as f64 / prof.wall.as_secs_f64().max(1e-9),
             ),

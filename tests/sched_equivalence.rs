@@ -9,7 +9,7 @@ use streamlin::core::combine::{analyze_graph, replace, ReplaceOptions, ReplaceTa
 use streamlin::core::cost::CostModel;
 use streamlin::core::select::{select, SelectOptions};
 use streamlin::core::OptStream;
-use streamlin::runtime::measure::{profile_mode, ExecMode, Scheduler};
+use streamlin::runtime::measure::{profile_mode, profile_threads, ExecMode, Scheduler};
 use streamlin::runtime::MatMulStrategy;
 
 /// CI runs this suite once per execution mode: `STREAMLIN_TEST_MODE=fast`
@@ -20,6 +20,16 @@ fn test_mode() -> ExecMode {
         Ok("fast") => ExecMode::Fast,
         _ => ExecMode::Measured,
     }
+}
+
+/// `STREAMLIN_TEST_THREADS=n` routes the static side of the comparison
+/// through the pipeline-parallel executor with at most `n` stages — the
+/// data-driven scheduler must still see the same bits (CI runs the suite
+/// once more with 2 threads).
+fn test_threads() -> Option<usize> {
+    std::env::var("STREAMLIN_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
 }
 
 fn configs(bench: &streamlin::benchmarks::Benchmark) -> Vec<(&'static str, OptStream)> {
@@ -80,8 +90,11 @@ fn check(bench: &streamlin::benchmarks::Benchmark, outputs: usize) {
         } else {
             Scheduler::Static
         };
-        let staticp = profile_mode(&opt, outputs, MatMulStrategy::Unrolled, sched, mode)
-            .unwrap_or_else(|e| panic!("{} {label} static: {e}", bench.name()));
+        let staticp = match test_threads() {
+            Some(t) => profile_threads(&opt, outputs, MatMulStrategy::Unrolled, sched, mode, t),
+            None => profile_mode(&opt, outputs, MatMulStrategy::Unrolled, sched, mode),
+        }
+        .unwrap_or_else(|e| panic!("{} {label} static: {e}", bench.name()));
         if !opt.has_feedback() {
             assert_eq!(
                 staticp.sched,

@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use streamlin_bench::{configure, Config};
 use streamlin_benchmarks::Benchmark;
-use streamlin_runtime::measure::{profile_mode, ExecMode, Scheduler};
+use streamlin_runtime::measure::{profile_mode, profile_threads, ExecMode, Scheduler};
 
 /// Minimum accumulated run time per row before the best sample counts.
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
@@ -33,23 +33,41 @@ struct Row {
     sched: &'static str,
     mode: &'static str,
     strategy: &'static str,
+    /// Worker threads that actually ran (1 = the classic single-threaded
+    /// static engine; >1 = the pipeline-parallel executor with that many
+    /// stages — possibly fewer than requested).
+    threads: usize,
     outputs: usize,
     items_per_sec: f64,
 }
 
 /// Best observed throughput (outputs/sec of engine run time) for one
-/// benchmark × config × mode, under the static-with-fallback scheduler.
-fn measure(bench: &Benchmark, config: Config, mode: ExecMode, outputs: usize) -> Row {
+/// benchmark × config × mode × thread count, under the
+/// static-with-fallback scheduler. `threads == 1` runs the classic
+/// single-threaded plan engine; more run the pipeline executor.
+fn measure(
+    bench: &Benchmark,
+    config: Config,
+    mode: ExecMode,
+    outputs: usize,
+    threads: usize,
+) -> Row {
     let opt = configure(bench, config);
     let strategy = mode.default_strategy();
     let mut best = 0.0f64;
     let mut spent = Duration::ZERO;
     let mut sched_ran = Scheduler::Auto;
+    let mut threads_ran = 1;
     // One warmup run, then sample until the budget is spent.
     for warmup in [true, false, false, false, false, false, false, false] {
-        let prof = profile_mode(&opt, outputs, strategy, Scheduler::Auto, mode)
-            .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), config.label()));
+        let prof = if threads > 1 {
+            profile_threads(&opt, outputs, strategy, Scheduler::Auto, mode, threads)
+        } else {
+            profile_mode(&opt, outputs, strategy, Scheduler::Auto, mode)
+        }
+        .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), config.label()));
         sched_ran = prof.sched;
+        threads_ran = prof.threads;
         if warmup {
             continue;
         }
@@ -66,6 +84,10 @@ fn measure(bench: &Benchmark, config: Config, mode: ExecMode, outputs: usize) ->
         sched: sched_ran.label(),
         mode: mode.label(),
         strategy: strategy.label(),
+        // The *actual* worker count: the partitioner may produce fewer
+        // stages than requested (small graphs, printer pinning), and the
+        // speedup criterion must not attribute a 2-stage run to 4 threads.
+        threads: threads_ran,
         outputs,
         items_per_sec: best,
     }
@@ -152,10 +174,10 @@ fn main() {
         for &config in configs {
             let mut pair = Vec::new();
             for mode in [ExecMode::Measured, ExecMode::Fast] {
-                let mut row = measure(bench, config, mode, outputs);
+                let mut row = measure(bench, config, mode, outputs, 1);
                 row.benchmark = label.to_string();
                 eprintln!(
-                    "{:>12} {:>9} {:>8} {:>8}: {:>12.0} items/sec",
+                    "{:>12} {:>9} {:>8} {:>8} t1: {:>12.0} items/sec",
                     row.benchmark, row.config, row.sched, row.mode, row.items_per_sec
                 );
                 pair.push(row.items_per_sec);
@@ -163,29 +185,61 @@ fn main() {
             }
             if let [measured, fast] = pair[..] {
                 eprintln!(
-                    "{:>12} {:>9} {:>17}: {:.2}x fast/measured",
+                    "{:>12} {:>9} {:>20}: {:.2}x fast/measured",
                     label,
                     config.label(),
                     "",
                     fast / measured
                 );
             }
+            // The threads dimension: the pipeline executor in Fast mode
+            // (the production path the speedup criterion reads), against
+            // the t1 fast row above.
+            let fast_t1 = pair[1];
+            for threads in [2usize, 4] {
+                let mut row = measure(bench, config, ExecMode::Fast, outputs, threads);
+                row.benchmark = label.to_string();
+                eprintln!(
+                    "{:>12} {:>9} {:>8} {:>8} t{} (ran {}): {:>12.0} items/sec ({:.2}x vs t1)",
+                    row.benchmark,
+                    row.config,
+                    row.sched,
+                    row.mode,
+                    threads,
+                    row.threads,
+                    row.items_per_sec,
+                    row.items_per_sec / fast_t1
+                );
+                rows.push(row);
+            }
         }
     }
 
+    // Thread rows only mean speedup where the host has cores to run them:
+    // on a single-core host they measure pure pipeline-protocol overhead.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"streamlin-bench-json/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"streamlin-bench-json/v2\",");
     let _ = writeln!(json, "  \"label\": \"{label}\",");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
             "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"sched\": \"{}\", \
-             \"mode\": \"{}\", \"strategy\": \"{}\", \"outputs\": {}, \
-             \"items_per_sec\": {:.1}}}{}",
-            r.benchmark, r.config, r.sched, r.mode, r.strategy, r.outputs, r.items_per_sec, comma
+             \"mode\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \
+             \"outputs\": {}, \"items_per_sec\": {:.1}}}{}",
+            r.benchmark,
+            r.config,
+            r.sched,
+            r.mode,
+            r.strategy,
+            r.threads,
+            r.outputs,
+            r.items_per_sec,
+            comma
         );
     }
     let _ = writeln!(json, "  ]");
