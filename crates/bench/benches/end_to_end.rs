@@ -147,10 +147,63 @@ fn bench_pipeline_threads(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fission dimension: the dominant node split into `w` round-robin
+/// duplicates under the 4-stage pipeline, against the unfissed pipeline
+/// (`w = 1`). FIR's frequency stage (autosel) and its direct linear
+/// kernel (baseline) are the two duplicable-bottleneck shapes; as with
+/// the threads group, single-core hosts measure protocol overhead.
+fn bench_fission(c: &mut Criterion) {
+    use streamlin_runtime::fission::Fission;
+    use streamlin_runtime::measure::profile_fission;
+    let mut group = c.benchmark_group("fission");
+    group.sample_size(10);
+    for (bench, config) in [
+        (streamlin_benchmarks::fir(256), Config::AutoSel),
+        (streamlin_benchmarks::fir(256), Config::Baseline),
+        (streamlin_benchmarks::vocoder(), Config::AutoSel),
+    ] {
+        let outputs = (bench.default_outputs() / 4).max(64);
+        let opt = configure(&bench, config);
+        for width in [1usize, 2, 4] {
+            let fission = if width > 1 {
+                Fission::Width(width)
+            } else {
+                Fission::Off
+            };
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}-{}", bench.name(), config.label()),
+                    format!("w{width}"),
+                ),
+                &outputs,
+                |b, &n| {
+                    b.iter(|| {
+                        let mode = ExecMode::Fast;
+                        black_box(
+                            profile_fission(
+                                black_box(&opt),
+                                n,
+                                mode.default_strategy(),
+                                Scheduler::Auto,
+                                mode,
+                                4,
+                                fission,
+                            )
+                            .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_suite,
     bench_kernel_paths,
-    bench_pipeline_threads
+    bench_pipeline_threads,
+    bench_fission
 );
 criterion_main!(benches);

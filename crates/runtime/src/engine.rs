@@ -7,6 +7,7 @@ use streamlin_graph::lower::{SlotInterp, SlotStore};
 use streamlin_graph::value::{EvalError, Value};
 use streamlin_support::{OpCounter, Tally};
 
+use crate::fission::FissKernel;
 use crate::flat::{FlatGraph, FlatNode, InterpState, NodeKind};
 
 /// Errors during execution.
@@ -256,6 +257,37 @@ fn node_demands(node: &FlatNode) -> (Vec<usize>, Vec<usize>) {
             (vec![peek], vec![push])
         }
         NodeKind::Decimator { pop, push } => (vec![*pop], vec![*push]),
+        NodeKind::FissSplit(sp) => {
+            if sp.first && sp.first_share > 0 {
+                let mut pushed = vec![0; node.outputs.len()];
+                pushed[0] = sp.first_share + sp.suffix;
+                (vec![sp.first_share + sp.suffix], pushed)
+            } else {
+                (
+                    vec![sp.steady_pop() + sp.suffix],
+                    vec![sp.chunk_len(); node.outputs.len()],
+                )
+            }
+        }
+        NodeKind::FissWorker(fw) => {
+            if fw.first && fw.first_fires > 0 {
+                (vec![fw.first_chunk_len()], vec![fw.first_pushes()])
+            } else {
+                (vec![fw.chunk_len()], vec![fw.batch * fw.push])
+            }
+        }
+        NodeKind::FissJoin(fj) => {
+            if fj.first && fj.first_take > 0 {
+                let mut needed = vec![0; node.inputs.len()];
+                needed[0] = fj.first_take;
+                (needed, vec![fj.first_take])
+            } else {
+                (
+                    vec![fj.weight; node.inputs.len()],
+                    vec![fj.width * fj.weight],
+                )
+            }
+        }
         NodeKind::Periodic { .. } => (vec![], vec![1]),
         NodeKind::PrintSink { pop } | NodeKind::DiscardSink { pop } => (vec![*pop], vec![]),
         NodeKind::Duplicate => (vec![1], vec![1; node.outputs.len()]),
@@ -265,7 +297,14 @@ fn node_demands(node: &FlatNode) -> (Vec<usize>, Vec<usize>) {
 }
 
 fn fire<T: Tally>(node: &mut FlatNode, state: &mut EngineState<T>) -> Result<(), RunError> {
-    state.firings += 1;
+    // Synthesized fission plumbing counts no firings and a fission worker
+    // counts its kernel firings (see [`crate::fission`]) — so fission
+    // widths leave the program's firing totals invariant. Everything else
+    // counts one firing per fire.
+    match &node.kind {
+        NodeKind::FissSplit(_) | NodeKind::FissWorker(_) | NodeKind::FissJoin(_) => {}
+        _ => state.firings += 1,
+    }
     match &mut node.kind {
         NodeKind::Interp(interp) => fire_interp(interp, &node.inputs, &node.outputs, state),
         NodeKind::Linear(exec) => {
@@ -306,6 +345,101 @@ fn fire<T: Tally>(node: &mut FlatNode, state: &mut EngineState<T>) -> Result<(),
                 }
             }
             produce(state, node.outputs.first().copied(), &kept);
+            Ok(())
+        }
+        NodeKind::FissSplit(sp) => {
+            let first = std::mem::take(&mut sp.first);
+            if first && sp.first_share > 0 {
+                let span = sp.first_share + sp.suffix;
+                let w = read_window(state, node.inputs.first().copied(), span);
+                consume(state, node.inputs.first().copied(), sp.first_share);
+                produce(state, node.outputs.first().copied(), &w);
+                if sp.prefix > 0 {
+                    sp.carry.clear();
+                    sp.carry.extend_from_slice(&w[sp.first_share - sp.prefix..]);
+                }
+                return Ok(());
+            }
+            let total = sp.steady_pop();
+            let w = read_window(state, node.inputs.first().copied(), total + sp.suffix);
+            consume(state, node.inputs.first().copied(), total);
+            for (k, &out) in node.outputs.iter().enumerate() {
+                if sp.prefix > 0 {
+                    let prefix: &[f64] = if k == 0 {
+                        &sp.carry
+                    } else {
+                        &w[k * sp.share - sp.prefix..k * sp.share]
+                    };
+                    state.channels[out].extend(prefix.iter().copied());
+                }
+                let start = k * sp.share;
+                state.channels[out].extend(w[start..start + sp.share + sp.suffix].iter().copied());
+            }
+            if sp.prefix > 0 {
+                sp.carry.clear();
+                sp.carry.extend_from_slice(&w[total - sp.prefix..total]);
+            }
+            Ok(())
+        }
+        NodeKind::FissWorker(fw) => {
+            let first = std::mem::take(&mut fw.first) && fw.first_fires > 0;
+            let (chunk, prefix, fires) = if first {
+                (fw.first_chunk_len(), 0, fw.first_fires)
+            } else {
+                (fw.chunk_len(), fw.prefix, fw.batch)
+            };
+            let w = read_window(state, node.inputs.first().copied(), chunk);
+            let mut out = Vec::with_capacity(fires * fw.push);
+            match &mut fw.kernel {
+                FissKernel::Linear(exec) => exec.fire_batch(&w, fires, &mut out, &mut state.ops),
+                FissKernel::Freq(exec) => {
+                    if prefix > 0 {
+                        let _ = exec.fire(&w[..prefix], &mut streamlin_support::NoCount);
+                    }
+                    for f in 0..fires {
+                        let base = prefix + f * fw.pop;
+                        let peek = exec.current_rates().0;
+                        let o = exec.fire(&w[base..base + peek], &mut state.ops);
+                        out.extend_from_slice(&o);
+                    }
+                }
+                FissKernel::Interp(interp) => {
+                    for f in 0..fires {
+                        let base = f * fw.pop;
+                        let (_, pushed) = run_work_phase(
+                            interp,
+                            &w[base..base + fw.peek],
+                            &mut state.printed,
+                            &mut state.ops,
+                        )?;
+                        out.extend_from_slice(&pushed);
+                    }
+                }
+            }
+            state.firings += fires as u64;
+            consume(state, node.inputs.first().copied(), chunk);
+            produce(state, node.outputs.first().copied(), &out);
+            Ok(())
+        }
+        NodeKind::FissJoin(fj) => {
+            let first = std::mem::take(&mut fj.first);
+            if first && fj.first_take > 0 {
+                for _ in 0..fj.first_take {
+                    let v = state.channels[node.inputs[0]]
+                        .pop_front()
+                        .expect("fireable checked occupancy");
+                    state.channels[node.outputs[0]].push_back(v);
+                }
+                return Ok(());
+            }
+            for &cin in &node.inputs {
+                for _ in 0..fj.weight {
+                    let v = state.channels[cin]
+                        .pop_front()
+                        .expect("fireable checked occupancy");
+                    state.channels[node.outputs[0]].push_back(v);
+                }
+            }
             Ok(())
         }
         NodeKind::Periodic { values, pos } => {

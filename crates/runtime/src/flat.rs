@@ -10,6 +10,7 @@ use streamlin_graph::lower::{RExpr, RLValue, RStmt, Slot};
 use streamlin_graph::value::{Cell, Value};
 use streamlin_lang::ast::{BinOp, DataType};
 
+use crate::fission::{FissJoin, FissSplit, FissWorker};
 use crate::linear_exec::{LinearExec, MatMulStrategy};
 
 /// Errors from flattening.
@@ -118,6 +119,18 @@ pub enum NodeKind {
         /// Items consumed per firing.
         pop: usize,
     },
+    /// Synthesized data-parallel fission splitter: hands each worker its
+    /// round-robin chunk with the sliding-window overlap duplicated (see
+    /// [`crate::fission`]). Pure plumbing — moves items, counts no
+    /// firings, tallies nothing.
+    FissSplit(FissSplit),
+    /// One duplicate of a fissed node: runs `batch` kernel firings per
+    /// round over sliding sub-windows of its chunk, counting exactly
+    /// those firings (so fission leaves firing counts invariant).
+    FissWorker(FissWorker),
+    /// Synthesized fission joiner: interleaves worker blocks round robin,
+    /// reconstructing the original push order. Pure plumbing.
+    FissJoin(FissJoin),
     /// Duplicate splitter (1 in, one copy to each output).
     Duplicate,
     /// Weighted round-robin splitter.

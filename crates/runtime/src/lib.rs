@@ -42,11 +42,20 @@
 //! On top of the static plan sits the **pipeline-parallel executor**
 //! ([`measure::profile_threads`], `streamlinc --threads N`): [`partition`]
 //! cuts the planned graph into cost-balanced contiguous stages and
-//! [`parallel`] runs each stage's slice of the schedule on its own worker
-//! thread, handing items across boundaries through the lock-free SPSC
-//! rings of [`ring::SharedRings`] — printed outputs stay bit-identical to
-//! the single-threaded plan for every thread count, and tallies/firing
+//! [`parallel`] runs each stage's slice of the schedule on its own
+//! pooled worker thread ([`pool`] keeps the threads across runs), handing
+//! items across boundaries through the lock-free SPSC rings of
+//! [`ring::SharedRings`] — printed outputs stay bit-identical to the
+//! single-threaded plan for every thread count, and tallies/firing
 //! counts are identical across thread counts.
+//!
+//! When the cost model's dominant node is stateless or a linear/frequency
+//! kernel, **data-parallel fission** ([`fission`],
+//! [`measure::profile_fission`], `streamlinc --fission auto|off|N`)
+//! rewrites the flat graph to `W` round-robin duplicates behind a
+//! synthesized splitter/joiner pair before partitioning, so a graph
+//! dominated by one node can still use every stage — with the same
+//! bit-identity and tally/firing invariance contract across widths.
 //!
 //! Execution stops when the requested number of program outputs (captured
 //! `print`/`println` values) has been produced. Both schedulers execute
@@ -71,19 +80,23 @@
 //! ```
 
 pub mod engine;
+pub mod fission;
 pub mod flat;
 pub mod linear_exec;
 pub mod measure;
 pub mod parallel;
 pub mod partition;
 pub mod plan;
+pub mod pool;
 pub mod ring;
 
 pub use engine::{Engine, RunError};
+pub use fission::{fiss_bottleneck, fissability, Fission, FissionInfo};
 pub use linear_exec::MatMulStrategy;
 pub use measure::{
-    profile, profile_mode, profile_sched, profile_threads, ExecMode, Profile, Scheduler,
+    profile, profile_fission, profile_mode, profile_sched, profile_threads, ExecMode, Profile,
+    Scheduler,
 };
 pub use parallel::{run_pipeline, PipelineOutcome};
 pub use partition::{partition, Partition};
-pub use plan::{compile_partitioned, ExecPlan, PlanEngine, PlanError};
+pub use plan::{ExecPlan, PlanEngine, PlanError};

@@ -11,9 +11,10 @@ use streamlin_core::opt::OptStream;
 use streamlin_support::{NoCount, OpCounter, Tally};
 
 use crate::engine::{Engine, RunError};
-use crate::flat::{flatten, FlattenError};
+use crate::fission::{self, Fission};
+use crate::flat::{flatten, FlatGraph, FlattenError};
 use crate::linear_exec::MatMulStrategy;
-use crate::plan::{self, PlanEngine, PlanError};
+use crate::plan::{self, ExecPlan, PlanEngine, PlanError};
 
 /// Which scheduler executes the flattened graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -100,6 +101,9 @@ pub struct Profile {
     /// Worker threads that executed the run (1 unless the pipeline
     /// executor ran; the dynamic fallback is always single-threaded).
     pub threads: usize,
+    /// Data-parallel fission width that was applied to the dominant node
+    /// (1 = the graph ran unfissed; see [`crate::fission`]).
+    pub fission: usize,
 }
 
 impl Profile {
@@ -210,8 +214,12 @@ pub fn profile_mode(
     mode: ExecMode,
 ) -> Result<Profile, ProfileError> {
     match mode {
-        ExecMode::Measured => profile_with::<OpCounter>(opt, outputs, strategy, sched, mode, None),
-        ExecMode::Fast => profile_with::<NoCount>(opt, outputs, strategy, sched, mode, None),
+        ExecMode::Measured => {
+            profile_with::<OpCounter>(opt, outputs, strategy, sched, mode, None, Fission::Off)
+        }
+        ExecMode::Fast => {
+            profile_with::<NoCount>(opt, outputs, strategy, sched, mode, None, Fission::Off)
+        }
     }
 }
 
@@ -239,26 +247,75 @@ pub fn profile_threads(
     mode: ExecMode,
     threads: usize,
 ) -> Result<Profile, ProfileError> {
+    profile_fission(opt, outputs, strategy, sched, mode, threads, Fission::Off)
+}
+
+/// [`profile_threads`] with **data-parallel fission** of the dominant
+/// node ([`crate::fission`]): when the cost model's most expensive node
+/// is stateless or a linear/frequency kernel, the flat graph is rewritten
+/// to `W` round-robin duplicates behind a synthesized splitter/joiner
+/// pair, the plan is recompiled, and the partitioned pipeline runs the
+/// fissed graph. Printed outputs stay bit-identical to the unfissed
+/// static plan and tallies/firing counts are invariant across fission
+/// widths (including width 1 — see the fission module's determinism
+/// contract). Graphs whose dominant node is not safely duplicable run
+/// unfissed; `Profile::fission` records what actually happened.
+///
+/// # Errors
+///
+/// As [`profile_sched`].
+pub fn profile_fission(
+    opt: &OptStream,
+    outputs: usize,
+    strategy: MatMulStrategy,
+    sched: Scheduler,
+    mode: ExecMode,
+    threads: usize,
+    fission: Fission,
+) -> Result<Profile, ProfileError> {
     match mode {
         ExecMode::Measured => {
-            profile_with::<OpCounter>(opt, outputs, strategy, sched, mode, Some(threads))
+            profile_with::<OpCounter>(opt, outputs, strategy, sched, mode, Some(threads), fission)
         }
         ExecMode::Fast => {
-            profile_with::<NoCount>(opt, outputs, strategy, sched, mode, Some(threads))
+            profile_with::<NoCount>(opt, outputs, strategy, sched, mode, Some(threads), fission)
         }
+    }
+}
+
+/// Applies the fission pass to a planned graph, recompiling the plan.
+/// Returns the graph to execute, its plan, the cycle scale and the width.
+fn apply_fission(
+    flat: FlatGraph,
+    plan: ExecPlan,
+    fission: Fission,
+    threads: usize,
+) -> (FlatGraph, ExecPlan, u64, usize) {
+    if fission == Fission::Off {
+        return (flat, plan, 1, 1);
+    }
+    let model = streamlin_core::cost::CostModel::default();
+    match fission::fiss_bottleneck(&flat, &plan, fission, threads, &model) {
+        Ok((fissed, info)) => match plan::compile(&fissed) {
+            Ok(p2) => (fissed, p2, info.scale, info.width),
+            // A fissed graph that exceeds plan bounds falls back whole.
+            Err(_) => (flat, plan, 1, 1),
+        },
+        Err(_) => (flat, plan, 1, 1),
     }
 }
 
 /// The profiler body, monomorphized per tally. `threads: Some(n)` selects
 /// the pipeline executor over the planned graph; `None` the classic
 /// single-threaded [`PlanEngine`].
-fn profile_with<T: Tally + Default + Send>(
+fn profile_with<T: Tally + Default + Send + 'static>(
     opt: &OptStream,
     outputs: usize,
     strategy: MatMulStrategy,
     sched: Scheduler,
     mode: ExecMode,
     threads: Option<usize>,
+    fission: Fission,
 ) -> Result<Profile, ProfileError> {
     let flat = flatten(opt, strategy)?;
     let compiled = match sched {
@@ -269,6 +326,24 @@ fn profile_with<T: Tally + Default + Send>(
         Scheduler::Auto if opt.has_feedback() => None,
         Scheduler::Auto => plan::compile(&flat).ok(),
     };
+    // Fission rewrites the flat graph; under `Scheduler::Dynamic` the
+    // plan is still compiled (when possible) purely to drive the fission
+    // decision, and the fissed graph then runs data-driven — the fuzz
+    // suite differentially checks that path too.
+    let (flat, compiled, scale, width) = match (compiled, sched) {
+        (Some(plan), _) => {
+            let (f, p, s, w) = apply_fission(flat, plan, fission, threads.unwrap_or(1));
+            (f, Some(p), s, w)
+        }
+        (None, Scheduler::Dynamic) if fission != Fission::Off => match plan::compile(&flat) {
+            Ok(plan) => {
+                let (f, _, s, w) = apply_fission(flat, plan, fission, threads.unwrap_or(1));
+                (f, None, s, w)
+            }
+            Err(_) => (flat, None, 1, 1),
+        },
+        (None, _) => (flat, None, 1, 1),
+    };
     let mut prof = match (compiled, threads) {
         (Some(plan), Some(threads)) => {
             let part = crate::partition::partition(
@@ -278,7 +353,7 @@ fn profile_with<T: Tally + Default + Send>(
                 &streamlin_core::cost::CostModel::default(),
             );
             let start = Instant::now();
-            let out = crate::parallel::run_pipeline::<T>(flat, &plan, &part, outputs)?;
+            let out = crate::parallel::run_pipeline::<T>(flat, &plan, &part, outputs, scale)?;
             Profile {
                 wall: start.elapsed(),
                 outputs: out.printed,
@@ -287,6 +362,7 @@ fn profile_with<T: Tally + Default + Send>(
                 sched: Scheduler::Static,
                 mode,
                 threads: out.stages,
+                fission: width,
             }
         }
         (Some(plan), None) => {
@@ -301,6 +377,7 @@ fn profile_with<T: Tally + Default + Send>(
                 sched: Scheduler::Static,
                 mode,
                 threads: 1,
+                fission: width,
             }
         }
         (None, _) => {
@@ -315,6 +392,7 @@ fn profile_with<T: Tally + Default + Send>(
                 sched: Scheduler::Dynamic,
                 mode,
                 threads: 1,
+                fission: width,
             }
         }
     };

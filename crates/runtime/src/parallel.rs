@@ -32,6 +32,7 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 
 use streamlin_support::{OpCounter, Tally};
 
@@ -39,7 +40,18 @@ use crate::engine::RunError;
 use crate::flat::{FlatGraph, FlatNode, NodeKind};
 use crate::partition::Partition;
 use crate::plan::{batch_need, exec_batch, node_rates, ExecPlan, PlanState, Rates};
+use crate::pool;
 use crate::ring::{RingSet, SharedRings};
+
+/// Cycle-count quantum of the pacing protocol, in **original** steady
+/// cycles: the coordinator only ever runs whole multiples of this many
+/// cycles. A fissed graph whose steady cycle spans `scale` original
+/// cycles (see [`crate::fission`]) quantizes to `CYCLE_QUANTUM / scale`
+/// of its own cycles — the same amount of work — which is what makes run
+/// lengths (and with them tallies and firing counts) identical across
+/// fission widths, including width 1. Fission constrains its cycle
+/// expansion to divisors of this constant.
+pub const CYCLE_QUANTUM: u64 = 4;
 
 /// Outcome of a pipeline run: the merged view a profiler needs.
 #[derive(Debug, Clone)]
@@ -57,7 +69,9 @@ pub struct PipelineOutcome {
 }
 
 /// Consecutive output-less steady cycles tolerated before the run is
-/// declared dead (mirrors `PlanEngine::MAX_SILENT_CYCLES`).
+/// declared dead (mirrors `PlanEngine::MAX_SILENT_CYCLES`). Expressed in
+/// **original** cycles, like [`CYCLE_QUANTUM`]: a fissed run's budget is
+/// divided by its scale so the bound fires after the same work.
 const MAX_SILENT_CYCLES: u64 = 1 << 16;
 
 /// Marker detail for errors caused by *another* worker's failure; the
@@ -107,8 +121,8 @@ struct StageResult {
     firings: u64,
 }
 
-/// A stage's executable state, moved onto its worker thread.
-struct StageWorker<'a, T: Tally> {
+/// A stage's executable state, moved onto its (pooled) worker thread.
+struct StageWorker<T: Tally> {
     stage: usize,
     nodes: Vec<FlatNode>,
     /// Rate signatures, indexed like `nodes`.
@@ -120,8 +134,8 @@ struct StageWorker<'a, T: Tally> {
     state: PlanState<T>,
     /// Local ring capacities (for computing drain room on boundary-ins).
     local_caps: Vec<usize>,
-    shared: &'a SharedRings,
-    poisoned: &'a AtomicBool,
+    shared: Arc<SharedRings>,
+    poisoned: Arc<AtomicBool>,
     /// True when the host has a single hardware thread (skip spinning).
     solo: bool,
     cycles: u64,
@@ -141,7 +155,7 @@ fn backoff(spins: &mut u32, solo: bool) {
     *spins = spins.saturating_add(1);
 }
 
-impl<T: Tally> StageWorker<'_, T> {
+impl<T: Tally> StageWorker<T> {
     fn poison_check(&self) -> Result<(), RunError> {
         if self.poisoned.load(Ordering::Relaxed) {
             Err(peer_failure())
@@ -157,7 +171,7 @@ impl<T: Tally> StageWorker<'_, T> {
         if free == 0 {
             return 0;
         }
-        let shared = self.shared;
+        let shared = &self.shared;
         let rings = &mut self.state.rings;
         shared.consume(chan, free, |a, b| {
             rings.produce(chan, a);
@@ -171,7 +185,7 @@ impl<T: Tally> StageWorker<'_, T> {
         let mut remaining = self.state.rings.len(chan);
         let mut spins = 0u32;
         while remaining > 0 {
-            let shared = self.shared;
+            let shared = &self.shared;
             let window = self.state.rings.window(chan, remaining);
             let pushed = shared.produce(chan, window);
             if pushed == 0 {
@@ -242,7 +256,7 @@ impl<T: Tally> StageWorker<'_, T> {
 
 /// The worker thread body: serve `Run` rounds until `Finish`.
 fn worker_main<T: Tally>(
-    mut w: StageWorker<'_, T>,
+    mut w: StageWorker<T>,
     rx: Receiver<Cmd>,
     tx: Sender<Report>,
 ) -> StageResult {
@@ -285,19 +299,36 @@ fn worker_main<T: Tally>(
     }
 }
 
-/// Runs a partitioned plan on one worker thread per stage until at least
-/// `outputs` values have been printed, quantized to whole steady cycles.
+/// Runs a partitioned plan on one pooled worker thread per stage until at
+/// least `outputs` values have been printed, quantized to whole multiples
+/// of [`CYCLE_QUANTUM`] original steady cycles.
+///
+/// `scale` is the number of original steady cycles one cycle of this
+/// graph spans: 1 for ordinary graphs, the fission pass's cycle expansion
+/// (a divisor of [`CYCLE_QUANTUM`]) for fissed graphs — the quantization
+/// is what keeps run lengths, tallies and firing counts identical across
+/// fission widths.
 ///
 /// # Errors
 ///
 /// Propagates evaluation/rate errors from work functions; reports a
 /// deadlock when [`MAX_SILENT_CYCLES`] consecutive cycles print nothing.
+///
+/// # Panics
+///
+/// Panics if `scale` does not divide [`CYCLE_QUANTUM`].
 pub fn run_pipeline<T: Tally + Default + Send>(
     flat: FlatGraph,
     plan: &ExecPlan,
     part: &Partition,
     outputs: usize,
+    scale: u64,
 ) -> Result<PipelineOutcome, RunError> {
+    assert!(
+        scale >= 1 && CYCLE_QUANTUM.is_multiple_of(scale),
+        "cycle scale {scale} must divide the quantum {CYCLE_QUANTUM}"
+    );
+    let quantum = CYCLE_QUANTUM / scale;
     let num_stages = part.num_stages;
     let num_channels = flat.num_channels;
     let rates: Vec<Rates> = flat.nodes.iter().map(node_rates).collect();
@@ -313,14 +344,16 @@ pub fn run_pipeline<T: Tally + Default + Send>(
     }
 
     // Expected prints per steady cycle (sinks only; interpreted printers
-    // are data-dependent and contribute nothing to the estimate).
+    // are data-dependent and contribute nothing to the estimate). The
+    // fallback floor is one print per *original* cycle — `scale` per
+    // cycle of this graph — so the estimate stays scale-invariant.
     let mut est_per_cycle = 0u64;
     for step in &plan.steady {
         if let NodeKind::PrintSink { pop } = &flat.nodes[step.node].kind {
             est_per_cycle += step.times as u64 * *pop as u64;
         }
     }
-    let est_per_cycle = est_per_cycle.max(1);
+    let est_per_cycle = est_per_cycle.max(scale);
 
     // Distribute nodes, rates, ring capacities and schedule slices.
     let mut local_idx = vec![usize::MAX; flat.nodes.len()];
@@ -392,148 +425,167 @@ pub fn run_pipeline<T: Tally + Default + Send>(
     let mut init_slices = slice_steps(&plan.init);
     let mut steady_slices = slice_steps(&plan.steady);
 
-    let shared = SharedRings::new(&spsc_caps);
-    let poisoned = AtomicBool::new(false);
+    let shared = Arc::new(SharedRings::new(&spsc_caps));
+    let poisoned = Arc::new(AtomicBool::new(false));
     let solo = std::thread::available_parallelism().is_ok_and(|n| n.get() == 1);
     let (report_tx, report_rx) = channel::<Report>();
+    let (result_tx, result_rx) = channel::<StageResult>();
 
-    std::thread::scope(|scope| {
-        let mut cmd_txs = Vec::with_capacity(num_stages);
-        let mut handles = Vec::with_capacity(num_stages);
-        for stage in (0..num_stages).rev() {
-            // Built in reverse so `pop()` hands each worker its own data.
-            let nodes = stage_nodes.pop().expect("one vec per stage");
-            let srates = stage_rates.pop().expect("one vec per stage");
-            let caps = stage_caps.pop().expect("one vec per stage");
-            let initial = stage_initial.pop().expect("one vec per stage");
-            let init_steps = init_slices.pop().expect("one vec per stage");
-            let steady_steps = steady_slices.pop().expect("one vec per stage");
-            let (tx, rx) = channel::<Cmd>();
-            cmd_txs.push(tx);
-            let report_tx = report_tx.clone();
-            let shared = &shared;
-            let poisoned = &poisoned;
-            handles.push(scope.spawn(move || {
-                let fresh = vec![true; nodes.len()];
-                let worker = StageWorker {
-                    stage,
-                    rates: srates,
-                    fresh,
-                    init_steps,
-                    steady_steps,
-                    state: PlanState {
-                        rings: RingSet::new(&caps, &initial),
-                        printed: Vec::new(),
-                        ops: T::default(),
-                        firings: 0,
-                        out_buf: Vec::new(),
-                    },
-                    local_caps: caps,
-                    nodes,
-                    shared,
-                    poisoned,
-                    solo,
-                    cycles: 0,
-                    init_done: false,
-                };
-                worker_main(worker, rx, report_tx)
-            }));
-        }
-        cmd_txs.reverse(); // spawned in reverse stage order
-        drop(report_tx);
-
-        // The pacing protocol. Every quantity here is a deterministic
-        // function of printed counts at round boundaries, so the total
-        // cycle count — and with it tallies and firing counts — is
-        // independent of the worker count.
-        let mut target = 0u64;
-        let mut printed = 0usize;
-        let mut progress_at = 0u64; // target when output last grew
-        let mut round_err: Option<RunError> = None;
-        while printed < outputs && round_err.is_none() {
-            let remaining = (outputs - printed) as u64;
-            let add = if printed > 0 {
-                // Observed rate so far, rounded pessimistically upward.
-                (remaining * target).div_ceil(printed as u64)
-            } else {
-                remaining.div_ceil(est_per_cycle)
+    // Stage workers come from the persistent process-wide pool (acquired
+    // atomically so concurrent runs never starve each other) instead of
+    // being spawned per run — repeated profiling runs reuse the threads.
+    let threads = pool::acquire_global(num_stages);
+    let mut cmd_txs = Vec::with_capacity(num_stages);
+    for stage in (0..num_stages).rev() {
+        // Built in reverse so `pop()` hands each worker its own data.
+        let nodes = stage_nodes.pop().expect("one vec per stage");
+        let srates = stage_rates.pop().expect("one vec per stage");
+        let caps = stage_caps.pop().expect("one vec per stage");
+        let initial = stage_initial.pop().expect("one vec per stage");
+        let init_steps = init_slices.pop().expect("one vec per stage");
+        let steady_steps = steady_slices.pop().expect("one vec per stage");
+        let (tx, rx) = channel::<Cmd>();
+        cmd_txs.push(tx);
+        let report_tx = report_tx.clone();
+        let result_tx = result_tx.clone();
+        let shared = Arc::clone(&shared);
+        let poisoned = Arc::clone(&poisoned);
+        threads[stage].run(Box::new(move || {
+            let fresh = vec![true; nodes.len()];
+            let worker = StageWorker {
+                stage,
+                rates: srates,
+                fresh,
+                init_steps,
+                steady_steps,
+                state: PlanState {
+                    rings: RingSet::new(&caps, &initial),
+                    printed: Vec::new(),
+                    ops: T::default(),
+                    firings: 0,
+                    out_buf: Vec::new(),
+                },
+                local_caps: caps,
+                nodes,
+                shared,
+                poisoned,
+                solo,
+                cycles: 0,
+                init_done: false,
             };
-            let silent = target - progress_at;
-            let add = add.clamp(1, MAX_SILENT_CYCLES.saturating_sub(silent).max(1));
-            target += add;
-            for tx in &cmd_txs {
-                if tx.send(Cmd::Run(target)).is_err() {
-                    round_err = Some(RunError::Eval("pipeline worker exited early".into()));
-                }
+            let result = worker_main(worker, rx, report_tx);
+            let _ = result_tx.send(result);
+        }));
+    }
+    cmd_txs.reverse(); // dispatched in reverse stage order
+    drop(report_tx);
+    drop(result_tx);
+
+    // The pacing protocol. Every quantity here is a deterministic
+    // function of printed counts at round boundaries, and targets are
+    // quantized to whole multiples of `quantum` cycles, so the total
+    // cycle count — and with it tallies and firing counts — is
+    // independent of both the worker count and the fission width.
+    let mut target = 0u64;
+    let mut printed = 0usize;
+    let mut progress_at = 0u64; // target when output last grew
+    let mut round_err: Option<RunError> = None;
+    while printed < outputs && round_err.is_none() {
+        let remaining = (outputs - printed) as u64;
+        let add = if printed > 0 {
+            // Observed rate so far, rounded pessimistically upward.
+            (remaining * target).div_ceil(printed as u64)
+        } else {
+            remaining.div_ceil(est_per_cycle)
+        };
+        // The silent-cycle budget is defined in *original* cycles (like
+        // the quantum), so the clamp binds at the same amount of work for
+        // every fission scale — otherwise a scale-s run could overshoot
+        // s× further in one round and break the width-invariance of
+        // tallies on runs long enough to hit the clamp.
+        let max_silent = MAX_SILENT_CYCLES / scale;
+        let silent = target - progress_at;
+        let add = add.clamp(1, max_silent.saturating_sub(silent).max(1));
+        let add = add.div_ceil(quantum) * quantum;
+        target += add;
+        for tx in &cmd_txs {
+            if tx.send(Cmd::Run(target)).is_err() {
+                round_err = Some(RunError::Eval("pipeline worker exited early".into()));
             }
-            let before = printed;
-            for _ in 0..num_stages {
-                match report_rx.recv() {
-                    Ok(rep) => {
-                        printed = printed.max(rep.printed);
-                        if let Some(e) = rep.err {
-                            // Keep the root cause; a peer-failure abort
-                            // only stands in until the real error arrives.
-                            let is_peer = |e: &RunError| matches!(e, RunError::Deadlock { detail } if detail == PEER_FAILURE);
-                            match &round_err {
-                                None => round_err = Some(e),
-                                Some(cur) if is_peer(cur) && !is_peer(&e) => round_err = Some(e),
-                                _ => {}
-                            }
+        }
+        let before = printed;
+        for _ in 0..num_stages {
+            match report_rx.recv() {
+                Ok(rep) => {
+                    printed = printed.max(rep.printed);
+                    if let Some(e) = rep.err {
+                        // Keep the root cause; a peer-failure abort
+                        // only stands in until the real error arrives.
+                        let is_peer = |e: &RunError| matches!(e, RunError::Deadlock { detail } if detail == PEER_FAILURE);
+                        match &round_err {
+                            None => round_err = Some(e),
+                            Some(cur) if is_peer(cur) && !is_peer(&e) => round_err = Some(e),
+                            _ => {}
                         }
                     }
-                    Err(_) => {
-                        round_err = Some(RunError::Eval("pipeline worker exited early".into()));
-                        break;
-                    }
                 }
-            }
-            if printed > before {
-                progress_at = target;
-            } else if target - progress_at >= MAX_SILENT_CYCLES && round_err.is_none() {
-                round_err = Some(RunError::Deadlock {
-                    detail: format!(
-                        "{} consecutive steady cycles produced no program output",
-                        target - progress_at
-                    ),
-                });
-            }
-        }
-
-        for tx in &cmd_txs {
-            let _ = tx.send(Cmd::Finish);
-        }
-        let mut results: Vec<StageResult> = Vec::with_capacity(num_stages);
-        for h in handles {
-            match h.join() {
-                Ok(r) => results.push(r),
                 Err(_) => {
-                    if round_err.is_none() {
-                        round_err = Some(RunError::Eval("pipeline worker panicked".into()));
-                    }
+                    round_err = Some(RunError::Eval("pipeline worker exited early".into()));
+                    break;
                 }
             }
         }
-        if let Some(e) = round_err {
-            return Err(e);
+        if printed > before {
+            progress_at = target;
+        } else if target - progress_at >= MAX_SILENT_CYCLES / scale && round_err.is_none() {
+            round_err = Some(RunError::Deadlock {
+                detail: format!(
+                    "{} consecutive steady cycles produced no program output",
+                    (target - progress_at) * scale
+                ),
+            });
         }
-        results.sort_by_key(|r| r.stage);
-        let mut outcome = PipelineOutcome {
-            printed: Vec::new(),
-            ops: OpCounter::default(),
-            firings: 0,
-            cycles: target,
-            stages: num_stages,
-        };
-        for r in results {
-            // Only the printer stage contributes output; concatenation in
-            // stage order is exact because printers share one stage.
-            outcome.printed.extend(r.printed);
-            outcome.ops.merge(&r.ops);
-            outcome.firings += r.firings;
+    }
+
+    for tx in &cmd_txs {
+        let _ = tx.send(Cmd::Finish);
+    }
+    let mut results: Vec<StageResult> = Vec::with_capacity(num_stages);
+    for _ in 0..num_stages {
+        match result_rx.recv() {
+            Ok(r) => results.push(r),
+            Err(_) => {
+                // Disconnection means every outstanding job ended (each
+                // holds a sender) — at least one without reporting, i.e.
+                // it panicked outside the contained run path.
+                if round_err.is_none() {
+                    round_err = Some(RunError::Eval("pipeline worker panicked".into()));
+                }
+                break;
+            }
         }
-        Ok(outcome)
-    })
+    }
+    // `result_rx` answered for every job, so the threads are idle again.
+    pool::release_global(threads);
+    if let Some(e) = round_err {
+        return Err(e);
+    }
+    results.sort_by_key(|r| r.stage);
+    let mut outcome = PipelineOutcome {
+        printed: Vec::new(),
+        ops: OpCounter::default(),
+        firings: 0,
+        cycles: target,
+        stages: num_stages,
+    };
+    for r in results {
+        // Only the printer stage contributes output; concatenation in
+        // stage order is exact because printers share one stage.
+        outcome.printed.extend(r.printed);
+        outcome.ops.merge(&r.ops);
+        outcome.firings += r.firings;
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -558,7 +610,7 @@ mod tests {
     fn run_threads(src: &str, threads: usize, outputs: usize) -> PipelineOutcome {
         let (flat, plan) = planned(src);
         let part = partition(&flat, &plan, threads, &CostModel::default());
-        run_pipeline::<OpCounter>(flat, &plan, &part, outputs).unwrap()
+        run_pipeline::<OpCounter>(flat, &plan, &part, outputs, 1).unwrap()
     }
 
     const CHAIN: &str = "void->void pipeline Main { add S(); add G(); add H(); add K(); }
@@ -632,7 +684,7 @@ mod tests {
     fn uncounted_mode_prints_identical_bits() {
         let (flat, plan) = planned(CHAIN);
         let part = partition(&flat, &plan, 2, &CostModel::default());
-        let fast = run_pipeline::<NoCount>(flat, &plan, &part, 50).unwrap();
+        let fast = run_pipeline::<NoCount>(flat, &plan, &part, 50, 1).unwrap();
         let counted = run_threads(CHAIN, 2, 50);
         assert_eq!(fast.printed.len(), counted.printed.len());
         for (a, b) in fast.printed.iter().zip(&counted.printed) {
@@ -648,7 +700,7 @@ mod tests {
              float->void filter K { work pop 1 { println(pop()); } }";
         let (flat, plan) = planned(BAD);
         let part = partition(&flat, &plan, 2, &CostModel::default());
-        let err = run_pipeline::<OpCounter>(flat, &plan, &part, 5).unwrap_err();
+        let err = run_pipeline::<OpCounter>(flat, &plan, &part, 5, 1).unwrap_err();
         assert!(matches!(err, RunError::RateViolation(_)), "{err}");
     }
 

@@ -1,0 +1,140 @@
+//! A persistent worker-thread pool for the pipeline executor.
+//!
+//! PR 4 spawned one scoped thread per stage per run, which is fine for
+//! long runs but dominates sub-millisecond ones (thread spawn is tens of
+//! microseconds — several steady cycles of a small graph). This module
+//! keeps the threads: a [`PipelinePool`] owns parked workers that serve
+//! one boxed job at a time, and [`crate::parallel::run_pipeline`] draws
+//! its stage workers from a process-wide pool, returning them when the
+//! run finishes.
+//!
+//! Two properties keep this safe under `cargo test`'s in-process
+//! concurrency:
+//!
+//! * a run *acquires all its stage workers atomically* (spawning fresh
+//!   ones when the idle list runs short), so two concurrent pipeline
+//!   runs can never each hold half of the threads they need and stall
+//!   each other;
+//! * a panicking job is contained by the worker loop (the thread
+//!   survives and returns to the pool), mirroring the panic containment
+//!   the pipeline protocol already has per stage.
+//!
+//! Pooling changes scheduling only, never data: each stage's state is
+//! moved into its job exactly as it was moved into a scoped thread
+//! before, so outputs, tallies and firing counts are untouched —
+//! `tests/pool_reuse.rs` pins that two back-to-back runs on one pool
+//! print identical bits without spawning new threads for the second.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Mutex, OnceLock};
+
+/// A unit of work shipped to a pooled thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One parked worker thread, addressed by its job channel.
+pub(crate) struct PoolThread {
+    tx: Sender<Job>,
+}
+
+impl PoolThread {
+    /// Runs `job` on this worker (queued; the thread executes jobs in
+    /// order). Dropping all handles to the channel retires the thread.
+    pub(crate) fn run(&self, job: Job) {
+        // A send can only fail if the worker thread died, which the
+        // catch_unwind in its loop prevents; the pipeline protocol's
+        // disconnect handling covers the impossible remainder.
+        let _ = self.tx.send(job);
+    }
+}
+
+/// A reusable set of worker threads.
+pub struct PipelinePool {
+    idle: Vec<PoolThread>,
+    spawned: usize,
+}
+
+impl PipelinePool {
+    /// An empty pool; threads are spawned on first demand.
+    pub const fn new() -> Self {
+        PipelinePool {
+            idle: Vec::new(),
+            spawned: 0,
+        }
+    }
+
+    /// Total threads ever spawned by this pool (a second run that reuses
+    /// the pool leaves this unchanged — the regression handle for the
+    /// "pools are spawned per run" caveat).
+    pub fn spawned(&self) -> usize {
+        self.spawned
+    }
+
+    /// Takes `n` workers out of the pool, spawning the shortfall.
+    pub(crate) fn acquire(&mut self, n: usize) -> Vec<PoolThread> {
+        let mut taken = Vec::with_capacity(n);
+        while taken.len() < n {
+            match self.idle.pop() {
+                Some(t) => taken.push(t),
+                None => {
+                    taken.push(spawn_worker());
+                    self.spawned += 1;
+                }
+            }
+        }
+        taken
+    }
+
+    /// Returns workers to the pool for the next run.
+    pub(crate) fn release(&mut self, threads: Vec<PoolThread>) {
+        self.idle.extend(threads);
+    }
+}
+
+impl Default for PipelinePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn spawn_worker() -> PoolThread {
+    let (tx, rx) = channel::<Job>();
+    std::thread::Builder::new()
+        .name("streamlin-pipeline".into())
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                // Contain job panics so the thread stays reusable; the
+                // pipeline coordinator observes the failure through its
+                // own result channels.
+                let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+            }
+        })
+        .expect("spawning a pipeline worker thread");
+    PoolThread { tx }
+}
+
+/// The process-wide pool [`crate::parallel::run_pipeline`] draws from.
+fn global() -> &'static Mutex<PipelinePool> {
+    static POOL: OnceLock<Mutex<PipelinePool>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(PipelinePool::new()))
+}
+
+/// Acquires `n` workers from the process-wide pool.
+pub(crate) fn acquire_global(n: usize) -> Vec<PoolThread> {
+    global().lock().expect("pipeline pool poisoned").acquire(n)
+}
+
+/// Returns workers to the process-wide pool.
+pub(crate) fn release_global(threads: Vec<PoolThread>) {
+    global()
+        .lock()
+        .expect("pipeline pool poisoned")
+        .release(threads);
+}
+
+/// Threads ever spawned by the process-wide pool. Repeated
+/// [`crate::measure::profile_threads`] runs reuse them, so this is stable
+/// across back-to-back runs of the same shape.
+pub fn global_spawned() -> usize {
+    global().lock().expect("pipeline pool poisoned").spawned()
+}

@@ -10,6 +10,8 @@
 //! $ streamlinc program.str --sched dynamic        # data-driven engine
 //! $ streamlinc program.str --mode fast            # uncounted, SIMD kernels
 //! $ streamlinc program.str --threads 4            # pipeline-parallel stages
+//! $ streamlinc program.str --threads 4 --fission auto   # split the bottleneck
+//! $ streamlinc program.str --fission 2            # force a fission width
 //! $ streamlinc program.str --emit-graph           # print the structures
 //! $ streamlinc program.str --quiet                # program output only
 //! ```
@@ -31,6 +33,9 @@ struct Args {
     /// stages (`--sched static` without `--threads` stays the classic
     /// single-threaded plan engine).
     threads: Option<usize>,
+    /// Data-parallel fission of the dominant node: `auto` asks the cost
+    /// model, a number forces a width, `off` (default) disables it.
+    fission: streamlin::runtime::fission::Fission,
     outputs: usize,
     emit_graph: bool,
     quiet: bool,
@@ -50,7 +55,7 @@ fn usage() -> ! {
         "usage: streamlinc <program.str> [--config baseline|linear|freq|redund|autosel]\n\
          \x20                [--sched auto|static|dynamic] [--mode measured|fast]\n\
          \x20                [--matmul unrolled|diagonal|blocked|simd] [--threads <n>]\n\
-         \x20                [-n <outputs>] [--emit-graph] [--quiet]"
+         \x20                [--fission auto|off|<w>] [-n <outputs>] [--emit-graph] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -63,6 +68,7 @@ fn parse_args() -> Args {
         mode: ExecMode::Measured,
         matmul: None,
         threads: None,
+        fission: streamlin::runtime::fission::Fission::Off,
         outputs: 1000,
         emit_graph: false,
         quiet: false,
@@ -102,6 +108,18 @@ fn parse_args() -> Args {
                         .filter(|&t| t >= 1)
                         .unwrap_or_else(|| usage()),
                 )
+            }
+            "--fission" => {
+                use streamlin::runtime::fission::Fission;
+                args.fission = match it.next().as_deref() {
+                    Some("auto") => Fission::Auto,
+                    Some("off") => Fission::Off,
+                    Some(v) => match v.parse() {
+                        Ok(w) if w >= 1 => Fission::Width(w),
+                        _ => usage(),
+                    },
+                    None => usage(),
+                }
             }
             "-n" | "--outputs" => {
                 args.outputs = it
@@ -177,6 +195,7 @@ fn run(args: &Args) -> Result<(), String> {
     };
 
     if args.emit_graph {
+        use streamlin::runtime::fission::{fiss_bottleneck, Fission};
         eprintln!("structure: {}", opt.describe());
         if args.sched == Scheduler::Dynamic {
             eprintln!("schedule: data-driven (dynamic scheduler requested)");
@@ -184,17 +203,60 @@ fn run(args: &Args) -> Result<(), String> {
             let planned = streamlin::runtime::flat::flatten(&opt, args.strategy())
                 .map_err(|e| e.to_string())
                 .and_then(|f| {
-                    streamlin::runtime::plan::compile_partitioned(
-                        &f,
-                        args.threads.unwrap_or(1),
-                        &CostModel::default(),
-                    )
-                    .map_err(|e| e.to_string())
+                    streamlin::runtime::plan::compile(&f)
+                        .map(|plan| (f, plan))
+                        .map_err(|e| e.to_string())
                 });
             match planned {
-                Ok((plan, part)) => {
+                Ok((flat, plan)) => {
+                    // Show the fission decision, and describe the graph
+                    // that will actually execute (the fissed one when the
+                    // pass fires).
+                    let threads = args.threads.unwrap_or(1);
+                    let fissed = if args.fission == Fission::Off {
+                        eprintln!("fission: off");
+                        None
+                    } else {
+                        match fiss_bottleneck(
+                            &flat,
+                            &plan,
+                            args.fission,
+                            threads,
+                            &CostModel::default(),
+                        ) {
+                            // Report engagement only once the fissed plan
+                            // actually compiles — the profiler falls back
+                            // whole when it exceeds plan bounds, and the
+                            // diagnostic must describe the run that
+                            // happens.
+                            Ok((f2, info)) => match streamlin::runtime::plan::compile(&f2) {
+                                Ok(p2) => {
+                                    eprintln!("fission: {}", info.summary());
+                                    Some((f2, p2))
+                                }
+                                Err(e) => {
+                                    eprintln!(
+                                        "fission: none ({} planned, but its schedule failed: {e})",
+                                        info.summary()
+                                    );
+                                    None
+                                }
+                            },
+                            Err(reason) => {
+                                eprintln!("fission: none ({reason})");
+                                None
+                            }
+                        }
+                    };
+                    let (flat, plan) = fissed.unwrap_or((flat, plan));
                     eprintln!("schedule: {}", plan.summary());
                     if args.threads.is_some() {
+                        let part = streamlin::runtime::partition::partition(
+                            &flat,
+                            &plan,
+                            threads,
+                            &CostModel::default(),
+                        );
                         eprintln!("pipeline: {}", part.summary());
                     }
                 }
@@ -203,16 +265,19 @@ fn run(args: &Args) -> Result<(), String> {
         }
     }
 
-    let prof = match args.threads {
-        Some(threads) => streamlin::runtime::measure::profile_threads(
+    let prof = match (args.threads, args.fission) {
+        (None, streamlin::runtime::fission::Fission::Off) => {
+            profile_mode(&opt, args.outputs, args.strategy(), args.sched, args.mode)
+        }
+        (threads, fission) => streamlin::runtime::measure::profile_fission(
             &opt,
             args.outputs,
             args.strategy(),
             args.sched,
             args.mode,
-            threads,
+            threads.unwrap_or(1),
+            fission,
         ),
-        None => profile_mode(&opt, args.outputs, args.strategy(), args.sched, args.mode),
     }
     .map_err(|e| e.to_string())?;
     if args.quiet {
@@ -225,11 +290,14 @@ fn run(args: &Args) -> Result<(), String> {
             "nodes: {} ({} interpreted, {} linear, {} freq, {} redund)",
             stats.filters, stats.originals, stats.linear, stats.freq, stats.redund
         );
-        let sched_desc = if prof.threads > 1 {
+        let mut sched_desc = if prof.threads > 1 {
             format!("{} scheduler, {} threads", prof.sched.label(), prof.threads)
         } else {
             format!("{} scheduler", prof.sched.label())
         };
+        if prof.fission > 1 {
+            sched_desc.push_str(&format!(", fission x{}", prof.fission));
+        }
         match args.mode {
             ExecMode::Measured => eprintln!(
                 "{} outputs in {:?} [{sched_desc}]: {:.1} flops/output, {:.1} mults/output",

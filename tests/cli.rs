@@ -115,3 +115,52 @@ fn rejects_unknown_config() {
         .expect("binary runs");
     assert!(!out.status.success());
 }
+
+#[test]
+fn fission_flag_prints_identical_output_and_reports_the_decision() {
+    // The unfissed run is the byte-exact reference for every width; the
+    // emit-graph run must name the fissed node (FIR freq's dominant node
+    // is duplicable, so `--fission 2` must engage, not silently no-op).
+    let reference = streamlinc()
+        .args([
+            "assets/fir.str",
+            "--config",
+            "freq",
+            "--threads",
+            "2",
+            "-n",
+            "96",
+            "--quiet",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(reference.status.success());
+    for width in ["2", "4", "auto"] {
+        let out = streamlinc()
+            .args([
+                "assets/fir.str",
+                "--config",
+                "freq",
+                "--threads",
+                "2",
+                "--fission",
+                width,
+                "--emit-graph",
+                "-n",
+                "96",
+                "--quiet",
+            ])
+            .output()
+            .expect("binary runs");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "--fission {width}: {stderr}");
+        assert_eq!(
+            out.stdout, reference.stdout,
+            "--fission {width}: output bytes differ from the unfissed run"
+        );
+        assert!(
+            stderr.contains("fission: freq"),
+            "--fission {width}: decision missing from --emit-graph: {stderr}"
+        );
+    }
+}

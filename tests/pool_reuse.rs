@@ -1,0 +1,72 @@
+//! Worker-pool reuse: PR 4 spawned the pipeline's stage threads per run
+//! (fine for long runs, visible on sub-millisecond ones). The runtime now
+//! draws stage workers from a persistent process-wide pool
+//! (`streamlin_runtime::pool`); this suite pins both halves of the fix:
+//!
+//! * two back-to-back `profile_threads` runs produce identical output
+//!   (pooling changes scheduling only, never data), and
+//! * the second run spawns **zero** new threads — the pool's spawn
+//!   counter is flat across repetitions.
+//!
+//! This file holds a single `#[test]` on purpose: the spawn counter is
+//! process-global, and a sibling test running pipelines concurrently
+//! would legitimately grow it.
+
+use streamlin::core::combine::{analyze_graph, replace, ReplaceOptions};
+use streamlin::core::OptStream;
+use streamlin::runtime::measure::{profile_threads, ExecMode, Scheduler};
+use streamlin::runtime::MatMulStrategy;
+
+fn opt() -> OptStream {
+    let bench = streamlin::benchmarks::fir(32);
+    let analysis = analyze_graph(bench.graph());
+    replace(bench.graph(), &analysis, &ReplaceOptions::per_filter())
+}
+
+#[test]
+fn repeated_runs_reuse_the_worker_pool_and_match_bit_for_bit() {
+    let opt = opt();
+    let run = |threads: usize| {
+        profile_threads(
+            &opt,
+            256,
+            MatMulStrategy::Unrolled,
+            Scheduler::Auto,
+            ExecMode::Measured,
+            threads,
+        )
+        .expect("pipeline run")
+    };
+
+    // Warm the pool to this shape, then measure the steady state.
+    let first = run(3);
+    let spawned_after_first = streamlin::runtime::pool::global_spawned();
+    assert!(
+        spawned_after_first >= first.threads,
+        "the first run must have populated the pool"
+    );
+
+    let second = run(3);
+    let spawned_after_second = streamlin::runtime::pool::global_spawned();
+    assert_eq!(
+        spawned_after_first, spawned_after_second,
+        "a repeated run of the same shape must reuse pooled workers"
+    );
+
+    // Identical results — pooling must not touch data.
+    assert_eq!(first.outputs.len(), second.outputs.len());
+    for (i, (a, b)) in first.outputs.iter().zip(&second.outputs).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "output {i} differs across runs");
+    }
+    assert_eq!(first.ops, second.ops);
+    assert_eq!(first.firings, second.firings);
+
+    // A smaller run fits inside the warm pool too.
+    let third = run(2);
+    assert_eq!(
+        streamlin::runtime::pool::global_spawned(),
+        spawned_after_second,
+        "a narrower run must not spawn new workers"
+    );
+    assert_eq!(&first.outputs[..64], &third.outputs[..64]);
+}

@@ -9,7 +9,7 @@ use streamlin::core::combine::{analyze_graph, replace, ReplaceOptions, ReplaceTa
 use streamlin::core::cost::CostModel;
 use streamlin::core::select::{select, SelectOptions};
 use streamlin::core::OptStream;
-use streamlin::runtime::measure::{profile_mode, profile_threads, ExecMode, Scheduler};
+use streamlin::runtime::measure::{profile_mode, ExecMode, Scheduler};
 use streamlin::runtime::MatMulStrategy;
 
 /// CI runs this suite once per execution mode: `STREAMLIN_TEST_MODE=fast`
@@ -30,6 +30,19 @@ fn test_threads() -> Option<usize> {
     std::env::var("STREAMLIN_TEST_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
+}
+
+/// `STREAMLIN_TEST_FISSION=w` additionally fisses the dominant node at
+/// width `w` on the static side (a no-op where the pass refuses) — the
+/// dynamic scheduler must still see identical bits.
+fn test_fission() -> streamlin::runtime::fission::Fission {
+    match std::env::var("STREAMLIN_TEST_FISSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(w) if w > 1 => streamlin::runtime::fission::Fission::Width(w),
+        _ => streamlin::runtime::fission::Fission::Off,
+    }
 }
 
 fn configs(bench: &streamlin::benchmarks::Benchmark) -> Vec<(&'static str, OptStream)> {
@@ -90,9 +103,19 @@ fn check(bench: &streamlin::benchmarks::Benchmark, outputs: usize) {
         } else {
             Scheduler::Static
         };
-        let staticp = match test_threads() {
-            Some(t) => profile_threads(&opt, outputs, MatMulStrategy::Unrolled, sched, mode, t),
-            None => profile_mode(&opt, outputs, MatMulStrategy::Unrolled, sched, mode),
+        let staticp = match (test_threads(), test_fission()) {
+            (None, streamlin::runtime::fission::Fission::Off) => {
+                profile_mode(&opt, outputs, MatMulStrategy::Unrolled, sched, mode)
+            }
+            (threads, fission) => streamlin::runtime::measure::profile_fission(
+                &opt,
+                outputs,
+                MatMulStrategy::Unrolled,
+                sched,
+                mode,
+                threads.unwrap_or(1),
+                fission,
+            ),
         }
         .unwrap_or_else(|e| panic!("{} {label} static: {e}", bench.name()));
         if !opt.has_feedback() {

@@ -22,7 +22,8 @@ use std::time::Duration;
 
 use streamlin_bench::{configure, Config};
 use streamlin_benchmarks::Benchmark;
-use streamlin_runtime::measure::{profile_mode, profile_threads, ExecMode, Scheduler};
+use streamlin_runtime::fission::Fission;
+use streamlin_runtime::measure::{profile_fission, profile_mode, ExecMode, Scheduler};
 
 /// Minimum accumulated run time per row before the best sample counts.
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
@@ -37,6 +38,9 @@ struct Row {
     /// static engine; >1 = the pipeline-parallel executor with that many
     /// stages — possibly fewer than requested).
     threads: usize,
+    /// Data-parallel fission width actually applied to the dominant node
+    /// (1 = unfissed; the pass may refuse or downgrade a request).
+    fission: usize,
     outputs: usize,
     items_per_sec: f64,
 }
@@ -51,6 +55,7 @@ fn measure(
     mode: ExecMode,
     outputs: usize,
     threads: usize,
+    fission: Fission,
 ) -> Row {
     let opt = configure(bench, config);
     let strategy = mode.default_strategy();
@@ -58,16 +63,26 @@ fn measure(
     let mut spent = Duration::ZERO;
     let mut sched_ran = Scheduler::Auto;
     let mut threads_ran = 1;
+    let mut fission_ran = 1;
     // One warmup run, then sample until the budget is spent.
     for warmup in [true, false, false, false, false, false, false, false] {
-        let prof = if threads > 1 {
-            profile_threads(&opt, outputs, strategy, Scheduler::Auto, mode, threads)
+        let prof = if threads > 1 || fission != Fission::Off {
+            profile_fission(
+                &opt,
+                outputs,
+                strategy,
+                Scheduler::Auto,
+                mode,
+                threads,
+                fission,
+            )
         } else {
             profile_mode(&opt, outputs, strategy, Scheduler::Auto, mode)
         }
         .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), config.label()));
         sched_ran = prof.sched;
         threads_ran = prof.threads;
+        fission_ran = prof.fission;
         if warmup {
             continue;
         }
@@ -88,6 +103,7 @@ fn measure(
         // stages than requested (small graphs, printer pinning), and the
         // speedup criterion must not attribute a 2-stage run to 4 threads.
         threads: threads_ran,
+        fission: fission_ran,
         outputs,
         items_per_sec: best,
     }
@@ -174,7 +190,7 @@ fn main() {
         for &config in configs {
             let mut pair = Vec::new();
             for mode in [ExecMode::Measured, ExecMode::Fast] {
-                let mut row = measure(bench, config, mode, outputs, 1);
+                let mut row = measure(bench, config, mode, outputs, 1, Fission::Off);
                 row.benchmark = label.to_string();
                 eprintln!(
                     "{:>12} {:>9} {:>8} {:>8} t1: {:>12.0} items/sec",
@@ -197,7 +213,14 @@ fn main() {
             // the t1 fast row above.
             let fast_t1 = pair[1];
             for threads in [2usize, 4] {
-                let mut row = measure(bench, config, ExecMode::Fast, outputs, threads);
+                let mut row = measure(
+                    bench,
+                    config,
+                    ExecMode::Fast,
+                    outputs,
+                    threads,
+                    Fission::Off,
+                );
                 row.benchmark = label.to_string();
                 eprintln!(
                     "{:>12} {:>9} {:>8} {:>8} t{} (ran {}): {:>12.0} items/sec ({:.2}x vs t1)",
@@ -212,6 +235,32 @@ fn main() {
                 );
                 rows.push(row);
             }
+            // The fission dimension: split the dominant node at widths
+            // 2 and 4 under the 4-stage pipeline (Fast mode). Rows where
+            // the pass refuses (stateful bottleneck) record fission: 1.
+            for width in [2usize, 4] {
+                let mut row = measure(
+                    bench,
+                    config,
+                    ExecMode::Fast,
+                    outputs,
+                    4,
+                    Fission::Width(width),
+                );
+                row.benchmark = label.to_string();
+                eprintln!(
+                    "{:>12} {:>9} {:>8} {:>8} t4 fiss{} (ran x{}): {:>9.0} items/sec ({:.2}x vs t1)",
+                    row.benchmark,
+                    row.config,
+                    row.sched,
+                    row.mode,
+                    width,
+                    row.fission,
+                    row.items_per_sec,
+                    row.items_per_sec / fast_t1
+                );
+                rows.push(row);
+            }
         }
     }
 
@@ -220,7 +269,7 @@ fn main() {
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"streamlin-bench-json/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"streamlin-bench-json/v3\",");
     let _ = writeln!(json, "  \"label\": \"{label}\",");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"results\": [");
@@ -230,13 +279,14 @@ fn main() {
             json,
             "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"sched\": \"{}\", \
              \"mode\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \
-             \"outputs\": {}, \"items_per_sec\": {:.1}}}{}",
+             \"fission\": {}, \"outputs\": {}, \"items_per_sec\": {:.1}}}{}",
             r.benchmark,
             r.config,
             r.sched,
             r.mode,
             r.strategy,
             r.threads,
+            r.fission,
             r.outputs,
             r.items_per_sec,
             comma
