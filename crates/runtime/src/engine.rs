@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use streamlin_graph::exec::{Flow, Host};
 use streamlin_graph::lower::{SlotInterp, SlotStore};
 use streamlin_graph::value::{EvalError, Value};
-use streamlin_support::{OpCounter, Tally};
+use streamlin_support::{NoProbe, OpCounter, Probe, Tally};
 
 use crate::fission::FissKernel;
 use crate::flat::{FlatGraph, FlatNode, InterpState, NodeKind};
@@ -123,6 +123,18 @@ impl<T: Tally> Engine<T> {
     /// Returns [`RunError::Deadlock`] if no progress is possible, or any
     /// evaluation/rate error from a work function.
     pub fn run_until_outputs(&mut self, n: usize) -> Result<(), RunError> {
+        self.run_probed(n, &mut NoProbe)
+    }
+
+    /// [`Self::run_until_outputs`] with a telemetry [`Probe`]: each firing
+    /// becomes a span on lane 1 (the data-driven engine is single-
+    /// threaded). Monomorphized over [`NoProbe`] this is exactly the
+    /// uninstrumented loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run_until_outputs`].
+    pub fn run_probed<P: Probe>(&mut self, n: usize, probe: &mut P) -> Result<(), RunError> {
         while self.state.printed.len() < n {
             let mut fired = false;
             for i in 0..self.nodes.len() {
@@ -130,7 +142,11 @@ impl<T: Tally> Engine<T> {
                     return Ok(());
                 }
                 if self.readiness(i) == Readiness::Ready {
+                    let t0 = probe.now();
                     fire(&mut self.nodes[i], &mut self.state)?;
+                    if P::ENABLED {
+                        probe.batch(1, i, 1, t0);
+                    }
                     fired = true;
                 }
             }

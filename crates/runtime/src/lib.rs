@@ -61,6 +61,18 @@
 //! `print`/`println` values) has been produced. Both schedulers execute
 //! identical firing semantics, so their printed output is bit-identical.
 //!
+//! Everything above is additionally generic over a telemetry
+//! [`streamlin_support::Probe`] on the same zero-cost pattern as the
+//! tally: production runs instantiate [`streamlin_support::NoProbe`]
+//! (every record site compiles away — bit-identical outputs, unchanged
+//! throughput), while [`measure::profile_recorded`] instantiates
+//! [`streamlin_support::Recorder`] and captures compile-phase spans,
+//! per-stage busy/stall time, ring occupancy high-water marks and
+//! full/empty stall counts, coordinator quantum waits, and per-node
+//! firing costs against the cost model — exported as a human summary
+//! (`streamlinc --metrics`) or a Chrome trace-event timeline
+//! (`--trace-out`, validated by [`telemetry::validate_trace`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -89,14 +101,16 @@ pub mod partition;
 pub mod plan;
 pub mod pool;
 pub mod ring;
+pub mod telemetry;
 
 pub use engine::{Engine, RunError};
 pub use fission::{fiss_bottleneck, fissability, Fission, FissionInfo};
 pub use linear_exec::MatMulStrategy;
 pub use measure::{
-    profile, profile_fission, profile_mode, profile_sched, profile_threads, ExecMode, Profile,
-    Scheduler,
+    profile, profile_fission, profile_mode, profile_recorded, profile_sched, profile_threads,
+    ExecMode, Profile, Scheduler,
 };
-pub use parallel::{run_pipeline, PipelineOutcome};
+pub use parallel::{run_pipeline, run_pipeline_probed, PipelineOutcome};
 pub use partition::{partition, Partition};
 pub use plan::{ExecPlan, PlanEngine, PlanError};
+pub use telemetry::{validate_trace, TraceShape};

@@ -8,7 +8,7 @@
 use std::time::{Duration, Instant};
 
 use streamlin_core::opt::OptStream;
-use streamlin_support::{NoCount, OpCounter, Tally};
+use streamlin_support::{NoCount, NoProbe, OpCounter, Probe, Recorder, Tally};
 
 use crate::engine::{Engine, RunError};
 use crate::fission::{self, Fission};
@@ -214,12 +214,26 @@ pub fn profile_mode(
     mode: ExecMode,
 ) -> Result<Profile, ProfileError> {
     match mode {
-        ExecMode::Measured => {
-            profile_with::<OpCounter>(opt, outputs, strategy, sched, mode, None, Fission::Off)
-        }
-        ExecMode::Fast => {
-            profile_with::<NoCount>(opt, outputs, strategy, sched, mode, None, Fission::Off)
-        }
+        ExecMode::Measured => profile_with::<OpCounter, NoProbe>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            None,
+            Fission::Off,
+            &mut NoProbe,
+        ),
+        ExecMode::Fast => profile_with::<NoCount, NoProbe>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            None,
+            Fission::Off,
+            &mut NoProbe,
+        ),
     }
 }
 
@@ -274,41 +288,47 @@ pub fn profile_fission(
     fission: Fission,
 ) -> Result<Profile, ProfileError> {
     match mode {
-        ExecMode::Measured => {
-            profile_with::<OpCounter>(opt, outputs, strategy, sched, mode, Some(threads), fission)
-        }
-        ExecMode::Fast => {
-            profile_with::<NoCount>(opt, outputs, strategy, sched, mode, Some(threads), fission)
-        }
+        ExecMode::Measured => profile_with::<OpCounter, NoProbe>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            Some(threads),
+            fission,
+            &mut NoProbe,
+        ),
+        ExecMode::Fast => profile_with::<NoCount, NoProbe>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            Some(threads),
+            fission,
+            &mut NoProbe,
+        ),
     }
 }
 
-/// Applies the fission pass to a planned graph, recompiling the plan.
-/// Returns the graph to execute, its plan, the cycle scale and the width.
-fn apply_fission(
-    flat: FlatGraph,
-    plan: ExecPlan,
-    fission: Fission,
-    threads: usize,
-) -> (FlatGraph, ExecPlan, u64, usize) {
-    if fission == Fission::Off {
-        return (flat, plan, 1, 1);
-    }
-    let model = streamlin_core::cost::CostModel::default();
-    match fission::fiss_bottleneck(&flat, &plan, fission, threads, &model) {
-        Ok((fissed, info)) => match plan::compile(&fissed) {
-            Ok(p2) => (fissed, p2, info.scale, info.width),
-            // A fissed graph that exceeds plan bounds falls back whole.
-            Err(_) => (flat, plan, 1, 1),
-        },
-        Err(_) => (flat, plan, 1, 1),
-    }
-}
-
-/// The profiler body, monomorphized per tally. `threads: Some(n)` selects
-/// the pipeline executor over the planned graph; `None` the classic
-/// single-threaded [`PlanEngine`].
-fn profile_with<T: Tally + Default + Send + 'static>(
+/// The **instrumented** profiler: the same execution as the other
+/// `profile_*` entry points (same schedules, same kernels, bit-identical
+/// outputs — pinned by `tests/telemetry_equivalence.rs`), with every
+/// compile phase, firing batch, stall and ring-occupancy sample recorded
+/// into `rec`. `threads: None` selects the classic single-threaded
+/// engine, exactly like [`profile_mode`]; `Some(n)` the pipeline
+/// executor, exactly like [`profile_fission`].
+///
+/// The recorder also collects the run's *decision notes* — fission
+/// engagement or refusal reason, partition shape, schedule summary, pool
+/// acquisition — which the CLI prints under `--emit-graph` and exports
+/// as trace instants under `--trace-out`.
+///
+/// # Errors
+///
+/// As [`profile_sched`].
+#[allow(clippy::too_many_arguments)]
+pub fn profile_recorded(
     opt: &OptStream,
     outputs: usize,
     strategy: MatMulStrategy,
@@ -316,8 +336,92 @@ fn profile_with<T: Tally + Default + Send + 'static>(
     mode: ExecMode,
     threads: Option<usize>,
     fission: Fission,
+    rec: &mut Recorder,
 ) -> Result<Profile, ProfileError> {
+    match mode {
+        ExecMode::Measured => profile_with::<OpCounter, Recorder>(
+            opt, outputs, strategy, sched, mode, threads, fission, rec,
+        ),
+        ExecMode::Fast => profile_with::<NoCount, Recorder>(
+            opt, outputs, strategy, sched, mode, threads, fission, rec,
+        ),
+    }
+}
+
+/// Applies the fission pass to a planned graph, recompiling the plan.
+/// Returns the graph to execute, its plan, the cycle scale and the width.
+/// The decision — engagement summary or refusal reason — is recorded as a
+/// `fission` note on the probe, so instrumented runs surface *why* the
+/// pass did or did not fire.
+fn apply_fission<P: Probe>(
+    flat: FlatGraph,
+    plan: ExecPlan,
+    fission: Fission,
+    threads: usize,
+    probe: &mut P,
+) -> (FlatGraph, ExecPlan, u64, usize) {
+    if fission == Fission::Off {
+        probe.note("fission", "off");
+        return (flat, plan, 1, 1);
+    }
+    let t0 = probe.now();
+    let model = streamlin_core::cost::CostModel::default();
+    match fission::fiss_bottleneck(&flat, &plan, fission, threads, &model) {
+        Ok((fissed, info)) => match plan::compile(&fissed) {
+            Ok(p2) => {
+                if P::ENABLED {
+                    probe.phase("fission", t0);
+                    probe.note("fission", &info.summary());
+                }
+                (fissed, p2, info.scale, info.width)
+            }
+            // A fissed graph that exceeds plan bounds falls back whole.
+            Err(e) => {
+                if P::ENABLED {
+                    probe.note(
+                        "fission",
+                        &format!(
+                            "none ({} planned, but its schedule failed: {e})",
+                            info.summary()
+                        ),
+                    );
+                }
+                (flat, plan, 1, 1)
+            }
+        },
+        Err(reason) => {
+            if P::ENABLED {
+                probe.note("fission", &format!("none ({reason})"));
+            }
+            (flat, plan, 1, 1)
+        }
+    }
+}
+
+/// The profiler body, monomorphized per tally and probe. `threads:
+/// Some(n)` selects the pipeline executor over the planned graph; `None`
+/// the classic single-threaded [`PlanEngine`]. With [`NoProbe`] every
+/// record site compiles away; an enabled probe collects compile-phase
+/// spans (flatten/plan/fission/partition), node names and cost-model
+/// predictions for the graph that actually executes, and the engines'
+/// runtime telemetry.
+#[allow(clippy::too_many_arguments)]
+fn profile_with<T: Tally + Default + Send + 'static, P: Probe + Send + 'static>(
+    opt: &OptStream,
+    outputs: usize,
+    strategy: MatMulStrategy,
+    sched: Scheduler,
+    mode: ExecMode,
+    threads: Option<usize>,
+    fission: Fission,
+    probe: &mut P,
+) -> Result<Profile, ProfileError> {
+    let t0 = probe.now();
     let flat = flatten(opt, strategy)?;
+    if P::ENABLED {
+        probe.phase("flatten", t0);
+    }
+    let t0 = probe.now();
     let compiled = match sched {
         Scheduler::Dynamic => None,
         Scheduler::Static => Some(plan::compile(&flat)?),
@@ -326,34 +430,59 @@ fn profile_with<T: Tally + Default + Send + 'static>(
         Scheduler::Auto if opt.has_feedback() => None,
         Scheduler::Auto => plan::compile(&flat).ok(),
     };
+    if P::ENABLED {
+        probe.phase("plan", t0);
+    }
     // Fission rewrites the flat graph; under `Scheduler::Dynamic` the
     // plan is still compiled (when possible) purely to drive the fission
     // decision, and the fissed graph then runs data-driven — the fuzz
     // suite differentially checks that path too.
     let (flat, compiled, scale, width) = match (compiled, sched) {
         (Some(plan), _) => {
-            let (f, p, s, w) = apply_fission(flat, plan, fission, threads.unwrap_or(1));
+            let (f, p, s, w) = apply_fission(flat, plan, fission, threads.unwrap_or(1), probe);
             (f, Some(p), s, w)
         }
         (None, Scheduler::Dynamic) if fission != Fission::Off => match plan::compile(&flat) {
             Ok(plan) => {
-                let (f, _, s, w) = apply_fission(flat, plan, fission, threads.unwrap_or(1));
+                let (f, _, s, w) = apply_fission(flat, plan, fission, threads.unwrap_or(1), probe);
                 (f, None, s, w)
             }
             Err(_) => (flat, None, 1, 1),
         },
         (None, _) => (flat, None, 1, 1),
     };
+    if P::ENABLED {
+        // Name the nodes of the graph that actually executes (including
+        // fission duplicates) and record the cost model's per-firing
+        // predictions, so the metrics report can show measured-vs-
+        // predicted per node.
+        let model = streamlin_core::cost::CostModel::default();
+        for (i, node) in flat.nodes.iter().enumerate() {
+            probe.node_name(i, &node.name);
+            probe.node_cost(i, crate::partition::firing_cost(node, &model));
+        }
+        match &compiled {
+            Some(p) => probe.note("schedule", &p.summary()),
+            None => probe.note("schedule", "data-driven (no static plan)"),
+        }
+    }
     let mut prof = match (compiled, threads) {
         (Some(plan), Some(threads)) => {
+            let t0 = probe.now();
             let part = crate::partition::partition(
                 &flat,
                 &plan,
                 threads,
                 &streamlin_core::cost::CostModel::default(),
             );
+            if P::ENABLED {
+                probe.phase("partition", t0);
+                probe.note("pipeline", &part.summary());
+            }
             let start = Instant::now();
-            let out = crate::parallel::run_pipeline::<T>(flat, &plan, &part, outputs, scale)?;
+            let out = crate::parallel::run_pipeline_probed::<T, P>(
+                flat, &plan, &part, outputs, scale, probe,
+            )?;
             Profile {
                 wall: start.elapsed(),
                 outputs: out.printed,
@@ -366,9 +495,12 @@ fn profile_with<T: Tally + Default + Send + 'static>(
             }
         }
         (Some(plan), None) => {
+            if P::ENABLED {
+                probe.lane_name(1, "engine");
+            }
             let mut engine = PlanEngine::<T>::new(flat, plan);
             let start = Instant::now();
-            engine.run_until_outputs(outputs)?;
+            engine.run_probed(outputs, probe)?;
             Profile {
                 wall: start.elapsed(),
                 outputs: engine.printed().to_vec(),
@@ -381,9 +513,12 @@ fn profile_with<T: Tally + Default + Send + 'static>(
             }
         }
         (None, _) => {
+            if P::ENABLED {
+                probe.lane_name(1, "engine (dynamic)");
+            }
             let mut engine = Engine::<T>::new(flat);
             let start = Instant::now();
-            engine.run_until_outputs(outputs)?;
+            engine.run_probed(outputs, probe)?;
             Profile {
                 wall: start.elapsed(),
                 outputs: engine.printed().to_vec(),

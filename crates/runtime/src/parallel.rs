@@ -34,7 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
-use streamlin_support::{OpCounter, Tally};
+use streamlin_support::{NoProbe, OpCounter, Probe, StallKind, Tally};
 
 use crate::engine::RunError;
 use crate::flat::{FlatGraph, FlatNode, NodeKind};
@@ -89,6 +89,8 @@ fn peer_failure() -> RunError {
 struct LocalStep {
     /// Node index *within the stage's local node vector*.
     node: usize,
+    /// Node index in the *global* flat graph (telemetry span naming).
+    gnode: usize,
     /// Consecutive firings (verbatim from the plan — batch sizes must not
     /// change, or blocked linear multiplies would accumulate differently).
     times: u32,
@@ -114,16 +116,20 @@ struct Report {
 }
 
 /// Final per-worker results, returned through the join handle.
-struct StageResult {
+struct StageResult<P: Probe> {
     stage: usize,
     printed: Vec<f64>,
     ops: OpCounter,
     firings: u64,
+    /// The worker's forked telemetry probe, absorbed by the coordinator.
+    probe: P,
 }
 
 /// A stage's executable state, moved onto its (pooled) worker thread.
-struct StageWorker<T: Tally> {
+struct StageWorker<T: Tally, P: Probe> {
     stage: usize,
+    /// Forked telemetry probe; lane `stage + 1` (lane 0 = coordinator).
+    probe: P,
     nodes: Vec<FlatNode>,
     /// Rate signatures, indexed like `nodes`.
     rates: Vec<Rates>,
@@ -155,13 +161,18 @@ fn backoff(spins: &mut u32, solo: bool) {
     *spins = spins.saturating_add(1);
 }
 
-impl<T: Tally> StageWorker<T> {
+impl<T: Tally, P: Probe> StageWorker<T, P> {
     fn poison_check(&self) -> Result<(), RunError> {
         if self.poisoned.load(Ordering::Relaxed) {
             Err(peer_failure())
         } else {
             Ok(())
         }
+    }
+
+    /// Telemetry lane of this worker (lane 0 is the coordinator).
+    fn lane(&self) -> u32 {
+        self.stage as u32 + 1
     }
 
     /// Moves available items of a boundary-in channel from the SPSC ring
@@ -184,17 +195,32 @@ impl<T: Tally> StageWorker<T> {
     fn flush(&mut self, chan: usize) -> Result<(), RunError> {
         let mut remaining = self.state.rings.len(chan);
         let mut spins = 0u32;
+        // Stall accounting starts lazily at the first full retry, so the
+        // happy path (consumer keeping up) records nothing but a sample.
+        let mut stall_t0 = 0u64;
         while remaining > 0 {
             let shared = &self.shared;
             let window = self.state.rings.window(chan, remaining);
             let pushed = shared.produce(chan, window);
             if pushed == 0 {
+                if P::ENABLED && stall_t0 == 0 {
+                    stall_t0 = self.probe.now();
+                    self.probe.ring_stall(chan, true);
+                }
                 self.poison_check()?;
                 backoff(&mut spins, self.solo);
             } else {
                 self.state.rings.consume(chan, pushed);
                 remaining -= pushed;
             }
+        }
+        if P::ENABLED {
+            let lane = self.lane();
+            if stall_t0 != 0 {
+                self.probe.stall(lane, StallKind::SendFull, stall_t0);
+            }
+            let ts = self.probe.now();
+            self.probe.ring_depth(chan, self.shared.occupancy(chan), ts);
         }
         Ok(())
     }
@@ -204,19 +230,33 @@ impl<T: Tally> StageWorker<T> {
         for &(slot, chan) in &step.recv {
             let need = batch_need(&self.rates[step.node], first, step.times as u64, slot) as usize;
             let mut spins = 0u32;
+            let mut stall_t0 = 0u64;
             while self.state.rings.len(chan) < need {
                 if self.drain(chan) == 0 {
+                    if P::ENABLED && stall_t0 == 0 {
+                        stall_t0 = self.probe.now();
+                        self.probe.ring_stall(chan, false);
+                    }
                     self.poison_check()?;
                     backoff(&mut spins, self.solo);
                 }
             }
+            if P::ENABLED && stall_t0 != 0 {
+                let lane = self.lane();
+                self.probe.stall(lane, StallKind::RecvEmpty, stall_t0);
+            }
         }
+        let t0 = self.probe.now();
         exec_batch(
             &mut self.nodes[step.node],
             step.times,
             &mut self.state,
             usize::MAX,
         )?;
+        if P::ENABLED {
+            let lane = self.lane();
+            self.probe.batch(lane, step.gnode, step.times, t0);
+        }
         self.fresh[step.node] = false;
         for &chan in &step.send {
             self.flush(chan)?;
@@ -255,13 +295,21 @@ impl<T: Tally> StageWorker<T> {
 }
 
 /// The worker thread body: serve `Run` rounds until `Finish`.
-fn worker_main<T: Tally>(
-    mut w: StageWorker<T>,
+fn worker_main<T: Tally, P: Probe>(
+    mut w: StageWorker<T, P>,
     rx: Receiver<Cmd>,
     tx: Sender<Report>,
-) -> StageResult {
+) -> StageResult<P> {
     let mut failed = false;
-    while let Ok(cmd) = rx.recv() {
+    loop {
+        // Time between rounds is the worker sitting idle, waiting for the
+        // coordinator's next target.
+        let idle_t0 = w.probe.now();
+        let Ok(cmd) = rx.recv() else { break };
+        if P::ENABLED {
+            let lane = w.lane();
+            w.probe.stall(lane, StallKind::Idle, idle_t0);
+        }
         match cmd {
             Cmd::Run(target) => {
                 let err = if failed {
@@ -296,6 +344,7 @@ fn worker_main<T: Tally>(
         printed: std::mem::take(&mut w.state.printed),
         ops: w.state.ops.counts(),
         firings: w.state.firings,
+        probe: w.probe,
     }
 }
 
@@ -323,6 +372,34 @@ pub fn run_pipeline<T: Tally + Default + Send>(
     part: &Partition,
     outputs: usize,
     scale: u64,
+) -> Result<PipelineOutcome, RunError> {
+    run_pipeline_probed::<T, NoProbe>(flat, plan, part, outputs, scale, &mut NoProbe)
+}
+
+/// [`run_pipeline`] with a telemetry [`Probe`]: each stage worker records
+/// into a [`Probe::fork`]ed probe on its own lane (stage *k* → lane
+/// *k* + 1; lane 0 is the coordinator), absorbed back when the run
+/// finishes. Recorded per stage: firing-batch spans and busy time,
+/// empty-input and full-output stall time, between-round idle; per
+/// boundary ring: occupancy samples with high-water marks and full/empty
+/// stall counts; on the coordinator: quantum-wait spans and a pool
+/// acquisition note. Monomorphized over [`NoProbe`] this is exactly the
+/// uninstrumented executor.
+///
+/// # Errors
+///
+/// As [`run_pipeline`].
+///
+/// # Panics
+///
+/// As [`run_pipeline`].
+pub fn run_pipeline_probed<T: Tally + Default + Send, P: Probe + Send + 'static>(
+    flat: FlatGraph,
+    plan: &ExecPlan,
+    part: &Partition,
+    outputs: usize,
+    scale: u64,
+    probe: &mut P,
 ) -> Result<PipelineOutcome, RunError> {
     assert!(
         scale >= 1 && CYCLE_QUANTUM.is_multiple_of(scale),
@@ -415,6 +492,7 @@ pub fn run_pipeline<T: Tally + Default + Send>(
                 .collect();
             per_stage[s].push(LocalStep {
                 node: local_idx[step.node],
+                gnode: step.node,
                 times: step.times,
                 recv,
                 send,
@@ -429,12 +507,34 @@ pub fn run_pipeline<T: Tally + Default + Send>(
     let poisoned = Arc::new(AtomicBool::new(false));
     let solo = std::thread::available_parallelism().is_ok_and(|n| n.get() == 1);
     let (report_tx, report_rx) = channel::<Report>();
-    let (result_tx, result_rx) = channel::<StageResult>();
+    let (result_tx, result_rx) = channel::<StageResult<P>>();
 
     // Stage workers come from the persistent process-wide pool (acquired
     // atomically so concurrent runs never starve each other) instead of
     // being spawned per run — repeated profiling runs reuse the threads.
+    let spawned_before = if P::ENABLED {
+        pool::global_spawned()
+    } else {
+        0
+    };
     let threads = pool::acquire_global(num_stages);
+    if P::ENABLED {
+        probe.lane_name(0, "coordinator");
+        for b in &part.boundaries {
+            probe.ring_cap(b.chan, b.capacity);
+        }
+        let fresh = pool::global_spawned() - spawned_before;
+        probe.note(
+            "pool",
+            &format!(
+                "acquired {num_stages} workers ({} reused, {fresh} newly spawned; \
+                 {} spawned process-wide, {} left idle)",
+                num_stages - fresh,
+                pool::global_spawned(),
+                pool::global_idle()
+            ),
+        );
+    }
     let mut cmd_txs = Vec::with_capacity(num_stages);
     for stage in (0..num_stages).rev() {
         // Built in reverse so `pop()` hands each worker its own data.
@@ -450,10 +550,16 @@ pub fn run_pipeline<T: Tally + Default + Send>(
         let result_tx = result_tx.clone();
         let shared = Arc::clone(&shared);
         let poisoned = Arc::clone(&poisoned);
+        let lane = stage as u32 + 1;
+        if P::ENABLED {
+            probe.lane_name(lane, &format!("stage {stage}"));
+        }
+        let wprobe = probe.fork(lane);
         threads[stage].run(Box::new(move || {
             let fresh = vec![true; nodes.len()];
             let worker = StageWorker {
                 stage,
+                probe: wprobe,
                 rates: srates,
                 fresh,
                 init_steps,
@@ -514,6 +620,7 @@ pub fn run_pipeline<T: Tally + Default + Send>(
             }
         }
         let before = printed;
+        let wait_t0 = probe.now();
         for _ in 0..num_stages {
             match report_rx.recv() {
                 Ok(rep) => {
@@ -535,6 +642,9 @@ pub fn run_pipeline<T: Tally + Default + Send>(
                 }
             }
         }
+        if P::ENABLED {
+            probe.stall(0, StallKind::Quantum, wait_t0);
+        }
         if printed > before {
             progress_at = target;
         } else if target - progress_at >= MAX_SILENT_CYCLES / scale && round_err.is_none() {
@@ -550,7 +660,7 @@ pub fn run_pipeline<T: Tally + Default + Send>(
     for tx in &cmd_txs {
         let _ = tx.send(Cmd::Finish);
     }
-    let mut results: Vec<StageResult> = Vec::with_capacity(num_stages);
+    let mut results: Vec<StageResult<P>> = Vec::with_capacity(num_stages);
     for _ in 0..num_stages {
         match result_rx.recv() {
             Ok(r) => results.push(r),
@@ -584,6 +694,7 @@ pub fn run_pipeline<T: Tally + Default + Send>(
         outcome.printed.extend(r.printed);
         outcome.ops.merge(&r.ops);
         outcome.firings += r.firings;
+        probe.absorb(r.probe);
     }
     Ok(outcome)
 }

@@ -70,6 +70,11 @@ impl PipelinePool {
         self.spawned
     }
 
+    /// Workers currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.idle.len()
+    }
+
     /// Takes `n` workers out of the pool, spawning the shortfall.
     pub(crate) fn acquire(&mut self, n: usize) -> Vec<PoolThread> {
         let mut taken = Vec::with_capacity(n);
@@ -137,4 +142,10 @@ pub(crate) fn release_global(threads: Vec<PoolThread>) {
 /// across back-to-back runs of the same shape.
 pub fn global_spawned() -> usize {
     global().lock().expect("pipeline pool poisoned").spawned()
+}
+
+/// Workers currently parked in the process-wide pool (telemetry: how much
+/// of an acquisition was served from the pool vs freshly spawned).
+pub fn global_idle() -> usize {
+    global().lock().expect("pipeline pool poisoned").idle()
 }

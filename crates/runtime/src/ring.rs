@@ -252,6 +252,21 @@ impl SharedRings {
         self.chans[chan].cap
     }
 
+    /// Items currently in flight on one channel (telemetry sampling).
+    ///
+    /// The head/tail counters are monotonic, so `tail - head` is exact at
+    /// some instant between the two loads; either endpoint may race one
+    /// produce/consume, which is fine for occupancy *sampling* (high-water
+    /// marks, trace counters) and must not be used for flow control —
+    /// `produce`/`consume` re-read their own counters with the proper
+    /// ordering.
+    pub fn occupancy(&self, chan: usize) -> usize {
+        let c = &self.chans[chan];
+        let head = c.head.0.load(Ordering::Acquire);
+        let tail = c.tail.0.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
     /// Raw base pointer of one channel's ring. `UnsafeCell<f64>` has the
     /// same in-memory representation as `f64`, so element pointers may be
     /// used as `*mut f64`/`*const f64` directly.

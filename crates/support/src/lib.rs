@@ -12,6 +12,14 @@
 //!   are tallied at the exact point they happen; instantiated with
 //!   [`flops::NoCount`] the same kernels monomorphize to bare, vectorizable
 //!   arithmetic with bit-identical results.
+//! * [`probe`] — runtime telemetry on the same zero-cost pattern: engines
+//!   are generic over [`probe::Probe`]; [`probe::NoProbe`] monomorphizes
+//!   every record site away (bit-identical outputs, no clocks), while
+//!   [`probe::Recorder`] captures compile-phase spans, per-stage
+//!   busy/stall time, ring occupancy and per-node firing costs, and
+//!   exports a Chrome trace-event JSON timeline.
+//! * [`json`] — a minimal JSON reader for validating the hand-written
+//!   artifacts (traces, bench files) without a serialization dependency.
 //! * [`ratio`] — exact rational arithmetic used by the steady-state scheduler.
 //! * [`num`] — gcd/lcm, powers of two and approximate float comparison.
 //!
@@ -29,8 +37,11 @@
 //! ```
 
 pub mod flops;
+pub mod json;
 pub mod num;
+pub mod probe;
 pub mod ratio;
 
 pub use flops::{CountOps, NoCount, OpCounter, Tally};
+pub use probe::{NoProbe, Probe, Recorder, StallKind};
 pub use ratio::Ratio;

@@ -13,10 +13,14 @@
 //! $ streamlinc program.str --threads 4 --fission auto   # split the bottleneck
 //! $ streamlinc program.str --fission 2            # force a fission width
 //! $ streamlinc program.str --emit-graph           # print the structures
+//! $ streamlinc program.str --metrics              # telemetry summary table
+//! $ streamlinc program.str --trace-out t.json     # Chrome trace-event file
 //! $ streamlinc program.str --quiet                # program output only
 //! ```
 
 use std::process::ExitCode;
+
+use streamlin::support::{Probe, Recorder};
 
 use streamlin::core::combine::{analyze_graph, replace, ReplaceOptions, ReplaceTarget};
 use streamlin::core::cost::CostModel;
@@ -38,10 +42,22 @@ struct Args {
     fission: streamlin::runtime::fission::Fission,
     outputs: usize,
     emit_graph: bool,
+    /// Print the telemetry summary (where time went: phases, stages,
+    /// rings, nodes) after the run.
+    metrics: bool,
+    /// Write a Chrome trace-event JSON timeline of the run here.
+    trace_out: Option<String>,
     quiet: bool,
 }
 
 impl Args {
+    /// Whether the run needs an instrumented (Recorder) profile: any of
+    /// the telemetry outputs, or `--emit-graph` (whose decision dump is
+    /// sourced from the recorder's notes).
+    fn instrumented(&self) -> bool {
+        self.metrics || self.trace_out.is_some() || self.emit_graph
+    }
+
     /// The matrix-multiply strategy to execute with: an explicit
     /// `--matmul` wins; otherwise `fast` mode selects the vectorized
     /// dense kernel and `measured` mode the paper's unrolled one.
@@ -55,7 +71,8 @@ fn usage() -> ! {
         "usage: streamlinc <program.str> [--config baseline|linear|freq|redund|autosel]\n\
          \x20                [--sched auto|static|dynamic] [--mode measured|fast]\n\
          \x20                [--matmul unrolled|diagonal|blocked|simd] [--threads <n>]\n\
-         \x20                [--fission auto|off|<w>] [-n <outputs>] [--emit-graph] [--quiet]"
+         \x20                [--fission auto|off|<w>] [-n <outputs>] [--emit-graph]\n\
+         \x20                [--metrics] [--trace-out <file>] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -71,6 +88,8 @@ fn parse_args() -> Args {
         fission: streamlin::runtime::fission::Fission::Off,
         outputs: 1000,
         emit_graph: false,
+        metrics: false,
+        trace_out: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -128,6 +147,8 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--emit-graph" => args.emit_graph = true,
+            "--metrics" => args.metrics = true,
+            "--trace-out" => args.trace_out = Some(it.next().unwrap_or_else(|| usage())),
             "--quiet" => args.quiet = true,
             "-h" | "--help" => usage(),
             other if args.path.is_empty() && !other.starts_with('-') => {
@@ -156,8 +177,20 @@ fn main() -> ExitCode {
 fn run(args: &Args) -> Result<(), String> {
     let source = std::fs::read_to_string(&args.path)
         .map_err(|e| format!("cannot read {}: {e}", args.path))?;
+    // The recorder's creation instant is the trace epoch, so it exists
+    // before the first compile phase; uninstrumented runs never build one
+    // and execute the NoProbe-monomorphized engines.
+    let mut rec = args.instrumented().then(Recorder::new);
+    let t0 = rec.as_ref().map_or(0, |r| r.now());
     let program = parse(&source).map_err(|e| e.to_string())?;
+    if let Some(r) = rec.as_mut() {
+        r.phase("parse", t0);
+    }
+    let t0 = rec.as_ref().map_or(0, |r| r.now());
     let graph = elaborate(&program).map_err(|e| e.to_string())?;
+    if let Some(r) = rec.as_mut() {
+        r.phase("elaborate", t0);
+    }
     let analysis = analyze_graph(&graph);
 
     if !args.quiet {
@@ -169,6 +202,7 @@ fn run(args: &Args) -> Result<(), String> {
         );
     }
 
+    let t0 = rec.as_ref().map_or(0, |r| r.now());
     let opt = match args.config.as_str() {
         "baseline" => replace(&graph, &analysis, &ReplaceOptions::per_filter()),
         "linear" => replace(&graph, &analysis, &ReplaceOptions::maximal_linear()),
@@ -193,93 +227,72 @@ fn run(args: &Args) -> Result<(), String> {
         }
         other => return Err(format!("unknown config `{other}`")),
     };
-
-    if args.emit_graph {
-        use streamlin::runtime::fission::{fiss_bottleneck, Fission};
-        eprintln!("structure: {}", opt.describe());
-        if args.sched == Scheduler::Dynamic {
-            eprintln!("schedule: data-driven (dynamic scheduler requested)");
-        } else {
-            let planned = streamlin::runtime::flat::flatten(&opt, args.strategy())
-                .map_err(|e| e.to_string())
-                .and_then(|f| {
-                    streamlin::runtime::plan::compile(&f)
-                        .map(|plan| (f, plan))
-                        .map_err(|e| e.to_string())
-                });
-            match planned {
-                Ok((flat, plan)) => {
-                    // Show the fission decision, and describe the graph
-                    // that will actually execute (the fissed one when the
-                    // pass fires).
-                    let threads = args.threads.unwrap_or(1);
-                    let fissed = if args.fission == Fission::Off {
-                        eprintln!("fission: off");
-                        None
-                    } else {
-                        match fiss_bottleneck(
-                            &flat,
-                            &plan,
-                            args.fission,
-                            threads,
-                            &CostModel::default(),
-                        ) {
-                            // Report engagement only once the fissed plan
-                            // actually compiles — the profiler falls back
-                            // whole when it exceeds plan bounds, and the
-                            // diagnostic must describe the run that
-                            // happens.
-                            Ok((f2, info)) => match streamlin::runtime::plan::compile(&f2) {
-                                Ok(p2) => {
-                                    eprintln!("fission: {}", info.summary());
-                                    Some((f2, p2))
-                                }
-                                Err(e) => {
-                                    eprintln!(
-                                        "fission: none ({} planned, but its schedule failed: {e})",
-                                        info.summary()
-                                    );
-                                    None
-                                }
-                            },
-                            Err(reason) => {
-                                eprintln!("fission: none ({reason})");
-                                None
-                            }
-                        }
-                    };
-                    let (flat, plan) = fissed.unwrap_or((flat, plan));
-                    eprintln!("schedule: {}", plan.summary());
-                    if args.threads.is_some() {
-                        let part = streamlin::runtime::partition::partition(
-                            &flat,
-                            &plan,
-                            threads,
-                            &CostModel::default(),
-                        );
-                        eprintln!("pipeline: {}", part.summary());
-                    }
-                }
-                Err(e) => eprintln!("schedule: dynamic fallback ({e})"),
-            }
-        }
+    if let Some(r) = rec.as_mut() {
+        r.phase("select", t0);
     }
 
-    let prof = match (args.threads, args.fission) {
-        (None, streamlin::runtime::fission::Fission::Off) => {
-            profile_mode(&opt, args.outputs, args.strategy(), args.sched, args.mode)
-        }
-        (threads, fission) => streamlin::runtime::measure::profile_fission(
+    if args.emit_graph {
+        eprintln!("structure: {}", opt.describe());
+    }
+
+    // `--threads`/`--fission` select the pipeline executor (a lone
+    // `--fission` runs it with a 1-stage budget, matching the fission
+    // pass's threads argument); otherwise the classic engines run.
+    let pipeline_threads = match (args.threads, args.fission) {
+        (None, streamlin::runtime::fission::Fission::Off) => None,
+        (threads, _) => Some(threads.unwrap_or(1)),
+    };
+    let prof = match rec.as_mut() {
+        Some(r) => streamlin::runtime::measure::profile_recorded(
             &opt,
             args.outputs,
             args.strategy(),
             args.sched,
             args.mode,
-            threads.unwrap_or(1),
-            fission,
+            pipeline_threads,
+            args.fission,
+            r,
         ),
+        None => match pipeline_threads {
+            None => profile_mode(&opt, args.outputs, args.strategy(), args.sched, args.mode),
+            Some(threads) => streamlin::runtime::measure::profile_fission(
+                &opt,
+                args.outputs,
+                args.strategy(),
+                args.sched,
+                args.mode,
+                threads,
+                args.fission,
+            ),
+        },
     }
     .map_err(|e| e.to_string())?;
+
+    if args.emit_graph {
+        // The decision dump: fission engagement/refusal, schedule shape,
+        // partition and pool — straight from the telemetry notes the
+        // profiler recorded, so the text dump and the exported trace
+        // describe the same run.
+        for (key, text) in &rec.as_ref().expect("emit-graph runs instrumented").notes {
+            eprintln!("{key}: {text}");
+        }
+    }
+    if args.metrics {
+        eprint!(
+            "{}",
+            rec.as_ref().expect("--metrics runs instrumented").summary()
+        );
+    }
+    if let Some(path) = &args.trace_out {
+        let trace = rec
+            .as_ref()
+            .expect("--trace-out runs instrumented")
+            .chrome_trace();
+        std::fs::write(path, trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            eprintln!("trace written to {path}");
+        }
+    }
     if args.quiet {
         for v in &prof.outputs {
             println!("{v}");

@@ -1,0 +1,46 @@
+//! `trace_check` — validates a Chrome trace-event JSON file.
+//!
+//! Trace viewers (`chrome://tracing`, Perfetto) fail *silently* on
+//! malformed input, so CI runs this on a fresh `streamlinc --trace-out`
+//! artifact to catch exporter regressions:
+//!
+//! ```console
+//! $ streamlinc assets/fir.str --trace-out trace.json --quiet > /dev/null
+//! $ trace_check trace.json
+//! trace.json: 1234 events (980 spans over 5 lanes, 200 counters, 5 named lanes)
+//! ```
+//!
+//! Exits 0 when the file parses and satisfies the shape the viewers
+//! require (see [`streamlin::runtime::telemetry::validate_trace`]),
+//! 1 with the first violation otherwise.
+
+use std::process::ExitCode;
+
+use streamlin::runtime::telemetry::validate_trace;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check <trace.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_trace(&text) {
+        Ok(shape) => {
+            println!(
+                "{path}: {} events ({} spans over {} lanes, {} counters, {} named lanes)",
+                shape.events, shape.spans, shape.lanes, shape.counters, shape.named_lanes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("trace_check: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -23,7 +23,10 @@ use std::time::Duration;
 use streamlin_bench::{configure, Config};
 use streamlin_benchmarks::Benchmark;
 use streamlin_runtime::fission::Fission;
-use streamlin_runtime::measure::{profile_fission, profile_mode, ExecMode, Scheduler};
+use streamlin_runtime::measure::{
+    profile_fission, profile_mode, profile_recorded, ExecMode, Scheduler,
+};
+use streamlin_support::Recorder;
 
 /// Minimum accumulated run time per row before the best sample counts.
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
@@ -43,6 +46,41 @@ struct Row {
     fission: usize,
     outputs: usize,
     items_per_sec: f64,
+    /// Fraction (%) of worker time lost to ring contention (recv-empty +
+    /// send-full waits) in one Recorder-instrumented run of the same
+    /// configuration. The timed samples above stay NoProbe-monomorphized;
+    /// this extra run only feeds the telemetry columns.
+    stall_pct: f64,
+    /// Lowering time (flatten + plan + fission + partition phases) of the
+    /// instrumented run, in milliseconds.
+    compile_ms: f64,
+}
+
+/// The dedup identity of a row: everything that names the configuration
+/// that *ran*. Requested thread counts {2, 4} can both downgrade to the
+/// same actual stage count on small graphs, and the JSON must not carry
+/// two rows with identical keys (consumers diffing trajectories would
+/// double-count them).
+fn key(
+    r: &Row,
+) -> (
+    String,
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+    usize,
+    usize,
+) {
+    (
+        r.benchmark.clone(),
+        r.config,
+        r.sched,
+        r.mode,
+        r.strategy,
+        r.threads,
+        r.fission,
+    )
 }
 
 /// Best observed throughput (outputs/sec of engine run time) for one
@@ -93,6 +131,28 @@ fn measure(
             break;
         }
     }
+    // One extra instrumented run for the telemetry columns. The timed
+    // samples above ran NoProbe; the recorder's own overhead therefore
+    // never touches `items_per_sec`.
+    let mut rec = Recorder::new();
+    let pipeline_threads = if threads > 1 || fission != Fission::Off {
+        Some(threads)
+    } else {
+        None
+    };
+    let (stall_pct, compile_ms) = match profile_recorded(
+        &opt,
+        outputs,
+        strategy,
+        Scheduler::Auto,
+        mode,
+        pipeline_threads,
+        fission,
+        &mut rec,
+    ) {
+        Ok(_) => (rec.stall_fraction() * 100.0, rec.compile_ns() as f64 / 1e6),
+        Err(_) => (0.0, 0.0),
+    };
     Row {
         benchmark: bench.name().to_string(),
         config: config.label(),
@@ -106,6 +166,8 @@ fn measure(
         fission: fission_ran,
         outputs,
         items_per_sec: best,
+        stall_pct,
+        compile_ms,
     }
 }
 
@@ -264,22 +326,52 @@ fn main() {
         }
     }
 
+    // Dedupe by the full row identity, keeping the best sample. Requested
+    // thread counts {2, 4} can both downgrade to the same actual stage
+    // count (small graphs, printer pinning) and would otherwise emit
+    // duplicate keys — v3 files carried those.
+    let mut deduped: Vec<Row> = Vec::new();
+    let mut dropped = 0usize;
+    for r in rows {
+        match deduped.iter_mut().find(|d| key(d) == key(&r)) {
+            Some(d) => {
+                dropped += 1;
+                if r.items_per_sec > d.items_per_sec {
+                    *d = r;
+                }
+            }
+            None => deduped.push(r),
+        }
+    }
+    let rows = deduped;
+    if dropped > 0 {
+        eprintln!("deduped {dropped} row(s) whose requested thread/fission counts ran identically");
+    }
+
     // Thread rows only mean speedup where the host has cores to run them:
-    // on a single-core host they measure pure pipeline-protocol overhead.
+    // on a single-core host they measure pure pipeline-protocol overhead —
+    // such rows are stamped `"degraded": true` so trajectory consumers can
+    // exclude them instead of reading protocol overhead as a regression.
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"streamlin-bench-json/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"streamlin-bench-json/v4\",");
     let _ = writeln!(json, "  \"label\": \"{label}\",");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let degraded = if host_cpus == 1 && (r.threads > 1 || r.fission > 1) {
+            ", \"degraded\": true"
+        } else {
+            ""
+        };
         let _ = writeln!(
             json,
             "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"sched\": \"{}\", \
              \"mode\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \
-             \"fission\": {}, \"outputs\": {}, \"items_per_sec\": {:.1}}}{}",
+             \"fission\": {}, \"outputs\": {}, \"items_per_sec\": {:.1}, \
+             \"stall_pct\": {:.1}, \"compile_ms\": {:.3}{}}}{}",
             r.benchmark,
             r.config,
             r.sched,
@@ -289,6 +381,9 @@ fn main() {
             r.fission,
             r.outputs,
             r.items_per_sec,
+            r.stall_pct,
+            r.compile_ms,
+            degraded,
             comma
         );
     }
