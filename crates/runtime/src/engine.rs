@@ -22,6 +22,30 @@ pub enum RunError {
     RateViolation(String),
     /// A work function failed to evaluate.
     Eval(String),
+    /// The supervisor's watchdog tripped: the pipeline made no progress
+    /// for the configured deadline and was torn down.
+    Stalled {
+        /// The watchdog's diagnosis (progress counters, pending stages,
+        /// boundary-ring occupancy, suspected wedged stage).
+        detail: String,
+    },
+    /// A pipeline stage worker panicked, its pool thread died, or the
+    /// worker pool could not supply threads for the run.
+    WorkerLost {
+        /// What was lost and where.
+        detail: String,
+    },
+}
+
+impl RunError {
+    /// Whether a failed parallel run may be transparently replayed on the
+    /// single-threaded static plan: true for infrastructure failures
+    /// (lost workers, watchdog trips), false for program errors (rate
+    /// violations, evaluation errors, program deadlocks), which would
+    /// fail identically under any executor.
+    pub fn is_degradable(&self) -> bool {
+        matches!(self, RunError::Stalled { .. } | RunError::WorkerLost { .. })
+    }
 }
 
 impl std::fmt::Display for RunError {
@@ -30,6 +54,8 @@ impl std::fmt::Display for RunError {
             RunError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
             RunError::RateViolation(m) => write!(f, "rate violation: {m}"),
             RunError::Eval(m) => write!(f, "evaluation error: {m}"),
+            RunError::Stalled { detail } => write!(f, "stalled: {detail}"),
+            RunError::WorkerLost { detail } => write!(f, "worker lost: {detail}"),
         }
     }
 }

@@ -92,6 +92,7 @@
 use streamlin_core::cost::CostModel;
 use streamlin_core::frequency::{FreqExec, FreqStrategy};
 use streamlin_graph::lower::{RExpr, RLValue, RStmt, Slot};
+use streamlin_support::FaultPlan;
 
 use crate::flat::{FlatGraph, FlatNode, InterpState, NodeKind};
 use crate::linear_exec::LinearExec;
@@ -471,19 +472,31 @@ fn choose_width(requested: usize, q: u64) -> Option<(usize, u64)> {
 /// graph. Returns the rewritten graph (recompile its plan before
 /// executing) and a description of the decision.
 ///
+/// Generic over a [`FaultPlan`] so the supervisor's fault matrix can
+/// exercise the "fission refused" path deterministically: an armed plan
+/// with a `nofission` directive aborts the pass up front (the graph then
+/// runs unfissed, exactly like any organic refusal). Production callers
+/// pass [`streamlin_support::NoFault`] and the check compiles away.
+///
 /// # Errors
 ///
 /// Returns the reason no fission was applied: the mode is off, the
 /// dominant node is not duplicable ([`fissability`]), no feasible width
 /// exists, or (in [`Fission::Auto`]) the cost model says splitting would
 /// not help the requested thread count.
-pub fn fiss_bottleneck(
+pub fn fiss_bottleneck<F: FaultPlan>(
     flat: &FlatGraph,
     plan: &ExecPlan,
     mode: Fission,
     threads: usize,
     model: &CostModel,
+    fault: &F,
 ) -> Result<(FlatGraph, FissionInfo), String> {
+    if F::ARMED {
+        if let Some(reason) = fault.fission_abort() {
+            return Err(reason);
+        }
+    }
     let requested = match mode {
         Fission::Off => return Err("fission off".into()),
         Fission::Width(w) if w <= 1 => return Err("fission width 1 is a no-op".into()),
@@ -776,8 +789,15 @@ mod tests {
              float->void filter K { work pop 1 { println(pop()); } }",
         );
         let plan = compile(&flat).unwrap();
-        let (fissed, info) =
-            fiss_bottleneck(&flat, &plan, Fission::Width(2), 2, &CostModel::default()).unwrap();
+        let (fissed, info) = fiss_bottleneck(
+            &flat,
+            &plan,
+            Fission::Width(2),
+            2,
+            &CostModel::default(),
+            &streamlin_support::NoFault,
+        )
+        .unwrap();
         assert_eq!(info.width, 2);
         assert_eq!(
             fissed

@@ -107,10 +107,10 @@ pub use engine::{Engine, RunError};
 pub use fission::{fiss_bottleneck, fissability, Fission, FissionInfo};
 pub use linear_exec::MatMulStrategy;
 pub use measure::{
-    profile, profile_fission, profile_mode, profile_recorded, profile_sched, profile_threads,
-    ExecMode, Profile, Scheduler,
+    profile, profile_fission, profile_mode, profile_recorded, profile_sched, profile_supervised,
+    profile_threads, ExecMode, Profile, Scheduler, Supervision,
 };
-pub use parallel::{run_pipeline, run_pipeline_probed, PipelineOutcome};
+pub use parallel::{run_pipeline, run_pipeline_probed, run_pipeline_supervised, PipelineOutcome};
 pub use partition::{partition, Partition};
 pub use plan::{ExecPlan, PlanEngine, PlanError};
 pub use telemetry::{validate_trace, TraceShape};

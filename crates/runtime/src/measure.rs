@@ -8,7 +8,9 @@
 use std::time::{Duration, Instant};
 
 use streamlin_core::opt::OptStream;
-use streamlin_support::{NoCount, NoProbe, OpCounter, Probe, Recorder, Tally};
+use streamlin_support::{
+    FaultPlan, InjectFaults, NoCount, NoFault, NoProbe, OpCounter, Probe, Recorder, Tally,
+};
 
 use crate::engine::{Engine, RunError};
 use crate::fission::{self, Fission};
@@ -104,6 +106,14 @@ pub struct Profile {
     /// Data-parallel fission width that was applied to the dominant node
     /// (1 = the graph ran unfissed; see [`crate::fission`]).
     pub fission: usize,
+    /// `Some(reason)` when the supervised pipeline run failed with a
+    /// degradable error ([`RunError::is_degradable`]) and the results
+    /// came from the graceful single-threaded replay instead; `None` for
+    /// a run that completed on its intended executor. The outputs of a
+    /// degraded run are bit-identical to the undegraded ones — the replay
+    /// runs the canonical static plan, which every executor is pinned
+    /// against.
+    pub degraded: Option<String>,
 }
 
 impl Profile {
@@ -214,7 +224,7 @@ pub fn profile_mode(
     mode: ExecMode,
 ) -> Result<Profile, ProfileError> {
     match mode {
-        ExecMode::Measured => profile_with::<OpCounter, NoProbe>(
+        ExecMode::Measured => profile_with::<OpCounter, NoProbe, NoFault>(
             opt,
             outputs,
             strategy,
@@ -222,9 +232,11 @@ pub fn profile_mode(
             mode,
             None,
             Fission::Off,
+            NoFault,
+            &Supervision::disabled(),
             &mut NoProbe,
         ),
-        ExecMode::Fast => profile_with::<NoCount, NoProbe>(
+        ExecMode::Fast => profile_with::<NoCount, NoProbe, NoFault>(
             opt,
             outputs,
             strategy,
@@ -232,6 +244,8 @@ pub fn profile_mode(
             mode,
             None,
             Fission::Off,
+            NoFault,
+            &Supervision::disabled(),
             &mut NoProbe,
         ),
     }
@@ -288,7 +302,7 @@ pub fn profile_fission(
     fission: Fission,
 ) -> Result<Profile, ProfileError> {
     match mode {
-        ExecMode::Measured => profile_with::<OpCounter, NoProbe>(
+        ExecMode::Measured => profile_with::<OpCounter, NoProbe, NoFault>(
             opt,
             outputs,
             strategy,
@@ -296,9 +310,11 @@ pub fn profile_fission(
             mode,
             Some(threads),
             fission,
+            NoFault,
+            &Supervision::disabled(),
             &mut NoProbe,
         ),
-        ExecMode::Fast => profile_with::<NoCount, NoProbe>(
+        ExecMode::Fast => profile_with::<NoCount, NoProbe, NoFault>(
             opt,
             outputs,
             strategy,
@@ -306,6 +322,8 @@ pub fn profile_fission(
             mode,
             Some(threads),
             fission,
+            NoFault,
+            &Supervision::disabled(),
             &mut NoProbe,
         ),
     }
@@ -339,11 +357,172 @@ pub fn profile_recorded(
     rec: &mut Recorder,
 ) -> Result<Profile, ProfileError> {
     match mode {
-        ExecMode::Measured => profile_with::<OpCounter, Recorder>(
-            opt, outputs, strategy, sched, mode, threads, fission, rec,
+        ExecMode::Measured => profile_with::<OpCounter, Recorder, NoFault>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            threads,
+            fission,
+            NoFault,
+            &Supervision::disabled(),
+            rec,
         ),
-        ExecMode::Fast => profile_with::<NoCount, Recorder>(
-            opt, outputs, strategy, sched, mode, threads, fission, rec,
+        ExecMode::Fast => profile_with::<NoCount, Recorder, NoFault>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            threads,
+            fission,
+            NoFault,
+            &Supervision::disabled(),
+            rec,
+        ),
+    }
+}
+
+/// Supervisor configuration for [`profile_supervised`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Supervision {
+    /// Wall-clock no-progress deadline for the pipeline watchdog. `None`
+    /// leaves the blocking coordinator in place (armed fault plans still
+    /// get a built-in deadline so injection can never hang a run).
+    pub watchdog: Option<Duration>,
+    /// When a supervised pipeline run fails with a *degradable* error
+    /// ([`RunError::is_degradable`]: a stall or a lost worker — never a
+    /// program error, which would just recur), re-execute on the
+    /// single-threaded static plan and report success with
+    /// [`Profile::degraded`] set.
+    pub fallback: bool,
+}
+
+impl Supervision {
+    /// No watchdog, no fallback: the exact behavior of the unsupervised
+    /// entry points.
+    pub const fn disabled() -> Self {
+        Supervision {
+            watchdog: None,
+            fallback: false,
+        }
+    }
+}
+
+/// The **supervised** profiler: [`profile_recorded`]'s execution matrix
+/// (tally × probe), extended with a fault-injection plan and a
+/// supervisor policy. This is the entry `streamlinc` routes every run
+/// through: with `fault: None` and `sup` disabled it monomorphizes to
+/// exactly the unsupervised profiler ([`NoFault`]'s injection sites and
+/// the supervision branches compile away).
+///
+/// An armed `fault` drives the deterministic injection sites threaded
+/// through the pipeline executor, the worker pool and the fission pass
+/// (see [`streamlin_support::fault`] for the spec grammar); `sup`
+/// controls the watchdog deadline and whether degradable failures are
+/// replayed on the single-threaded static plan. Fault sites live in the
+/// parallel executor — single-threaded runs (no static plan, or
+/// `threads: None`) execute unfaulted.
+///
+/// # Errors
+///
+/// As [`profile_sched`]; additionally surfaces
+/// [`RunError::Stalled`]/[`RunError::WorkerLost`] from the supervisor
+/// when fallback is off (or the fallback itself fails).
+#[allow(clippy::too_many_arguments)]
+pub fn profile_supervised(
+    opt: &OptStream,
+    outputs: usize,
+    strategy: MatMulStrategy,
+    sched: Scheduler,
+    mode: ExecMode,
+    threads: Option<usize>,
+    fission: Fission,
+    sup: &Supervision,
+    fault: Option<&InjectFaults>,
+    rec: Option<&mut Recorder>,
+) -> Result<Profile, ProfileError> {
+    // 2 tallies × 2 probes × 2 fault plans, monomorphized: the fork of
+    // an `InjectFaults` shares its refusal budget with the caller's copy.
+    match (mode, rec, fault) {
+        (ExecMode::Measured, Some(rec), Some(f)) => profile_with::<OpCounter, Recorder, _>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            threads,
+            fission,
+            f.fork(),
+            sup,
+            rec,
+        ),
+        (ExecMode::Measured, Some(rec), None) => profile_with::<OpCounter, Recorder, NoFault>(
+            opt, outputs, strategy, sched, mode, threads, fission, NoFault, sup, rec,
+        ),
+        (ExecMode::Measured, None, Some(f)) => profile_with::<OpCounter, NoProbe, _>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            threads,
+            fission,
+            f.fork(),
+            sup,
+            &mut NoProbe,
+        ),
+        (ExecMode::Measured, None, None) => profile_with::<OpCounter, NoProbe, NoFault>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            threads,
+            fission,
+            NoFault,
+            sup,
+            &mut NoProbe,
+        ),
+        (ExecMode::Fast, Some(rec), Some(f)) => profile_with::<NoCount, Recorder, _>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            threads,
+            fission,
+            f.fork(),
+            sup,
+            rec,
+        ),
+        (ExecMode::Fast, Some(rec), None) => profile_with::<NoCount, Recorder, NoFault>(
+            opt, outputs, strategy, sched, mode, threads, fission, NoFault, sup, rec,
+        ),
+        (ExecMode::Fast, None, Some(f)) => profile_with::<NoCount, NoProbe, _>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            threads,
+            fission,
+            f.fork(),
+            sup,
+            &mut NoProbe,
+        ),
+        (ExecMode::Fast, None, None) => profile_with::<NoCount, NoProbe, NoFault>(
+            opt,
+            outputs,
+            strategy,
+            sched,
+            mode,
+            threads,
+            fission,
+            NoFault,
+            sup,
+            &mut NoProbe,
         ),
     }
 }
@@ -353,12 +532,13 @@ pub fn profile_recorded(
 /// The decision — engagement summary or refusal reason — is recorded as a
 /// `fission` note on the probe, so instrumented runs surface *why* the
 /// pass did or did not fire.
-fn apply_fission<P: Probe>(
+fn apply_fission<P: Probe, F: FaultPlan>(
     flat: FlatGraph,
     plan: ExecPlan,
     fission: Fission,
     threads: usize,
     probe: &mut P,
+    fault: &F,
 ) -> (FlatGraph, ExecPlan, u64, usize) {
     if fission == Fission::Off {
         probe.note("fission", "off");
@@ -366,7 +546,7 @@ fn apply_fission<P: Probe>(
     }
     let t0 = probe.now();
     let model = streamlin_core::cost::CostModel::default();
-    match fission::fiss_bottleneck(&flat, &plan, fission, threads, &model) {
+    match fission::fiss_bottleneck(&flat, &plan, fission, threads, &model, fault) {
         Ok((fissed, info)) => match plan::compile(&fissed) {
             Ok(p2) => {
                 if P::ENABLED {
@@ -406,7 +586,7 @@ fn apply_fission<P: Probe>(
 /// predictions for the graph that actually executes, and the engines'
 /// runtime telemetry.
 #[allow(clippy::too_many_arguments)]
-fn profile_with<T: Tally + Default + Send + 'static, P: Probe + Send + 'static>(
+fn profile_with<T: Tally + Default + Send + 'static, P: Probe + Send + 'static, F: FaultPlan>(
     opt: &OptStream,
     outputs: usize,
     strategy: MatMulStrategy,
@@ -414,6 +594,8 @@ fn profile_with<T: Tally + Default + Send + 'static, P: Probe + Send + 'static>(
     mode: ExecMode,
     threads: Option<usize>,
     fission: Fission,
+    fault: F,
+    sup: &Supervision,
     probe: &mut P,
 ) -> Result<Profile, ProfileError> {
     let t0 = probe.now();
@@ -433,18 +615,27 @@ fn profile_with<T: Tally + Default + Send + 'static, P: Probe + Send + 'static>(
     if P::ENABLED {
         probe.phase("plan", t0);
     }
+    // Canonical single-threaded source for graceful degradation: the
+    // pre-fission graph and plan, retained only when a supervised
+    // pipeline run could need to replay on them.
+    let fallback_src: Option<(FlatGraph, ExecPlan)> = match (&compiled, threads) {
+        (Some(p), Some(_)) if sup.fallback => Some((flat.clone(), p.clone())),
+        _ => None,
+    };
     // Fission rewrites the flat graph; under `Scheduler::Dynamic` the
     // plan is still compiled (when possible) purely to drive the fission
     // decision, and the fissed graph then runs data-driven — the fuzz
     // suite differentially checks that path too.
     let (flat, compiled, scale, width) = match (compiled, sched) {
         (Some(plan), _) => {
-            let (f, p, s, w) = apply_fission(flat, plan, fission, threads.unwrap_or(1), probe);
+            let (f, p, s, w) =
+                apply_fission(flat, plan, fission, threads.unwrap_or(1), probe, &fault);
             (f, Some(p), s, w)
         }
         (None, Scheduler::Dynamic) if fission != Fission::Off => match plan::compile(&flat) {
             Ok(plan) => {
-                let (f, _, s, w) = apply_fission(flat, plan, fission, threads.unwrap_or(1), probe);
+                let (f, _, s, w) =
+                    apply_fission(flat, plan, fission, threads.unwrap_or(1), probe, &fault);
                 (f, None, s, w)
             }
             Err(_) => (flat, None, 1, 1),
@@ -480,18 +671,59 @@ fn profile_with<T: Tally + Default + Send + 'static, P: Probe + Send + 'static>(
                 probe.note("pipeline", &part.summary());
             }
             let start = Instant::now();
-            let out = crate::parallel::run_pipeline_probed::<T, P>(
-                flat, &plan, &part, outputs, scale, probe,
-            )?;
-            Profile {
-                wall: start.elapsed(),
-                outputs: out.printed,
-                ops: out.ops,
-                firings: out.firings,
-                sched: Scheduler::Static,
-                mode,
-                threads: out.stages,
-                fission: width,
+            match crate::parallel::run_pipeline_supervised::<T, P, F>(
+                flat,
+                &plan,
+                &part,
+                outputs,
+                scale,
+                probe,
+                fault,
+                sup.watchdog,
+            ) {
+                Ok(out) => Profile {
+                    wall: start.elapsed(),
+                    outputs: out.printed,
+                    ops: out.ops,
+                    firings: out.firings,
+                    sched: Scheduler::Static,
+                    mode,
+                    threads: out.stages,
+                    fission: width,
+                    degraded: None,
+                },
+                // Graceful degradation: infrastructure failures (a stall
+                // or a lost worker — never program errors, which would
+                // just recur) replay on the canonical single-threaded
+                // static plan. Bit-identical output is guaranteed by the
+                // determinism contract every executor is pinned against.
+                Err(e) if sup.fallback && e.is_degradable() => {
+                    let Some((fb_flat, fb_plan)) = fallback_src else {
+                        return Err(e.into());
+                    };
+                    if P::ENABLED {
+                        probe.note(
+                            "supervisor",
+                            &format!("degraded: {e}; replaying on the single-threaded static plan"),
+                        );
+                        probe.lane_name(1, "engine (fallback)");
+                    }
+                    let mut engine = PlanEngine::<T>::new(fb_flat, fb_plan);
+                    let start = Instant::now();
+                    engine.run_probed(outputs, probe)?;
+                    Profile {
+                        wall: start.elapsed(),
+                        outputs: engine.printed().to_vec(),
+                        ops: engine.ops().counts(),
+                        firings: engine.firings(),
+                        sched: Scheduler::Static,
+                        mode,
+                        threads: 1,
+                        fission: 1,
+                        degraded: Some(e.to_string()),
+                    }
+                }
+                Err(e) => return Err(e.into()),
             }
         }
         (Some(plan), None) => {
@@ -510,6 +742,7 @@ fn profile_with<T: Tally + Default + Send + 'static, P: Probe + Send + 'static>(
                 mode,
                 threads: 1,
                 fission: width,
+                degraded: None,
             }
         }
         (None, _) => {
@@ -528,6 +761,7 @@ fn profile_with<T: Tally + Default + Send + 'static, P: Probe + Send + 'static>(
                 mode,
                 threads: 1,
                 fission: width,
+                degraded: None,
             }
         }
     };

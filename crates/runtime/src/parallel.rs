@@ -28,20 +28,46 @@
 //! target until the output goal is met. Estimation only looks at
 //! deterministic state (printed counts at round boundaries), which is what
 //! makes the quantization reproducible.
+//!
+//! # Supervision
+//!
+//! [`run_pipeline_supervised`] layers fault tolerance on the same
+//! protocol without touching the deterministic core. The executor is
+//! generic over a [`FaultPlan`] ([`NoFault`] in production — every
+//! injection site is guarded by `const ARMED` and monomorphizes away;
+//! [`streamlin_support::InjectFaults`] for seeded, reproducible worker
+//! panics, stage wedges, ring delays and pool refusals). When a wall-
+//! clock watchdog is requested (or any fault plan is armed), the
+//! coordinator polls instead of blocking: per-stage progress counters
+//! are snapshotted between report waits, and a deadline with no counter
+//! movement trips a clean teardown — poison the run, diagnose the stuck
+//! stage from boundary-ring occupancy, collect what reports remain
+//! within a grace window, and return a structured [`RunError::Stalled`]
+//! instead of hanging. Workers whose pool thread died surface as
+//! [`RunError::WorkerLost`]; a teardown that had to abandon workers
+//! mid-job retires the whole thread complement to the pool's self-
+//! healing path instead of re-parking threads in unknown states. Both
+//! error classes are [`RunError::is_degradable`]: the caller
+//! ([`crate::measure`]) replays them on the single-threaded static plan,
+//! which is *correct* because every execution family is pinned
+//! bit-identical.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use streamlin_support::{NoProbe, OpCounter, Probe, StallKind, Tally};
+use streamlin_support::{
+    FaultAction, FaultPlan, NoFault, NoProbe, OpCounter, Probe, StallKind, Tally,
+};
 
 use crate::engine::RunError;
 use crate::flat::{FlatGraph, FlatNode, NodeKind};
 use crate::partition::Partition;
 use crate::plan::{batch_need, exec_batch, node_rates, ExecPlan, PlanState, Rates};
 use crate::pool;
-use crate::ring::{RingSet, SharedRings};
+use crate::ring::{Backoff, RingSet, SharedRings};
 
 /// Cycle-count quantum of the pacing protocol, in **original** steady
 /// cycles: the coordinator only ever runs whole multiples of this many
@@ -74,6 +100,16 @@ pub struct PipelineOutcome {
 /// divided by its scale so the bound fires after the same work.
 const MAX_SILENT_CYCLES: u64 = 1 << 16;
 
+/// Watchdog deadline used when a fault plan is armed but the caller gave
+/// no explicit deadline: injection must never convert a test run into a
+/// hang, so supervision always has *some* wall-clock bound.
+const DEFAULT_ARMED_WATCHDOG: Duration = Duration::from_secs(5);
+
+/// After a trip (watchdog or dead worker), how long the coordinator keeps
+/// collecting reports/results from the surviving workers before it
+/// abandons the stragglers and retires the run's threads.
+const TEARDOWN_GRACE: Duration = Duration::from_millis(750);
+
 /// Marker detail for errors caused by *another* worker's failure; the
 /// coordinator reports the root cause instead when one exists.
 const PEER_FAILURE: &str = "aborted: a pipeline peer failed";
@@ -81,6 +117,37 @@ const PEER_FAILURE: &str = "aborted: a pipeline peer failed";
 fn peer_failure() -> RunError {
     RunError::Deadlock {
         detail: PEER_FAILURE.into(),
+    }
+}
+
+/// A partitioner/setup invariant violated at run time: surfaced as a
+/// structured error (these paths used to `expect`-panic mid-setup).
+fn setup_bug(what: &str) -> RunError {
+    RunError::Eval(format!(
+        "internal pipeline setup invariant violated: {what}"
+    ))
+}
+
+/// Keep the root cause: a peer-failure abort only stands in until the
+/// real error arrives; everything else is first-come-first-kept.
+fn absorb_err(slot: &mut Option<RunError>, e: RunError) {
+    let is_peer =
+        |e: &RunError| matches!(e, RunError::Deadlock { detail } if detail == PEER_FAILURE);
+    match slot {
+        None => *slot = Some(e),
+        Some(cur) if is_peer(cur) && !is_peer(&e) => *slot = Some(e),
+        _ => {}
+    }
+}
+
+/// Best-effort panic payload message (panics carry `&str` or `String`).
+fn panic_detail(payload: &dyn std::any::Any) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -111,6 +178,7 @@ enum Cmd {
 
 /// One worker's answer to a [`Cmd::Run`] round.
 struct Report {
+    stage: usize,
     printed: usize,
     err: Option<RunError>,
 }
@@ -126,10 +194,18 @@ struct StageResult<P: Probe> {
 }
 
 /// A stage's executable state, moved onto its (pooled) worker thread.
-struct StageWorker<T: Tally, P: Probe> {
+struct StageWorker<T: Tally, P: Probe, F: FaultPlan> {
     stage: usize,
     /// Forked telemetry probe; lane `stage + 1` (lane 0 = coordinator).
     probe: P,
+    /// Forked fault plan ([`NoFault`] in production — inert, zero-size).
+    fault: F,
+    /// Executed schedule steps, the key for batch-site fault injection.
+    steps: u64,
+    /// Per-stage progress counters read by the supervisor's watchdog.
+    progress: Arc<Vec<AtomicU64>>,
+    /// Whether to maintain `progress` (true only under supervision).
+    watch: bool,
     nodes: Vec<FlatNode>,
     /// Rate signatures, indexed like `nodes`.
     rates: Vec<Rates>,
@@ -148,20 +224,7 @@ struct StageWorker<T: Tally, P: Probe> {
     init_done: bool,
 }
 
-/// Brief spin, then yield: boundary waits are usually a few hundred
-/// nanoseconds (the peer is mid-cycle), occasionally a whole cycle. On a
-/// single-core host spinning is pure waste — the peer cannot make
-/// progress until we yield — so the spin phase is skipped there.
-fn backoff(spins: &mut u32, solo: bool) {
-    if !solo && *spins < 128 {
-        std::hint::spin_loop();
-    } else {
-        std::thread::yield_now();
-    }
-    *spins = spins.saturating_add(1);
-}
-
-impl<T: Tally, P: Probe> StageWorker<T, P> {
+impl<T: Tally, P: Probe, F: FaultPlan> StageWorker<T, P, F> {
     fn poison_check(&self) -> Result<(), RunError> {
         if self.poisoned.load(Ordering::Relaxed) {
             Err(peer_failure())
@@ -191,10 +254,11 @@ impl<T: Tally, P: Probe> StageWorker<T, P> {
     }
 
     /// Pushes everything buffered on a boundary-out channel into its SPSC
-    /// ring, blocking (with backoff) while the consumer lags.
+    /// ring, blocking (with bounded exponential backoff) while the
+    /// consumer lags.
     fn flush(&mut self, chan: usize) -> Result<(), RunError> {
         let mut remaining = self.state.rings.len(chan);
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new(self.solo);
         // Stall accounting starts lazily at the first full retry, so the
         // happy path (consumer keeping up) records nothing but a sample.
         let mut stall_t0 = 0u64;
@@ -208,10 +272,16 @@ impl<T: Tally, P: Probe> StageWorker<T, P> {
                     self.probe.ring_stall(chan, true);
                 }
                 self.poison_check()?;
-                backoff(&mut spins, self.solo);
+                if F::ARMED {
+                    if let Some(d) = self.fault.ring_wait(chan, true) {
+                        std::thread::sleep(d);
+                    }
+                }
+                backoff.wait();
             } else {
                 self.state.rings.consume(chan, pushed);
                 remaining -= pushed;
+                backoff.reset();
             }
         }
         if P::ENABLED {
@@ -226,10 +296,25 @@ impl<T: Tally, P: Probe> StageWorker<T, P> {
     }
 
     fn exec_step(&mut self, step: &LocalStep) -> Result<(), RunError> {
+        if F::ARMED {
+            let idx = self.steps;
+            self.steps += 1;
+            match self.fault.batch_action(self.stage, idx) {
+                FaultAction::None => {}
+                FaultAction::Panic(msg) => panic!("{msg}"),
+                FaultAction::Sleep(d) => std::thread::sleep(d),
+                // Stop making progress but stay responsive to teardown:
+                // the watchdog poisons the run, and this loop notices.
+                FaultAction::Wedge => loop {
+                    self.poison_check()?;
+                    std::thread::sleep(Duration::from_micros(200));
+                },
+            }
+        }
         let first = self.fresh[step.node];
         for &(slot, chan) in &step.recv {
             let need = batch_need(&self.rates[step.node], first, step.times as u64, slot) as usize;
-            let mut spins = 0u32;
+            let mut backoff = Backoff::new(self.solo);
             let mut stall_t0 = 0u64;
             while self.state.rings.len(chan) < need {
                 if self.drain(chan) == 0 {
@@ -238,7 +323,14 @@ impl<T: Tally, P: Probe> StageWorker<T, P> {
                         self.probe.ring_stall(chan, false);
                     }
                     self.poison_check()?;
-                    backoff(&mut spins, self.solo);
+                    if F::ARMED {
+                        if let Some(d) = self.fault.ring_wait(chan, false) {
+                            std::thread::sleep(d);
+                        }
+                    }
+                    backoff.wait();
+                } else {
+                    backoff.reset();
                 }
             }
             if P::ENABLED && stall_t0 != 0 {
@@ -260,6 +352,11 @@ impl<T: Tally, P: Probe> StageWorker<T, P> {
         self.fresh[step.node] = false;
         for &chan in &step.send {
             self.flush(chan)?;
+        }
+        if self.watch {
+            // Relaxed is enough: the watchdog only compares snapshots for
+            // *movement*, never for a precise value.
+            self.progress[self.stage].fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -295,8 +392,8 @@ impl<T: Tally, P: Probe> StageWorker<T, P> {
 }
 
 /// The worker thread body: serve `Run` rounds until `Finish`.
-fn worker_main<T: Tally, P: Probe>(
-    mut w: StageWorker<T, P>,
+fn worker_main<T: Tally, P: Probe, F: FaultPlan>(
+    mut w: StageWorker<T, P, F>,
     rx: Receiver<Cmd>,
     tx: Sender<Report>,
 ) -> StageResult<P> {
@@ -318,10 +415,13 @@ fn worker_main<T: Tally, P: Probe>(
                     match std::panic::catch_unwind(AssertUnwindSafe(|| w.run_to(target))) {
                         Ok(Ok(())) => None,
                         Ok(Err(e)) => Some(e),
-                        Err(_) => Some(RunError::Eval(format!(
-                            "pipeline stage {} panicked",
-                            w.stage
-                        ))),
+                        Err(payload) => Some(RunError::WorkerLost {
+                            detail: format!(
+                                "pipeline stage {} panicked: {}",
+                                w.stage,
+                                panic_detail(payload.as_ref())
+                            ),
+                        }),
                     }
                 };
                 if err.is_some() {
@@ -329,6 +429,7 @@ fn worker_main<T: Tally, P: Probe>(
                     w.poisoned.store(true, Ordering::Relaxed);
                 }
                 let report = Report {
+                    stage: w.stage,
                     printed: w.state.printed.len(),
                     err,
                 };
@@ -346,6 +447,61 @@ fn worker_main<T: Tally, P: Probe>(
         firings: w.state.firings,
         probe: w.probe,
     }
+}
+
+/// The watchdog's diagnosis of a no-progress pipeline, built from state
+/// the executor already has: progress counters, which stages still owe a
+/// report, and boundary-ring occupancy. A stage that has input available
+/// and output space yet made no progress is singled out — everything
+/// around a wedged stage is starved or backed up instead.
+fn diagnose_stall(
+    deadline: Duration,
+    counts: &[u64],
+    reported: &[bool],
+    part: &Partition,
+    shared: &SharedRings,
+) -> String {
+    use std::fmt::Write;
+    let mut d = format!(
+        "watchdog: no pipeline progress for {}ms",
+        deadline.as_millis()
+    );
+    let pending: Vec<usize> = (0..reported.len()).filter(|&s| !reported[s]).collect();
+    let _ = write!(
+        d,
+        "; stage step counters {counts:?}, awaiting stages {pending:?}"
+    );
+    for &s in &pending {
+        let starved = part
+            .boundaries
+            .iter()
+            .any(|b| b.to_stage == s && shared.occupancy(b.chan) == 0);
+        let blocked = part
+            .boundaries
+            .iter()
+            .any(|b| b.from_stage == s && shared.occupancy(b.chan) >= b.capacity);
+        if !starved && !blocked {
+            let _ = write!(
+                d,
+                "; stage {s} has input available and output space but made no \
+                 progress (suspected wedged)"
+            );
+        }
+    }
+    let rings: Vec<String> = part
+        .boundaries
+        .iter()
+        .map(|b| {
+            format!(
+                "chan {}: {}/{}",
+                b.chan,
+                shared.occupancy(b.chan),
+                b.capacity
+            )
+        })
+        .collect();
+    let _ = write!(d, "; boundary rings [{}]", rings.join(", "));
+    d
 }
 
 /// Runs a partitioned plan on one pooled worker thread per stage until at
@@ -373,7 +529,16 @@ pub fn run_pipeline<T: Tally + Default + Send>(
     outputs: usize,
     scale: u64,
 ) -> Result<PipelineOutcome, RunError> {
-    run_pipeline_probed::<T, NoProbe>(flat, plan, part, outputs, scale, &mut NoProbe)
+    run_pipeline_supervised::<T, NoProbe, NoFault>(
+        flat,
+        plan,
+        part,
+        outputs,
+        scale,
+        &mut NoProbe,
+        NoFault,
+        None,
+    )
 }
 
 /// [`run_pipeline`] with a telemetry [`Probe`]: each stage worker records
@@ -400,6 +565,55 @@ pub fn run_pipeline_probed<T: Tally + Default + Send, P: Probe + Send + 'static>
     outputs: usize,
     scale: u64,
     probe: &mut P,
+) -> Result<PipelineOutcome, RunError> {
+    run_pipeline_supervised::<T, P, NoFault>(flat, plan, part, outputs, scale, probe, NoFault, None)
+}
+
+/// Per-stage payload prepared during setup, handed to the stage's worker.
+struct StageSeed {
+    nodes: Vec<FlatNode>,
+    rates: Vec<Rates>,
+    caps: Vec<usize>,
+    initial: Vec<(usize, Vec<f64>)>,
+    init_steps: Vec<LocalStep>,
+    steady_steps: Vec<LocalStep>,
+}
+
+/// [`run_pipeline_probed`] under a supervisor: generic over a
+/// [`FaultPlan`] (injection sites compile away under [`NoFault`]) and,
+/// when `watchdog` is set or the plan is armed, guarded by a wall-clock
+/// no-progress watchdog (armed plans get a default deadline so injection
+/// can never hang a run).
+///
+/// On a watchdog trip the run is torn down cleanly — poison flag, stall
+/// diagnosis from boundary-ring state, a grace window for stragglers —
+/// and reported as [`RunError::Stalled`]; a worker whose pool thread died
+/// (or a refused pool acquisition) is [`RunError::WorkerLost`]. Both are
+/// [`RunError::is_degradable`], which [`crate::measure`] uses to replay
+/// the run on the single-threaded static plan. Workers abandoned mid-job
+/// are retired from the pool rather than re-parked.
+///
+/// # Errors
+///
+/// As [`run_pipeline`], plus `Stalled`/`WorkerLost` as above.
+///
+/// # Panics
+///
+/// As [`run_pipeline`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_supervised<
+    T: Tally + Default + Send,
+    P: Probe + Send + 'static,
+    F: FaultPlan,
+>(
+    flat: FlatGraph,
+    plan: &ExecPlan,
+    part: &Partition,
+    outputs: usize,
+    scale: u64,
+    probe: &mut P,
+    fault: F,
+    watchdog: Option<Duration>,
 ) -> Result<PipelineOutcome, RunError> {
     assert!(
         scale >= 1 && CYCLE_QUANTUM.is_multiple_of(scale),
@@ -468,7 +682,11 @@ pub fn run_pipeline_probed<T: Tally + Default + Send, P: Probe + Send + 'static>
     for (c, items) in flat.initial {
         let consumer_stage = (0..num_stages)
             .find(|&s| stage_nodes[s].iter().any(|n| n.inputs.contains(&c)))
-            .expect("planned graphs have no dangling channels");
+            .ok_or_else(|| {
+                setup_bug(&format!(
+                    "initial items on channel {c} have no consuming stage"
+                ))
+            })?;
         stage_initial[consumer_stage].push((c, items));
     }
 
@@ -503,11 +721,54 @@ pub fn run_pipeline_probed<T: Tally + Default + Send, P: Probe + Send + 'static>
     let mut init_slices = slice_steps(&plan.init);
     let mut steady_slices = slice_steps(&plan.steady);
 
+    // Bundle every stage's payload *before* touching the worker pool, so
+    // all fallible setup completes while nothing is held. Built in
+    // reverse so each `pop` hands a stage its own data (a miscount here
+    // is a partitioner bug, surfaced structurally instead of the
+    // `expect` panics this loop used to contain).
+    let mut seeds: Vec<StageSeed> = Vec::with_capacity(num_stages);
+    for _ in 0..num_stages {
+        seeds.push(StageSeed {
+            nodes: stage_nodes
+                .pop()
+                .ok_or_else(|| setup_bug("missing per-stage nodes"))?,
+            rates: stage_rates
+                .pop()
+                .ok_or_else(|| setup_bug("missing per-stage rates"))?,
+            caps: stage_caps
+                .pop()
+                .ok_or_else(|| setup_bug("missing per-stage ring capacities"))?,
+            initial: stage_initial
+                .pop()
+                .ok_or_else(|| setup_bug("missing per-stage initial items"))?,
+            init_steps: init_slices
+                .pop()
+                .ok_or_else(|| setup_bug("missing per-stage init slice"))?,
+            steady_steps: steady_slices
+                .pop()
+                .ok_or_else(|| setup_bug("missing per-stage steady slice"))?,
+        });
+    }
+
     let shared = Arc::new(SharedRings::new(&spsc_caps));
     let poisoned = Arc::new(AtomicBool::new(false));
     let solo = std::thread::available_parallelism().is_ok_and(|n| n.get() == 1);
     let (report_tx, report_rx) = channel::<Report>();
     let (result_tx, result_rx) = channel::<StageResult<P>>();
+
+    // Supervision: poll instead of block whenever a watchdog was asked
+    // for or any fault plan is armed (injected faults must never turn a
+    // run into a hang, so an armed plan always gets a deadline).
+    let supervised = F::ARMED || watchdog.is_some();
+    let deadline = watchdog.unwrap_or(DEFAULT_ARMED_WATCHDOG);
+    let progress: Arc<Vec<AtomicU64>> =
+        Arc::new((0..num_stages).map(|_| AtomicU64::new(0)).collect());
+    if F::ARMED {
+        fault.arm(num_stages, num_channels);
+        if P::ENABLED {
+            probe.note("fault", &fault.describe());
+        }
+    }
 
     // Stage workers come from the persistent process-wide pool (acquired
     // atomically so concurrent runs never starve each other) instead of
@@ -517,7 +778,14 @@ pub fn run_pipeline_probed<T: Tally + Default + Send, P: Probe + Send + 'static>
     } else {
         0
     };
-    let threads = pool::acquire_global(num_stages);
+    let threads = match pool::acquire_global_faulted(num_stages, &fault) {
+        Ok(t) => t,
+        Err(reason) => {
+            return Err(RunError::WorkerLost {
+                detail: format!("worker pool refused {num_stages} stage workers: {reason}"),
+            })
+        }
+    };
     if P::ENABLED {
         probe.lane_name(0, "coordinator");
         for b in &part.boundaries {
@@ -536,43 +804,49 @@ pub fn run_pipeline_probed<T: Tally + Default + Send, P: Probe + Send + 'static>
         );
     }
     let mut cmd_txs = Vec::with_capacity(num_stages);
-    for stage in (0..num_stages).rev() {
-        // Built in reverse so `pop()` hands each worker its own data.
-        let nodes = stage_nodes.pop().expect("one vec per stage");
-        let srates = stage_rates.pop().expect("one vec per stage");
-        let caps = stage_caps.pop().expect("one vec per stage");
-        let initial = stage_initial.pop().expect("one vec per stage");
-        let init_steps = init_slices.pop().expect("one vec per stage");
-        let steady_steps = steady_slices.pop().expect("one vec per stage");
+    for (stage, seed) in seeds.into_iter().rev().enumerate() {
         let (tx, rx) = channel::<Cmd>();
         cmd_txs.push(tx);
         let report_tx = report_tx.clone();
         let result_tx = result_tx.clone();
         let shared = Arc::clone(&shared);
         let poisoned = Arc::clone(&poisoned);
+        let wprogress = Arc::clone(&progress);
+        let wfault = fault.fork();
         let lane = stage as u32 + 1;
         if P::ENABLED {
             probe.lane_name(lane, &format!("stage {stage}"));
         }
         let wprobe = probe.fork(lane);
         threads[stage].run(Box::new(move || {
-            let fresh = vec![true; nodes.len()];
+            if F::ARMED && wfault.spawn_abort(stage) {
+                // Deliberately *outside* worker_main's containment: this
+                // unwinds into the pool thread's loop and kills the
+                // thread itself, exercising liveness detection and pool
+                // self-healing.
+                panic!("injected fault: stage {stage} worker thread died at job start");
+            }
+            let fresh = vec![true; seed.nodes.len()];
             let worker = StageWorker {
                 stage,
                 probe: wprobe,
-                rates: srates,
+                fault: wfault,
+                steps: 0,
+                progress: wprogress,
+                watch: supervised,
+                rates: seed.rates,
                 fresh,
-                init_steps,
-                steady_steps,
+                init_steps: seed.init_steps,
+                steady_steps: seed.steady_steps,
                 state: PlanState {
-                    rings: RingSet::new(&caps, &initial),
+                    rings: RingSet::new(&seed.caps, &seed.initial),
                     printed: Vec::new(),
                     ops: T::default(),
                     firings: 0,
                     out_buf: Vec::new(),
                 },
-                local_caps: caps,
-                nodes,
+                local_caps: seed.caps,
+                nodes: seed.nodes,
                 shared,
                 poisoned,
                 solo,
@@ -583,7 +857,6 @@ pub fn run_pipeline_probed<T: Tally + Default + Send, P: Probe + Send + 'static>
             let _ = result_tx.send(result);
         }));
     }
-    cmd_txs.reverse(); // dispatched in reverse stage order
     drop(report_tx);
     drop(result_tx);
 
@@ -596,6 +869,7 @@ pub fn run_pipeline_probed<T: Tally + Default + Send, P: Probe + Send + 'static>
     let mut printed = 0usize;
     let mut progress_at = 0u64; // target when output last grew
     let mut round_err: Option<RunError> = None;
+    let mut tripped = false;
     while printed < outputs && round_err.is_none() {
         let remaining = (outputs - printed) as u64;
         let add = if printed > 0 {
@@ -616,29 +890,109 @@ pub fn run_pipeline_probed<T: Tally + Default + Send, P: Probe + Send + 'static>
         target += add;
         for tx in &cmd_txs {
             if tx.send(Cmd::Run(target)).is_err() {
-                round_err = Some(RunError::Eval("pipeline worker exited early".into()));
+                absorb_err(
+                    &mut round_err,
+                    RunError::WorkerLost {
+                        detail: "a pipeline worker exited before its run command".into(),
+                    },
+                );
             }
         }
         let before = printed;
         let wait_t0 = probe.now();
-        for _ in 0..num_stages {
-            match report_rx.recv() {
-                Ok(rep) => {
-                    printed = printed.max(rep.printed);
-                    if let Some(e) = rep.err {
-                        // Keep the root cause; a peer-failure abort
-                        // only stands in until the real error arrives.
-                        let is_peer = |e: &RunError| matches!(e, RunError::Deadlock { detail } if detail == PEER_FAILURE);
-                        match &round_err {
-                            None => round_err = Some(e),
-                            Some(cur) if is_peer(cur) && !is_peer(&e) => round_err = Some(e),
-                            _ => {}
+        if !supervised {
+            for _ in 0..num_stages {
+                match report_rx.recv() {
+                    Ok(rep) => {
+                        printed = printed.max(rep.printed);
+                        if let Some(e) = rep.err {
+                            absorb_err(&mut round_err, e);
+                        }
+                    }
+                    Err(_) => {
+                        absorb_err(
+                            &mut round_err,
+                            RunError::WorkerLost {
+                                detail: "a pipeline worker exited without reporting".into(),
+                            },
+                        );
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Supervised wait: poll with a timeout, watching per-stage
+            // progress counters and pool-thread liveness between polls.
+            // A deadline with no counter movement (or a dead thread)
+            // trips teardown: poison, diagnose, then give the surviving
+            // workers a grace window to report before abandoning them.
+            let poll = (deadline / 8).clamp(Duration::from_millis(2), Duration::from_millis(50));
+            let mut reported = vec![false; num_stages];
+            let mut got = 0usize;
+            let mut last_counts: Vec<u64> =
+                progress.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            let mut last_advance = Instant::now();
+            let mut tripped_at: Option<Instant> = None;
+            while got < num_stages {
+                match report_rx.recv_timeout(poll) {
+                    Ok(rep) => {
+                        if !reported[rep.stage] {
+                            reported[rep.stage] = true;
+                            got += 1;
+                        }
+                        printed = printed.max(rep.printed);
+                        if let Some(e) = rep.err {
+                            absorb_err(&mut round_err, e);
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        absorb_err(
+                            &mut round_err,
+                            RunError::WorkerLost {
+                                detail: "a pipeline worker exited without reporting".into(),
+                            },
+                        );
+                        break;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if let Some(t0) = tripped_at {
+                            if t0.elapsed() >= TEARDOWN_GRACE {
+                                break;
+                            }
+                            continue;
+                        }
+                        if let Some(dead) = threads.iter().position(|t| !t.is_alive()) {
+                            poisoned.store(true, Ordering::Relaxed);
+                            absorb_err(
+                                &mut round_err,
+                                RunError::WorkerLost {
+                                    detail: format!("stage {dead} worker thread died mid-run"),
+                                },
+                            );
+                            tripped_at = Some(Instant::now());
+                            continue;
+                        }
+                        let counts: Vec<u64> =
+                            progress.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                        if counts != last_counts {
+                            last_counts = counts;
+                            last_advance = Instant::now();
+                        } else if last_advance.elapsed() >= deadline {
+                            poisoned.store(true, Ordering::Relaxed);
+                            let detail =
+                                diagnose_stall(deadline, &last_counts, &reported, part, &shared);
+                            absorb_err(&mut round_err, RunError::Stalled { detail });
+                            tripped_at = Some(Instant::now());
                         }
                     }
                 }
-                Err(_) => {
-                    round_err = Some(RunError::Eval("pipeline worker exited early".into()));
-                    break;
+            }
+            if tripped_at.is_some() {
+                tripped = true;
+                if P::ENABLED {
+                    if let Some(e) = &round_err {
+                        probe.note("supervisor", &format!("tripped: {e}"));
+                    }
                 }
             }
         }
@@ -661,22 +1015,84 @@ pub fn run_pipeline_probed<T: Tally + Default + Send, P: Probe + Send + 'static>
         let _ = tx.send(Cmd::Finish);
     }
     let mut results: Vec<StageResult<P>> = Vec::with_capacity(num_stages);
-    for _ in 0..num_stages {
-        match result_rx.recv() {
-            Ok(r) => results.push(r),
-            Err(_) => {
-                // Disconnection means every outstanding job ended (each
-                // holds a sender) — at least one without reporting, i.e.
-                // it panicked outside the contained run path.
-                if round_err.is_none() {
-                    round_err = Some(RunError::Eval("pipeline worker panicked".into()));
+    let mut abandoned = false;
+    if !supervised {
+        for _ in 0..num_stages {
+            match result_rx.recv() {
+                Ok(r) => results.push(r),
+                Err(_) => {
+                    // Disconnection means every outstanding job ended
+                    // (each holds a sender) — at least one without
+                    // reporting, i.e. it panicked outside the contained
+                    // run path.
+                    if round_err.is_none() {
+                        round_err = Some(RunError::WorkerLost {
+                            detail: "a pipeline worker panicked outside its contained run path"
+                                .into(),
+                        });
+                    }
+                    break;
                 }
-                break;
+            }
+        }
+    } else {
+        let t0 = Instant::now();
+        let mut have = vec![false; num_stages];
+        while results.len() < num_stages {
+            match result_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(r) => {
+                    if r.stage < have.len() {
+                        have[r.stage] = true;
+                    }
+                    results.push(r);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // All jobs ended; a missing result means its thread
+                    // died mid-job. The survivors already finished, so
+                    // the pool's own liveness filtering suffices.
+                    if round_err.is_none() {
+                        round_err = Some(RunError::WorkerLost {
+                            detail: "a pipeline worker panicked outside its contained run path"
+                                .into(),
+                        });
+                    }
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let missing_all_dead = (0..num_stages)
+                        .filter(|&s| !have[s])
+                        .all(|s| !threads[s].is_alive());
+                    let grace_over = tripped && t0.elapsed() >= TEARDOWN_GRACE;
+                    if missing_all_dead || grace_over {
+                        if round_err.is_none() {
+                            round_err = Some(RunError::WorkerLost {
+                                detail: "stage workers were abandoned mid-run".into(),
+                            });
+                        }
+                        abandoned = true;
+                        break;
+                    }
+                }
             }
         }
     }
-    // `result_rx` answered for every job, so the threads are idle again.
-    pool::release_global(threads);
+    if abandoned {
+        // Workers that never answered are in unknown states (wedged or
+        // mid-job): retire the whole complement so the next acquisition
+        // starts from fresh threads — never re-park a thread that might
+        // still be executing an abandoned job.
+        if P::ENABLED {
+            probe.note(
+                "supervisor",
+                &format!("retired {num_stages} pool workers after an abandoned run"),
+            );
+        }
+        pool::retire_global(threads);
+    } else {
+        // `result_rx` answered for every job (or disconnected, meaning
+        // all jobs ended), so the surviving threads are idle again.
+        pool::release_global(threads);
+    }
     if let Some(e) = round_err {
         return Err(e);
     }
@@ -708,7 +1124,7 @@ mod tests {
     use crate::plan::{compile, PlanEngine};
     use streamlin_core::cost::CostModel;
     use streamlin_core::opt::OptStream;
-    use streamlin_support::NoCount;
+    use streamlin_support::{InjectFaults, NoCount};
 
     fn planned(src: &str) -> (FlatGraph, ExecPlan) {
         let p = streamlin_lang::parse(src).unwrap();
@@ -828,5 +1244,72 @@ mod tests {
              }";
         let out = run_threads(SPARSE, 2, 3);
         assert_eq!(&out.printed[..3], &[2.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn injected_panic_is_a_structured_worker_loss() {
+        let (flat, plan) = planned(CHAIN);
+        let part = partition(&flat, &plan, 2, &CostModel::default());
+        let fault = InjectFaults::parse("11:panic@s1").unwrap();
+        let err = run_pipeline_supervised::<OpCounter, NoProbe, _>(
+            flat,
+            &plan,
+            &part,
+            40,
+            1,
+            &mut NoProbe,
+            fault,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::WorkerLost { .. }), "{err}");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert!(err.is_degradable());
+    }
+
+    #[test]
+    fn watchdog_trips_on_a_wedged_stage() {
+        let (flat, plan) = planned(CHAIN);
+        let part = partition(&flat, &plan, 2, &CostModel::default());
+        let fault = InjectFaults::parse("3:wedge@s0").unwrap();
+        let t0 = Instant::now();
+        let err = run_pipeline_supervised::<OpCounter, NoProbe, _>(
+            flat,
+            &plan,
+            &part,
+            40,
+            1,
+            &mut NoProbe,
+            fault,
+            Some(Duration::from_millis(250)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Stalled { .. }), "{err}");
+        assert!(err.to_string().contains("watchdog"), "{err}");
+        // Trip + teardown must be prompt: deadline, grace, slack — not a
+        // hang (the pre-supervision executor span here forever).
+        assert!(t0.elapsed() < Duration::from_secs(30), "{:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn output_preserving_faults_keep_bits_identical() {
+        let clean = run_threads(CHAIN, 2, 40);
+        let (flat, plan) = planned(CHAIN);
+        let part = partition(&flat, &plan, 2, &CostModel::default());
+        let fault = InjectFaults::parse("5:slow@s0=40,delay=20").unwrap();
+        let out = run_pipeline_supervised::<OpCounter, NoProbe, _>(
+            flat,
+            &plan,
+            &part,
+            40,
+            1,
+            &mut NoProbe,
+            fault,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.printed, clean.printed);
+        assert_eq!(out.ops, clean.ops);
+        assert_eq!(out.firings, clean.firings);
     }
 }

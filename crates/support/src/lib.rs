@@ -18,6 +18,13 @@
 //!   [`probe::Recorder`] captures compile-phase spans, per-stage
 //!   busy/stall time, ring occupancy and per-node firing costs, and
 //!   exports a Chrome trace-event JSON timeline.
+//! * [`fault`] — deterministic fault injection on the same pattern:
+//!   engines are generic over [`fault::FaultPlan`]; [`fault::NoFault`]
+//!   monomorphizes every injection site away (production, bit-identical),
+//!   while [`fault::InjectFaults`] perturbs seeded, keyed sites (worker
+//!   panics, ring delays, pool refusals, stage wedges) so the
+//!   supervisor's teardown and fallback paths can be exercised
+//!   reproducibly.
 //! * [`json`] — a minimal JSON reader for validating the hand-written
 //!   artifacts (traces, bench files) without a serialization dependency.
 //! * [`ratio`] — exact rational arithmetic used by the steady-state scheduler.
@@ -36,12 +43,14 @@
 //! assert_eq!(ops.flops(), 2);
 //! ```
 
+pub mod fault;
 pub mod flops;
 pub mod json;
 pub mod num;
 pub mod probe;
 pub mod ratio;
 
+pub use fault::{FaultAction, FaultPlan, InjectFaults, NoFault};
 pub use flops::{CountOps, NoCount, OpCounter, Tally};
 pub use probe::{NoProbe, Probe, Recorder, StallKind};
 pub use ratio::Ratio;

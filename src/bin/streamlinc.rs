@@ -16,11 +16,15 @@
 //! $ streamlinc program.str --metrics              # telemetry summary table
 //! $ streamlinc program.str --trace-out t.json     # Chrome trace-event file
 //! $ streamlinc program.str --quiet                # program output only
+//! $ streamlinc program.str --threads 4 --watchdog-ms 2000   # stall watchdog
+//! $ streamlinc program.str --threads 4 --fault-inject 7:panic@s1  # drill
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use streamlin::support::{Probe, Recorder};
+use streamlin::runtime::measure::{profile_supervised, Supervision};
+use streamlin::support::{InjectFaults, Probe, Recorder};
 
 use streamlin::core::combine::{analyze_graph, replace, ReplaceOptions, ReplaceTarget};
 use streamlin::core::cost::CostModel;
@@ -48,6 +52,14 @@ struct Args {
     /// Write a Chrome trace-event JSON timeline of the run here.
     trace_out: Option<String>,
     quiet: bool,
+    /// Deterministic fault plan (`--fault-inject <seed>:<spec>`): a
+    /// supervised drill of the pipeline executor's failure paths. See
+    /// the fault module's spec grammar (`panic@s1`, `wedge`, `die`,
+    /// `slow=50`, `delay@c2=100`, `refuse#1`, `nofission`).
+    fault: Option<InjectFaults>,
+    /// Wall-clock no-progress deadline for the pipeline watchdog, in
+    /// milliseconds (`--watchdog-ms N`).
+    watchdog_ms: Option<u64>,
 }
 
 impl Args {
@@ -72,7 +84,8 @@ fn usage() -> ! {
          \x20                [--sched auto|static|dynamic] [--mode measured|fast]\n\
          \x20                [--matmul unrolled|diagonal|blocked|simd] [--threads <n>]\n\
          \x20                [--fission auto|off|<w>] [-n <outputs>] [--emit-graph]\n\
-         \x20                [--metrics] [--trace-out <file>] [--quiet]"
+         \x20                [--metrics] [--trace-out <file>] [--quiet]\n\
+         \x20                [--watchdog-ms <n>] [--fault-inject <seed>:<spec>[,<spec>...]]"
     );
     std::process::exit(2);
 }
@@ -91,6 +104,8 @@ fn parse_args() -> Args {
         metrics: false,
         trace_out: None,
         quiet: false,
+        fault: None,
+        watchdog_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -145,6 +160,21 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            "--fault-inject" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                args.fault = Some(InjectFaults::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("streamlinc: bad --fault-inject spec: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--watchdog-ms" => {
+                args.watchdog_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms| ms >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--emit-graph" => args.emit_graph = true,
             "--metrics" => args.metrics = true,
@@ -242,31 +272,33 @@ fn run(args: &Args) -> Result<(), String> {
         (None, streamlin::runtime::fission::Fission::Off) => None,
         (threads, _) => Some(threads.unwrap_or(1)),
     };
-    let prof = match rec.as_mut() {
-        Some(r) => streamlin::runtime::measure::profile_recorded(
-            &opt,
-            args.outputs,
-            args.strategy(),
-            args.sched,
-            args.mode,
-            pipeline_threads,
-            args.fission,
-            r,
-        ),
-        None => match pipeline_threads {
-            None => profile_mode(&opt, args.outputs, args.strategy(), args.sched, args.mode),
-            Some(threads) => streamlin::runtime::measure::profile_fission(
-                &opt,
-                args.outputs,
-                args.strategy(),
-                args.sched,
-                args.mode,
-                threads,
-                args.fission,
-            ),
-        },
-    }
+    // Every CLI run goes through the supervised profiler: with no
+    // `--fault-inject`/`--watchdog-ms` it monomorphizes to the exact
+    // unsupervised engines; with either, the supervisor watches the run
+    // and degrades to the single-threaded static plan on infrastructure
+    // failures instead of hanging or dying.
+    let sup = Supervision {
+        watchdog: args.watchdog_ms.map(Duration::from_millis),
+        fallback: true,
+    };
+    let prof = profile_supervised(
+        &opt,
+        args.outputs,
+        args.strategy(),
+        args.sched,
+        args.mode,
+        pipeline_threads,
+        args.fission,
+        &sup,
+        args.fault.as_ref(),
+        rec.as_mut(),
+    )
     .map_err(|e| e.to_string())?;
+    if let Some(reason) = &prof.degraded {
+        if !args.quiet {
+            eprintln!("streamlinc: degraded to the single-threaded static plan ({reason})");
+        }
+    }
 
     if args.emit_graph {
         // The decision dump: fission engagement/refusal, schedule shape,

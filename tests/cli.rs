@@ -164,3 +164,79 @@ fn fission_flag_prints_identical_output_and_reports_the_decision() {
         );
     }
 }
+
+#[test]
+fn fault_injection_flag_degrades_to_identical_output() {
+    // Clean pipeline run = the byte-exact reference.
+    let reference = streamlinc()
+        .args(["assets/fir.str", "--threads", "2", "-n", "64", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    // Same run with an injected worker panic: the supervisor must fall
+    // back to the single-threaded static plan, say so on stderr, and
+    // print byte-identical program output.
+    let out = streamlinc()
+        .args([
+            "assets/fir.str",
+            "--threads",
+            "2",
+            "--fault-inject",
+            "7:panic@s1",
+            "--watchdog-ms",
+            "2000",
+            "-n",
+            "64",
+        ])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(
+        stderr.contains("degraded to the single-threaded static plan"),
+        "degradation notice missing: {stderr}"
+    );
+
+    let quiet = streamlinc()
+        .args([
+            "assets/fir.str",
+            "--threads",
+            "2",
+            "--fault-inject",
+            "7:panic@s1",
+            "-n",
+            "64",
+            "--quiet",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        quiet.status.success(),
+        "{}",
+        String::from_utf8_lossy(&quiet.stderr)
+    );
+    assert_eq!(
+        quiet.stdout, reference.stdout,
+        "faulted run must print byte-identical program output"
+    );
+}
+
+#[test]
+fn rejects_malformed_fault_specs() {
+    let out = streamlinc()
+        .args(["assets/fir.str", "--fault-inject", "notaspec"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("bad --fault-inject spec"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

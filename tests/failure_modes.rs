@@ -1,13 +1,28 @@
 //! Failure injection across the stack: malformed programs, unschedulable
 //! graphs and runtime rate violations must produce descriptive errors, not
 //! panics or wrong answers.
+//!
+//! The second half drills the **supervised pipeline runtime** with
+//! deterministic injected faults (`streamlin::support::InjectFaults`):
+//! every fault class — worker panic, wedged stage, dead pool thread,
+//! refused acquisition, timing perturbation — must end in either a clean
+//! structured error or a completed single-threaded fallback whose output
+//! is bit-identical to the unfaulted reference. No hangs, no partial
+//! output.
+
+use std::time::{Duration, Instant};
 
 use streamlin::core::opt::OptStream;
 use streamlin::graph::elaborate;
 use streamlin::lang::parse;
 use streamlin::runtime::engine::RunError;
-use streamlin::runtime::measure::profile;
+use streamlin::runtime::fission::Fission;
+use streamlin::runtime::measure::{
+    profile, profile_fission, profile_supervised, profile_threads, ExecMode, ProfileError,
+    Scheduler, Supervision,
+};
 use streamlin::runtime::MatMulStrategy;
+use streamlin::support::InjectFaults;
 
 #[test]
 fn parse_errors_carry_positions() {
@@ -120,4 +135,219 @@ fn array_out_of_bounds_is_reported() {
     .unwrap();
     let err = elaborate(&p).unwrap_err();
     assert!(err.message.contains("out of bounds"), "{err}");
+}
+
+// ---- supervised runtime: injected faults ------------------------------------
+
+/// A four-filter chain that partitions into multiple pipeline stages and
+/// whose middle filter is fissable — one program covers both executors.
+const CHAIN: &str = "void->void pipeline Main { add S(); add G(); add H(); add K(); }
+     void->float filter S { float x; work push 1 { push(x++); } }
+     float->float filter G { work pop 1 push 1 { push(3 * pop()); } }
+     float->float filter H {
+         work peek 8 pop 1 push 1 {
+             float s = 0;
+             for (int i = 0; i < 8; i++) s += peek(i) * 0.25;
+             push(s); pop();
+         }
+     }
+     float->void filter K { work pop 1 { println(pop()); } }";
+
+const N: usize = 96;
+const THREADS: usize = 2;
+
+fn chain_opt() -> OptStream {
+    let p = parse(CHAIN).unwrap();
+    let g = elaborate(&p).unwrap();
+    OptStream::from_graph(&g)
+}
+
+/// The unfaulted pipeline run every drilled run is compared against.
+fn reference() -> streamlin::runtime::measure::Profile {
+    profile_threads(
+        &chain_opt(),
+        N,
+        MatMulStrategy::Unrolled,
+        Scheduler::Auto,
+        ExecMode::Measured,
+        THREADS,
+    )
+    .expect("clean pipeline run")
+}
+
+/// Runs the chain under supervision with `spec` injected.
+fn drill(
+    spec: &str,
+    sup: &Supervision,
+    fission: Fission,
+) -> Result<streamlin::runtime::measure::Profile, ProfileError> {
+    let fault = InjectFaults::parse(spec).expect("valid fault spec");
+    profile_supervised(
+        &chain_opt(),
+        N,
+        MatMulStrategy::Unrolled,
+        Scheduler::Auto,
+        ExecMode::Measured,
+        Some(THREADS),
+        fission,
+        sup,
+        Some(&fault),
+        None,
+    )
+}
+
+fn assert_bits_equal(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "output {i} differs");
+    }
+}
+
+fn fallback_on() -> Supervision {
+    Supervision {
+        watchdog: Some(Duration::from_millis(400)),
+        fallback: true,
+    }
+}
+
+fn fallback_off() -> Supervision {
+    Supervision {
+        watchdog: Some(Duration::from_millis(400)),
+        fallback: false,
+    }
+}
+
+#[test]
+fn injected_worker_panic_degrades_to_identical_bits() {
+    let clean = reference();
+    let prof = drill("7:panic@s1", &fallback_on(), Fission::Off).expect("fallback must complete");
+    let reason = prof
+        .degraded
+        .as_deref()
+        .expect("run must report degradation");
+    assert!(reason.contains("injected fault"), "{reason}");
+    assert_eq!(prof.threads, 1, "fallback runs single-threaded");
+    assert_bits_equal(&clean.outputs, &prof.outputs);
+}
+
+#[test]
+fn injected_worker_panic_without_fallback_is_structured() {
+    let err = drill("7:panic@s1", &fallback_off(), Fission::Off).unwrap_err();
+    let ProfileError::Run(e) = &err else {
+        panic!("expected a run error, got {err}");
+    };
+    assert!(matches!(e, RunError::WorkerLost { .. }), "{e}");
+    assert!(e.to_string().contains("injected fault"), "{e}");
+}
+
+#[test]
+fn wedged_stage_trips_the_watchdog_instead_of_hanging() {
+    let t0 = Instant::now();
+    let err = drill("3:wedge@s0", &fallback_off(), Fission::Off).unwrap_err();
+    let ProfileError::Run(e) = &err else {
+        panic!("expected a run error, got {err}");
+    };
+    assert!(matches!(e, RunError::Stalled { .. }), "{e}");
+    assert!(e.to_string().contains("watchdog"), "{e}");
+    // Deadline + teardown grace + slack — the old executor hung forever.
+    assert!(t0.elapsed() < Duration::from_secs(30), "{:?}", t0.elapsed());
+}
+
+#[test]
+fn wedged_stage_with_fallback_completes_bit_identical() {
+    let clean = reference();
+    let prof = drill("3:wedge@s1", &fallback_on(), Fission::Off).expect("fallback must complete");
+    assert!(prof.degraded.is_some());
+    assert_bits_equal(&clean.outputs, &prof.outputs);
+}
+
+#[test]
+fn dead_worker_thread_degrades_to_identical_bits() {
+    let clean = reference();
+    // `die` kills the pool thread itself at job start; liveness detection
+    // must catch it and the pool must respawn a replacement later.
+    let prof = drill("5:die@s1", &fallback_on(), Fission::Off).expect("fallback must complete");
+    let reason = prof
+        .degraded
+        .as_deref()
+        .expect("run must report degradation");
+    assert!(reason.contains("worker"), "{reason}");
+    assert_bits_equal(&clean.outputs, &prof.outputs);
+}
+
+#[test]
+fn refused_pool_acquisition_degrades_to_identical_bits() {
+    let clean = reference();
+    let prof = drill("9:refuse#1", &fallback_on(), Fission::Off).expect("fallback must complete");
+    let reason = prof
+        .degraded
+        .as_deref()
+        .expect("run must report degradation");
+    assert!(reason.contains("refused"), "{reason}");
+    assert_bits_equal(&clean.outputs, &prof.outputs);
+}
+
+#[test]
+fn refused_pool_acquisition_without_fallback_is_structured() {
+    let err = drill("9:refuse#1", &fallback_off(), Fission::Off).unwrap_err();
+    let ProfileError::Run(e) = &err else {
+        panic!("expected a run error, got {err}");
+    };
+    assert!(matches!(e, RunError::WorkerLost { .. }), "{e}");
+}
+
+#[test]
+fn timing_faults_never_change_output() {
+    // Slowdowns and ring delays perturb scheduling, never data: the run
+    // completes on the pipeline (no degradation) with identical bits,
+    // tallies and firing counts.
+    let clean = reference();
+    let prof = drill("5:slow@s0=40,delay=20", &fallback_on(), Fission::Off)
+        .expect("timing faults must not fail the run");
+    assert!(prof.degraded.is_none(), "{:?}", prof.degraded);
+    assert_bits_equal(&clean.outputs, &prof.outputs);
+    assert_eq!(clean.ops, prof.ops);
+    assert_eq!(clean.firings, prof.firings);
+}
+
+#[test]
+fn fission_panic_degrades_to_identical_bits() {
+    let clean = profile_fission(
+        &chain_opt(),
+        N,
+        MatMulStrategy::Unrolled,
+        Scheduler::Auto,
+        ExecMode::Measured,
+        THREADS,
+        Fission::Width(2),
+    )
+    .expect("clean fissed run");
+    let prof =
+        drill("13:panic", &fallback_on(), Fission::Width(2)).expect("fallback must complete");
+    assert_bits_equal(&clean.outputs, &prof.outputs);
+}
+
+#[test]
+fn nofission_directive_forces_a_clean_unfissed_run() {
+    let clean = reference();
+    let prof = drill("1:nofission", &fallback_on(), Fission::Width(2))
+        .expect("a refused fission pass is a clean no-op");
+    assert_eq!(prof.fission, 1, "fission must have been refused");
+    assert!(prof.degraded.is_none());
+    assert_bits_equal(&clean.outputs, &prof.outputs);
+}
+
+#[test]
+fn malformed_fault_specs_are_rejected() {
+    for bad in [
+        "",
+        "panic",
+        "7:",
+        "7:bogus",
+        "x:panic",
+        "7:refuse#x",
+        "7:slow@s",
+    ] {
+        assert!(InjectFaults::parse(bad).is_err(), "accepted {bad:?}");
+    }
 }

@@ -13,7 +13,11 @@
 //!   and 4 (when the node is duplicable; the pass refusing is part of
 //!   the property — the run must then be a clean no-op),
 //! * the dynamic engine over the *fissed* graph (the synthesized
-//!   splitter/worker/joiner nodes under data-driven scheduling).
+//!   splitter/worker/joiner nodes under data-driven scheduling),
+//! * and the pipeline executor once more under **supervision with a
+//!   seeded injected worker panic** — the run must complete (on the
+//!   pipeline, or via the watchdog-guarded single-threaded fallback)
+//!   with the same bits.
 //!
 //! The differential property: all of them print **bit-identical**
 //! outputs, and — within the cycle-quantized pipeline family, where the
@@ -26,14 +30,30 @@
 //! the fission targets are stateless interpreted filters) and `autosel`
 //! (linear extraction may turn them into linear/frequency kernels).
 
+use std::time::Duration;
+
 use proptest::prelude::*;
 use streamlin::core::combine::analyze_graph;
 use streamlin::core::cost::CostModel;
 use streamlin::core::select::{select, SelectOptions};
 use streamlin::core::OptStream;
 use streamlin::runtime::fission::Fission;
-use streamlin::runtime::measure::{profile_fission, profile_mode, ExecMode, Scheduler};
+use streamlin::runtime::measure::{
+    profile_fission, profile_mode, profile_supervised, ExecMode, Scheduler, Supervision,
+};
 use streamlin::runtime::MatMulStrategy;
+use streamlin::support::InjectFaults;
+
+/// FNV-1a over the rendered program: a deterministic per-case fault seed,
+/// so every fuzz case drills a *different* (but reproducible) fault site.
+fn fault_seed(src: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in src.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 fn test_threads() -> usize {
     std::env::var("STREAMLIN_TEST_THREADS")
@@ -313,6 +333,32 @@ fn check_spec(spec: &Spec) -> bool {
                 "{label}: tallies differ at fission={width}\n{src}"
             );
         }
+
+        // Robustness: the same pipeline run once more with a seeded
+        // worker panic under supervision. Whatever the fault hits (or
+        // misses — a seed can land on a step the run never reaches), the
+        // property is the same: the run completes, either on the pipeline
+        // or via the single-threaded fallback, and prints the same bits.
+        let fault =
+            InjectFaults::parse(&format!("{}:panic", fault_seed(&src))).expect("valid fault spec");
+        let sup = Supervision {
+            watchdog: Some(Duration::from_secs(5)),
+            fallback: true,
+        };
+        let drilled = profile_supervised(
+            &opt,
+            outputs,
+            MatMulStrategy::Unrolled,
+            Scheduler::Auto,
+            ExecMode::Measured,
+            Some(threads),
+            Fission::Off,
+            &sup,
+            Some(&fault),
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{label} fault drill: {e}\n{src}"));
+        assert_bits_equal(label, &dynamic.outputs, &drilled.outputs);
 
         // The fissed graph under the *dynamic* scheduler: the synthesized
         // split/worker/join nodes must behave identically data-driven.

@@ -12,10 +12,16 @@
 //! process-global, and a sibling test running pipelines concurrently
 //! would legitimately grow it.
 
+use std::time::Duration;
+
 use streamlin::core::combine::{analyze_graph, replace, ReplaceOptions};
 use streamlin::core::OptStream;
-use streamlin::runtime::measure::{profile_threads, ExecMode, Scheduler};
+use streamlin::runtime::fission::Fission;
+use streamlin::runtime::measure::{
+    profile_supervised, profile_threads, ExecMode, Scheduler, Supervision,
+};
 use streamlin::runtime::MatMulStrategy;
+use streamlin::support::InjectFaults;
 
 fn opt() -> OptStream {
     let bench = streamlin::benchmarks::fir(32);
@@ -69,4 +75,52 @@ fn repeated_runs_reuse_the_worker_pool_and_match_bit_for_bit() {
         "a narrower run must not spawn new workers"
     );
     assert_eq!(&first.outputs[..64], &third.outputs[..64]);
+
+    // ---- self-healing: a fault-killed worker must not poison the pool
+    // for the process lifetime. A `die` fault kills one pool thread at
+    // job start; the supervised run degrades to the single-threaded
+    // fallback (bit-identical output), the pool retires the corpse, and
+    // the next acquisition of the same shape spawns a replacement.
+    let retired_before = streamlin::runtime::pool::global_retired();
+    let sup = Supervision {
+        watchdog: Some(Duration::from_millis(500)),
+        fallback: true,
+    };
+    let fault = InjectFaults::parse("5:die@s1").expect("valid fault spec");
+    let degraded = profile_supervised(
+        &opt,
+        256,
+        MatMulStrategy::Unrolled,
+        Scheduler::Auto,
+        ExecMode::Measured,
+        Some(3),
+        Fission::Off,
+        &sup,
+        Some(&fault),
+        None,
+    )
+    .expect("a killed worker must degrade, not fail");
+    assert!(
+        degraded.degraded.is_some(),
+        "the run must report its degradation"
+    );
+    assert_eq!(first.outputs.len(), degraded.outputs.len());
+    for (i, (a, b)) in first.outputs.iter().zip(&degraded.outputs).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "fallback output {i} differs");
+    }
+    assert!(
+        streamlin::runtime::pool::global_retired() > retired_before,
+        "the dead worker must be retired, not re-parked"
+    );
+
+    let spawned_before_heal = streamlin::runtime::pool::global_spawned();
+    let healed = run(3);
+    assert!(
+        streamlin::runtime::pool::global_spawned() > spawned_before_heal,
+        "the next acquisition must respawn a replacement for the dead worker"
+    );
+    assert_eq!(first.outputs.len(), healed.outputs.len());
+    for (i, (a, b)) in first.outputs.iter().zip(&healed.outputs).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "healed output {i} differs");
+    }
 }
