@@ -8,11 +8,11 @@
 //! resolved to integers (§2.1: "these rates must be resolvable at compile
 //! time"). This module performs all of that, producing the [`Stream`] IR.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use streamlin_lang::ast::{
-    Block, Expr, Program, Stmt, StreamDecl, StreamKind, StreamRef, WorkDecl,
+    Block, Expr, LValue, Program, Stmt, StreamDecl, StreamKind, StreamRef, WorkDecl,
 };
 
 use crate::exec::{const_eval_expr, const_exec_block, const_exec_stmt_flat};
@@ -284,9 +284,41 @@ impl<'a> Elaborator<'a> {
 
         // Slot-resolve the work phases against the now-complete state:
         // the runtime executes this form, and name errors surface here at
-        // elaboration instead of on the Nth firing.
-        let lowered = crate::lower::lower_filter(&env, &work, init_work.as_ref())
-            .map_err(|e| ElabError::new(format!("in a work function: {}", e.message)))?;
+        // elaboration instead of on the Nth firing — all of them in one
+        // pass, each with its source position.
+        let lowered =
+            crate::lower::lower_filter(&env, &work, init_work.as_ref()).map_err(|errs| {
+                let msgs: Vec<String> = errs
+                    .iter()
+                    .map(|e| format!("at {}: {}", e.span, e.message))
+                    .collect();
+                ElabError::new(format!("in a work function: {}", msgs.join("; ")))
+            })?;
+
+        // Run the abstract interpreter (see `crate::analyze`): state
+        // effect, rate/bounds certification, lints. Provable rate or
+        // bounds violations fail elaboration here, with spans, instead of
+        // surfacing as runtime errors on the Nth firing.
+        let mut facts = crate::analyze::analyze_filter(
+            &env,
+            &lowered,
+            &work,
+            init_work.as_ref(),
+            f.work.span,
+            f.init_work.as_ref().map(|w| w.span).unwrap_or_default(),
+        );
+        if !facts.errors.is_empty() {
+            let msgs: Vec<String> = facts
+                .errors
+                .iter()
+                .map(|e| format!("at {}: {}", e.span, e.message))
+                .collect();
+            return Err(ElabError::new(format!(
+                "in a work function: {}",
+                msgs.join("; ")
+            )));
+        }
+        facts.lints.extend(unused_decl_lints(decl, f));
 
         let prints = block_prints(&f.work.body)
             || f.init_work.as_ref().is_some_and(|w| block_prints(&w.body));
@@ -312,6 +344,7 @@ impl<'a> Elaborator<'a> {
             init_work,
             prints,
             lowered,
+            facts,
         })))
     }
 
@@ -550,6 +583,162 @@ fn expr_prints(e: &Expr) -> bool {
         Expr::Binary(_, a, b) => expr_prints(a) || expr_prints(b),
         Expr::Index(_, idx) => idx.iter().any(expr_prints),
         _ => false,
+    }
+}
+
+/// Unused-declaration lints for a filter: parameters and fields whose
+/// names appear nowhere in the declaration — not in field dimensions or
+/// initializers, the `init` block, the declared rates, or either work
+/// body. Runs on the AST (before name resolution erases names), so a
+/// local shadowing the name still counts as a use — a false negative,
+/// never a false positive.
+fn unused_decl_lints(
+    decl: &StreamDecl,
+    f: &streamlin_lang::ast::FilterDecl,
+) -> Vec<crate::analyze::Lint> {
+    let mut used: HashSet<String> = HashSet::new();
+    for field in &f.fields {
+        for d in &field.ty.dims {
+            used_in_expr(d, &mut used);
+        }
+        if let Some(init) = &field.init {
+            used_in_expr(init, &mut used);
+        }
+    }
+    if let Some(init) = &f.init {
+        used_in_block(init, &mut used);
+    }
+    for w in [Some(&f.work), f.init_work.as_ref()].into_iter().flatten() {
+        for rate in [&w.push, &w.pop, &w.peek].into_iter().flatten() {
+            used_in_expr(rate, &mut used);
+        }
+        used_in_block(&w.body, &mut used);
+    }
+    let mut lints = Vec::new();
+    for p in &decl.params {
+        if !used.contains(&p.name) {
+            lints.push(crate::analyze::Lint {
+                code: "unused-param",
+                span: p.span,
+                message: format!("parameter `{}` is never used", p.name),
+            });
+        }
+    }
+    for field in &f.fields {
+        if !used.contains(&field.name) {
+            lints.push(crate::analyze::Lint {
+                code: "unused-field",
+                span: field.span,
+                message: format!("field `{}` is never used", field.name),
+            });
+        }
+    }
+    lints
+}
+
+fn used_in_block(block: &Block, used: &mut HashSet<String>) {
+    for s in &block.stmts {
+        used_in_stmt(s, used);
+    }
+}
+
+fn used_in_stmt(stmt: &Stmt, used: &mut HashSet<String>) {
+    match stmt {
+        Stmt::Decl { ty, init, .. } => {
+            for d in &ty.dims {
+                used_in_expr(d, used);
+            }
+            if let Some(e) = init {
+                used_in_expr(e, used);
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            used_in_lvalue(target, used);
+            used_in_expr(value, used);
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            used_in_expr(cond, used);
+            used_in_block(then_blk, used);
+            if let Some(e) = else_blk {
+                used_in_block(e, used);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(s) = init {
+                used_in_stmt(s, used);
+            }
+            if let Some(c) = cond {
+                used_in_expr(c, used);
+            }
+            if let Some(s) = step {
+                used_in_stmt(s, used);
+            }
+            used_in_block(body, used);
+        }
+        Stmt::While { cond, body } => {
+            used_in_expr(cond, used);
+            used_in_block(body, used);
+        }
+        Stmt::Expr(e) => used_in_expr(e, used),
+        Stmt::Return => {}
+        Stmt::Add(r) => {
+            // Arguments of `add` keep captured names alive (containers
+            // only; filter bodies reject `add` at lowering).
+            if let StreamRef::Named { args, .. } = r {
+                for a in args {
+                    used_in_expr(a, used);
+                }
+            }
+        }
+    }
+}
+
+fn used_in_lvalue(lv: &LValue, used: &mut HashSet<String>) {
+    match lv {
+        LValue::Var(name) => {
+            used.insert(name.clone());
+        }
+        LValue::Index(name, idxs) => {
+            used.insert(name.clone());
+            for i in idxs {
+                used_in_expr(i, used);
+            }
+        }
+    }
+}
+
+fn used_in_expr(e: &Expr, used: &mut HashSet<String>) {
+    match e {
+        Expr::Var(name) => {
+            used.insert(name.clone());
+        }
+        Expr::Index(name, idxs) => {
+            used.insert(name.clone());
+            for i in idxs {
+                used_in_expr(i, used);
+            }
+        }
+        Expr::Unary(_, a) | Expr::Peek(a) | Expr::Push(a) => used_in_expr(a, used),
+        Expr::Binary(_, a, b) => {
+            used_in_expr(a, used);
+            used_in_expr(b, used);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                used_in_expr(a, used);
+            }
+        }
+        Expr::PostIncDec { target, .. } => used_in_lvalue(target, used),
+        Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Pi | Expr::Pop => {}
     }
 }
 

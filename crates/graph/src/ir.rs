@@ -11,6 +11,7 @@ use std::rc::Rc;
 
 use streamlin_lang::ast::{Block, DataType};
 
+use crate::analyze::FilterFacts;
 use crate::lower::LoweredFilter;
 use crate::value::Cell;
 
@@ -60,6 +61,11 @@ pub struct FilterInst {
     /// [`Self::work`]/[`Self::init_work`] remain the input of the linear
     /// extraction analysis and the pretty-printer.
     pub lowered: LoweredFilter,
+    /// What the abstract interpreter proved about this filter (state
+    /// effect, rate/bounds certificates, lints — see [`crate::analyze`]).
+    /// Execution paths consult this record instead of re-deriving effects
+    /// from the syntax.
+    pub facts: FilterFacts,
 }
 
 impl FilterInst {
@@ -211,6 +217,7 @@ mod tests {
             init_work: None,
             prints: false,
             lowered: LoweredFilter::default(),
+            facts: FilterFacts::default(),
         }))
     }
 

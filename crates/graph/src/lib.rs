@@ -45,6 +45,7 @@
 //! assert_eq!(steady.io.push, 0);
 //! ```
 
+pub mod analyze;
 pub mod elaborate;
 pub mod exec;
 pub mod ir;
@@ -53,6 +54,7 @@ pub mod stats;
 pub mod steady;
 pub mod value;
 
+pub use analyze::{FilterFacts, RateCert, StateEffect};
 pub use elaborate::{elaborate, ElabError};
 pub use ir::{FilterInst, Joiner, Splitter, Stream};
 pub use lower::{LoweredFilter, SlotInterp, SlotStore};

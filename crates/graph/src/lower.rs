@@ -30,30 +30,40 @@
 use std::collections::HashMap;
 
 use streamlin_lang::ast::{BinOp, Block, DataType, Expr, LValue, Stmt, UnOp};
+use streamlin_lang::token::Span;
 
 use crate::exec::{Flow, Host, IndexBuf};
 use crate::ir::WorkFn;
 use crate::value::{bin_op, un_op, ArrayVal, Cell, EvalError, MathFn, Value};
 
 /// A static resolution error (undefined name, unknown function, `add` in a
-/// work body). Reported at elaboration time.
+/// work body). Reported at elaboration time. [`lower_filter`] collects
+/// *every* error in a body rather than stopping at the first.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LowerError {
     /// Explanation of the problem.
     pub message: String,
+    /// Source position of the offending statement (the default span when
+    /// the body was built without position information).
+    pub span: Span,
 }
 
 impl LowerError {
-    fn new(message: impl Into<String>) -> Self {
+    fn new(message: impl Into<String>, span: Span) -> Self {
         LowerError {
             message: message.into(),
+            span,
         }
     }
 }
 
 impl std::fmt::Display for LowerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "lowering error: {}", self.message)
+        if self.span == Span::default() {
+            write!(f, "lowering error: {}", self.message)
+        } else {
+            write!(f, "lowering error at {}: {}", self.span, self.message)
+        }
     }
 }
 
@@ -124,7 +134,10 @@ pub enum RExpr {
     },
 }
 
-/// A resolved statement.
+/// A resolved statement. Every variant but `Return` carries the source
+/// span of the originating statement, so post-lowering analyses (the
+/// abstract interpreter in [`crate::analyze`], the lint driver) can point
+/// diagnostics back at the source.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RStmt {
     /// Local declaration into a frame slot. Executing it installs a fresh
@@ -138,6 +151,8 @@ pub enum RStmt {
         dims: Vec<RExpr>,
         /// Optional initializer.
         init: Option<RExpr>,
+        /// Source position.
+        span: Span,
     },
     /// Assignment through `=` or a compound operator.
     Assign {
@@ -147,6 +162,8 @@ pub enum RStmt {
         op: Option<BinOp>,
         /// Right-hand side.
         value: RExpr,
+        /// Source position.
+        span: Span,
     },
     /// `if`/`else`.
     If {
@@ -156,6 +173,8 @@ pub enum RStmt {
         then_blk: Vec<RStmt>,
         /// Optional else branch.
         else_blk: Option<Vec<RStmt>>,
+        /// Source position.
+        span: Span,
     },
     /// C-style `for`.
     For {
@@ -167,6 +186,8 @@ pub enum RStmt {
         step: Option<Box<RStmt>>,
         /// Body.
         body: Vec<RStmt>,
+        /// Source position.
+        span: Span,
     },
     /// `while`.
     While {
@@ -174,11 +195,28 @@ pub enum RStmt {
         cond: RExpr,
         /// Body.
         body: Vec<RStmt>,
+        /// Source position.
+        span: Span,
     },
     /// Expression statement.
-    Expr(RExpr),
+    Expr(RExpr, Span),
     /// `return;`.
     Return,
+}
+
+impl RStmt {
+    /// The source span of this statement.
+    pub fn span(&self) -> Span {
+        match self {
+            RStmt::Decl { span, .. }
+            | RStmt::Assign { span, .. }
+            | RStmt::If { span, .. }
+            | RStmt::For { span, .. }
+            | RStmt::While { span, .. }
+            | RStmt::Expr(_, span) => *span,
+            RStmt::Return => Span::default(),
+        }
+    }
 }
 
 /// One lowered work phase.
@@ -245,13 +283,16 @@ impl LoweredFilter {
 ///
 /// # Errors
 ///
-/// Returns a [`LowerError`] for undefined names, unknown functions, wrong
-/// intrinsic arity, or `add` statements inside a work body.
+/// Returns every [`LowerError`] found across both phases — undefined
+/// names, unknown functions, wrong intrinsic arity, `add` statements
+/// inside a work body — instead of stopping at the first. A statement
+/// that fails to lower is dropped and the walk continues (a failed
+/// declaration still binds its name, so uses of it don't cascade).
 pub fn lower_filter(
     state: &HashMap<String, Cell>,
     work: &WorkFn,
     init_work: Option<&WorkFn>,
-) -> Result<LoweredFilter, LowerError> {
+) -> Result<LoweredFilter, Vec<LowerError>> {
     let mut globals: Vec<String> = state.keys().cloned().collect();
     globals.sort();
     let index: HashMap<&str, u32> = globals
@@ -259,8 +300,12 @@ pub fn lower_filter(
         .enumerate()
         .map(|(i, n)| (n.as_str(), i as u32))
         .collect();
-    let lowered_work = lower_work(&index, &work.body)?;
-    let lowered_init = init_work.map(|w| lower_work(&index, &w.body)).transpose()?;
+    let mut errors = Vec::new();
+    let lowered_work = lower_work(&index, &work.body, &mut errors);
+    let lowered_init = init_work.map(|w| lower_work(&index, &w.body, &mut errors));
+    if !errors.is_empty() {
+        return Err(errors);
+    }
     Ok(LoweredFilter {
         globals,
         work: lowered_work,
@@ -268,18 +313,24 @@ pub fn lower_filter(
     })
 }
 
-fn lower_work(globals: &HashMap<&str, u32>, body: &Block) -> Result<LoweredWork, LowerError> {
+fn lower_work(
+    globals: &HashMap<&str, u32>,
+    body: &Block,
+    errors: &mut Vec<LowerError>,
+) -> LoweredWork {
     let mut lo = Lowerer {
         globals,
         scopes: Vec::new(),
         next_frame: 0,
         max_frame: 0,
+        cur_span: Span::default(),
+        errors,
     };
-    let body = lo.lower_block(body)?;
-    Ok(LoweredWork {
+    let body = lo.lower_block(body);
+    LoweredWork {
         body,
         frame_slots: lo.max_frame as usize,
-    })
+    }
 }
 
 /// The lowering pass: a lexical scope stack mapping names to frame slots,
@@ -291,9 +342,17 @@ struct Lowerer<'a> {
     scopes: Vec<(HashMap<String, u32>, u32)>,
     next_frame: u32,
     max_frame: u32,
+    /// Span of the statement currently being lowered — the position
+    /// expression-level errors are reported at.
+    cur_span: Span,
+    /// Every error found so far, across statements.
+    errors: &'a mut Vec<LowerError>,
 }
 
 impl Lowerer<'_> {
+    fn err(&self, message: impl Into<String>) -> LowerError {
+        LowerError::new(message, self.cur_span)
+    }
     fn push_scope(&mut self) {
         self.scopes.push((HashMap::new(), self.next_frame));
     }
@@ -324,21 +383,34 @@ impl Lowerer<'_> {
         self.globals
             .get(name)
             .map(|&i| Slot::Global(i))
-            .ok_or_else(|| LowerError::new(format!("undefined variable `{name}`")))
+            .ok_or_else(|| self.err(format!("undefined variable `{name}`")))
     }
 
-    fn lower_block(&mut self, block: &Block) -> Result<Vec<RStmt>, LowerError> {
+    /// Lowers a block, recording (not propagating) per-statement errors:
+    /// a statement that fails is dropped from the output and the walk
+    /// continues with the next one, so one pass reports them all.
+    fn lower_block(&mut self, block: &Block) -> Vec<RStmt> {
         self.push_scope();
-        let r = self.lower_stmts(&block.stmts);
+        let mut out = Vec::with_capacity(block.stmts.len());
+        for (i, s) in block.stmts.iter().enumerate() {
+            match self.lower_stmt(s, block.span_of(i)) {
+                Ok(r) => out.push(r),
+                Err(e) => {
+                    self.errors.push(e);
+                    // Keep the name visible so later uses of a failed
+                    // declaration don't cascade into `undefined variable`.
+                    if let Stmt::Decl { name, .. } = s {
+                        self.declare(name);
+                    }
+                }
+            }
+        }
         self.pop_scope();
-        r
+        out
     }
 
-    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<RStmt>, LowerError> {
-        stmts.iter().map(|s| self.lower_stmt(s)).collect()
-    }
-
-    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<RStmt, LowerError> {
+    fn lower_stmt(&mut self, stmt: &Stmt, span: Span) -> Result<RStmt, LowerError> {
+        self.cur_span = span;
         Ok(match stmt {
             Stmt::Decl { ty, name, init } => {
                 // Dimensions are evaluated before the name becomes
@@ -352,12 +424,14 @@ impl Lowerer<'_> {
                     base: ty.base,
                     dims,
                     init,
+                    span,
                 }
             }
             Stmt::Assign { target, op, value } => RStmt::Assign {
                 target: self.lower_lvalue(target)?,
                 op: *op,
                 value: self.lower_expr(value)?,
+                span,
             },
             Stmt::If {
                 cond,
@@ -365,8 +439,9 @@ impl Lowerer<'_> {
                 else_blk,
             } => RStmt::If {
                 cond: self.lower_expr(cond)?,
-                then_blk: self.lower_block(then_blk)?,
-                else_blk: else_blk.as_ref().map(|b| self.lower_block(b)).transpose()?,
+                then_blk: self.lower_block(then_blk),
+                else_blk: else_blk.as_ref().map(|b| self.lower_block(b)),
+                span,
             },
             Stmt::For {
                 init,
@@ -375,20 +450,27 @@ impl Lowerer<'_> {
                 body,
             } => {
                 // The init declaration lives in its own scope that also
-                // encloses the condition, step and body.
+                // encloses the condition, step and body. The header
+                // statements have no spans of their own and inherit the
+                // `for`'s.
                 self.push_scope();
                 let r = (|| {
+                    let init = init
+                        .as_deref()
+                        .map(|s| self.lower_stmt(s, span).map(Box::new))
+                        .transpose()?;
+                    self.cur_span = span;
+                    let cond = cond.as_ref().map(|e| self.lower_expr(e)).transpose()?;
+                    let step = step
+                        .as_deref()
+                        .map(|s| self.lower_stmt(s, span).map(Box::new))
+                        .transpose()?;
                     Ok(RStmt::For {
-                        init: init
-                            .as_deref()
-                            .map(|s| self.lower_stmt(s).map(Box::new))
-                            .transpose()?,
-                        cond: cond.as_ref().map(|e| self.lower_expr(e)).transpose()?,
-                        step: step
-                            .as_deref()
-                            .map(|s| self.lower_stmt(s).map(Box::new))
-                            .transpose()?,
-                        body: self.lower_block(body)?,
+                        init,
+                        cond,
+                        step,
+                        body: self.lower_block(body),
+                        span,
                     })
                 })();
                 self.pop_scope();
@@ -396,14 +478,13 @@ impl Lowerer<'_> {
             }
             Stmt::While { cond, body } => RStmt::While {
                 cond: self.lower_expr(cond)?,
-                body: self.lower_block(body)?,
+                body: self.lower_block(body),
+                span,
             },
-            Stmt::Expr(e) => RStmt::Expr(self.lower_expr(e)?),
+            Stmt::Expr(e) => RStmt::Expr(self.lower_expr(e)?, span),
             Stmt::Return => RStmt::Return,
             Stmt::Add(_) => {
-                return Err(LowerError::new(
-                    "`add` is only allowed in stream container bodies",
-                ))
+                return Err(self.err("`add` is only allowed in stream container bodies"))
             }
         })
     }
@@ -439,7 +520,7 @@ impl Lowerer<'_> {
             Expr::Call(name, args) => {
                 if name == "print" || name == "println" {
                     if args.len() != 1 {
-                        return Err(LowerError::new(format!("{name} expects 1 argument")));
+                        return Err(self.err(format!("{name} expects 1 argument")));
                     }
                     return Ok(RExpr::Print {
                         newline: name == "println",
@@ -447,9 +528,9 @@ impl Lowerer<'_> {
                     });
                 }
                 let f = MathFn::from_name(name)
-                    .ok_or_else(|| LowerError::new(format!("unknown function `{name}`")))?;
+                    .ok_or_else(|| self.err(format!("unknown function `{name}`")))?;
                 if args.len() != f.arity() {
-                    return Err(LowerError::new(format!(
+                    return Err(self.err(format!(
                         "{name} expects {} argument(s), got {}",
                         f.arity(),
                         args.len()
@@ -549,6 +630,7 @@ impl<'h, H: Host> SlotInterp<'h, H> {
                 base,
                 dims,
                 init,
+                ..
             } => {
                 let cell = if dims.is_empty() {
                     Cell::Scalar(*base, Value::zero_of(*base))
@@ -571,7 +653,9 @@ impl<'h, H: Host> SlotInterp<'h, H> {
                 }
                 Ok(Flow::Normal)
             }
-            RStmt::Assign { target, op, value } => {
+            RStmt::Assign {
+                target, op, value, ..
+            } => {
                 let rhs = self.eval(store, value)?;
                 match op {
                     None => self.assign(store, target, rhs)?,
@@ -585,6 +669,7 @@ impl<'h, H: Host> SlotInterp<'h, H> {
                 cond,
                 then_blk,
                 else_blk,
+                ..
             } => {
                 let c = self.eval(store, cond)?.as_bool()?;
                 if c {
@@ -595,7 +680,7 @@ impl<'h, H: Host> SlotInterp<'h, H> {
                     Ok(Flow::Normal)
                 }
             }
-            RStmt::While { cond, body } => {
+            RStmt::While { cond, body, .. } => {
                 loop {
                     self.spend()?;
                     if !self.eval(store, cond)?.as_bool()? {
@@ -612,6 +697,7 @@ impl<'h, H: Host> SlotInterp<'h, H> {
                 cond,
                 step,
                 body,
+                ..
             } => {
                 if let Some(i) = init {
                     if self.exec_stmt(store, i)? == Flow::Return {
@@ -638,7 +724,7 @@ impl<'h, H: Host> SlotInterp<'h, H> {
                 }
                 Ok(Flow::Normal)
             }
-            RStmt::Expr(e) => {
+            RStmt::Expr(e, _) => {
                 self.eval(store, e)?;
                 Ok(Flow::Normal)
             }
@@ -900,7 +986,7 @@ mod tests {
         );
         assert_eq!(lowered.globals, vec!["a".to_string(), "z".to_string()]);
         // `a + z` resolves to Global(0) + Global(1).
-        let RStmt::Expr(RExpr::Push(e)) = &lowered.work.body[0] else {
+        let RStmt::Expr(RExpr::Push(e), _) = &lowered.work.body[0] else {
             panic!("{:?}", lowered.work.body);
         };
         let RExpr::Binary(BinOp::Add, lhs, rhs) = &**e else {
@@ -922,11 +1008,11 @@ mod tests {
                 }
             }",
         );
-        let RStmt::Expr(RExpr::Push(first)) = &lowered.work.body[0] else {
+        let RStmt::Expr(RExpr::Push(first), _) = &lowered.work.body[0] else {
             panic!()
         };
         assert_eq!(**first, RExpr::Var(Slot::Global(0)));
-        let RStmt::Expr(RExpr::Push(second)) = &lowered.work.body[2] else {
+        let RStmt::Expr(RExpr::Push(second), _) = &lowered.work.body[2] else {
             panic!()
         };
         assert_eq!(**second, RExpr::Var(Slot::Frame(0)));
@@ -989,8 +1075,10 @@ mod tests {
             push: 1,
             body: f.work.body.clone(),
         };
-        let err = lower_filter(&HashMap::new(), &work, None).unwrap_err();
-        assert!(err.message.contains("nope"), "{err}");
+        let errs = lower_filter(&HashMap::new(), &work, None).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("nope"), "{errs:?}");
+        assert_ne!(errs[0].span, Span::default(), "error carries a position");
     }
 
     #[test]
@@ -1005,8 +1093,84 @@ mod tests {
             push: 1,
             body: f.work.body.clone(),
         };
-        let err = lower_filter(&HashMap::new(), &work, None).unwrap_err();
-        assert!(err.message.contains("frob"), "{err}");
+        let errs = lower_filter(&HashMap::new(), &work, None).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("frob"), "{errs:?}");
+    }
+
+    #[test]
+    fn all_errors_reported_in_one_pass_with_spans() {
+        let p = parse(
+            "void->float filter F {
+                work push 2 {
+                    push(nope);
+                    int ok = 1;
+                    push(frob(ok));
+                    push(alsonope);
+                }
+            }",
+        )
+        .unwrap();
+        let StreamKind::Filter(f) = &p.decls[0].kind else {
+            panic!()
+        };
+        let work = WorkFn {
+            peek: 0,
+            pop: 0,
+            push: 2,
+            body: f.work.body.clone(),
+        };
+        let errs = lower_filter(&HashMap::new(), &work, None).unwrap_err();
+        let msgs: Vec<&str> = errs.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(errs.len(), 3, "{msgs:?}");
+        assert!(msgs[0].contains("nope"));
+        assert!(msgs[1].contains("frob"));
+        assert!(msgs[2].contains("alsonope"));
+        // Each error points at its own statement.
+        assert!(errs[0].span.line < errs[1].span.line);
+        assert!(errs[1].span.line < errs[2].span.line);
+    }
+
+    #[test]
+    fn failed_declaration_does_not_cascade() {
+        // `int x = frob();` fails, but a later use of `x` must not produce
+        // a second, spurious `undefined variable` error.
+        let p = parse(
+            "void->float filter F {
+                work push 1 {
+                    int x = frob();
+                    push(x);
+                }
+            }",
+        )
+        .unwrap();
+        let StreamKind::Filter(f) = &p.decls[0].kind else {
+            panic!()
+        };
+        let work = WorkFn {
+            peek: 0,
+            pop: 0,
+            push: 1,
+            body: f.work.body.clone(),
+        };
+        let errs = lower_filter(&HashMap::new(), &work, None).unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].message.contains("frob"));
+    }
+
+    #[test]
+    fn statements_carry_their_source_spans() {
+        let (lowered, _) = lowered_for(
+            "void->float filter F {
+                work push 1 {
+                    int x = 1;
+                    push(x);
+                }
+            }",
+        );
+        let spans: Vec<Span> = lowered.work.body.iter().map(|s| s.span()).collect();
+        assert!(spans.iter().all(|s| *s != Span::default()));
+        assert!(spans[0].line < spans[1].line);
     }
 
     #[test]
@@ -1042,7 +1206,7 @@ mod tests {
     #[test]
     fn pi_is_folded_at_lowering() {
         let (lowered, _) = lowered_for("void->float filter F { work push 1 { push(pi); } }");
-        let RStmt::Expr(RExpr::Push(e)) = &lowered.work.body[0] else {
+        let RStmt::Expr(RExpr::Push(e), _) = &lowered.work.body[0] else {
             panic!()
         };
         assert_eq!(**e, RExpr::Float(std::f64::consts::PI));

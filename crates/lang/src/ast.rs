@@ -6,6 +6,14 @@
 //! the three hierarchical containers (`pipeline`, `splitjoin`,
 //! `feedbackloop`). Work-function bodies are C-like imperative code over the
 //! tape primitives `peek(i)`, `pop()` and `push(v)`.
+//!
+//! Source positions: blocks carry one [`Span`] per statement (parallel to
+//! `stmts`), and declarations that diagnostics point at ([`FieldDecl`],
+//! [`Param`], [`WorkDecl`]) carry their own span. Spans are *position
+//! metadata*, not syntax: the `PartialEq` impls below ignore them, so a
+//! pretty-printed and re-parsed program still compares equal.
+
+use crate::token::Span;
 
 /// A parsed program: an ordered list of stream declarations. The *last*
 /// `void->void` declaration is conventionally the top-level stream.
@@ -63,12 +71,20 @@ impl Type {
 }
 
 /// A formal parameter of a parameterized stream.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Param {
     /// Declared type.
     pub ty: Type,
     /// Parameter name.
     pub name: String,
+    /// Where the parameter is declared (ignored by equality).
+    pub span: Span,
+}
+
+impl PartialEq for Param {
+    fn eq(&self, other: &Self) -> bool {
+        self.ty == other.ty && self.name == other.name
+    }
 }
 
 /// A top-level (or anonymous) stream declaration.
@@ -115,7 +131,7 @@ pub struct FilterDecl {
 }
 
 /// A field (persistent state) declaration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FieldDecl {
     /// Declared type (may be an array).
     pub ty: Type,
@@ -123,10 +139,18 @@ pub struct FieldDecl {
     pub name: String,
     /// Optional initializer expression.
     pub init: Option<Expr>,
+    /// Where the field is declared (ignored by equality).
+    pub span: Span,
+}
+
+impl PartialEq for FieldDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.ty == other.ty && self.name == other.name && self.init == other.init
+    }
 }
 
 /// A work function with its declared I/O rates.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct WorkDecl {
     /// Items pushed per firing (defaults to 0).
     pub push: Option<Expr>,
@@ -136,6 +160,17 @@ pub struct WorkDecl {
     pub peek: Option<Expr>,
     /// The body.
     pub body: Block,
+    /// Where the work function is declared (ignored by equality).
+    pub span: Span,
+}
+
+impl PartialEq for WorkDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.push == other.push
+            && self.pop == other.pop
+            && self.peek == other.peek
+            && self.body == other.body
+    }
 }
 
 /// A splitjoin: splitter, `add` statements, joiner.
@@ -198,10 +233,34 @@ pub enum StreamRef {
 }
 
 /// A sequence of statements.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Block {
     /// The statements, in order.
     pub stmts: Vec<Stmt>,
+    /// One source span per statement, parallel to `stmts` (ignored by
+    /// equality). Programmatically built blocks may leave this empty;
+    /// [`Block::span_of`] falls back to the default span.
+    pub spans: Vec<Span>,
+}
+
+impl Block {
+    /// A block over the given statements with default (unknown) spans.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        let spans = vec![Span::default(); stmts.len()];
+        Block { stmts, spans }
+    }
+
+    /// The source span of statement `i`, or the default span when the
+    /// block was built without position information.
+    pub fn span_of(&self, i: usize) -> Span {
+        self.spans.get(i).copied().unwrap_or_default()
+    }
+}
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Self) -> bool {
+        self.stmts == other.stmts
+    }
 }
 
 /// Statements of the imperative sub-language (plus the container-only

@@ -211,9 +211,10 @@ impl Parser {
         let mut params = Vec::new();
         if !self.eat(&Token::RParen) {
             loop {
+                let span = self.cur_span();
                 let ty = self.ty()?;
                 let name = self.ident("parameter name")?;
-                params.push(Param { ty, name });
+                params.push(Param { ty, name, span });
                 if !self.eat(&Token::Comma) {
                     break;
                 }
@@ -240,18 +241,21 @@ impl Parser {
                     }
                 }
                 Token::KwWork => {
+                    let span = self.cur_span();
                     self.bump();
-                    if work.replace(self.work_decl()?).is_some() {
+                    if work.replace(self.work_decl(span)?).is_some() {
                         return Err(self.error("duplicate `work` function"));
                     }
                 }
                 Token::KwInitWork => {
+                    let span = self.cur_span();
                     self.bump();
-                    if init_work.replace(self.work_decl()?).is_some() {
+                    if init_work.replace(self.work_decl(span)?).is_some() {
                         return Err(self.error("duplicate `initWork` function"));
                     }
                 }
                 _ if self.is_type_start() => {
+                    let span = self.cur_span();
                     let ty = self.ty()?;
                     let name = self.ident("field name")?;
                     let fi = if self.eat(&Token::Assign) {
@@ -260,7 +264,12 @@ impl Parser {
                         None
                     };
                     self.expect(&Token::Semi, "`;` after field declaration")?;
-                    fields.push(FieldDecl { ty, name, init: fi });
+                    fields.push(FieldDecl {
+                        ty,
+                        name,
+                        init: fi,
+                        span,
+                    });
                 }
                 other => {
                     return Err(self.error(format!(
@@ -279,7 +288,7 @@ impl Parser {
         })
     }
 
-    fn work_decl(&mut self) -> PResult<WorkDecl> {
+    fn work_decl(&mut self, span: Span) -> PResult<WorkDecl> {
         let mut push = None;
         let mut pop = None;
         let mut peek = None;
@@ -312,6 +321,7 @@ impl Parser {
             pop,
             peek,
             body,
+            span,
         })
     }
 
@@ -370,6 +380,7 @@ impl Parser {
         let mut split = None;
         let mut join = None;
         let mut stmts = Vec::new();
+        let mut spans = Vec::new();
         while !self.eat(&Token::RBrace) {
             match self.cur() {
                 Token::KwSplit => {
@@ -386,14 +397,17 @@ impl Parser {
                     }
                     self.expect(&Token::Semi, "`;` after `join`")?;
                 }
-                _ => stmts.push(self.stmt()?),
+                _ => {
+                    spans.push(self.cur_span());
+                    stmts.push(self.stmt()?);
+                }
             }
         }
         let split = split.ok_or_else(|| self.error("splitjoin has no `split` declaration"))?;
         let join = join.ok_or_else(|| self.error("splitjoin has no `join` declaration"))?;
         Ok(SplitJoinDecl {
             split,
-            body: Block { stmts },
+            body: Block { stmts, spans },
             join,
         })
     }
@@ -492,10 +506,12 @@ impl Parser {
     fn block(&mut self) -> PResult<Block> {
         self.expect(&Token::LBrace, "`{`")?;
         let mut stmts = Vec::new();
+        let mut spans = Vec::new();
         while !self.eat(&Token::RBrace) {
+            spans.push(self.cur_span());
             stmts.push(self.stmt()?);
         }
-        Ok(Block { stmts })
+        Ok(Block { stmts, spans })
     }
 
     /// A block, or a single statement treated as a one-element block
@@ -504,8 +520,10 @@ impl Parser {
         if *self.cur() == Token::LBrace {
             self.block()
         } else {
+            let span = self.cur_span();
             Ok(Block {
                 stmts: vec![self.stmt()?],
+                spans: vec![span],
             })
         }
     }

@@ -612,6 +612,52 @@ impl<T: Tally> Host for WindowHost<'_, T> {
     }
 }
 
+/// Tape host for rate/bounds-certified phases (see
+/// [`streamlin_graph::analyze`]): the abstract interpreter proved every
+/// peek/pop stays inside the declared window, so accesses index the
+/// window directly with no `Option` plumbing and no error formatting,
+/// and the caller skips post-firing rate validation. Outputs are
+/// bit-identical to [`WindowHost`] — the certificate guarantees the
+/// checked path would never have taken an error branch.
+struct CertWindowHost<'a, T> {
+    window: &'a [f64],
+    cursor: usize,
+    pushed: Vec<f64>,
+    printed: &'a mut Vec<f64>,
+    ops: &'a mut T,
+}
+
+impl<T: Tally> Host for CertWindowHost<'_, T> {
+    fn peek(&mut self, i: usize) -> Result<f64, EvalError> {
+        Ok(self.window[self.cursor + i])
+    }
+    fn pop(&mut self) -> Result<f64, EvalError> {
+        let v = self.window[self.cursor];
+        self.cursor += 1;
+        Ok(v)
+    }
+    fn push(&mut self, v: f64) -> Result<(), EvalError> {
+        self.pushed.push(v);
+        Ok(())
+    }
+    fn print(&mut self, v: Value, _newline: bool) -> Result<(), EvalError> {
+        self.printed.push(v.as_f64()?);
+        Ok(())
+    }
+    fn count_add(&mut self) {
+        self.ops.add(0.0, 0.0);
+    }
+    fn count_mul(&mut self) {
+        self.ops.mul(0.0, 0.0);
+    }
+    fn count_div(&mut self) {
+        self.ops.div(1.0, 1.0);
+    }
+    fn count_other(&mut self) {
+        self.ops.other(1);
+    }
+}
+
 /// Interpreter fuel per firing — generous (Radar's largest work functions
 /// run tens of thousands of statements per firing).
 const FIRING_FUEL: u64 = 50_000_000;
@@ -640,7 +686,7 @@ pub(crate) fn run_work_phase<T: Tally>(
     ops: &mut T,
 ) -> Result<(usize, Vec<f64>), RunError> {
     let use_init = interp.first && interp.inst.init_work.is_some();
-    let (phase, code) = if use_init {
+    let (phase, code, certified) = if use_init {
         (
             interp.inst.init_work.as_ref().expect("checked"),
             interp
@@ -649,11 +695,43 @@ pub(crate) fn run_work_phase<T: Tally>(
                 .init_work
                 .as_ref()
                 .expect("lowered alongside init_work"),
+            interp.init_certified,
         )
     } else {
-        (&interp.inst.work, &interp.inst.lowered.work)
+        (
+            &interp.inst.work,
+            &interp.inst.lowered.work,
+            interp.work_certified,
+        )
     };
     interp.first = false;
+
+    let mut store = SlotStore {
+        globals: &mut interp.globals,
+        frame: &mut interp.frame,
+    };
+    if certified {
+        // Rate/bounds-certified phase: unchecked tape accesses, and the
+        // declared rates need no post-firing validation.
+        let mut host = CertWindowHost {
+            window,
+            cursor: 0,
+            pushed: Vec::with_capacity(phase.push),
+            printed,
+            ops,
+        };
+        let mut engine = SlotInterp::new(&mut host, FIRING_FUEL);
+        match engine.exec_work(&mut store, &code.body) {
+            Ok(Flow::Normal) | Ok(Flow::Return) => {}
+            Err(e) => {
+                return Err(RunError::Eval(format!(
+                    "{}: {}",
+                    interp.inst.name, e.message
+                )))
+            }
+        }
+        return Ok((phase.pop, host.pushed));
+    }
 
     let (cursor, pushed) = {
         let mut host = WindowHost {
@@ -664,10 +742,6 @@ pub(crate) fn run_work_phase<T: Tally>(
             ops,
         };
         let mut engine = SlotInterp::new(&mut host, FIRING_FUEL);
-        let mut store = SlotStore {
-            globals: &mut interp.globals,
-            frame: &mut interp.frame,
-        };
         match engine.exec_work(&mut store, &code.body) {
             Ok(Flow::Normal) | Ok(Flow::Return) => {}
             Err(e) => {
@@ -793,7 +867,7 @@ mod tests {
     fn rate_violation_is_reported() {
         let mut e = engine_for(
             "void->void pipeline Main { add S(); add K(); }
-             void->float filter S { float x; work push 2 { push(x++); } }
+             void->float filter S { float x; work push 2 { push(x); if (x > 0.5) push(x); x = x + 1; } }
              float->void filter K { work pop 1 { println(pop()); } }",
         );
         let err = e.run_until_outputs(1).unwrap_err();

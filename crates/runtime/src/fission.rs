@@ -91,7 +91,7 @@
 
 use streamlin_core::cost::CostModel;
 use streamlin_core::frequency::{FreqExec, FreqStrategy};
-use streamlin_graph::lower::{RExpr, RLValue, RStmt, Slot};
+use streamlin_graph::StateEffect;
 use streamlin_support::FaultPlan;
 
 use crate::flat::{FlatGraph, FlatNode, InterpState, NodeKind};
@@ -305,75 +305,6 @@ impl FissKind {
     }
 }
 
-/// True when any statement in the lowered body assigns (or
-/// increments/decrements) a global slot — i.e. mutates persistent state.
-fn writes_global(stmts: &[RStmt]) -> bool {
-    fn lvalue_global(l: &RLValue) -> bool {
-        match l {
-            RLValue::Var(Slot::Global(_)) | RLValue::Index(Slot::Global(_), _) => true,
-            RLValue::Var(Slot::Frame(_)) => false,
-            RLValue::Index(Slot::Frame(_), idx) => idx.iter().any(expr_writes),
-        }
-    }
-    fn expr_writes(e: &RExpr) -> bool {
-        match e {
-            RExpr::PostIncDec { target, .. } => {
-                lvalue_global(target)
-                    || match target {
-                        RLValue::Index(_, idx) => idx.iter().any(expr_writes),
-                        RLValue::Var(_) => false,
-                    }
-            }
-            RExpr::Int(_) | RExpr::Float(_) | RExpr::Bool(_) | RExpr::Var(_) | RExpr::Pop => false,
-            RExpr::Index(_, idx) => idx.iter().any(expr_writes),
-            RExpr::Unary(_, a) | RExpr::Peek(a) | RExpr::Push(a) | RExpr::Print { arg: a, .. } => {
-                expr_writes(a)
-            }
-            RExpr::Binary(_, a, b) => expr_writes(a) || expr_writes(b),
-            RExpr::Math(_, args) => args.iter().any(expr_writes),
-        }
-    }
-    fn stmt_writes(s: &RStmt) -> bool {
-        match s {
-            RStmt::Decl { dims, init, .. } => {
-                dims.iter().any(expr_writes) || init.as_ref().is_some_and(expr_writes)
-            }
-            RStmt::Assign { target, value, .. } => {
-                lvalue_global(target) || expr_writes(value) || {
-                    match target {
-                        RLValue::Index(_, idx) => idx.iter().any(expr_writes),
-                        RLValue::Var(_) => false,
-                    }
-                }
-            }
-            RStmt::If {
-                cond,
-                then_blk,
-                else_blk,
-            } => {
-                expr_writes(cond)
-                    || writes_global(then_blk)
-                    || else_blk.as_deref().is_some_and(writes_global)
-            }
-            RStmt::For {
-                init,
-                cond,
-                step,
-                body,
-            } => {
-                init.as_deref().is_some_and(stmt_writes)
-                    || cond.as_ref().is_some_and(expr_writes)
-                    || step.as_deref().is_some_and(stmt_writes)
-                    || writes_global(body)
-            }
-            RStmt::While { cond, body } => expr_writes(cond) || writes_global(body),
-            RStmt::Expr(e) => expr_writes(e),
-            RStmt::Return => false,
-        }
-    }
-    stmts.iter().any(stmt_writes)
-}
-
 /// Classifies a flat node as duplicable, or explains why it is not.
 ///
 /// # Errors
@@ -409,10 +340,21 @@ pub fn fissability(node: &FlatNode) -> Result<FissKind, String> {
             if inst.work.pop == 0 || inst.work.push == 0 {
                 return Err(format!("{}: sources/sinks are not fissed", node.name));
             }
-            if writes_global(&inst.lowered.work.body) {
-                return Err(format!("{}: work body mutates persistent state", node.name));
+            // Admissibility comes from the state-effect lattice the
+            // abstract interpreter computed at elaboration (see
+            // `streamlin_graph::analyze`), not a syntactic walk: a write
+            // in a provably dead branch no longer blocks fission.
+            match inst.facts.effect {
+                StateEffect::Pure | StateEffect::ReadsState => Ok(FissKind::StatelessInterp),
+                StateEffect::AffineState => Err(format!(
+                    "{}: work body mutates persistent state (affine update — fissable in \
+                     principle, not yet implemented)",
+                    node.name
+                )),
+                StateEffect::OpaqueState => {
+                    Err(format!("{}: work body mutates persistent state", node.name))
+                }
             }
-            Ok(FissKind::StatelessInterp)
         }
         NodeKind::Redund(_) => Err(format!(
             "{}: redundancy caches carry values across firings",

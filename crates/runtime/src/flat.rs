@@ -1,5 +1,6 @@
 //! Lowering an optimized stream to a flat node/channel graph.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use streamlin_core::frequency::FreqExec;
@@ -28,6 +29,24 @@ impl std::fmt::Display for FlattenError {
 
 impl std::error::Error for FlattenError {}
 
+/// Process-wide switch for certified tape-check elision (default on;
+/// the `STREAMLIN_NO_CERT` environment variable or [`set_cert_elision`]
+/// turns it off). Read once per [`InterpState`] construction, so a node
+/// never changes discipline mid-run.
+static CERT_ELISION: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the certified unchecked-tape fast path for
+/// subsequently built interpreter nodes. Benchmarks use this to measure
+/// the cost of per-access checking in-process; results are bit-identical
+/// either way (that is what the certificate proves).
+pub fn set_cert_elision(on: bool) {
+    CERT_ELISION.store(on, Ordering::Relaxed);
+}
+
+fn cert_elision_enabled() -> bool {
+    CERT_ELISION.load(Ordering::Relaxed) && std::env::var_os("STREAMLIN_NO_CERT").is_none()
+}
+
 /// Mutable interpreter state of an original filter instance. Storage is
 /// slot-resolved (see [`streamlin_graph::lower`]): persistent cells live
 /// in a `Vec` ordered by the lowered filter's global-slot table, and the
@@ -47,6 +66,12 @@ pub struct InterpState {
     pub frame: Vec<Cell>,
     /// True until the first firing has happened (selects `initWork`).
     pub first: bool,
+    /// The work phase holds a [`streamlin_graph::analyze::RateCert`] and
+    /// elision is enabled: firings skip per-access tape checks and
+    /// post-firing rate validation.
+    pub work_certified: bool,
+    /// Same for the first-firing phase.
+    pub init_certified: bool,
 }
 
 impl InterpState {
@@ -66,7 +91,15 @@ impl InterpState {
             })
             .collect();
         let frame = vec![Cell::Scalar(DataType::Int, Value::Int(0)); inst.lowered.frame_slots()];
+        let elide = cert_elision_enabled();
         InterpState {
+            work_certified: elide && inst.facts.work.cert.is_some(),
+            init_certified: elide
+                && inst
+                    .facts
+                    .init_work
+                    .as_ref()
+                    .is_some_and(|p| p.cert.is_some()),
             inst: Arc::new(inst.clone()),
             globals,
             frame,
@@ -431,19 +464,19 @@ fn compile_peephole(inst: &FilterInst) -> Option<NodeKind> {
 }
 
 fn is_println_pop(s: &RStmt) -> bool {
-    matches!(s, RStmt::Expr(RExpr::Print { newline: true, arg })
+    matches!(s, RStmt::Expr(RExpr::Print { newline: true, arg }, _)
         if matches!(**arg, RExpr::Pop))
 }
 
 fn is_bare_pop(s: &RStmt) -> bool {
-    matches!(s, RStmt::Expr(RExpr::Pop))
+    matches!(s, RStmt::Expr(RExpr::Pop, _))
 }
 
 /// Matches `push(arr[idx]); idx = (idx + 1) % m;` over a 1-D float array
 /// field and an int cursor field — the ring-buffer source idiom. The
 /// post-`init` state supplies the cycle values and starting phase.
 fn compile_periodic(inst: &FilterInst, stmts: &[RStmt]) -> Option<NodeKind> {
-    let RStmt::Expr(RExpr::Push(pushed)) = &stmts[0] else {
+    let RStmt::Expr(RExpr::Push(pushed), _) = &stmts[0] else {
         return None;
     };
     let RExpr::Index(Slot::Global(arr_slot), idx_exprs) = &**pushed else {
@@ -456,6 +489,7 @@ fn compile_periodic(inst: &FilterInst, stmts: &[RStmt]) -> Option<NodeKind> {
         target: RLValue::Var(Slot::Global(tgt)),
         op: None,
         value,
+        ..
     } = &stmts[1]
     else {
         return None;

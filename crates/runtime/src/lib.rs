@@ -105,6 +105,7 @@ pub mod telemetry;
 
 pub use engine::{Engine, RunError};
 pub use fission::{fiss_bottleneck, fissability, Fission, FissionInfo};
+pub use flat::set_cert_elision;
 pub use linear_exec::MatMulStrategy;
 pub use measure::{
     profile, profile_fission, profile_mode, profile_recorded, profile_sched, profile_supervised,

@@ -1223,7 +1223,7 @@ mod tests {
     #[test]
     fn rate_violations_poison_the_pipeline() {
         const BAD: &str = "void->void pipeline Main { add S(); add K(); }
-             void->float filter S { float x; work push 2 { push(x++); } }
+             void->float filter S { float x; work push 2 { push(x); if (x > 0.5) push(x); x = x + 1; } }
              float->void filter K { work pop 1 { println(pop()); } }";
         let (flat, plan) = planned(BAD);
         let part = partition(&flat, &plan, 2, &CostModel::default());

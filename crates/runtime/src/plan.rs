@@ -1296,7 +1296,7 @@ mod tests {
     fn rate_violation_is_still_reported() {
         let flat = flat_for(
             "void->void pipeline Main { add S(); add K(); }
-             void->float filter S { float x; work push 2 { push(x++); } }
+             void->float filter S { float x; work push 2 { push(x); if (x > 0.5) push(x); x = x + 1; } }
              float->void filter K { work pop 1 { println(pop()); } }",
         );
         let plan = compile(&flat).unwrap();

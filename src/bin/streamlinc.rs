@@ -16,6 +16,8 @@
 //! $ streamlinc program.str --metrics              # telemetry summary table
 //! $ streamlinc program.str --trace-out t.json     # Chrome trace-event file
 //! $ streamlinc program.str --quiet                # program output only
+//! $ streamlinc program.str --lint                 # spanned diagnostics, no run
+//! $ streamlinc program.str --deny-lints           # CI: non-zero exit on lints
 //! $ streamlinc program.str --threads 4 --watchdog-ms 2000   # stall watchdog
 //! $ streamlinc program.str --threads 4 --fault-inject 7:panic@s1  # drill
 //! ```
@@ -60,6 +62,12 @@ struct Args {
     /// Wall-clock no-progress deadline for the pipeline watchdog, in
     /// milliseconds (`--watchdog-ms N`).
     watchdog_ms: Option<u64>,
+    /// `--lint`: print every advisory diagnostic the static analysis
+    /// produced (spanned, one line each) and skip execution.
+    lint: bool,
+    /// `--deny-lints`: like `--lint`, but exit non-zero if any lint
+    /// fired (for CI).
+    deny_lints: bool,
 }
 
 impl Args {
@@ -85,7 +93,8 @@ fn usage() -> ! {
          \x20                [--matmul unrolled|diagonal|blocked|simd] [--threads <n>]\n\
          \x20                [--fission auto|off|<w>] [-n <outputs>] [--emit-graph]\n\
          \x20                [--metrics] [--trace-out <file>] [--quiet]\n\
-         \x20                [--watchdog-ms <n>] [--fault-inject <seed>:<spec>[,<spec>...]]"
+         \x20                [--watchdog-ms <n>] [--fault-inject <seed>:<spec>[,<spec>...]]\n\
+         \x20                [--lint] [--deny-lints]"
     );
     std::process::exit(2);
 }
@@ -106,6 +115,8 @@ fn parse_args() -> Args {
         quiet: false,
         fault: None,
         watchdog_ms: None,
+        lint: false,
+        deny_lints: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -176,6 +187,11 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--lint" => args.lint = true,
+            "--deny-lints" => {
+                args.lint = true;
+                args.deny_lints = true;
+            }
             "--emit-graph" => args.emit_graph = true,
             "--metrics" => args.metrics = true,
             "--trace-out" => args.trace_out = Some(it.next().unwrap_or_else(|| usage())),
@@ -221,6 +237,38 @@ fn run(args: &Args) -> Result<(), String> {
     if let Some(r) = rec.as_mut() {
         r.phase("elaborate", t0);
     }
+    if args.lint {
+        // One line per distinct (position, code, message, declaration):
+        // a declaration instantiated many times reports each finding once.
+        let mut lints: Vec<(u32, u32, &'static str, String, String)> = Vec::new();
+        graph.for_each_filter(&mut |inst| {
+            for l in &inst.facts.lints {
+                lints.push((
+                    l.span.line,
+                    l.span.col,
+                    l.code,
+                    l.message.clone(),
+                    inst.decl_name.clone(),
+                ));
+            }
+        });
+        lints.sort();
+        lints.dedup();
+        for (line, col, code, msg, decl) in &lints {
+            println!(
+                "{}:{line}:{col}: warning[{code}]: {msg} (in filter {decl})",
+                args.path
+            );
+        }
+        if !args.quiet {
+            eprintln!("{} lint(s)", lints.len());
+        }
+        if args.deny_lints && !lints.is_empty() {
+            return Err(format!("--deny-lints: {} lint(s)", lints.len()));
+        }
+        return Ok(());
+    }
+
     let analysis = analyze_graph(&graph);
 
     if !args.quiet {

@@ -240,3 +240,103 @@ fn rejects_malformed_fault_specs() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn lint_reports_multiple_spanned_diagnostics_in_one_run() {
+    let out = streamlinc()
+        .args(["assets/lintbait.str", "--lint", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut codes: Vec<&str> = stdout
+        .lines()
+        .filter_map(|l| {
+            let start = l.find("warning[")? + "warning[".len();
+            let end = l[start..].find(']')? + start;
+            Some(&l[start..end])
+        })
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert!(
+        codes.len() >= 2,
+        "expected at least 2 distinct lint codes, got {codes:?} from:\n{stdout}"
+    );
+    // Every diagnostic is spanned: `path:line:col:`.
+    for l in stdout.lines() {
+        assert!(
+            l.starts_with("assets/lintbait.str:"),
+            "unspanned diagnostic: {l}"
+        );
+        let mut parts = l.split(':');
+        parts.next();
+        parts.next().unwrap().parse::<u32>().expect("line number");
+        parts.next().unwrap().parse::<u32>().expect("column");
+    }
+}
+
+#[test]
+fn deny_lints_fails_on_lintbait_and_passes_clean_assets() {
+    let out = streamlinc()
+        .args(["assets/lintbait.str", "--deny-lints", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "lintbait must fail --deny-lints");
+
+    for asset in ["assets/fir.str", "assets/rateconvert.str"] {
+        let out = streamlinc()
+            .args([asset, "--deny-lints", "--quiet"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{asset} should be lint-clean: {}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn lintbait_still_runs_despite_lints() {
+    let out = streamlinc()
+        .args(["assets/lintbait.str", "-n", "8", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(std::str::from_utf8(&out.stdout).unwrap().lines().count(), 8);
+}
+
+#[test]
+fn provable_rate_violation_is_a_spanned_compile_error() {
+    let dir = std::env::temp_dir().join("streamlinc-lint-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad_rate.str");
+    std::fs::write(
+        &path,
+        "void->void pipeline Main { add S(); add K(); }\n\
+         void->float filter S { work push 2 { push(1.0); } }\n\
+         float->void filter K { work pop 1 { println(pop()); } }\n",
+    )
+    .unwrap();
+    let out = streamlinc()
+        .args([path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("declared push rate is 2 but the body always pushes 1"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("at 2:"), "span missing: {stderr}");
+}

@@ -86,6 +86,12 @@ enum Stage {
         pushes: [usize; 2],
         coeffs: [i32; 2],
     },
+    /// Occasionally-uncertifiable filter: a state-guarded extra `push`
+    /// sits behind a threshold the run never reaches, so the static
+    /// analysis cannot certify the push rate (range `[push, push+1]`)
+    /// and the engines must keep it on the checked tape path — where it
+    /// behaves exactly at the declared rate.
+    Wobbly { pop: usize, push: usize, coeff: i32 },
 }
 
 #[derive(Debug, Clone)]
@@ -184,6 +190,20 @@ fn render(spec: &Spec) -> String {
                     );
                 }
             }
+            Stage::Wobbly { pop, push, coeff } => {
+                let mut body = String::new();
+                for j in 0..*push {
+                    let _ = write!(body, "push({coeff}.0 * 0.25 * peek({}) + {j}.5); ", j % pop);
+                }
+                body.push_str("if (t > 1000000000.0) push(t); t = t + 0.5; ");
+                for _ in 0..*pop {
+                    body.push_str("pop(); ");
+                }
+                let _ = writeln!(
+                    decls,
+                    "float->float filter F{i} {{ float t; work pop {pop} push {push} {{ {body} }} }}"
+                );
+            }
         }
     }
     let mut src = String::new();
@@ -234,6 +254,11 @@ fn stage_strategy() -> impl Strategy<Value = Stage> {
                 pushes: [u1, u2],
                 coeffs: [c1, c2],
             }),
+        (1usize..3, 1usize..3, -3i32..=3).prop_map(|(pop, push, coeff)| Stage::Wobbly {
+            pop,
+            push,
+            coeff
+        }),
     ]
 }
 
@@ -263,6 +288,26 @@ fn check_spec(spec: &Spec) -> bool {
     let program = streamlin::lang::parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
     let graph = streamlin::graph::elaborate(&program).unwrap_or_else(|e| panic!("{e}\n{src}"));
     let analysis = analyze_graph(&graph);
+    // Wobbly stages must have defeated certification (their push count is
+    // state-dependent), everything else here is statically provable.
+    for (i, stage) in spec.stages.iter().enumerate() {
+        let decl = format!("F{i}");
+        graph.for_each_filter(&mut |inst| {
+            if inst.decl_name == decl {
+                let certified = inst.facts.work.cert.is_some();
+                match stage {
+                    Stage::Wobbly { .. } => {
+                        assert!(!certified, "{decl} must be uncertifiable\n{src}")
+                    }
+                    _ => assert!(
+                        certified,
+                        "{decl} must certify: {:?}\n{src}",
+                        inst.facts.work.uncertified
+                    ),
+                }
+            }
+        });
+    }
     let configs = vec![
         ("interp", OptStream::from_graph(&graph)),
         (
@@ -407,4 +452,30 @@ fn pinned_mixed_graph_agrees_and_fission_engages() {
         src_push: 2,
     });
     assert!(engaged, "the heavy sliding-window filter must be fissed");
+}
+
+/// A pinned case with an uncertifiable stage in the middle: the checked
+/// tape path must coexist with certified neighbors on every engine.
+#[test]
+fn pinned_uncertifiable_stage_agrees_across_engines() {
+    check_spec(&Spec {
+        stages: vec![
+            Stage::Stateless {
+                peek: 3,
+                pop: 1,
+                push: 2,
+                coeffs: vec![2, -1],
+            },
+            Stage::Wobbly {
+                pop: 2,
+                push: 1,
+                coeff: 2,
+            },
+            Stage::Heavy {
+                peek: 8,
+                scale_q: 2,
+            },
+        ],
+        src_push: 1,
+    });
 }

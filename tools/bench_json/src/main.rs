@@ -270,6 +270,30 @@ fn main() {
                     fast / measured
                 );
             }
+            // Cert-elision ablation: the interpreter rows again with the
+            // certified unchecked tape path disabled (every firing fully
+            // checked), so the win from checked-access elision is visible
+            // in the trajectory. Only the `interp` config runs work
+            // functions on the hot path, so only it gets the ablation.
+            if matches!(config, Config::Interp) {
+                for (i, mode) in [ExecMode::Measured, ExecMode::Fast].into_iter().enumerate() {
+                    streamlin_runtime::set_cert_elision(false);
+                    let mut row = measure(bench, config, mode, outputs, 1, Fission::Off);
+                    streamlin_runtime::set_cert_elision(true);
+                    row.benchmark = label.to_string();
+                    row.config = "interp-nocert";
+                    eprintln!(
+                        "{:>12} {:>9} {:>8} {:>8} t1: {:>12.0} items/sec ({:.2}x vs certified)",
+                        row.benchmark,
+                        row.config,
+                        row.sched,
+                        row.mode,
+                        row.items_per_sec,
+                        row.items_per_sec / pair[i]
+                    );
+                    rows.push(row);
+                }
+            }
             // The threads dimension: the pipeline executor in Fast mode
             // (the production path the speedup criterion reads), against
             // the t1 fast row above.
