@@ -84,10 +84,11 @@
 //!   firings, and each worker counts its `B` kernel firings — so per
 //!   steady cycle the fissed graph performs exactly the unfissed
 //!   arithmetic. When `W` does not divide `q` the fissed steady cycle
-//!   spans `scale ∈ {2, 4}` original cycles; the pipeline coordinator
-//!   quantizes every run to [`crate::parallel::CYCLE_QUANTUM`] original
-//!   cycles (and `scale` is constrained to divide it), which is what
-//!   keeps run lengths — and with them tallies — width-invariant.
+//!   spans `scale > 1` original cycles; the pipeline coordinator
+//!   quantizes every run to a whole number of original cycles (default
+//!   [`crate::parallel::CYCLE_QUANTUM`], overridable per run) and
+//!   `scale` is constrained to divide that quantum, which is what keeps
+//!   run lengths — and with them tallies — width-invariant.
 
 use streamlin_core::cost::CostModel;
 use streamlin_core::frequency::{FreqExec, FreqStrategy};
@@ -96,7 +97,6 @@ use streamlin_support::FaultPlan;
 
 use crate::flat::{FlatGraph, FlatNode, InterpState, NodeKind};
 use crate::linear_exec::LinearExec;
-use crate::parallel::CYCLE_QUANTUM;
 use crate::plan::ExecPlan;
 
 /// How much fission the profiler applies.
@@ -133,8 +133,8 @@ pub struct FissionInfo {
     pub width: usize,
     /// Kernel firings per worker per round.
     pub batch: usize,
-    /// Original steady cycles one fissed cycle spans (divides
-    /// [`CYCLE_QUANTUM`]).
+    /// Original steady cycles one fissed cycle spans (divides the run's
+    /// cycle quantum, default [`crate::parallel::CYCLE_QUANTUM`]).
     pub scale: u64,
     /// Which duplicable form the node matched.
     pub kind: &'static str,
@@ -396,12 +396,16 @@ fn kernel_rates(node: &FlatNode) -> (usize, usize, usize, Option<usize>) {
 }
 
 /// Picks the widest feasible width `<= requested` and the smallest cycle
-/// expansion `scale ∈ {1, 2, 4}` such that the `q` steady firings of the
-/// target node split evenly: `width · batch = q · scale`.
-fn choose_width(requested: usize, q: u64) -> Option<(usize, u64)> {
+/// expansion `scale` (a divisor of the run's cycle `quantum`) such that
+/// the `q` steady firings of the target node split evenly:
+/// `width · batch = q · scale`. With the default quantum of 4 the
+/// candidate scales are `{1, 2, 4}`.
+fn choose_width(requested: usize, q: u64, quantum: u64) -> Option<(usize, u64)> {
     for w in (2..=requested.max(2)).rev() {
-        for scale in [1u64, 2, 4] {
-            debug_assert_eq!(CYCLE_QUANTUM % scale, 0);
+        for scale in 1..=quantum {
+            if !quantum.is_multiple_of(scale) {
+                continue;
+            }
             if (q * scale).is_multiple_of(w as u64) {
                 return Some((w, scale));
             }
@@ -433,6 +437,7 @@ pub fn fiss_bottleneck<F: FaultPlan>(
     threads: usize,
     model: &CostModel,
     fault: &F,
+    quantum: u64,
 ) -> Result<(FlatGraph, FissionInfo), String> {
     if F::ARMED {
         if let Some(reason) = fault.fission_abort() {
@@ -488,7 +493,7 @@ pub fn fiss_bottleneck<F: FaultPlan>(
         requested
     };
 
-    let (width, scale) = choose_width(requested, q)
+    let (width, scale) = choose_width(requested, q, quantum)
         .ok_or_else(|| format!("no feasible width <= {requested} for {q} firings/cycle"))?;
     let batch = (q * scale / width as u64) as usize;
 
@@ -709,15 +714,27 @@ mod tests {
     fn width_selection_expands_the_cycle_only_when_needed() {
         // q = 4: widths 2 and 4 fit in one cycle; width 3 never divides
         // 4·scale for scale in {1, 2, 4}, so it downgrades to 2.
-        assert_eq!(choose_width(2, 4), Some((2, 1)));
-        assert_eq!(choose_width(4, 4), Some((4, 1)));
-        assert_eq!(choose_width(3, 4), Some((2, 1)));
+        assert_eq!(choose_width(2, 4, 4), Some((2, 1)));
+        assert_eq!(choose_width(4, 4, 4), Some((4, 1)));
+        assert_eq!(choose_width(3, 4, 4), Some((2, 1)));
         // q = 1: every width needs a cycle expansion.
-        assert_eq!(choose_width(2, 1), Some((2, 2)));
-        assert_eq!(choose_width(4, 1), Some((4, 4)));
-        assert_eq!(choose_width(3, 1), Some((2, 2)));
+        assert_eq!(choose_width(2, 1, 4), Some((2, 2)));
+        assert_eq!(choose_width(4, 1, 4), Some((4, 4)));
+        assert_eq!(choose_width(3, 1, 4), Some((2, 2)));
         // q = 3: width 3 fits exactly.
-        assert_eq!(choose_width(3, 3), Some((3, 1)));
+        assert_eq!(choose_width(3, 3, 4), Some((3, 1)));
+    }
+
+    #[test]
+    fn width_selection_honors_the_run_quantum() {
+        // Quantum 1 forbids any cycle expansion: q = 1 admits no width.
+        assert_eq!(choose_width(2, 1, 1), None);
+        assert_eq!(choose_width(2, 2, 1), Some((2, 1)));
+        // Quantum 3 admits scale 3 where the default quantum could not.
+        assert_eq!(choose_width(3, 1, 3), Some((3, 3)));
+        // Quantum 8 keeps preferring the smallest feasible expansion.
+        assert_eq!(choose_width(4, 2, 8), Some((4, 2)));
+        assert_eq!(choose_width(8, 1, 8), Some((8, 8)));
     }
 
     #[test]
@@ -738,6 +755,7 @@ mod tests {
             2,
             &CostModel::default(),
             &streamlin_support::NoFault,
+            crate::parallel::CYCLE_QUANTUM,
         )
         .unwrap();
         assert_eq!(info.width, 2);

@@ -111,7 +111,10 @@ pub use measure::{
     profile, profile_fission, profile_mode, profile_recorded, profile_sched, profile_supervised,
     profile_threads, ExecMode, Profile, Scheduler, Supervision,
 };
-pub use parallel::{run_pipeline, run_pipeline_probed, run_pipeline_supervised, PipelineOutcome};
+pub use parallel::{
+    resolve_quantum, run_pipeline, run_pipeline_probed, run_pipeline_quantized,
+    run_pipeline_supervised, PipelineOutcome, PipelineSession, CYCLE_QUANTUM,
+};
 pub use partition::{partition, Partition};
 pub use plan::{ExecPlan, PlanEngine, PlanError};
 pub use telemetry::{validate_trace, TraceShape};

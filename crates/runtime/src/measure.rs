@@ -397,15 +397,23 @@ pub struct Supervision {
     /// single-threaded static plan and report success with
     /// [`Profile::degraded`] set.
     pub fallback: bool,
+    /// Cycle quantum of the pipeline pacing protocol, in original steady
+    /// cycles. `0` (the default) resolves through
+    /// [`crate::parallel::resolve_quantum`]: the
+    /// `STREAMLIN_CYCLE_QUANTUM` environment variable when set, else
+    /// [`crate::parallel::CYCLE_QUANTUM`]. Also bounds fission's cycle
+    /// expansion (the scale must divide the quantum).
+    pub quantum: u64,
 }
 
 impl Supervision {
-    /// No watchdog, no fallback: the exact behavior of the unsupervised
-    /// entry points.
+    /// No watchdog, no fallback, default quantum: the exact behavior of
+    /// the unsupervised entry points.
     pub const fn disabled() -> Self {
         Supervision {
             watchdog: None,
             fallback: false,
+            quantum: 0,
         }
     }
 }
@@ -539,6 +547,7 @@ fn apply_fission<P: Probe, F: FaultPlan>(
     threads: usize,
     probe: &mut P,
     fault: &F,
+    quantum: u64,
 ) -> (FlatGraph, ExecPlan, u64, usize) {
     if fission == Fission::Off {
         probe.note("fission", "off");
@@ -546,7 +555,7 @@ fn apply_fission<P: Probe, F: FaultPlan>(
     }
     let t0 = probe.now();
     let model = streamlin_core::cost::CostModel::default();
-    match fission::fiss_bottleneck(&flat, &plan, fission, threads, &model, fault) {
+    match fission::fiss_bottleneck(&flat, &plan, fission, threads, &model, fault, quantum) {
         Ok((fissed, info)) => match plan::compile(&fissed) {
             Ok(p2) => {
                 if P::ENABLED {
@@ -626,16 +635,31 @@ fn profile_with<T: Tally + Default + Send + 'static, P: Probe + Send + 'static, 
     // plan is still compiled (when possible) purely to drive the fission
     // decision, and the fissed graph then runs data-driven — the fuzz
     // suite differentially checks that path too.
+    let quantum = crate::parallel::resolve_quantum(sup.quantum);
     let (flat, compiled, scale, width) = match (compiled, sched) {
         (Some(plan), _) => {
-            let (f, p, s, w) =
-                apply_fission(flat, plan, fission, threads.unwrap_or(1), probe, &fault);
+            let (f, p, s, w) = apply_fission(
+                flat,
+                plan,
+                fission,
+                threads.unwrap_or(1),
+                probe,
+                &fault,
+                quantum,
+            );
             (f, Some(p), s, w)
         }
         (None, Scheduler::Dynamic) if fission != Fission::Off => match plan::compile(&flat) {
             Ok(plan) => {
-                let (f, _, s, w) =
-                    apply_fission(flat, plan, fission, threads.unwrap_or(1), probe, &fault);
+                let (f, _, s, w) = apply_fission(
+                    flat,
+                    plan,
+                    fission,
+                    threads.unwrap_or(1),
+                    probe,
+                    &fault,
+                    quantum,
+                );
                 (f, None, s, w)
             }
             Err(_) => (flat, None, 1, 1),
@@ -671,12 +695,13 @@ fn profile_with<T: Tally + Default + Send + 'static, P: Probe + Send + 'static, 
                 probe.note("pipeline", &part.summary());
             }
             let start = Instant::now();
-            match crate::parallel::run_pipeline_supervised::<T, P, F>(
+            match crate::parallel::run_pipeline_quantized::<T, P, F>(
                 flat,
                 &plan,
                 &part,
                 outputs,
                 scale,
+                quantum,
                 probe,
                 fault,
                 sup.watchdog,

@@ -69,15 +69,37 @@ use crate::plan::{batch_need, exec_batch, node_rates, ExecPlan, PlanState, Rates
 use crate::pool;
 use crate::ring::{Backoff, RingSet, SharedRings};
 
-/// Cycle-count quantum of the pacing protocol, in **original** steady
-/// cycles: the coordinator only ever runs whole multiples of this many
-/// cycles. A fissed graph whose steady cycle spans `scale` original
-/// cycles (see [`crate::fission`]) quantizes to `CYCLE_QUANTUM / scale`
-/// of its own cycles — the same amount of work — which is what makes run
+/// Default cycle-count quantum of the pacing protocol, in **original**
+/// steady cycles: the coordinator only ever runs whole multiples of this
+/// many cycles. A fissed graph whose steady cycle spans `scale` original
+/// cycles (see [`crate::fission`]) quantizes to `quantum / scale` of its
+/// own cycles — the same amount of work — which is what makes run
 /// lengths (and with them tallies and firing counts) identical across
 /// fission widths, including width 1. Fission constrains its cycle
-/// expansion to divisors of this constant.
+/// expansion to divisors of the effective quantum.
+///
+/// The quantum is overridable per run ([`resolve_quantum`]): explicit
+/// knob (`streamlinc --quantum`, a per-stream `streamlind` option, or
+/// [`crate::measure::Supervision::quantum`]) first, then the
+/// `STREAMLIN_CYCLE_QUANTUM` environment variable, then this default.
+/// Larger quanta amortize coordinator round trips on long-running
+/// streams; quantum 1 removes the up-to-4× sub-cycle overshoot on short
+/// ones (at the cost of restricting fission's cycle expansion to 1).
 pub const CYCLE_QUANTUM: u64 = 4;
+
+/// Resolves the effective cycle quantum for a run: a nonzero `explicit`
+/// request wins, else `STREAMLIN_CYCLE_QUANTUM` (when it parses to a
+/// positive integer), else [`CYCLE_QUANTUM`].
+pub fn resolve_quantum(explicit: u64) -> u64 {
+    if explicit != 0 {
+        return explicit;
+    }
+    std::env::var("STREAMLIN_CYCLE_QUANTUM")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&q| q >= 1)
+        .unwrap_or(CYCLE_QUANTUM)
+}
 
 /// Outcome of a pipeline run: the merged view a profiler needs.
 #[derive(Debug, Clone)]
@@ -176,10 +198,14 @@ enum Cmd {
     Finish,
 }
 
-/// One worker's answer to a [`Cmd::Run`] round.
+/// One worker's answer to a [`Cmd::Run`] round. The worker drains the
+/// values it printed during the round into the report, so the
+/// coordinator can hand out ordered output incrementally (the resident
+/// [`PipelineSession`] reads) — concatenation in arrival order is exact
+/// because all printing nodes share one stage.
 struct Report {
     stage: usize,
-    printed: usize,
+    values: Vec<f64>,
     err: Option<RunError>,
 }
 
@@ -430,7 +456,7 @@ fn worker_main<T: Tally, P: Probe, F: FaultPlan>(
                 }
                 let report = Report {
                     stage: w.stage,
-                    printed: w.state.printed.len(),
+                    values: std::mem::take(&mut w.state.printed),
                     err,
                 };
                 if tx.send(report).is_err() {
@@ -615,504 +641,747 @@ pub fn run_pipeline_supervised<
     fault: F,
     watchdog: Option<Duration>,
 ) -> Result<PipelineOutcome, RunError> {
-    assert!(
-        scale >= 1 && CYCLE_QUANTUM.is_multiple_of(scale),
-        "cycle scale {scale} must divide the quantum {CYCLE_QUANTUM}"
-    );
-    let quantum = CYCLE_QUANTUM / scale;
-    let num_stages = part.num_stages;
-    let num_channels = flat.num_channels;
-    let rates: Vec<Rates> = flat.nodes.iter().map(node_rates).collect();
+    run_pipeline_quantized::<T, P, F>(
+        flat,
+        plan,
+        part,
+        outputs,
+        scale,
+        resolve_quantum(0),
+        probe,
+        fault,
+        watchdog,
+    )
+}
 
-    // Boundary lookup: per channel, the crossing (if any) and capacity.
-    let mut spsc_caps = vec![0usize; num_channels];
-    let mut boundary_to: Vec<Option<usize>> = vec![None; num_channels];
-    let mut boundary_from: Vec<Option<usize>> = vec![None; num_channels];
-    for b in &part.boundaries {
-        spsc_caps[b.chan] = b.capacity;
-        boundary_to[b.chan] = Some(b.to_stage);
-        boundary_from[b.chan] = Some(b.from_stage);
-    }
+/// [`run_pipeline_supervised`] with an explicit cycle quantum (in
+/// original steady cycles) instead of the env/default resolution —
+/// one-shot wrapper over a [`PipelineSession`]: start, run to `outputs`,
+/// finish.
+///
+/// # Errors
+///
+/// As [`run_pipeline_supervised`].
+///
+/// # Panics
+///
+/// Panics if `scale` does not divide `quantum`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_quantized<
+    T: Tally + Default + Send,
+    P: Probe + Send + 'static,
+    F: FaultPlan,
+>(
+    flat: FlatGraph,
+    plan: &ExecPlan,
+    part: &Partition,
+    outputs: usize,
+    scale: u64,
+    quantum: u64,
+    probe: &mut P,
+    fault: F,
+    watchdog: Option<Duration>,
+) -> Result<PipelineOutcome, RunError> {
+    let mut session =
+        PipelineSession::start::<T, F>(flat, plan, part, scale, quantum, probe, fault, watchdog)?;
+    let _ = session.run_until(outputs);
+    session.finish(probe)
+}
 
-    // Expected prints per steady cycle (sinks only; interpreted printers
-    // are data-dependent and contribute nothing to the estimate). The
-    // fallback floor is one print per *original* cycle — `scale` per
-    // cycle of this graph — so the estimate stays scale-invariant.
-    let mut est_per_cycle = 0u64;
-    for step in &plan.steady {
-        if let NodeKind::PrintSink { pop } = &flat.nodes[step.node].kind {
-            est_per_cycle += step.times as u64 * *pop as u64;
-        }
-    }
-    let est_per_cycle = est_per_cycle.max(scale);
+/// A **resident** pipeline run: the stage workers stay parked on their
+/// pooled threads between reads, all engine state (ring occupancy, node
+/// state, cycle position) persists, and the caller pulls ordered output
+/// incrementally. This is the persistence backbone of the `streamlind`
+/// service — a per-stream session lives across many protocol round
+/// trips, and [`run_pipeline_quantized`] is the one-shot degenerate case
+/// (start → one read → finish), so every equivalence suite that pins the
+/// one-shot executor pins the resident one too.
+///
+/// The pacing protocol is unchanged and remains a deterministic function
+/// of printed counts at round boundaries; the *values* delivered for a
+/// given program are a deterministic prefix regardless of how the reads
+/// are batched (overshoot beyond a read goal is buffered, not
+/// discarded).
+///
+/// Dropping a session without [`PipelineSession::finish`] tears it down:
+/// workers are told to finish and collected within the usual grace
+/// rules; threads are released back to the pool (or retired when
+/// abandoned mid-job).
+pub struct PipelineSession<P: Probe> {
+    cmd_txs: Vec<Sender<Cmd>>,
+    report_rx: Receiver<Report>,
+    result_rx: Receiver<StageResult<P>>,
+    threads: Vec<pool::PoolThread>,
+    progress: Arc<Vec<AtomicU64>>,
+    poisoned: Arc<AtomicBool>,
+    shared: Arc<SharedRings>,
+    part: Partition,
+    num_stages: usize,
+    supervised: bool,
+    deadline: Duration,
+    /// Pacing quantum in cycles *of this graph* (original quantum/scale).
+    quantum: u64,
+    scale: u64,
+    est_per_cycle: u64,
+    /// Cumulative cycle target announced to the workers.
+    target: u64,
+    /// Target when output last grew (silent-cycle accounting).
+    progress_at: u64,
+    /// All values printed so far, in schedule order.
+    values: Vec<f64>,
+    /// How many of `values` have been handed out through [`Self::read`].
+    delivered: usize,
+    tripped: bool,
+    failed: Option<RunError>,
+    done: bool,
+    /// Coordinator-lane probe (forked at start, absorbed at finish).
+    coord: P,
+}
 
-    // Distribute nodes, rates, ring capacities and schedule slices.
-    let mut local_idx = vec![usize::MAX; flat.nodes.len()];
-    let mut stage_nodes: Vec<Vec<FlatNode>> = (0..num_stages).map(|_| Vec::new()).collect();
-    let mut stage_rates: Vec<Vec<Rates>> = (0..num_stages).map(|_| Vec::new()).collect();
-    let mut stage_caps: Vec<Vec<usize>> = (0..num_stages).map(|_| vec![0; num_channels]).collect();
-    for (i, node) in flat.nodes.into_iter().enumerate() {
-        let s = part.stage_of[i];
-        // Ring capacities, from this node's endpoint perspective:
-        // boundary-ins get the SPSC capacity (drain headroom), everything
-        // else keeps the plan's exact bound.
-        for &c in &node.inputs {
-            stage_caps[s][c] = if boundary_to[c] == Some(s) {
-                spsc_caps[c]
-            } else {
-                plan.caps[c]
-            };
-        }
-        for &c in &node.outputs {
-            if boundary_from[c] != Some(s) {
-                stage_caps[s][c] = plan.caps[c];
-            } else {
-                // Staging room for one step's pushes before the flush.
-                stage_caps[s][c] = stage_caps[s][c].max(plan.caps[c]);
-            }
-        }
-        local_idx[i] = stage_nodes[s].len();
-        stage_rates[s].push(rates[i].clone());
-        stage_nodes[s].push(node);
-    }
-    // Initial items (feedback preloads) land in the consumer's local ring,
-    // mirroring the sequential engine's starting occupancy.
-    let mut stage_initial: Vec<Vec<(usize, Vec<f64>)>> =
-        (0..num_stages).map(|_| Vec::new()).collect();
-    for (c, items) in flat.initial {
-        let consumer_stage = (0..num_stages)
-            .find(|&s| stage_nodes[s].iter().any(|n| n.inputs.contains(&c)))
-            .ok_or_else(|| {
-                setup_bug(&format!(
-                    "initial items on channel {c} have no consuming stage"
-                ))
-            })?;
-        stage_initial[consumer_stage].push((c, items));
-    }
-
-    let slice_steps = |steps: &[crate::plan::Step]| -> Vec<Vec<LocalStep>> {
-        let mut per_stage: Vec<Vec<LocalStep>> = (0..num_stages).map(|_| Vec::new()).collect();
-        for step in steps {
-            let s = part.stage_of[step.node];
-            let node = &stage_nodes[s][local_idx[step.node]];
-            let recv = node
-                .inputs
-                .iter()
-                .enumerate()
-                .filter(|&(_, &c)| boundary_to[c] == Some(s))
-                .map(|(slot, &c)| (slot, c))
-                .collect();
-            let send = node
-                .outputs
-                .iter()
-                .copied()
-                .filter(|&c| boundary_from[c] == Some(s))
-                .collect();
-            per_stage[s].push(LocalStep {
-                node: local_idx[step.node],
-                gnode: step.node,
-                times: step.times,
-                recv,
-                send,
-            });
-        }
-        per_stage
-    };
-    let mut init_slices = slice_steps(&plan.init);
-    let mut steady_slices = slice_steps(&plan.steady);
-
-    // Bundle every stage's payload *before* touching the worker pool, so
-    // all fallible setup completes while nothing is held. Built in
-    // reverse so each `pop` hands a stage its own data (a miscount here
-    // is a partitioner bug, surfaced structurally instead of the
-    // `expect` panics this loop used to contain).
-    let mut seeds: Vec<StageSeed> = Vec::with_capacity(num_stages);
-    for _ in 0..num_stages {
-        seeds.push(StageSeed {
-            nodes: stage_nodes
-                .pop()
-                .ok_or_else(|| setup_bug("missing per-stage nodes"))?,
-            rates: stage_rates
-                .pop()
-                .ok_or_else(|| setup_bug("missing per-stage rates"))?,
-            caps: stage_caps
-                .pop()
-                .ok_or_else(|| setup_bug("missing per-stage ring capacities"))?,
-            initial: stage_initial
-                .pop()
-                .ok_or_else(|| setup_bug("missing per-stage initial items"))?,
-            init_steps: init_slices
-                .pop()
-                .ok_or_else(|| setup_bug("missing per-stage init slice"))?,
-            steady_steps: steady_slices
-                .pop()
-                .ok_or_else(|| setup_bug("missing per-stage steady slice"))?,
-        });
-    }
-
-    let shared = Arc::new(SharedRings::new(&spsc_caps));
-    let poisoned = Arc::new(AtomicBool::new(false));
-    let solo = std::thread::available_parallelism().is_ok_and(|n| n.get() == 1);
-    let (report_tx, report_rx) = channel::<Report>();
-    let (result_tx, result_rx) = channel::<StageResult<P>>();
-
-    // Supervision: poll instead of block whenever a watchdog was asked
-    // for or any fault plan is armed (injected faults must never turn a
-    // run into a hang, so an armed plan always gets a deadline).
-    let supervised = F::ARMED || watchdog.is_some();
-    let deadline = watchdog.unwrap_or(DEFAULT_ARMED_WATCHDOG);
-    let progress: Arc<Vec<AtomicU64>> =
-        Arc::new((0..num_stages).map(|_| AtomicU64::new(0)).collect());
-    if F::ARMED {
-        fault.arm(num_stages, num_channels);
-        if P::ENABLED {
-            probe.note("fault", &fault.describe());
-        }
-    }
-
-    // Stage workers come from the persistent process-wide pool (acquired
-    // atomically so concurrent runs never starve each other) instead of
-    // being spawned per run — repeated profiling runs reuse the threads.
-    let spawned_before = if P::ENABLED {
-        pool::global_spawned()
-    } else {
-        0
-    };
-    let threads = match pool::acquire_global_faulted(num_stages, &fault) {
-        Ok(t) => t,
-        Err(reason) => {
-            return Err(RunError::WorkerLost {
-                detail: format!("worker pool refused {num_stages} stage workers: {reason}"),
-            })
-        }
-    };
-    if P::ENABLED {
-        probe.lane_name(0, "coordinator");
-        for b in &part.boundaries {
-            probe.ring_cap(b.chan, b.capacity);
-        }
-        let fresh = pool::global_spawned() - spawned_before;
-        probe.note(
-            "pool",
-            &format!(
-                "acquired {num_stages} workers ({} reused, {fresh} newly spawned; \
-                 {} spawned process-wide, {} left idle)",
-                num_stages - fresh,
-                pool::global_spawned(),
-                pool::global_idle()
-            ),
+impl<P: Probe> PipelineSession<P> {
+    /// Sets up stage workers on pooled threads and runs nothing yet.
+    /// `quantum` is in original steady cycles (see [`resolve_quantum`]).
+    ///
+    /// # Errors
+    ///
+    /// Setup invariant violations and pool refusals
+    /// ([`RunError::WorkerLost`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` does not divide `quantum`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start<T, F>(
+        flat: FlatGraph,
+        plan: &ExecPlan,
+        part: &Partition,
+        scale: u64,
+        quantum: u64,
+        probe: &mut P,
+        fault: F,
+        watchdog: Option<Duration>,
+    ) -> Result<Self, RunError>
+    where
+        T: Tally + Default + Send,
+        F: FaultPlan,
+        P: Send + 'static,
+    {
+        assert!(
+            scale >= 1 && quantum >= 1 && quantum.is_multiple_of(scale),
+            "cycle scale {scale} must divide the quantum {quantum}"
         );
-    }
-    let mut cmd_txs = Vec::with_capacity(num_stages);
-    for (stage, seed) in seeds.into_iter().rev().enumerate() {
-        let (tx, rx) = channel::<Cmd>();
-        cmd_txs.push(tx);
-        let report_tx = report_tx.clone();
-        let result_tx = result_tx.clone();
-        let shared = Arc::clone(&shared);
-        let poisoned = Arc::clone(&poisoned);
-        let wprogress = Arc::clone(&progress);
-        let wfault = fault.fork();
-        let lane = stage as u32 + 1;
-        if P::ENABLED {
-            probe.lane_name(lane, &format!("stage {stage}"));
-        }
-        let wprobe = probe.fork(lane);
-        threads[stage].run(Box::new(move || {
-            if F::ARMED && wfault.spawn_abort(stage) {
-                // Deliberately *outside* worker_main's containment: this
-                // unwinds into the pool thread's loop and kills the
-                // thread itself, exercising liveness detection and pool
-                // self-healing.
-                panic!("injected fault: stage {stage} worker thread died at job start");
-            }
-            let fresh = vec![true; seed.nodes.len()];
-            let worker = StageWorker {
-                stage,
-                probe: wprobe,
-                fault: wfault,
-                steps: 0,
-                progress: wprogress,
-                watch: supervised,
-                rates: seed.rates,
-                fresh,
-                init_steps: seed.init_steps,
-                steady_steps: seed.steady_steps,
-                state: PlanState {
-                    rings: RingSet::new(&seed.caps, &seed.initial),
-                    printed: Vec::new(),
-                    ops: T::default(),
-                    firings: 0,
-                    out_buf: Vec::new(),
-                },
-                local_caps: seed.caps,
-                nodes: seed.nodes,
-                shared,
-                poisoned,
-                solo,
-                cycles: 0,
-                init_done: false,
-            };
-            let result = worker_main(worker, rx, report_tx);
-            let _ = result_tx.send(result);
-        }));
-    }
-    drop(report_tx);
-    drop(result_tx);
+        let quantum = quantum / scale;
+        let num_stages = part.num_stages;
+        let num_channels = flat.num_channels;
+        let rates: Vec<Rates> = flat.nodes.iter().map(node_rates).collect();
 
-    // The pacing protocol. Every quantity here is a deterministic
-    // function of printed counts at round boundaries, and targets are
-    // quantized to whole multiples of `quantum` cycles, so the total
-    // cycle count — and with it tallies and firing counts — is
-    // independent of both the worker count and the fission width.
-    let mut target = 0u64;
-    let mut printed = 0usize;
-    let mut progress_at = 0u64; // target when output last grew
-    let mut round_err: Option<RunError> = None;
-    let mut tripped = false;
-    while printed < outputs && round_err.is_none() {
-        let remaining = (outputs - printed) as u64;
-        let add = if printed > 0 {
-            // Observed rate so far, rounded pessimistically upward.
-            (remaining * target).div_ceil(printed as u64)
-        } else {
-            remaining.div_ceil(est_per_cycle)
+        // Boundary lookup: per channel, the crossing (if any) and capacity.
+        let mut spsc_caps = vec![0usize; num_channels];
+        let mut boundary_to: Vec<Option<usize>> = vec![None; num_channels];
+        let mut boundary_from: Vec<Option<usize>> = vec![None; num_channels];
+        for b in &part.boundaries {
+            spsc_caps[b.chan] = b.capacity;
+            boundary_to[b.chan] = Some(b.to_stage);
+            boundary_from[b.chan] = Some(b.from_stage);
+        }
+
+        // Expected prints per steady cycle (sinks only; interpreted printers
+        // are data-dependent and contribute nothing to the estimate). The
+        // fallback floor is one print per *original* cycle — `scale` per
+        // cycle of this graph — so the estimate stays scale-invariant.
+        let mut est_per_cycle = 0u64;
+        for step in &plan.steady {
+            if let NodeKind::PrintSink { pop } = &flat.nodes[step.node].kind {
+                est_per_cycle += step.times as u64 * *pop as u64;
+            }
+        }
+        let est_per_cycle = est_per_cycle.max(scale);
+
+        // Distribute nodes, rates, ring capacities and schedule slices.
+        let mut local_idx = vec![usize::MAX; flat.nodes.len()];
+        let mut stage_nodes: Vec<Vec<FlatNode>> = (0..num_stages).map(|_| Vec::new()).collect();
+        let mut stage_rates: Vec<Vec<Rates>> = (0..num_stages).map(|_| Vec::new()).collect();
+        let mut stage_caps: Vec<Vec<usize>> =
+            (0..num_stages).map(|_| vec![0; num_channels]).collect();
+        for (i, node) in flat.nodes.into_iter().enumerate() {
+            let s = part.stage_of[i];
+            // Ring capacities, from this node's endpoint perspective:
+            // boundary-ins get the SPSC capacity (drain headroom), everything
+            // else keeps the plan's exact bound.
+            for &c in &node.inputs {
+                stage_caps[s][c] = if boundary_to[c] == Some(s) {
+                    spsc_caps[c]
+                } else {
+                    plan.caps[c]
+                };
+            }
+            for &c in &node.outputs {
+                if boundary_from[c] != Some(s) {
+                    stage_caps[s][c] = plan.caps[c];
+                } else {
+                    // Staging room for one step's pushes before the flush.
+                    stage_caps[s][c] = stage_caps[s][c].max(plan.caps[c]);
+                }
+            }
+            local_idx[i] = stage_nodes[s].len();
+            stage_rates[s].push(rates[i].clone());
+            stage_nodes[s].push(node);
+        }
+        // Initial items (feedback preloads) land in the consumer's local ring,
+        // mirroring the sequential engine's starting occupancy.
+        let mut stage_initial: Vec<Vec<(usize, Vec<f64>)>> =
+            (0..num_stages).map(|_| Vec::new()).collect();
+        for (c, items) in flat.initial {
+            let consumer_stage = (0..num_stages)
+                .find(|&s| stage_nodes[s].iter().any(|n| n.inputs.contains(&c)))
+                .ok_or_else(|| {
+                    setup_bug(&format!(
+                        "initial items on channel {c} have no consuming stage"
+                    ))
+                })?;
+            stage_initial[consumer_stage].push((c, items));
+        }
+
+        let slice_steps = |steps: &[crate::plan::Step]| -> Vec<Vec<LocalStep>> {
+            let mut per_stage: Vec<Vec<LocalStep>> = (0..num_stages).map(|_| Vec::new()).collect();
+            for step in steps {
+                let s = part.stage_of[step.node];
+                let node = &stage_nodes[s][local_idx[step.node]];
+                let recv = node
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| boundary_to[c] == Some(s))
+                    .map(|(slot, &c)| (slot, c))
+                    .collect();
+                let send = node
+                    .outputs
+                    .iter()
+                    .copied()
+                    .filter(|&c| boundary_from[c] == Some(s))
+                    .collect();
+                per_stage[s].push(LocalStep {
+                    node: local_idx[step.node],
+                    gnode: step.node,
+                    times: step.times,
+                    recv,
+                    send,
+                });
+            }
+            per_stage
         };
-        // The silent-cycle budget is defined in *original* cycles (like
-        // the quantum), so the clamp binds at the same amount of work for
-        // every fission scale — otherwise a scale-s run could overshoot
-        // s× further in one round and break the width-invariance of
-        // tallies on runs long enough to hit the clamp.
-        let max_silent = MAX_SILENT_CYCLES / scale;
-        let silent = target - progress_at;
-        let add = add.clamp(1, max_silent.saturating_sub(silent).max(1));
-        let add = add.div_ceil(quantum) * quantum;
-        target += add;
-        for tx in &cmd_txs {
-            if tx.send(Cmd::Run(target)).is_err() {
-                absorb_err(
-                    &mut round_err,
-                    RunError::WorkerLost {
-                        detail: "a pipeline worker exited before its run command".into(),
-                    },
-                );
-            }
-        }
-        let before = printed;
-        let wait_t0 = probe.now();
-        if !supervised {
-            for _ in 0..num_stages {
-                match report_rx.recv() {
-                    Ok(rep) => {
-                        printed = printed.max(rep.printed);
-                        if let Some(e) = rep.err {
-                            absorb_err(&mut round_err, e);
-                        }
-                    }
-                    Err(_) => {
-                        absorb_err(
-                            &mut round_err,
-                            RunError::WorkerLost {
-                                detail: "a pipeline worker exited without reporting".into(),
-                            },
-                        );
-                        break;
-                    }
-                }
-            }
-        } else {
-            // Supervised wait: poll with a timeout, watching per-stage
-            // progress counters and pool-thread liveness between polls.
-            // A deadline with no counter movement (or a dead thread)
-            // trips teardown: poison, diagnose, then give the surviving
-            // workers a grace window to report before abandoning them.
-            let poll = (deadline / 8).clamp(Duration::from_millis(2), Duration::from_millis(50));
-            let mut reported = vec![false; num_stages];
-            let mut got = 0usize;
-            let mut last_counts: Vec<u64> =
-                progress.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-            let mut last_advance = Instant::now();
-            let mut tripped_at: Option<Instant> = None;
-            while got < num_stages {
-                match report_rx.recv_timeout(poll) {
-                    Ok(rep) => {
-                        if !reported[rep.stage] {
-                            reported[rep.stage] = true;
-                            got += 1;
-                        }
-                        printed = printed.max(rep.printed);
-                        if let Some(e) = rep.err {
-                            absorb_err(&mut round_err, e);
-                        }
-                    }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        absorb_err(
-                            &mut round_err,
-                            RunError::WorkerLost {
-                                detail: "a pipeline worker exited without reporting".into(),
-                            },
-                        );
-                        break;
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        if let Some(t0) = tripped_at {
-                            if t0.elapsed() >= TEARDOWN_GRACE {
-                                break;
-                            }
-                            continue;
-                        }
-                        if let Some(dead) = threads.iter().position(|t| !t.is_alive()) {
-                            poisoned.store(true, Ordering::Relaxed);
-                            absorb_err(
-                                &mut round_err,
-                                RunError::WorkerLost {
-                                    detail: format!("stage {dead} worker thread died mid-run"),
-                                },
-                            );
-                            tripped_at = Some(Instant::now());
-                            continue;
-                        }
-                        let counts: Vec<u64> =
-                            progress.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-                        if counts != last_counts {
-                            last_counts = counts;
-                            last_advance = Instant::now();
-                        } else if last_advance.elapsed() >= deadline {
-                            poisoned.store(true, Ordering::Relaxed);
-                            let detail =
-                                diagnose_stall(deadline, &last_counts, &reported, part, &shared);
-                            absorb_err(&mut round_err, RunError::Stalled { detail });
-                            tripped_at = Some(Instant::now());
-                        }
-                    }
-                }
-            }
-            if tripped_at.is_some() {
-                tripped = true;
-                if P::ENABLED {
-                    if let Some(e) = &round_err {
-                        probe.note("supervisor", &format!("tripped: {e}"));
-                    }
-                }
-            }
-        }
-        if P::ENABLED {
-            probe.stall(0, StallKind::Quantum, wait_t0);
-        }
-        if printed > before {
-            progress_at = target;
-        } else if target - progress_at >= MAX_SILENT_CYCLES / scale && round_err.is_none() {
-            round_err = Some(RunError::Deadlock {
-                detail: format!(
-                    "{} consecutive steady cycles produced no program output",
-                    (target - progress_at) * scale
-                ),
+        let mut init_slices = slice_steps(&plan.init);
+        let mut steady_slices = slice_steps(&plan.steady);
+
+        // Bundle every stage's payload *before* touching the worker pool, so
+        // all fallible setup completes while nothing is held. Built in
+        // reverse so each `pop` hands a stage its own data (a miscount here
+        // is a partitioner bug, surfaced structurally instead of the
+        // `expect` panics this loop used to contain).
+        let mut seeds: Vec<StageSeed> = Vec::with_capacity(num_stages);
+        for _ in 0..num_stages {
+            seeds.push(StageSeed {
+                nodes: stage_nodes
+                    .pop()
+                    .ok_or_else(|| setup_bug("missing per-stage nodes"))?,
+                rates: stage_rates
+                    .pop()
+                    .ok_or_else(|| setup_bug("missing per-stage rates"))?,
+                caps: stage_caps
+                    .pop()
+                    .ok_or_else(|| setup_bug("missing per-stage ring capacities"))?,
+                initial: stage_initial
+                    .pop()
+                    .ok_or_else(|| setup_bug("missing per-stage initial items"))?,
+                init_steps: init_slices
+                    .pop()
+                    .ok_or_else(|| setup_bug("missing per-stage init slice"))?,
+                steady_steps: steady_slices
+                    .pop()
+                    .ok_or_else(|| setup_bug("missing per-stage steady slice"))?,
             });
         }
+
+        let shared = Arc::new(SharedRings::new(&spsc_caps));
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let solo = std::thread::available_parallelism().is_ok_and(|n| n.get() == 1);
+        let (report_tx, report_rx) = channel::<Report>();
+        let (result_tx, result_rx) = channel::<StageResult<P>>();
+
+        // Supervision: poll instead of block whenever a watchdog was asked
+        // for or any fault plan is armed (injected faults must never turn a
+        // run into a hang, so an armed plan always gets a deadline).
+        let supervised = F::ARMED || watchdog.is_some();
+        let deadline = watchdog.unwrap_or(DEFAULT_ARMED_WATCHDOG);
+        let progress: Arc<Vec<AtomicU64>> =
+            Arc::new((0..num_stages).map(|_| AtomicU64::new(0)).collect());
+        if F::ARMED {
+            fault.arm(num_stages, num_channels);
+            if P::ENABLED {
+                probe.note("fault", &fault.describe());
+            }
+        }
+
+        // Stage workers come from the persistent process-wide pool (acquired
+        // atomically so concurrent runs never starve each other) instead of
+        // being spawned per run — repeated profiling runs reuse the threads.
+        let spawned_before = if P::ENABLED {
+            pool::global_spawned()
+        } else {
+            0
+        };
+        let threads = match pool::acquire_global_faulted(num_stages, &fault) {
+            Ok(t) => t,
+            Err(reason) => {
+                return Err(RunError::WorkerLost {
+                    detail: format!("worker pool refused {num_stages} stage workers: {reason}"),
+                })
+            }
+        };
+        if P::ENABLED {
+            probe.lane_name(0, "coordinator");
+            for b in &part.boundaries {
+                probe.ring_cap(b.chan, b.capacity);
+            }
+            let fresh = pool::global_spawned() - spawned_before;
+            probe.note(
+                "pool",
+                &format!(
+                    "acquired {num_stages} workers ({} reused, {fresh} newly spawned; \
+                 {} spawned process-wide, {} left idle)",
+                    num_stages - fresh,
+                    pool::global_spawned(),
+                    pool::global_idle()
+                ),
+            );
+        }
+        let mut cmd_txs = Vec::with_capacity(num_stages);
+        for (stage, seed) in seeds.into_iter().rev().enumerate() {
+            let (tx, rx) = channel::<Cmd>();
+            cmd_txs.push(tx);
+            let report_tx = report_tx.clone();
+            let result_tx = result_tx.clone();
+            let shared = Arc::clone(&shared);
+            let poisoned = Arc::clone(&poisoned);
+            let wprogress = Arc::clone(&progress);
+            let wfault = fault.fork();
+            let lane = stage as u32 + 1;
+            if P::ENABLED {
+                probe.lane_name(lane, &format!("stage {stage}"));
+            }
+            let wprobe = probe.fork(lane);
+            threads[stage].run(Box::new(move || {
+                if F::ARMED && wfault.spawn_abort(stage) {
+                    // Deliberately *outside* worker_main's containment: this
+                    // unwinds into the pool thread's loop and kills the
+                    // thread itself, exercising liveness detection and pool
+                    // self-healing.
+                    panic!("injected fault: stage {stage} worker thread died at job start");
+                }
+                let fresh = vec![true; seed.nodes.len()];
+                let worker = StageWorker {
+                    stage,
+                    probe: wprobe,
+                    fault: wfault,
+                    steps: 0,
+                    progress: wprogress,
+                    watch: supervised,
+                    rates: seed.rates,
+                    fresh,
+                    init_steps: seed.init_steps,
+                    steady_steps: seed.steady_steps,
+                    state: PlanState {
+                        rings: RingSet::new(&seed.caps, &seed.initial),
+                        printed: Vec::new(),
+                        ops: T::default(),
+                        firings: 0,
+                        out_buf: Vec::new(),
+                    },
+                    local_caps: seed.caps,
+                    nodes: seed.nodes,
+                    shared,
+                    poisoned,
+                    solo,
+                    cycles: 0,
+                    init_done: false,
+                };
+                let result = worker_main(worker, rx, report_tx);
+                let _ = result_tx.send(result);
+            }));
+        }
+        drop(report_tx);
+        drop(result_tx);
+
+        let coord = probe.fork(0);
+        Ok(PipelineSession {
+            cmd_txs,
+            report_rx,
+            result_rx,
+            threads,
+            progress,
+            poisoned,
+            shared,
+            part: part.clone(),
+            num_stages,
+            supervised,
+            deadline,
+            quantum,
+            scale,
+            est_per_cycle,
+            target: 0,
+            progress_at: 0,
+            values: Vec::new(),
+            delivered: 0,
+            tripped: false,
+            failed: None,
+            done: false,
+            coord,
+        })
     }
 
-    for tx in &cmd_txs {
-        let _ = tx.send(Cmd::Finish);
+    /// Total values printed so far (delivered or not).
+    pub fn available(&self) -> usize {
+        self.values.len()
     }
-    let mut results: Vec<StageResult<P>> = Vec::with_capacity(num_stages);
-    let mut abandoned = false;
-    if !supervised {
-        for _ in 0..num_stages {
-            match result_rx.recv() {
-                Ok(r) => results.push(r),
+
+    /// Values handed out through [`Self::read`] so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Runs until `n` further values are available and returns them, in
+    /// order. The value sequence is independent of how reads are
+    /// batched: overshoot beyond the goal stays buffered for the next
+    /// read.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_pipeline_supervised`]; once a session has failed, every
+    /// subsequent read reports the same error.
+    pub fn read(&mut self, n: usize) -> Result<&[f64], RunError> {
+        let end = self.delivered + n;
+        self.run_until(end)?;
+        let start = self.delivered;
+        self.delivered = end;
+        Ok(&self.values[start..end])
+    }
+
+    /// The pacing protocol: extends the cumulative cycle target until at
+    /// least `goal` total values have been printed. Every quantity here
+    /// is a deterministic function of printed counts at round
+    /// boundaries, and targets are quantized to whole multiples of
+    /// `quantum` cycles, so the total cycle count — and with it tallies
+    /// and firing counts — is independent of the worker count, the
+    /// fission width, and how a session's reads are batched.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::read`].
+    pub fn run_until(&mut self, goal: usize) -> Result<(), RunError> {
+        while self.values.len() < goal && self.failed.is_none() {
+            let remaining = (goal - self.values.len()) as u64;
+            let printed = self.values.len() as u64;
+            let add = if printed > 0 {
+                // Observed rate so far, rounded pessimistically upward.
+                (remaining * self.target).div_ceil(printed)
+            } else {
+                remaining.div_ceil(self.est_per_cycle)
+            };
+            // The silent-cycle budget is defined in *original* cycles
+            // (like the quantum), so the clamp binds at the same amount
+            // of work for every fission scale — otherwise a scale-s run
+            // could overshoot s× further in one round and break the
+            // width-invariance of tallies on runs long enough to hit the
+            // clamp.
+            let max_silent = MAX_SILENT_CYCLES / self.scale;
+            let silent = self.target - self.progress_at;
+            let add = add.clamp(1, max_silent.saturating_sub(silent).max(1));
+            let add = add.div_ceil(self.quantum) * self.quantum;
+            self.target += add;
+            for tx in &self.cmd_txs {
+                if tx.send(Cmd::Run(self.target)).is_err() {
+                    absorb_err(
+                        &mut self.failed,
+                        RunError::WorkerLost {
+                            detail: "a pipeline worker exited before its run command".into(),
+                        },
+                    );
+                }
+            }
+            let before = self.values.len();
+            let wait_t0 = self.coord.now();
+            if self.supervised {
+                self.collect_round_supervised();
+            } else {
+                self.collect_round();
+            }
+            if P::ENABLED {
+                self.coord.stall(0, StallKind::Quantum, wait_t0);
+            }
+            if self.values.len() > before {
+                self.progress_at = self.target;
+            } else if self.target - self.progress_at >= MAX_SILENT_CYCLES / self.scale
+                && self.failed.is_none()
+            {
+                self.failed = Some(RunError::Deadlock {
+                    detail: format!(
+                        "{} consecutive steady cycles produced no program output",
+                        (self.target - self.progress_at) * self.scale
+                    ),
+                });
+            }
+        }
+        match &self.failed {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn absorb_report(&mut self, rep: Report) {
+        self.values.extend(rep.values);
+        if let Some(e) = rep.err {
+            absorb_err(&mut self.failed, e);
+        }
+    }
+
+    /// One unsupervised round: block until every stage reports.
+    fn collect_round(&mut self) {
+        for _ in 0..self.num_stages {
+            match self.report_rx.recv() {
+                Ok(rep) => self.absorb_report(rep),
                 Err(_) => {
-                    // Disconnection means every outstanding job ended
-                    // (each holds a sender) — at least one without
-                    // reporting, i.e. it panicked outside the contained
-                    // run path.
-                    if round_err.is_none() {
-                        round_err = Some(RunError::WorkerLost {
-                            detail: "a pipeline worker panicked outside its contained run path"
-                                .into(),
-                        });
-                    }
+                    absorb_err(
+                        &mut self.failed,
+                        RunError::WorkerLost {
+                            detail: "a pipeline worker exited without reporting".into(),
+                        },
+                    );
                     break;
                 }
             }
         }
-    } else {
-        let t0 = Instant::now();
-        let mut have = vec![false; num_stages];
-        while results.len() < num_stages {
-            match result_rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(r) => {
-                    if r.stage < have.len() {
-                        have[r.stage] = true;
+    }
+
+    /// Supervised wait: poll with a timeout, watching per-stage progress
+    /// counters and pool-thread liveness between polls. A deadline with
+    /// no counter movement (or a dead thread) trips teardown: poison,
+    /// diagnose, then give the surviving workers a grace window to
+    /// report before abandoning them.
+    fn collect_round_supervised(&mut self) {
+        let poll = (self.deadline / 8).clamp(Duration::from_millis(2), Duration::from_millis(50));
+        let mut reported = vec![false; self.num_stages];
+        let mut got = 0usize;
+        let mut last_counts: Vec<u64> = self
+            .progress
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let mut last_advance = Instant::now();
+        let mut tripped_at: Option<Instant> = None;
+        while got < self.num_stages {
+            match self.report_rx.recv_timeout(poll) {
+                Ok(rep) => {
+                    if !reported[rep.stage] {
+                        reported[rep.stage] = true;
+                        got += 1;
                     }
-                    results.push(r);
+                    self.absorb_report(rep);
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    // All jobs ended; a missing result means its thread
-                    // died mid-job. The survivors already finished, so
-                    // the pool's own liveness filtering suffices.
-                    if round_err.is_none() {
-                        round_err = Some(RunError::WorkerLost {
-                            detail: "a pipeline worker panicked outside its contained run path"
-                                .into(),
-                        });
-                    }
+                    absorb_err(
+                        &mut self.failed,
+                        RunError::WorkerLost {
+                            detail: "a pipeline worker exited without reporting".into(),
+                        },
+                    );
                     break;
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    let missing_all_dead = (0..num_stages)
-                        .filter(|&s| !have[s])
-                        .all(|s| !threads[s].is_alive());
-                    let grace_over = tripped && t0.elapsed() >= TEARDOWN_GRACE;
-                    if missing_all_dead || grace_over {
-                        if round_err.is_none() {
-                            round_err = Some(RunError::WorkerLost {
-                                detail: "stage workers were abandoned mid-run".into(),
-                            });
+                    if let Some(t0) = tripped_at {
+                        if t0.elapsed() >= TEARDOWN_GRACE {
+                            break;
                         }
-                        abandoned = true;
-                        break;
+                        continue;
+                    }
+                    if let Some(dead) = self.threads.iter().position(|t| !t.is_alive()) {
+                        self.poisoned.store(true, Ordering::Relaxed);
+                        absorb_err(
+                            &mut self.failed,
+                            RunError::WorkerLost {
+                                detail: format!("stage {dead} worker thread died mid-run"),
+                            },
+                        );
+                        tripped_at = Some(Instant::now());
+                        continue;
+                    }
+                    let counts: Vec<u64> = self
+                        .progress
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect();
+                    if counts != last_counts {
+                        last_counts = counts;
+                        last_advance = Instant::now();
+                    } else if last_advance.elapsed() >= self.deadline {
+                        self.poisoned.store(true, Ordering::Relaxed);
+                        let detail = diagnose_stall(
+                            self.deadline,
+                            &last_counts,
+                            &reported,
+                            &self.part,
+                            &self.shared,
+                        );
+                        absorb_err(&mut self.failed, RunError::Stalled { detail });
+                        tripped_at = Some(Instant::now());
                     }
                 }
             }
         }
-    }
-    if abandoned {
-        // Workers that never answered are in unknown states (wedged or
-        // mid-job): retire the whole complement so the next acquisition
-        // starts from fresh threads — never re-park a thread that might
-        // still be executing an abandoned job.
-        if P::ENABLED {
-            probe.note(
-                "supervisor",
-                &format!("retired {num_stages} pool workers after an abandoned run"),
-            );
+        if tripped_at.is_some() {
+            self.tripped = true;
+            if P::ENABLED {
+                if let Some(e) = self.failed.clone() {
+                    self.coord.note("supervisor", &format!("tripped: {e}"));
+                }
+            }
         }
-        pool::retire_global(threads);
-    } else {
-        // `result_rx` answered for every job (or disconnected, meaning
-        // all jobs ended), so the surviving threads are idle again.
-        pool::release_global(threads);
     }
-    if let Some(e) = round_err {
-        return Err(e);
+
+    /// Tells every worker to finish, collects their results within the
+    /// usual grace rules, and returns the threads to the pool (retiring
+    /// the whole complement when any worker had to be abandoned mid-job
+    /// — never re-park a thread that might still be executing an
+    /// abandoned job). Collection errors land in `self.failed`.
+    fn shutdown(&mut self) -> Vec<StageResult<P>> {
+        self.done = true;
+        for tx in &self.cmd_txs {
+            let _ = tx.send(Cmd::Finish);
+        }
+        let mut results: Vec<StageResult<P>> = Vec::with_capacity(self.num_stages);
+        let mut abandoned = false;
+        if !self.supervised {
+            for _ in 0..self.num_stages {
+                match self.result_rx.recv() {
+                    Ok(r) => results.push(r),
+                    Err(_) => {
+                        // Disconnection means every outstanding job ended
+                        // (each holds a sender) — at least one without
+                        // reporting, i.e. it panicked outside the
+                        // contained run path.
+                        if self.failed.is_none() {
+                            self.failed = Some(RunError::WorkerLost {
+                                detail: "a pipeline worker panicked outside its contained run path"
+                                    .into(),
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+        } else {
+            let t0 = Instant::now();
+            let mut have = vec![false; self.num_stages];
+            while results.len() < self.num_stages {
+                match self.result_rx.recv_timeout(Duration::from_millis(20)) {
+                    Ok(r) => {
+                        if r.stage < have.len() {
+                            have[r.stage] = true;
+                        }
+                        results.push(r);
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // All jobs ended; a missing result means its
+                        // thread died mid-job. The survivors already
+                        // finished, so the pool's own liveness filtering
+                        // suffices.
+                        if self.failed.is_none() {
+                            self.failed = Some(RunError::WorkerLost {
+                                detail: "a pipeline worker panicked outside its contained run path"
+                                    .into(),
+                            });
+                        }
+                        break;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        let missing_all_dead = (0..self.num_stages)
+                            .filter(|&s| !have[s])
+                            .all(|s| !self.threads[s].is_alive());
+                        let grace_over = self.tripped && t0.elapsed() >= TEARDOWN_GRACE;
+                        if missing_all_dead || grace_over {
+                            if self.failed.is_none() {
+                                self.failed = Some(RunError::WorkerLost {
+                                    detail: "stage workers were abandoned mid-run".into(),
+                                });
+                            }
+                            abandoned = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let threads = std::mem::take(&mut self.threads);
+        if abandoned {
+            if P::ENABLED {
+                self.coord.note(
+                    "supervisor",
+                    &format!(
+                        "retired {} pool workers after an abandoned run",
+                        self.num_stages
+                    ),
+                );
+            }
+            pool::retire_global(threads);
+        } else {
+            // `result_rx` answered for every job (or disconnected,
+            // meaning all jobs ended), so the surviving threads are idle
+            // again.
+            pool::release_global(threads);
+        }
+        results
     }
-    results.sort_by_key(|r| r.stage);
-    let mut outcome = PipelineOutcome {
-        printed: Vec::new(),
-        ops: OpCounter::default(),
-        firings: 0,
-        cycles: target,
-        stages: num_stages,
-    };
-    for r in results {
-        // Only the printer stage contributes output; concatenation in
-        // stage order is exact because printers share one stage.
-        outcome.printed.extend(r.printed);
-        outcome.ops.merge(&r.ops);
-        outcome.firings += r.firings;
-        probe.absorb(r.probe);
+
+    /// Finishes the run: tears the workers down, absorbs the coordinator
+    /// and worker probes into `probe`, and merges the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Reports the session's stored failure (or one discovered during
+    /// teardown) instead of an outcome.
+    pub fn finish(mut self, probe: &mut P) -> Result<PipelineOutcome, RunError> {
+        let mut results = self.shutdown();
+        let coord = std::mem::replace(&mut self.coord, probe.fork(0));
+        probe.absorb(coord);
+        if let Some(e) = self.failed.take() {
+            return Err(e);
+        }
+        results.sort_by_key(|r| r.stage);
+        let mut outcome = PipelineOutcome {
+            printed: std::mem::take(&mut self.values),
+            ops: OpCounter::default(),
+            firings: 0,
+            cycles: self.target,
+            stages: self.num_stages,
+        };
+        for r in results {
+            // Undrained leftovers (normally none) land after the drained
+            // values; concatenation in stage order is exact because
+            // printers share one stage.
+            outcome.printed.extend(r.printed);
+            outcome.ops.merge(&r.ops);
+            outcome.firings += r.firings;
+            probe.absorb(r.probe);
+        }
+        Ok(outcome)
     }
-    Ok(outcome)
+}
+
+impl<P: Probe> Drop for PipelineSession<P> {
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self.shutdown();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,393 @@
+//! `streamlin-service` — the persistent streaming daemon behind
+//! `streamlind`.
+//!
+//! One-shot `streamlinc` is the wrong shape for heavy traffic: every
+//! invocation re-parses, re-elaborates, re-analyzes, re-plans and
+//! re-partitions before firing a single item, and tears the worker pool
+//! back down afterwards. This crate keeps everything resident:
+//!
+//! * a **plan cache** ([`cache`]) keyed by program content-hash ×
+//!   configuration × runtime knobs, holding the fully compiled artifact
+//!   (`FilterFacts` intact) so compile cost is paid once per distinct
+//!   program;
+//! * **named streams** ([`session`]): per-stream engine state persists
+//!   across requests — a stream is a long-lived stateful process whose
+//!   output is consumed in ordered batches;
+//! * a **line-delimited JSON protocol** ([`proto`]) over stdio or TCP,
+//!   built on `streamlin_support::json` (no serialization dependency);
+//! * **admission control** ([`admission`]): streams multiplex onto the
+//!   process-wide worker pool under a worker budget — saturation yields
+//!   a structured refusal (or a bounded wait), never a hang, and a
+//!   degradable failure degrades *that stream only* onto the
+//!   single-threaded static plan.
+//!
+//! Determinism contract: the same program driven through the service, in
+//! any interleaving with other streams and any read batching, produces
+//! **bit-identical** output to one-shot `streamlinc` — pinned by
+//! `tests/service_equivalence.rs` across all nine paper benchmarks.
+//!
+//! [`Service::handle`] is the transport-free core (one request line in,
+//! one response line out); [`server`] wraps it in the stdio/TCP loops
+//! the `streamlind` binary runs. Tests and benchmarks drive
+//! [`Service::handle`] in process — same dispatcher, no pipes.
+
+pub mod admission;
+pub mod cache;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use streamlin_runtime::{pool, resolve_quantum};
+use streamlin_support::json::Json;
+use streamlin_support::InjectFaults;
+
+use admission::Ledger;
+use cache::{fnv1a64, PlanCache, PlanKey};
+use proto::{err_response, ok_response, OpenReq, Request};
+use session::{build_exec, StreamExec};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceOpts {
+    /// Admission budget: worker threads all live streams may claim in
+    /// total (a pipeline stream claims its partition's stage count, a
+    /// single-threaded stream claims 1).
+    pub workers: usize,
+    /// Maximum concurrently open streams.
+    pub max_streams: usize,
+    /// Instrument every stream with its own `Recorder` (per-stream
+    /// lanes); close responses then carry telemetry, `--metrics` prints
+    /// the summary, `--trace-out <dir>` writes one Chrome trace per
+    /// stream.
+    pub instrument: bool,
+    /// Print each closed stream's telemetry summary to stderr.
+    pub metrics: bool,
+    /// Directory for per-stream Chrome traces (`<dir>/<id>.trace.json`).
+    pub trace_dir: Option<String>,
+    /// Default cycle quantum for streams that don't pick one (`0`:
+    /// `STREAMLIN_CYCLE_QUANTUM`, then the built-in default).
+    pub quantum: u64,
+}
+
+impl Default for ServiceOpts {
+    fn default() -> Self {
+        ServiceOpts {
+            workers: std::thread::available_parallelism().map_or(8, |n| n.get()),
+            max_streams: 64,
+            instrument: false,
+            metrics: false,
+            trace_dir: None,
+            quantum: 0,
+        }
+    }
+}
+
+struct StreamEntry {
+    exec: Box<dyn StreamExec>,
+    /// Current ledger claim (drops to 1 when the stream degrades).
+    workers: usize,
+}
+
+/// The daemon core: plan cache, stream table, admission ledger, and the
+/// request dispatcher. Transport-free — [`server`] owns the I/O loops.
+pub struct Service {
+    opts: ServiceOpts,
+    cache: PlanCache,
+    ledger: Ledger,
+    streams: Mutex<HashMap<String, StreamEntry>>,
+    shutdown: AtomicBool,
+}
+
+impl Service {
+    pub fn new(opts: ServiceOpts) -> Self {
+        let ledger = Ledger::new(opts.workers);
+        Service {
+            opts,
+            cache: PlanCache::new(),
+            ledger,
+            streams: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether a `shutdown` request has been dispatched (the server
+    /// loops poll this to exit).
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Dispatches one request line to one response line. Never panics on
+    /// malformed input; failures are structured `{"ok":false,...}`
+    /// responses.
+    pub fn handle(&self, line: &str) -> String {
+        match proto::parse_request(line) {
+            Err(detail) => err_response("bad_request", &detail, vec![]),
+            Ok(Request::Ping) => ok_response("pong", vec![]),
+            Ok(Request::Stats) => self.handle_stats(),
+            Ok(Request::Shutdown) => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                self.close_all();
+                ok_response("shutdown", vec![])
+            }
+            Ok(Request::Open(req)) => self.handle_open(&req),
+            Ok(Request::Read { id, n }) => self.handle_read(&id, n),
+            Ok(Request::Close { id }) => self.handle_close(&id),
+        }
+    }
+
+    fn handle_open(&self, req: &OpenReq) -> String {
+        {
+            let streams = self.streams.lock().unwrap();
+            if streams.contains_key(&req.id) {
+                return err_response(
+                    "duplicate_stream",
+                    &format!("stream `{}` is already open", req.id),
+                    vec![],
+                );
+            }
+            if streams.len() >= self.opts.max_streams {
+                return err_response(
+                    "too_many_streams",
+                    &format!(
+                        "{} stream(s) open, limit {}",
+                        streams.len(),
+                        self.opts.max_streams
+                    ),
+                    vec![],
+                );
+            }
+        }
+        let fault = match &req.fault {
+            None => None,
+            Some(spec) => match InjectFaults::parse(spec) {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    return err_response("bad_request", &format!("bad fault spec: {e}"), vec![])
+                }
+            },
+        };
+        let quantum = resolve_quantum(if req.quantum != 0 {
+            req.quantum
+        } else {
+            self.opts.quantum
+        });
+        let matmul = req.matmul.unwrap_or_else(|| req.mode.default_strategy());
+        let key = PlanKey {
+            src_hash: fnv1a64(req.program.as_bytes()),
+            config: req.config.clone(),
+            sched: req.sched,
+            mode: req.mode,
+            matmul,
+            threads: req.threads,
+            fission: format!("{:?}", req.fission),
+            quantum,
+        };
+        let (artifact, cached) = match self.cache.get_or_compile(&key, &req.program, req.fission) {
+            Ok(pair) => pair,
+            Err(detail) => return err_response("compile_error", &detail, vec![]),
+        };
+        // Admission: claim the stream's worker complement before any
+        // pool thread is taken; saturation is a structured refusal (or a
+        // bounded wait), never a hang.
+        let need = artifact.workers_needed();
+        let wait = req.wait_ms.map(Duration::from_millis);
+        if let Err(e) = self.ledger.claim(need, wait) {
+            let (code, pairs) = match &e {
+                admission::AdmitError::Saturated {
+                    need,
+                    in_use,
+                    budget,
+                } => (
+                    "saturated",
+                    vec![
+                        ("need".to_string(), Json::Num(*need as f64)),
+                        ("in_use".to_string(), Json::Num(*in_use as f64)),
+                        ("budget".to_string(), Json::Num(*budget as f64)),
+                    ],
+                ),
+                admission::AdmitError::TooLarge { need, budget } => (
+                    "saturated",
+                    vec![
+                        ("need".to_string(), Json::Num(*need as f64)),
+                        ("budget".to_string(), Json::Num(*budget as f64)),
+                    ],
+                ),
+            };
+            return err_response(code, &e.to_string(), pairs);
+        }
+        let watchdog = req.watchdog_ms.map(Duration::from_millis);
+        let exec = match build_exec(&artifact, req.mode, self.opts.instrument, fault, watchdog) {
+            Ok(exec) => exec,
+            Err(e) => {
+                self.ledger.release(need);
+                return err_response("run_error", &e.to_string(), vec![]);
+            }
+        };
+        let degraded = exec.degraded().map(str::to_string);
+        let mut workers = need;
+        if degraded.is_some() && need > 1 {
+            // Setup-time degradation: the stream runs single-threaded,
+            // so its surplus claim goes straight back to the budget.
+            self.ledger.release(need - 1);
+            workers = 1;
+        }
+        let mut streams = self.streams.lock().unwrap();
+        streams.insert(req.id.clone(), StreamEntry { exec, workers });
+        let mut pairs = vec![
+            ("id".to_string(), Json::Str(req.id.clone())),
+            ("cached".to_string(), Json::Bool(cached)),
+            ("compile_ms".to_string(), Json::Num(artifact.compile_ms)),
+            ("workers".to_string(), Json::Num(workers as f64)),
+            ("width".to_string(), Json::Num(artifact.width as f64)),
+            (
+                "sched".to_string(),
+                Json::Str(
+                    if artifact.plan.is_some() {
+                        "static"
+                    } else {
+                        "dynamic"
+                    }
+                    .into(),
+                ),
+            ),
+        ];
+        if let Some(d) = degraded {
+            pairs.push(("degraded".to_string(), Json::Str(d)));
+        }
+        ok_response("open", pairs)
+    }
+
+    fn handle_read(&self, id: &str, n: usize) -> String {
+        let mut streams = self.streams.lock().unwrap();
+        let Some(entry) = streams.get_mut(id) else {
+            return err_response("unknown_stream", &format!("no stream `{id}`"), vec![]);
+        };
+        match entry.exec.read(n) {
+            Ok(out) => {
+                if out.just_degraded.is_some() && entry.workers > 1 {
+                    // This stream fell back to the single-threaded plan;
+                    // its surplus workers return to the budget. Neighbor
+                    // streams are untouched.
+                    self.ledger.release(entry.workers - 1);
+                    entry.workers = 1;
+                }
+                let delivered = entry.exec.delivered();
+                let degraded = entry.exec.degraded().map(str::to_string);
+                let mut pairs = vec![
+                    ("id".to_string(), Json::Str(id.into())),
+                    (
+                        "values".to_string(),
+                        Json::arr(out.values.into_iter().map(Json::Num)),
+                    ),
+                    ("delivered".to_string(), Json::Num(delivered as f64)),
+                ];
+                if let Some(d) = degraded {
+                    pairs.push(("degraded".to_string(), Json::Str(d)));
+                }
+                ok_response("read", pairs)
+            }
+            Err(e) => {
+                // Non-degradable failure: the program itself is broken
+                // (it would fail identically on any executor). The
+                // stream is torn down and its claim released.
+                let entry = streams.remove(id).expect("present above");
+                self.ledger.release(entry.workers);
+                let _ = entry.exec.close();
+                err_response(
+                    "run_error",
+                    &e.to_string(),
+                    vec![("id".to_string(), Json::Str(id.into()))],
+                )
+            }
+        }
+    }
+
+    fn handle_close(&self, id: &str) -> String {
+        let Some(entry) = self.streams.lock().unwrap().remove(id) else {
+            return err_response("unknown_stream", &format!("no stream `{id}`"), vec![]);
+        };
+        self.ledger.release(entry.workers);
+        let report = entry.exec.close();
+        let mut pairs = vec![
+            ("id".to_string(), Json::Str(id.into())),
+            ("delivered".to_string(), Json::Num(report.delivered as f64)),
+            ("flops".to_string(), Json::Num(report.flops as f64)),
+            ("mults".to_string(), Json::Num(report.mults as f64)),
+            ("firings".to_string(), Json::Num(report.firings as f64)),
+        ];
+        if let Some(d) = &report.degraded {
+            pairs.push(("degraded".to_string(), Json::Str(d.clone())));
+        }
+        if let Some((summary, trace)) = &report.probe {
+            if self.opts.metrics {
+                eprintln!("--- stream {id} ---\n{summary}");
+            }
+            if let Some(dir) = &self.opts.trace_dir {
+                let path = format!("{dir}/{id}.trace.json");
+                match std::fs::write(&path, trace) {
+                    Ok(()) => pairs.push(("trace".to_string(), Json::Str(path))),
+                    Err(e) => eprintln!("streamlind: cannot write {path}: {e}"),
+                }
+            }
+        }
+        ok_response("close", pairs)
+    }
+
+    fn handle_stats(&self) -> String {
+        let c = self.cache.stats();
+        let open = self.streams.lock().unwrap().len();
+        ok_response(
+            "stats",
+            vec![
+                (
+                    "cache".to_string(),
+                    Json::obj(vec![
+                        ("hits", Json::Num(c.hits as f64)),
+                        ("misses", Json::Num(c.misses as f64)),
+                        ("entries", Json::Num(c.entries as f64)),
+                    ]),
+                ),
+                ("streams".to_string(), Json::Num(open as f64)),
+                (
+                    "workers".to_string(),
+                    Json::obj(vec![
+                        ("in_use", Json::Num(self.ledger.in_use() as f64)),
+                        ("budget", Json::Num(self.ledger.budget() as f64)),
+                    ]),
+                ),
+                (
+                    "pool".to_string(),
+                    Json::obj(vec![
+                        ("spawned", Json::Num(pool::global_spawned() as f64)),
+                        ("idle", Json::Num(pool::global_idle() as f64)),
+                        ("retired", Json::Num(pool::global_retired() as f64)),
+                    ]),
+                ),
+            ],
+        )
+    }
+
+    /// Closes every stream (shutdown path), releasing claims and parking
+    /// pipeline workers back on the pool.
+    fn close_all(&self) {
+        let entries: Vec<StreamEntry> = {
+            let mut streams = self.streams.lock().unwrap();
+            streams.drain().map(|(_, e)| e).collect()
+        };
+        for e in entries {
+            self.ledger.release(e.workers);
+            let _ = e.exec.close();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.close_all();
+    }
+}

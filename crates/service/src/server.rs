@@ -1,0 +1,119 @@
+//! Transport loops: stdio (the default) and TCP.
+//!
+//! Both speak the same line-delimited protocol through
+//! [`Service::handle`]; neither owns any state of its own. The stdio
+//! loop is what tests and supervised deployments drive (one daemon per
+//! pipe pair, shuts down on EOF or `{"op":"shutdown"}`); the TCP loop
+//! accepts any number of connections, each served on its own thread
+//! against the shared [`Service`] — streams are named, so clients on
+//! different connections can even share a stream, and the dispatcher's
+//! locking keeps every request/response pair atomic.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::Service;
+
+/// Serves requests from `input` to `output` until EOF or shutdown.
+///
+/// # Errors
+///
+/// I/O failures on the transport (protocol-level failures are structured
+/// responses, not errors).
+pub fn serve_lines(
+    svc: &Service,
+    input: impl std::io::Read,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(input);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = svc.handle(&line);
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        if svc.is_shutdown() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// The stdio daemon: requests on stdin, responses on stdout (one line
+/// each, flushed per response so pipe-driven clients never block on
+/// buffering).
+///
+/// # Errors
+///
+/// As [`serve_lines`].
+pub fn serve_stdio(svc: &Service) -> std::io::Result<()> {
+    serve_lines(svc, std::io::stdin().lock(), std::io::stdout().lock())
+}
+
+/// The TCP daemon: binds `addr`, prints the bound address to stderr
+/// (`listening on <addr>` — tests parse this to find an OS-assigned
+/// port), and serves each connection on its own thread until a client
+/// sends `{"op":"shutdown"}`.
+///
+/// # Errors
+///
+/// Bind failures; per-connection I/O errors only end that connection.
+pub fn serve_tcp(svc: Arc<Service>, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("streamlind: listening on {}", listener.local_addr()?);
+    // Poll accept so the listener notices shutdown requested on another
+    // connection within a bounded delay.
+    listener.set_nonblocking(true)?;
+    let mut handles = Vec::new();
+    while !svc.is_shutdown() {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                let svc = Arc::clone(&svc);
+                handles.push(std::thread::spawn(move || serve_conn(&svc, conn)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+fn serve_conn(svc: &Service, conn: TcpStream) {
+    let reader = match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    let _ = serve_lines(svc, reader, conn);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceOpts;
+
+    #[test]
+    fn stdio_loop_answers_each_line_and_stops_on_shutdown() {
+        let svc = Service::new(ServiceOpts::default());
+        let input = b"{\"op\":\"ping\"}\n\n{\"op\":\"shutdown\"}\n{\"op\":\"ping\"}\n" as &[u8];
+        let mut out = Vec::new();
+        serve_lines(&svc, input, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Blank line skipped; loop exits after shutdown, so the trailing
+        // ping is never answered.
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"pong\""));
+        assert!(lines[1].contains("\"shutdown\""));
+        assert!(svc.is_shutdown());
+    }
+}

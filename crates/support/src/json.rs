@@ -1,14 +1,17 @@
-//! A minimal JSON reader for validating emitted artifacts.
+//! A minimal JSON reader **and writer** for the workspace's artifacts.
 //!
-//! The workspace writes JSON by hand (trace files, `BENCH_*.json`) and
-//! carries no serialization dependency; this module is the matching
-//! reader — just enough of RFC 8259 to parse what we emit plus anything
-//! Chrome/Perfetto would accept, used by the trace validator
-//! (`streamlin-runtime::telemetry`) and the trace-shape tests. It is a
-//! strict recursive-descent parser: trailing garbage, unterminated
-//! strings and malformed numbers are errors, not best-effort results.
+//! The workspace carries no serialization dependency. This module is the
+//! shared JSON layer: a strict recursive-descent reader — just enough of
+//! RFC 8259 to parse what we emit plus anything Chrome/Perfetto would
+//! accept, used by the trace validator (`streamlin-runtime::telemetry`)
+//! and the trace-shape tests — and the matching writer, used by the
+//! `streamlind` wire protocol and `bench_json`. Trailing garbage,
+//! unterminated strings and malformed numbers are parse errors, not
+//! best-effort results; everything [`Json::dump`] emits parses back to
+//! an equal value (finite numbers round-trip bit-exactly).
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +61,158 @@ impl Json {
             Json::Arr(v) => Some(v),
             _ => None,
         }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from key/value pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Serializes to a compact single-line document that [`parse`]
+    /// accepts and maps back to an equal value.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    /// Serializes to a multi-line document with two-space indentation,
+    /// for committed artifacts meant to be read (and diffed) by humans.
+    pub fn dump_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(v) => {
+                if v.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent.map(|d| d + 1));
+                    item.write(out, indent.map(|d| d + 1));
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                if m.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent.map(|d| d + 1));
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent.map(|d| d + 1));
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, depth: Option<usize>) {
+    if let Some(d) = depth {
+        out.push('\n');
+        for _ in 0..d {
+            out.push_str("  ");
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes included), escaping
+/// quotes, backslashes and control characters. This is the one escaper
+/// in the workspace; `probe::json_string` delegates here.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a number. Finite values use Rust's shortest round-trip
+/// `Display` form (so `parse` recovers the exact bits); JSON has no
+/// NaN/Infinity, so non-finite values serialize as `null`.
+pub fn write_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
     }
 }
 
@@ -308,5 +463,53 @@ mod tests {
         let s = crate::probe::json_string("weird \"x\"\n\\ \u{1} text");
         let v = parse(&s).unwrap();
         assert_eq!(v.as_str(), Some("weird \"x\"\n\\ \u{1} text"));
+    }
+
+    #[test]
+    fn writer_round_trips_nested_documents() {
+        let doc = Json::obj([
+            ("name", Json::from("fir — \"edge\" \\ \n\t\u{1}")),
+            ("n", Json::from(64usize)),
+            (
+                "values",
+                Json::arr([Json::from(0.1 + 0.2), Json::from(-0.0), Json::Null]),
+            ),
+            ("nested", Json::obj([("ok", Json::from(true))])),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<String>([])),
+        ]);
+        assert_eq!(parse(&doc.dump()).unwrap(), doc);
+        assert_eq!(parse(&doc.dump_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn writer_round_trips_floats_bit_exactly() {
+        for v in [
+            0.1 + 0.2,
+            -1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1e300,
+            -2.5e-8,
+            123_456_789.123_456_78,
+            -0.0,
+        ] {
+            let mut s = String::new();
+            write_num(&mut s, v);
+            let back = parse(&s).unwrap().as_num().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} reprinted as {s}");
+        }
+    }
+
+    #[test]
+    fn writer_maps_nonfinite_to_null() {
+        assert_eq!(Json::from(f64::NAN).dump(), "null");
+        assert_eq!(Json::from(f64::INFINITY).dump(), "null");
+    }
+
+    #[test]
+    fn compact_dump_is_single_line_and_key_sorted() {
+        let doc = Json::obj([("b", Json::from(1.0)), ("a", Json::from(2.0))]);
+        assert_eq!(doc.dump(), r#"{"a":2,"b":1}"#);
     }
 }

@@ -62,6 +62,10 @@ struct Args {
     /// Wall-clock no-progress deadline for the pipeline watchdog, in
     /// milliseconds (`--watchdog-ms N`).
     watchdog_ms: Option<u64>,
+    /// Cycle quantum of the pipeline pacing protocol (`--quantum N`,
+    /// original steady cycles). `0`: env `STREAMLIN_CYCLE_QUANTUM`, else
+    /// the built-in default of 4.
+    quantum: u64,
     /// `--lint`: print every advisory diagnostic the static analysis
     /// produced (spanned, one line each) and skip execution.
     lint: bool,
@@ -94,7 +98,7 @@ fn usage() -> ! {
          \x20                [--fission auto|off|<w>] [-n <outputs>] [--emit-graph]\n\
          \x20                [--metrics] [--trace-out <file>] [--quiet]\n\
          \x20                [--watchdog-ms <n>] [--fault-inject <seed>:<spec>[,<spec>...]]\n\
-         \x20                [--lint] [--deny-lints]"
+         \x20                [--quantum <n>] [--lint] [--deny-lints]"
     );
     std::process::exit(2);
 }
@@ -115,6 +119,7 @@ fn parse_args() -> Args {
         quiet: false,
         fault: None,
         watchdog_ms: None,
+        quantum: 0,
         lint: false,
         deny_lints: false,
     };
@@ -186,6 +191,13 @@ fn parse_args() -> Args {
                         .filter(|&ms| ms >= 1)
                         .unwrap_or_else(|| usage()),
                 )
+            }
+            "--quantum" => {
+                args.quantum = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&q| q >= 1)
+                    .unwrap_or_else(|| usage())
             }
             "--lint" => args.lint = true,
             "--deny-lints" => {
@@ -328,6 +340,7 @@ fn run(args: &Args) -> Result<(), String> {
     let sup = Supervision {
         watchdog: args.watchdog_ms.map(Duration::from_millis),
         fallback: true,
+        quantum: args.quantum,
     };
     let prof = profile_supervised(
         &opt,

@@ -16,6 +16,7 @@
 //! | [`graph`] | `streamlin-graph` | elaboration, stream IR, steady-state rates |
 //! | [`core`] | `streamlin-core` | extraction, combination, frequency, redundancy, selection |
 //! | [`runtime`] | `streamlin-runtime` | flattening, execution engine, profiling |
+//! | [`service`] | `streamlin-service` | the `streamlind` daemon: plan cache, streams, admission |
 //! | [`benchmarks`] | `streamlin-benchmarks` | the nine paper benchmarks |
 //! | [`matrix`], [`fft`], [`support`] | substrates | linear algebra, FFT, op counting |
 //!
@@ -54,6 +55,7 @@ pub use streamlin_graph as graph;
 pub use streamlin_lang as lang;
 pub use streamlin_matrix as matrix;
 pub use streamlin_runtime as runtime;
+pub use streamlin_service as service;
 pub use streamlin_support as support;
 
 /// The most commonly used items, for glob import.

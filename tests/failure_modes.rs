@@ -207,6 +207,7 @@ fn fallback_on() -> Supervision {
     Supervision {
         watchdog: Some(Duration::from_millis(400)),
         fallback: true,
+        quantum: 0,
     }
 }
 
@@ -214,6 +215,7 @@ fn fallback_off() -> Supervision {
     Supervision {
         watchdog: Some(Duration::from_millis(400)),
         fallback: false,
+        quantum: 0,
     }
 }
 

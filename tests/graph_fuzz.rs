@@ -389,6 +389,7 @@ fn check_spec(spec: &Spec) -> bool {
         let sup = Supervision {
             watchdog: Some(Duration::from_secs(5)),
             fallback: true,
+            quantum: 0,
         };
         let drilled = profile_supervised(
             &opt,

@@ -85,6 +85,7 @@ fn repeated_runs_reuse_the_worker_pool_and_match_bit_for_bit() {
     let sup = Supervision {
         watchdog: Some(Duration::from_millis(500)),
         fallback: true,
+        quantum: 0,
     };
     let fault = InjectFaults::parse("5:die@s1").expect("valid fault spec");
     let degraded = profile_supervised(

@@ -1,0 +1,457 @@
+//! The service determinism contract: a program driven through the
+//! `streamlind` daemon — in any interleaving with other streams, any
+//! read batching, and across plan-cache hits — produces output
+//! **bit-identical** to the one-shot profiler `streamlinc` runs.
+//!
+//! Values cross the wire as JSON numbers in Rust's shortest-round-trip
+//! formatting, which parses back bit-exactly for finite `f64` (pinned by
+//! `support::json`'s unit tests), so comparing wire values against
+//! in-process profiles by `to_bits` is exact, not approximate.
+//!
+//! Also covered, per the PR 9 acceptance criteria: the plan-cache-hit
+//! rerun (counters prove elaborate/lower/analyze/plan were skipped), the
+//! per-stream fault drill (one stream's worker dies; only that stream
+//! degrades, neighbors stay healthy and bit-identical), admission
+//! saturation as a structured refusal (never a hang), and a subprocess
+//! lifecycle smoke of the actual binary over stdio.
+
+use std::io::{BufRead, BufReader, Write};
+
+use streamlin::core::combine::analyze_graph;
+use streamlin::core::cost::CostModel;
+use streamlin::core::select::{select, SelectOptions};
+use streamlin::runtime::fission::Fission;
+use streamlin::runtime::measure::{profile_fission, profile_mode};
+use streamlin::runtime::{ExecMode, Scheduler};
+use streamlin::service::{Service, ServiceOpts};
+use streamlin::support::json::{self, Json};
+
+/// A service with a roomy admission budget (tests that exercise
+/// saturation build their own tight one).
+fn roomy() -> Service {
+    Service::new(ServiceOpts {
+        workers: 16,
+        ..ServiceOpts::default()
+    })
+}
+
+fn open_line(id: &str, program: &str, extra: &[(&str, Json)]) -> String {
+    let mut pairs = vec![
+        ("op", Json::Str("open".into())),
+        ("id", Json::Str(id.into())),
+        ("program", Json::Str(program.into())),
+    ];
+    pairs.extend(extra.iter().cloned());
+    Json::obj(pairs).dump()
+}
+
+fn request_ok(svc: &Service, line: &str) -> Json {
+    let resp = json::parse(&svc.handle(line)).expect("response parses");
+    assert_eq!(
+        resp.get("ok"),
+        Some(&Json::Bool(true)),
+        "request failed: {line} -> {resp:?}"
+    );
+    resp
+}
+
+/// Reads `n` values from a stream and appends them to `into`.
+fn read_into(svc: &Service, id: &str, n: usize, into: &mut Vec<f64>) -> Json {
+    let resp = request_ok(
+        svc,
+        &format!("{{\"op\":\"read\",\"id\":\"{id}\",\"n\":{n}}}"),
+    );
+    let values = resp.get("values").and_then(Json::as_arr).expect("values");
+    assert_eq!(values.len(), n, "read returned a short batch");
+    into.extend(values.iter().map(|v| v.as_num().expect("numeric value")));
+    resp
+}
+
+fn assert_bits_equal(name: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{name}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{name}: value {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+/// One-shot reference with the same knobs the daemon resolves.
+fn reference(
+    bench: &streamlin::benchmarks::Benchmark,
+    n: usize,
+    mode: ExecMode,
+    threads: Option<usize>,
+) -> Vec<f64> {
+    let analysis = analyze_graph(bench.graph());
+    let opt = select(
+        bench.graph(),
+        &analysis,
+        &CostModel::default(),
+        &SelectOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
+    .opt;
+    let prof = match threads {
+        Some(t) => profile_fission(
+            &opt,
+            n,
+            mode.default_strategy(),
+            Scheduler::Auto,
+            mode,
+            t,
+            Fission::Off,
+        ),
+        None => profile_mode(&opt, n, mode.default_strategy(), Scheduler::Auto, mode),
+    }
+    .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+    assert_eq!(prof.outputs.len(), n, "{}: short reference", bench.name());
+    prof.outputs
+}
+
+/// All nine paper benchmarks, single stream each, read in uneven batches
+/// — bit-identical to the one-shot profiler — then reopened to pin the
+/// plan-cache-hit rerun on every program (including DToA's feedback
+/// loop, which runs data-driven).
+#[test]
+fn nine_benchmarks_single_stream_bit_identical_and_cache_hits() {
+    let svc = roomy();
+    for bench in streamlin::benchmarks::all_default() {
+        let n = bench.default_outputs().min(200);
+        let want = reference(&bench, n, ExecMode::Fast, None);
+        let open = request_ok(
+            &svc,
+            &open_line(
+                bench.name(),
+                bench.source(),
+                &[("mode", Json::Str("fast".into()))],
+            ),
+        );
+        assert_eq!(
+            open.get("cached"),
+            Some(&Json::Bool(false)),
+            "{}: first open must be a cold compile",
+            bench.name()
+        );
+        let mut got = Vec::new();
+        // Uneven batching: the value sequence must not depend on it.
+        let mut remaining = n;
+        for batch in [1usize, 7, 64].iter().cycle() {
+            let batch = (*batch).min(remaining);
+            if batch == 0 {
+                break;
+            }
+            read_into(&svc, bench.name(), batch, &mut got);
+            remaining -= batch;
+        }
+        assert_bits_equal(bench.name(), &got, &want);
+        request_ok(
+            &svc,
+            &format!("{{\"op\":\"close\",\"id\":\"{}\"}}", bench.name()),
+        );
+
+        // Cache-hit rerun: same program and knobs, fresh stream state.
+        let rerun_id = format!("{}-rerun", bench.name());
+        let open = request_ok(
+            &svc,
+            &open_line(
+                &rerun_id,
+                bench.source(),
+                &[("mode", Json::Str("fast".into()))],
+            ),
+        );
+        assert_eq!(
+            open.get("cached"),
+            Some(&Json::Bool(true)),
+            "{}: rerun must hit the plan cache",
+            bench.name()
+        );
+        let m = 32.min(n);
+        let mut again = Vec::new();
+        read_into(&svc, &rerun_id, m, &mut again);
+        assert_bits_equal(&format!("{} rerun", bench.name()), &again, &want[..m]);
+        request_ok(&svc, &format!("{{\"op\":\"close\",\"id\":\"{rerun_id}\"}}"));
+    }
+    // Nine cold compiles, nine hits — the counters are the proof that
+    // the reruns skipped the front end entirely.
+    let stats = request_ok(&svc, "{\"op\":\"stats\"}");
+    let cache = stats.get("cache").expect("cache stats");
+    assert_eq!(cache.get("misses").and_then(Json::as_num), Some(9.0));
+    assert_eq!(cache.get("hits").and_then(Json::as_num), Some(9.0));
+}
+
+/// Concurrent named streams — a 2-stage pipeline, a measured
+/// single-threaded stream, and a second session of the *same* cached
+/// pipeline program — interleaved request by request. Every stream's
+/// output must equal its one-shot reference, invariant under the
+/// interleaving.
+#[test]
+fn interleaved_streams_stay_bit_identical() {
+    let svc = roomy();
+    let fir = streamlin::benchmarks::fir(256);
+    let radio = streamlin::benchmarks::fm_radio();
+    let n = 120;
+    let want_fir = reference(&fir, n, ExecMode::Fast, Some(2));
+    let want_radio = reference(&radio, n, ExecMode::Measured, None);
+
+    request_ok(
+        &svc,
+        &open_line(
+            "a",
+            fir.source(),
+            &[
+                ("mode", Json::Str("fast".into())),
+                ("threads", Json::Num(2.0)),
+            ],
+        ),
+    );
+    request_ok(&svc, &open_line("b", radio.source(), &[]));
+    let open_c = request_ok(
+        &svc,
+        &open_line(
+            "c",
+            fir.source(),
+            &[
+                ("mode", Json::Str("fast".into())),
+                ("threads", Json::Num(2.0)),
+            ],
+        ),
+    );
+    assert_eq!(
+        open_c.get("cached"),
+        Some(&Json::Bool(true)),
+        "same program and knobs share one artifact"
+    );
+
+    let mut got_a = Vec::new();
+    let mut got_b = Vec::new();
+    let mut got_c = Vec::new();
+    // Deliberately unequal batches so the three streams are always at
+    // different positions in their runs.
+    while got_a.len() < n || got_b.len() < n || got_c.len() < n {
+        if got_a.len() < n {
+            read_into(&svc, "a", 8.min(n - got_a.len()), &mut got_a);
+        }
+        if got_b.len() < n {
+            read_into(&svc, "b", 5.min(n - got_b.len()), &mut got_b);
+        }
+        if got_c.len() < n {
+            read_into(&svc, "c", 13.min(n - got_c.len()), &mut got_c);
+        }
+    }
+    assert_bits_equal("fir via pipeline stream a", &got_a, &want_fir);
+    assert_bits_equal("fm_radio measured stream b", &got_b, &want_radio);
+    assert_bits_equal("fir second session c", &got_c, &want_fir);
+    for id in ["a", "b", "c"] {
+        request_ok(&svc, &format!("{{\"op\":\"close\",\"id\":\"{id}\"}}"));
+    }
+    // All claims returned.
+    let stats = request_ok(&svc, "{\"op\":\"stats\"}");
+    let workers = stats.get("workers").expect("workers");
+    assert_eq!(workers.get("in_use").and_then(Json::as_num), Some(0.0));
+}
+
+/// The per-stream fault drill: a seeded `die@s0` kills one stream's
+/// stage-0 worker mid-run. That stream degrades onto the canonical
+/// single-threaded plan — same values, bit for bit — while its neighbor
+/// pipeline stream never notices, and the dead stream's surplus worker
+/// claim returns to the admission budget.
+#[test]
+fn fault_injected_stream_degrades_alone() {
+    let svc = roomy();
+    let fir = streamlin::benchmarks::fir(64);
+    let n = 150;
+    let want = reference(&fir, n, ExecMode::Fast, Some(2));
+
+    let victim_knobs = [
+        ("mode", Json::Str("fast".into())),
+        ("threads", Json::Num(2.0)),
+        ("fault", Json::Str("7:die@s0".into())),
+        ("watchdog_ms", Json::Num(1500.0)),
+    ];
+    request_ok(&svc, &open_line("victim", fir.source(), &victim_knobs));
+    request_ok(
+        &svc,
+        &open_line(
+            "bystander",
+            fir.source(),
+            &[
+                ("mode", Json::Str("fast".into())),
+                ("threads", Json::Num(2.0)),
+            ],
+        ),
+    );
+
+    let mut got_victim = Vec::new();
+    let mut got_bystander = Vec::new();
+    while got_victim.len() < n || got_bystander.len() < n {
+        if got_victim.len() < n {
+            read_into(
+                &svc,
+                "victim",
+                25.min(n - got_victim.len()),
+                &mut got_victim,
+            );
+        }
+        if got_bystander.len() < n {
+            read_into(
+                &svc,
+                "bystander",
+                25.min(n - got_bystander.len()),
+                &mut got_bystander,
+            );
+        }
+    }
+    assert_bits_equal("victim (degraded)", &got_victim, &want);
+    assert_bits_equal("bystander", &got_bystander, &want);
+
+    let close_victim = request_ok(&svc, "{\"op\":\"close\",\"id\":\"victim\"}");
+    assert!(
+        close_victim.get("degraded").is_some(),
+        "the faulted stream must report its degradation: {close_victim:?}"
+    );
+    let close_bystander = request_ok(&svc, "{\"op\":\"close\",\"id\":\"bystander\"}");
+    assert!(
+        close_bystander.get("degraded").is_none(),
+        "the neighbor must not degrade: {close_bystander:?}"
+    );
+}
+
+/// Admission control: a saturated worker budget refuses new pipeline
+/// streams with a structured error (fields and all), a bounded wait
+/// times out to the same refusal, and closing a neighbor admits the
+/// retry. Single-threaded streams still fit in the leftover budget.
+#[test]
+fn saturation_is_a_structured_refusal_never_a_hang() {
+    let svc = Service::new(ServiceOpts {
+        workers: 3,
+        ..ServiceOpts::default()
+    });
+    let fir = streamlin::benchmarks::fir(64);
+    let knobs = [
+        ("mode", Json::Str("fast".into())),
+        ("threads", Json::Num(2.0)),
+    ];
+    let open = request_ok(&svc, &open_line("first", fir.source(), &knobs));
+    assert_eq!(open.get("workers").and_then(Json::as_num), Some(2.0));
+
+    let resp = json::parse(&svc.handle(&open_line("second", fir.source(), &knobs))).unwrap();
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some("saturated"));
+    assert_eq!(resp.get("need").and_then(Json::as_num), Some(2.0));
+    assert_eq!(resp.get("in_use").and_then(Json::as_num), Some(2.0));
+    assert_eq!(resp.get("budget").and_then(Json::as_num), Some(3.0));
+
+    // A bounded wait still refuses (nothing releases) instead of hanging.
+    let mut wait_knobs = knobs.to_vec();
+    wait_knobs.push(("wait_ms", Json::Num(50.0)));
+    let resp = json::parse(&svc.handle(&open_line("second", fir.source(), &wait_knobs))).unwrap();
+    assert_eq!(resp.get("error").and_then(Json::as_str), Some("saturated"));
+
+    // The leftover budget still admits a single-threaded stream.
+    request_ok(
+        &svc,
+        &open_line("small", fir.source(), &[("mode", Json::Str("fast".into()))]),
+    );
+
+    // Freeing the neighbor admits the retry.
+    request_ok(&svc, "{\"op\":\"close\",\"id\":\"first\"}");
+    request_ok(&svc, &open_line("second", fir.source(), &knobs));
+    for id in ["second", "small"] {
+        request_ok(&svc, &format!("{{\"op\":\"close\",\"id\":\"{id}\"}}"));
+    }
+}
+
+/// Protocol robustness: malformed lines, unknown streams, duplicate
+/// opens and compile errors are structured failures — the dispatcher
+/// answers every line and never falls over.
+#[test]
+fn protocol_failures_are_structured() {
+    let svc = roomy();
+    let err = |line: &str| -> String {
+        let resp = json::parse(&svc.handle(line)).expect("response parses");
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{line}");
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(err("not json at all"), "bad_request");
+    assert_eq!(
+        err("{\"op\":\"read\",\"id\":\"ghost\",\"n\":1}"),
+        "unknown_stream"
+    );
+    assert_eq!(err("{\"op\":\"close\",\"id\":\"ghost\"}"), "unknown_stream");
+    assert_eq!(
+        err(&open_line("bad", "void->void pipeline Main {", &[])),
+        "compile_error"
+    );
+    let fir = streamlin::benchmarks::fir(16);
+    request_ok(&svc, &open_line("dup", fir.source(), &[]));
+    assert_eq!(
+        err(&open_line("dup", fir.source(), &[])),
+        "duplicate_stream"
+    );
+    request_ok(&svc, "{\"op\":\"close\",\"id\":\"dup\"}");
+}
+
+/// Lifecycle smoke of the actual binary over stdio: open → batched reads
+/// → stats → close → shutdown, every response a parseable ok line, and
+/// the values bit-identical to the in-process reference.
+#[test]
+fn daemon_binary_stdio_lifecycle() {
+    let fir = streamlin::benchmarks::fir(64);
+    let n = 48;
+    let want = reference(&fir, n, ExecMode::Fast, None);
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_streamlind"))
+        .args(["--workers", "4"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn streamlind");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let mut roundtrip = |req: &str| -> Json {
+        writeln!(stdin, "{req}").expect("write request");
+        let line = lines.next().expect("daemon answered").expect("read line");
+        json::parse(&line).expect("response parses")
+    };
+
+    let pong = roundtrip("{\"op\":\"ping\"}");
+    assert_eq!(pong.get("op").and_then(Json::as_str), Some("pong"));
+    let open = roundtrip(&open_line(
+        "s",
+        fir.source(),
+        &[("mode", Json::Str("fast".into()))],
+    ));
+    assert_eq!(open.get("ok"), Some(&Json::Bool(true)), "{open:?}");
+    let mut got = Vec::new();
+    for batch in [1, 16, 31] {
+        let resp = roundtrip(&format!("{{\"op\":\"read\",\"id\":\"s\",\"n\":{batch}}}"));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        got.extend(
+            resp.get("values")
+                .and_then(Json::as_arr)
+                .expect("values")
+                .iter()
+                .map(|v| v.as_num().unwrap()),
+        );
+    }
+    assert_bits_equal("daemon stdio", &got, &want);
+    let stats = roundtrip("{\"op\":\"stats\"}");
+    assert_eq!(stats.get("streams").and_then(Json::as_num), Some(1.0));
+    let close = roundtrip("{\"op\":\"close\",\"id\":\"s\"}");
+    assert_eq!(
+        close.get("delivered").and_then(Json::as_num),
+        Some(n as f64)
+    );
+    let bye = roundtrip("{\"op\":\"shutdown\"}");
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    drop(stdin);
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status:?}");
+}

@@ -18,7 +18,7 @@
 //! on stderr reports the fast/measured speedup per row pair.
 
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use streamlin_bench::{configure, Config};
 use streamlin_benchmarks::Benchmark;
@@ -26,6 +26,8 @@ use streamlin_runtime::fission::Fission;
 use streamlin_runtime::measure::{
     profile_fission, profile_mode, profile_recorded, ExecMode, Scheduler,
 };
+use streamlin_service::{Service, ServiceOpts};
+use streamlin_support::json::{self, Json};
 use streamlin_support::Recorder;
 
 /// Minimum accumulated run time per row before the best sample counts.
@@ -168,6 +170,67 @@ fn measure(
         items_per_sec: best,
         stall_pct,
         compile_ms,
+    }
+}
+
+/// One daemon measurement: items/sec through the in-process service
+/// dispatcher (the same `Service::handle` the `streamlind` transports
+/// drive — full request-parse/response-serialize cost included, no pipe
+/// noise) at one read batch size, plus the plan-cache economics: the
+/// cold compile cost the first open paid and the wall cost of the
+/// cache-hit open that skipped the front end.
+struct ServiceRow {
+    benchmark: String,
+    batch: usize,
+    outputs: usize,
+    items_per_sec: f64,
+    compile_ms_cold: f64,
+    open_ms_hit: f64,
+}
+
+fn measure_service(bench: &Benchmark, batch: usize) -> ServiceRow {
+    let svc = Service::new(ServiceOpts {
+        workers: 8,
+        ..ServiceOpts::default()
+    });
+    let open_line = |id: &str| {
+        Json::obj(vec![
+            ("op", Json::Str("open".into())),
+            ("id", Json::Str(id.into())),
+            ("program", Json::Str(bench.source().into())),
+            ("config", Json::Str("autosel".into())),
+            ("mode", Json::Str("fast".into())),
+        ])
+        .dump()
+    };
+    let resp = json::parse(&svc.handle(&open_line("cold"))).expect("open response");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+    assert_eq!(resp.get("cached"), Some(&Json::Bool(false)));
+    let compile_ms_cold = resp.get("compile_ms").and_then(Json::as_num).unwrap_or(0.0);
+    let t0 = Instant::now();
+    let resp = json::parse(&svc.handle(&open_line("hit"))).expect("open response");
+    let open_ms_hit = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(resp.get("cached"), Some(&Json::Bool(true)), "{resp:?}");
+
+    let outputs = (batch * 4).max(4096);
+    let req = format!("{{\"op\":\"read\",\"id\":\"hit\",\"n\":{batch}}}");
+    // One warmup batch (init schedule, ring fills), then the timed loop.
+    assert!(svc.handle(&req).contains("\"ok\":true"));
+    let t0 = Instant::now();
+    let mut done = 0usize;
+    while done < outputs {
+        let resp = svc.handle(&req);
+        debug_assert!(resp.contains("\"ok\":true"));
+        done += batch;
+    }
+    let items_per_sec = done as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    ServiceRow {
+        benchmark: bench.name().to_string(),
+        batch,
+        outputs: done,
+        items_per_sec,
+        compile_ms_cold,
+        open_ms_hit,
     }
 }
 
@@ -372,49 +435,84 @@ fn main() {
         eprintln!("deduped {dropped} row(s) whose requested thread/fission counts ran identically");
     }
 
+    // The daemon dimension: items/sec through the service dispatcher at
+    // three read batch sizes — batch 1 pays the full per-request
+    // protocol cost, 1024 amortizes it away — plus the plan-cache
+    // economics (cold compile vs cache-hit open).
+    let mut service_rows: Vec<ServiceRow> = Vec::new();
+    for bench in [
+        streamlin_benchmarks::fir(256),
+        streamlin_benchmarks::fm_radio(),
+    ] {
+        for batch in [1usize, 64, 1024] {
+            let row = measure_service(&bench, batch);
+            eprintln!(
+                "{:>12}   service batch {:>5}: {:>12.0} items/sec \
+                 (compile {:.1} ms cold, open {:.3} ms hit)",
+                row.benchmark, row.batch, row.items_per_sec, row.compile_ms_cold, row.open_ms_hit
+            );
+            service_rows.push(row);
+        }
+    }
+
     // Thread rows only mean speedup where the host has cores to run them:
     // on a single-core host they measure pure pipeline-protocol overhead —
     // such rows are stamped `"degraded": true` so trajectory consumers can
     // exclude them instead of reading protocol overhead as a regression.
+    // Rows are serialized by the workspace's shared JSON writer
+    // (`support::json`, same layer as the `streamlind` wire protocol), so
+    // keys arrive sorted and escaping is centralized; the surrounding
+    // document keeps one row per line for diffability.
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"streamlin-bench-json/v4\",");
-    let _ = writeln!(json, "  \"label\": \"{label}\",");
-    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
-    let _ = writeln!(json, "  \"results\": [");
+    let round = |v: f64, places: i32| {
+        let p = 10f64.powi(places);
+        (v * p).round() / p
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"streamlin-bench-json/v5\",");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(out, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
-        let degraded = if host_cpus == 1 && (r.threads > 1 || r.fission > 1) {
-            ", \"degraded\": true"
-        } else {
-            ""
-        };
-        let _ = writeln!(
-            json,
-            "    {{\"benchmark\": \"{}\", \"config\": \"{}\", \"sched\": \"{}\", \
-             \"mode\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \
-             \"fission\": {}, \"outputs\": {}, \"items_per_sec\": {:.1}, \
-             \"stall_pct\": {:.1}, \"compile_ms\": {:.3}{}}}{}",
-            r.benchmark,
-            r.config,
-            r.sched,
-            r.mode,
-            r.strategy,
-            r.threads,
-            r.fission,
-            r.outputs,
-            r.items_per_sec,
-            r.stall_pct,
-            r.compile_ms,
-            degraded,
-            comma
-        );
+        let mut pairs = vec![
+            ("benchmark", Json::Str(r.benchmark.clone())),
+            ("config", Json::Str(r.config.into())),
+            ("sched", Json::Str(r.sched.into())),
+            ("mode", Json::Str(r.mode.into())),
+            ("strategy", Json::Str(r.strategy.into())),
+            ("threads", Json::Num(r.threads as f64)),
+            ("fission", Json::Num(r.fission as f64)),
+            ("outputs", Json::Num(r.outputs as f64)),
+            ("items_per_sec", Json::Num(round(r.items_per_sec, 1))),
+            ("stall_pct", Json::Num(round(r.stall_pct, 1))),
+            ("compile_ms", Json::Num(round(r.compile_ms, 3))),
+        ];
+        if host_cpus == 1 && (r.threads > 1 || r.fission > 1) {
+            pairs.push(("degraded", Json::Bool(true)));
+        }
+        let _ = writeln!(out, "    {}{comma}", Json::obj(pairs).dump());
     }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"service\": [");
+    for (i, r) in service_rows.iter().enumerate() {
+        let comma = if i + 1 < service_rows.len() { "," } else { "" };
+        let pairs = vec![
+            ("benchmark", Json::Str(r.benchmark.clone())),
+            ("batch", Json::Num(r.batch as f64)),
+            ("outputs", Json::Num(r.outputs as f64)),
+            ("items_per_sec", Json::Num(round(r.items_per_sec, 1))),
+            ("compile_ms_cold", Json::Num(round(r.compile_ms_cold, 3))),
+            ("open_ms_hit", Json::Num(round(r.open_ms_hit, 3))),
+        ];
+        let _ = writeln!(out, "    {}{comma}", Json::obj(pairs).dump());
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    json::parse(&out).expect("bench JSON parses under the workspace reader");
 
     let path = format!("BENCH_{label}.json");
-    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    std::fs::write(&path, &out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     eprintln!("wrote {path}");
 }
