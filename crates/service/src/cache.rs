@@ -5,7 +5,7 @@
 //! compilation, fission, partitioning — on every invocation. The daemon
 //! pays it once: [`PlanCache::get_or_compile`] keys on the program's
 //! content hash (FNV-1a 64 over the source text) crossed with every knob
-//! that changes the compiled artifact (config, scheduler, mode, matmul
+//! that changes the compiled artifact (config, scheduler, matmul
 //! strategy, thread budget, fission request, cycle quantum), and stores
 //! the fully elaborated artifact — the lowered [`FlatGraph`] (with each
 //! filter's `FilterFacts` intact, per the facts-not-AST convention), the
@@ -28,7 +28,7 @@ use streamlin_core::cost::CostModel;
 use streamlin_core::select::{select, SelectOptions};
 use streamlin_runtime::fission::Fission;
 use streamlin_runtime::flat::{flatten, FlatGraph};
-use streamlin_runtime::measure::{ExecMode, Scheduler};
+use streamlin_runtime::measure::Scheduler;
 use streamlin_runtime::plan::{self, ExecPlan};
 use streamlin_runtime::{MatMulStrategy, Partition};
 use streamlin_support::NoFault;
@@ -46,6 +46,12 @@ pub fn fnv1a64(data: &[u8]) -> u64 {
 }
 
 /// Everything that selects a distinct compiled artifact.
+///
+/// The execution mode is deliberately **not** part of the key: it only
+/// selects the engine's `Tally` at build time, and its one compile-time
+/// effect — the default matmul strategy — is already captured by the
+/// resolved `matmul` field. Fast and Measured streams of the same
+/// program share one artifact.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// FNV-1a 64 of the source text.
@@ -54,7 +60,6 @@ pub struct PlanKey {
     /// `autosel`).
     pub config: String,
     pub sched: Scheduler,
-    pub mode: ExecMode,
     pub matmul: MatMulStrategy,
     /// Pipeline stage budget; `None` = the classic single-threaded
     /// engines.
@@ -276,7 +281,6 @@ mod tests {
             src_hash: fnv1a64(PROGRAM.as_bytes()),
             config: "autosel".into(),
             sched: Scheduler::Auto,
-            mode: ExecMode::Fast,
             matmul: MatMulStrategy::Simd,
             threads,
             fission: "off".into(),

@@ -39,7 +39,7 @@ pub mod session;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use streamlin_runtime::{pool, resolve_quantum};
@@ -72,6 +72,11 @@ pub struct ServiceOpts {
     /// Default cycle quantum for streams that don't pick one (`0`:
     /// `STREAMLIN_CYCLE_QUANTUM`, then the built-in default).
     pub quantum: u64,
+    /// Default stall watchdog for pipeline streams whose `open` doesn't
+    /// set `watchdog_ms`. `None` leaves unsupervised streams unarmed
+    /// (matching one-shot `streamlinc`); daemons that must never wedge a
+    /// stream on a ring stall should set it (`--watchdog <ms>`).
+    pub watchdog_ms: Option<u64>,
 }
 
 impl Default for ServiceOpts {
@@ -83,15 +88,24 @@ impl Default for ServiceOpts {
             metrics: false,
             trace_dir: None,
             quantum: 0,
+            watchdog_ms: None,
         }
     }
 }
 
 struct StreamEntry {
-    exec: Box<dyn StreamExec>,
+    /// The resident engine; `None` once the stream has been torn down
+    /// (whoever takes the engine out owns releasing the ledger claim and
+    /// closing it, so teardown happens exactly once).
+    exec: Option<Box<dyn StreamExec>>,
     /// Current ledger claim (drops to 1 when the stream degrades).
     workers: usize,
 }
+
+/// A stream slot: its own mutex, so executing one stream never blocks
+/// the global table. Lock order is strict — the table lock is always
+/// released before an entry lock is taken.
+type StreamSlot = Arc<Mutex<StreamEntry>>;
 
 /// The daemon core: plan cache, stream table, admission ledger, and the
 /// request dispatcher. Transport-free — [`server`] owns the I/O loops.
@@ -99,8 +113,25 @@ pub struct Service {
     opts: ServiceOpts,
     cache: PlanCache,
     ledger: Ledger,
-    streams: Mutex<HashMap<String, StreamEntry>>,
+    /// The stream table. Guards only membership: entries carry their own
+    /// locks, so a slow `read` on one stream never stalls lookups,
+    /// opens, or reads of its neighbors.
+    streams: Mutex<HashMap<String, StreamSlot>>,
     shutdown: AtomicBool,
+}
+
+/// Stream ids name filesystem artifacts (`<trace_dir>/<id>.trace.json`),
+/// so they are confined to a single path component: 1–128 characters
+/// from `[A-Za-z0-9._-]`, excluding the special names `.` and `..`. A
+/// client-controlled id must never traverse out of the trace directory.
+fn valid_stream_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 128
+        && id != "."
+        && id != ".."
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
 }
 
 impl Service {
@@ -141,25 +172,21 @@ impl Service {
     }
 
     fn handle_open(&self, req: &OpenReq) -> String {
+        if !valid_stream_id(&req.id) {
+            return err_response(
+                "bad_request",
+                "stream id must be 1-128 characters from [A-Za-z0-9._-] (not `.` or `..`)",
+                vec![],
+            );
+        }
+        // Fast-path refusal before paying compile cost. Advisory only:
+        // the authoritative duplicate/limit check re-runs under the lock
+        // acquisition that inserts, so concurrent opens cannot race past
+        // it.
         {
             let streams = self.streams.lock().unwrap();
-            if streams.contains_key(&req.id) {
-                return err_response(
-                    "duplicate_stream",
-                    &format!("stream `{}` is already open", req.id),
-                    vec![],
-                );
-            }
-            if streams.len() >= self.opts.max_streams {
-                return err_response(
-                    "too_many_streams",
-                    &format!(
-                        "{} stream(s) open, limit {}",
-                        streams.len(),
-                        self.opts.max_streams
-                    ),
-                    vec![],
-                );
+            if let Some(resp) = Self::refuse_open(&streams, &req.id, self.opts.max_streams) {
+                return resp;
             }
         }
         let fault = match &req.fault {
@@ -181,7 +208,6 @@ impl Service {
             src_hash: fnv1a64(req.program.as_bytes()),
             config: req.config.clone(),
             sched: req.sched,
-            mode: req.mode,
             matmul,
             threads: req.threads,
             fission: format!("{:?}", req.fission),
@@ -220,7 +246,10 @@ impl Service {
             };
             return err_response(code, &e.to_string(), pairs);
         }
-        let watchdog = req.watchdog_ms.map(Duration::from_millis);
+        let watchdog = req
+            .watchdog_ms
+            .or(self.opts.watchdog_ms)
+            .map(Duration::from_millis);
         let exec = match build_exec(&artifact, req.mode, self.opts.instrument, fault, watchdog) {
             Ok(exec) => exec,
             Err(e) => {
@@ -236,8 +265,26 @@ impl Service {
             self.ledger.release(need - 1);
             workers = 1;
         }
-        let mut streams = self.streams.lock().unwrap();
-        streams.insert(req.id.clone(), StreamEntry { exec, workers });
+        {
+            // Authoritative admission to the table: re-check duplicate
+            // and limit under the same lock acquisition that inserts. A
+            // concurrent open of the same id may have won while we were
+            // compiling; the loser backs out its ledger claim.
+            let mut streams = self.streams.lock().unwrap();
+            if let Some(resp) = Self::refuse_open(&streams, &req.id, self.opts.max_streams) {
+                drop(streams);
+                self.ledger.release(workers);
+                let _ = exec.close();
+                return resp;
+            }
+            streams.insert(
+                req.id.clone(),
+                Arc::new(Mutex::new(StreamEntry {
+                    exec: Some(exec),
+                    workers,
+                })),
+            );
+        }
         let mut pairs = vec![
             ("id".to_string(), Json::Str(req.id.clone())),
             ("cached".to_string(), Json::Bool(cached)),
@@ -262,12 +309,43 @@ impl Service {
         ok_response("open", pairs)
     }
 
+    /// The duplicate/limit refusal, shared by `handle_open`'s advisory
+    /// pre-check and the authoritative check under the insert lock.
+    fn refuse_open(
+        streams: &HashMap<String, StreamSlot>,
+        id: &str,
+        max_streams: usize,
+    ) -> Option<String> {
+        if streams.contains_key(id) {
+            return Some(err_response(
+                "duplicate_stream",
+                &format!("stream `{id}` is already open"),
+                vec![],
+            ));
+        }
+        if streams.len() >= max_streams {
+            return Some(err_response(
+                "too_many_streams",
+                &format!("{} stream(s) open, limit {}", streams.len(), max_streams),
+                vec![],
+            ));
+        }
+        None
+    }
+
     fn handle_read(&self, id: &str, n: usize) -> String {
-        let mut streams = self.streams.lock().unwrap();
-        let Some(entry) = streams.get_mut(id) else {
+        // Table lock only for the lookup; the (possibly long) execution
+        // runs under the stream's own lock, so neighbors, `stats`, opens
+        // and closes proceed while this stream computes.
+        let Some(slot) = self.streams.lock().unwrap().get(id).map(Arc::clone) else {
             return err_response("unknown_stream", &format!("no stream `{id}`"), vec![]);
         };
-        match entry.exec.read(n) {
+        let mut entry = slot.lock().unwrap();
+        let Some(exec) = entry.exec.as_mut() else {
+            // Torn down by a concurrent failed read or close.
+            return err_response("unknown_stream", &format!("no stream `{id}`"), vec![]);
+        };
+        match exec.read(n) {
             Ok(out) => {
                 if out.just_degraded.is_some() && entry.workers > 1 {
                     // This stream fell back to the single-threaded plan;
@@ -276,8 +354,9 @@ impl Service {
                     self.ledger.release(entry.workers - 1);
                     entry.workers = 1;
                 }
-                let delivered = entry.exec.delivered();
-                let degraded = entry.exec.degraded().map(str::to_string);
+                let exec = entry.exec.as_ref().expect("present above");
+                let delivered = exec.delivered();
+                let degraded = exec.degraded().map(str::to_string);
                 let mut pairs = vec![
                     ("id".to_string(), Json::Str(id.into())),
                     (
@@ -295,9 +374,20 @@ impl Service {
                 // Non-degradable failure: the program itself is broken
                 // (it would fail identically on any executor). The
                 // stream is torn down and its claim released.
-                let entry = streams.remove(id).expect("present above");
-                self.ledger.release(entry.workers);
-                let _ = entry.exec.close();
+                let exec = entry.exec.take().expect("present above");
+                let workers = entry.workers;
+                drop(entry);
+                {
+                    // Drop the table slot too — but only if it is still
+                    // ours (a concurrent close may already have removed
+                    // it, and the id may even have been reopened).
+                    let mut streams = self.streams.lock().unwrap();
+                    if streams.get(id).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                        streams.remove(id);
+                    }
+                }
+                self.ledger.release(workers);
+                let _ = exec.close();
                 err_response(
                     "run_error",
                     &e.to_string(),
@@ -308,11 +398,21 @@ impl Service {
     }
 
     fn handle_close(&self, id: &str) -> String {
-        let Some(entry) = self.streams.lock().unwrap().remove(id) else {
+        let Some(slot) = self.streams.lock().unwrap().remove(id) else {
             return err_response("unknown_stream", &format!("no stream `{id}`"), vec![]);
         };
-        self.ledger.release(entry.workers);
-        let report = entry.exec.close();
+        // Waits for an in-flight read on this stream to finish; the
+        // table lock is already released, so neighbors are unaffected.
+        let mut entry = slot.lock().unwrap();
+        let Some(exec) = entry.exec.take() else {
+            // A concurrently failing read already tore the stream down
+            // (and released its claim).
+            return err_response("unknown_stream", &format!("no stream `{id}`"), vec![]);
+        };
+        let workers = entry.workers;
+        drop(entry);
+        self.ledger.release(workers);
+        let report = exec.close();
         let mut pairs = vec![
             ("id".to_string(), Json::Str(id.into())),
             ("delivered".to_string(), Json::Num(report.delivered as f64)),
@@ -373,15 +473,26 @@ impl Service {
     }
 
     /// Closes every stream (shutdown path), releasing claims and parking
-    /// pipeline workers back on the pool.
+    /// pipeline workers back on the pool. A slot whose lock is held by a
+    /// still-running read is skipped rather than waited on — shutdown
+    /// must not hang behind a stalled stream, and the process is exiting
+    /// anyway.
     fn close_all(&self) {
-        let entries: Vec<StreamEntry> = {
+        let slots: Vec<StreamSlot> = {
             let mut streams = self.streams.lock().unwrap();
-            streams.drain().map(|(_, e)| e).collect()
+            streams.drain().map(|(_, s)| s).collect()
         };
-        for e in entries {
-            self.ledger.release(e.workers);
-            let _ = e.exec.close();
+        for slot in slots {
+            let Ok(mut entry) = slot.try_lock() else {
+                continue;
+            };
+            let Some(exec) = entry.exec.take() else {
+                continue;
+            };
+            let workers = entry.workers;
+            drop(entry);
+            self.ledger.release(workers);
+            let _ = exec.close();
         }
     }
 }

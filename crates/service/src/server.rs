@@ -66,6 +66,16 @@ pub fn serve_stdio(svc: &Service) -> std::io::Result<()> {
 pub fn serve_tcp(svc: Arc<Service>, addr: &str) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     eprintln!("streamlind: listening on {}", listener.local_addr()?);
+    serve_listener(svc, listener)
+}
+
+/// The accept loop behind [`serve_tcp`], taking an already-bound
+/// listener (tests bind their own to learn the port).
+///
+/// # Errors
+///
+/// Accept failures other than the polling timeout.
+pub fn serve_listener(svc: Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
     // Poll accept so the listener notices shutdown requested on another
     // connection within a bounded delay.
     listener.set_nonblocking(true)?;
@@ -88,12 +98,68 @@ pub fn serve_tcp(svc: Arc<Service>, addr: &str) -> std::io::Result<()> {
     Ok(())
 }
 
-fn serve_conn(svc: &Service, conn: TcpStream) {
-    let reader = match conn.try_clone() {
-        Ok(c) => c,
+/// How often an idle connection re-checks the shutdown flag.
+const CONN_POLL: Duration = Duration::from_millis(100);
+
+/// One TCP connection. Unlike [`serve_lines`], the socket gets a finite
+/// read timeout so a connection idling between requests still observes a
+/// shutdown dispatched on *another* connection within [`CONN_POLL`] —
+/// otherwise `shutdown` would not terminate the daemon until every
+/// client disconnected on its own.
+fn serve_conn(svc: &Service, mut conn: TcpStream) {
+    if conn.set_read_timeout(Some(CONN_POLL)).is_err() {
+        return;
+    }
+    let mut reader = match conn.try_clone() {
+        Ok(c) => BufReader::new(c),
         Err(_) => return,
     };
-    let _ = serve_lines(svc, reader, conn);
+    // Request bytes accumulate here across timeouts: `read_until` (under
+    // `read_line`) guarantees bytes read before an error are in the
+    // buffer, so a line split by a timeout is finished on a later pass.
+    let mut buf = String::new();
+    while !svc.is_shutdown() {
+        match reader.read_line(&mut buf) {
+            // EOF; serve whatever an unterminated final line carried.
+            Ok(0) => {
+                let _ = respond(svc, &buf, &mut conn);
+                break;
+            }
+            Ok(_) if buf.ends_with('\n') => {
+                if respond(svc, &buf, &mut conn).is_err() {
+                    break;
+                }
+                buf.clear();
+            }
+            // Ok without a newline is EOF mid-line.
+            Ok(_) => {
+                let _ = respond(svc, &buf, &mut conn);
+                break;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle (or mid-line) timeout: loop around and re-check
+                // the shutdown flag; partial data stays in `buf`.
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves one buffered request line (blank lines are skipped).
+fn respond(svc: &Service, line: &str, out: &mut TcpStream) -> std::io::Result<()> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(());
+    }
+    let response = svc.handle(line);
+    out.write_all(response.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
 }
 
 #[cfg(test)]
@@ -115,5 +181,46 @@ mod tests {
         assert!(lines[0].contains("\"pong\""));
         assert!(lines[1].contains("\"shutdown\""));
         assert!(svc.is_shutdown());
+    }
+
+    /// A shutdown on one connection terminates the whole daemon even
+    /// while another connection sits idle between requests — the idle
+    /// connection's read timeout wakes it to observe the flag.
+    #[test]
+    fn tcp_shutdown_terminates_despite_idle_connection() {
+        let svc = Arc::new(Service::new(ServiceOpts::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || serve_listener(svc, listener))
+        };
+
+        // Idle connection: pings once, then just sits there.
+        let mut idle = TcpStream::connect(addr).unwrap();
+        idle.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        let mut idle_reader = BufReader::new(idle.try_clone().unwrap());
+        let mut line = String::new();
+        idle_reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"pong\""), "{line}");
+
+        // Second connection shuts the daemon down.
+        let mut ctl = TcpStream::connect(addr).unwrap();
+        ctl.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        line.clear();
+        BufReader::new(ctl.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(line.contains("\"shutdown\""), "{line}");
+
+        // The accept loop and every connection thread must wind down
+        // without the idle client ever disconnecting. Join on a watchdog
+        // thread so a regression fails fast instead of hanging the suite.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(server.join().expect("server thread").is_ok());
+        });
+        let joined = rx.recv_timeout(Duration::from_secs(10));
+        assert_eq!(joined, Ok(true), "daemon did not exit after shutdown");
     }
 }

@@ -11,6 +11,7 @@
 //! $ streamlind --workers 8 --max-streams 32 # admission budget and stream cap
 //! $ streamlind --metrics --trace-out traces # per-stream telemetry lanes
 //! $ streamlind --quantum 8                  # default cycle quantum
+//! $ streamlind --watchdog 2000              # default stall watchdog (ms)
 //! ```
 //!
 //! Example session:
@@ -37,7 +38,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: streamlind [--listen <addr>] [--workers <n>] [--max-streams <n>]\n\
-         \x20                [--metrics] [--trace-out <dir>] [--quantum <n>]"
+         \x20                [--metrics] [--trace-out <dir>] [--quantum <n>]\n\
+         \x20                [--watchdog <ms>]"
     );
     std::process::exit(2);
 }
@@ -79,6 +81,14 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .filter(|&q| q >= 1)
                     .unwrap_or_else(|| usage())
+            }
+            "--watchdog" => {
+                args.opts.watchdog_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms| ms >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "-h" | "--help" => usage(),
             _ => usage(),

@@ -397,6 +397,168 @@ fn protocol_failures_are_structured() {
     request_ok(&svc, "{\"op\":\"close\",\"id\":\"dup\"}");
 }
 
+/// Stream ids name filesystem artifacts under `--trace-out`, so they are
+/// confined to a single path component — an id that could traverse out
+/// of the trace directory is refused before anything is compiled or run.
+#[test]
+fn traversal_stream_ids_are_refused() {
+    let svc = roomy();
+    let fir = streamlin::benchmarks::fir(16);
+    for id in [
+        "../../home/user/.bashrc",
+        "a/b",
+        "a\\b",
+        "..",
+        ".",
+        "",
+        "a b",
+        "nul\u{0}byte",
+    ] {
+        let resp = json::parse(&svc.handle(&open_line(id, fir.source(), &[]))).unwrap();
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(false)),
+            "id {id:?} must be refused"
+        );
+        assert_eq!(
+            resp.get("error").and_then(Json::as_str),
+            Some("bad_request"),
+            "id {id:?} must be a bad_request"
+        );
+    }
+    // The allowed punctuation still passes.
+    request_ok(&svc, &open_line("ok-id_1.v2", fir.source(), &[]));
+    request_ok(&svc, "{\"op\":\"close\",\"id\":\"ok-id_1.v2\"}");
+}
+
+/// Racing opens of one id (as concurrent TCP connections can issue):
+/// exactly one wins, every loser backs out its ledger claim, and the
+/// budget is fully restored once the winner closes — the TOCTOU
+/// regression overwrote the winner's entry and leaked its claim,
+/// shrinking the admission budget forever.
+#[test]
+fn racing_opens_of_one_id_admit_exactly_one_stream() {
+    let svc = Service::new(ServiceOpts {
+        workers: 8,
+        ..ServiceOpts::default()
+    });
+    let fir = streamlin::benchmarks::fir(64);
+    let knobs = [
+        ("mode", Json::Str("fast".into())),
+        ("threads", Json::Num(2.0)),
+    ];
+    for round in 0..4 {
+        let id = format!("contended-{round}");
+        let line = open_line(&id, fir.source(), &knobs);
+        let wins = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let resp = json::parse(&svc.handle(&line)).expect("response parses");
+                        resp.get("ok") == Some(&Json::Bool(true))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("opener thread"))
+                .filter(|&won| won)
+                .count()
+        });
+        assert_eq!(wins, 1, "exactly one open of `{id}` may win");
+        request_ok(&svc, &format!("{{\"op\":\"close\",\"id\":\"{id}\"}}"));
+        let stats = request_ok(&svc, "{\"op\":\"stats\"}");
+        let workers = stats.get("workers").expect("workers");
+        assert_eq!(
+            workers.get("in_use").and_then(Json::as_num),
+            Some(0.0),
+            "round {round}: losing opens leaked ledger claims"
+        );
+        assert_eq!(
+            stats.get("streams").and_then(Json::as_num),
+            Some(0.0),
+            "round {round}: stream table not empty"
+        );
+    }
+}
+
+/// Reads execute under per-stream locks, not the global table lock:
+/// many client threads hammering their own streams concurrently (as TCP
+/// connections do) stay deadlock-free and every stream remains
+/// bit-identical to the one-shot reference.
+#[test]
+fn concurrent_reads_on_distinct_streams_stay_bit_identical() {
+    let svc = roomy();
+    let fir = streamlin::benchmarks::fir(64);
+    let n = 96;
+    let want = reference(&fir, n, ExecMode::Fast, None);
+    // `Benchmark` holds `Rc`s, so threads share the source text only.
+    let src = fir.source();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let (svc, want) = (&svc, &want);
+            s.spawn(move || {
+                let id = format!("par-{t}");
+                request_ok(
+                    svc,
+                    &open_line(&id, src, &[("mode", Json::Str("fast".into()))]),
+                );
+                let mut got = Vec::new();
+                while got.len() < n {
+                    read_into(svc, &id, 7.min(n - got.len()), &mut got);
+                }
+                assert_bits_equal(&id, &got, want);
+                request_ok(svc, &format!("{{\"op\":\"close\",\"id\":\"{id}\"}}"));
+            });
+        }
+    });
+    let stats = request_ok(&svc, "{\"op\":\"stats\"}");
+    assert_eq!(stats.get("streams").and_then(Json::as_num), Some(0.0));
+    let workers = stats.get("workers").expect("workers");
+    assert_eq!(workers.get("in_use").and_then(Json::as_num), Some(0.0));
+}
+
+/// The plan-cache key excludes the execution mode (it only selects the
+/// engine's tally; its one compile-time effect is the default matmul
+/// strategy, which the resolved `matmul` field already captures): a
+/// Measured open of a program compiled Fast with the same strategy hits
+/// the cache instead of duplicating the artifact.
+#[test]
+fn fast_and_measured_share_one_cached_artifact() {
+    let svc = roomy();
+    let fir = streamlin::benchmarks::fir(64);
+    request_ok(
+        &svc,
+        &open_line(
+            "fast",
+            fir.source(),
+            &[
+                ("mode", Json::Str("fast".into())),
+                ("matmul", Json::Str("simd".into())),
+            ],
+        ),
+    );
+    let open = request_ok(
+        &svc,
+        &open_line(
+            "measured",
+            fir.source(),
+            &[
+                ("mode", Json::Str("measured".into())),
+                ("matmul", Json::Str("simd".into())),
+            ],
+        ),
+    );
+    assert_eq!(
+        open.get("cached"),
+        Some(&Json::Bool(true)),
+        "Fast and Measured with one matmul strategy must share the artifact"
+    );
+    for id in ["fast", "measured"] {
+        request_ok(&svc, &format!("{{\"op\":\"close\",\"id\":\"{id}\"}}"));
+    }
+}
+
 /// Lifecycle smoke of the actual binary over stdio: open → batched reads
 /// → stats → close → shutdown, every response a parseable ok line, and
 /// the values bit-identical to the in-process reference.
