@@ -46,6 +46,7 @@
 //! ```
 
 pub mod analyze;
+pub mod bytecode;
 pub mod elaborate;
 pub mod exec;
 pub mod ir;

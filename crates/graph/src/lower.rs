@@ -226,6 +226,11 @@ pub struct LoweredWork {
     pub body: Vec<RStmt>,
     /// Frame slots this phase needs.
     pub frame_slots: usize,
+    /// The body flattened to the linear bytecode tier
+    /// ([`crate::bytecode`]), compiled once here so every consumer of the
+    /// phase — both engines, the pipeline executor, fission workers, the
+    /// streamlind plan cache — shares the same compiled form.
+    pub code: crate::bytecode::ByteCode,
 }
 
 impl LoweredWork {
@@ -327,9 +332,11 @@ fn lower_work(
         errors,
     };
     let body = lo.lower_block(body);
+    let code = crate::bytecode::compile(&body);
     LoweredWork {
         body,
         frame_slots: lo.max_frame as usize,
+        code,
     }
 }
 
@@ -561,7 +568,7 @@ pub struct SlotStore<'a> {
 
 impl SlotStore<'_> {
     #[inline]
-    fn cell_mut(&mut self, slot: Slot) -> &mut Cell {
+    pub(crate) fn cell_mut(&mut self, slot: Slot) -> &mut Cell {
         match slot {
             Slot::Global(i) => &mut self.globals[i as usize],
             Slot::Frame(i) => &mut self.frame[i as usize],

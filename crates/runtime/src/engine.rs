@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use streamlin_graph::bytecode;
 use streamlin_graph::exec::{Flow, Host};
 use streamlin_graph::lower::{SlotInterp, SlotStore};
 use streamlin_graph::value::{EvalError, Value};
@@ -676,9 +677,11 @@ pub(crate) fn interp_phase_rates(interp: &InterpState) -> (usize, usize, usize) 
 /// validating the declared rates. Returns `(popped, pushed)`; the caller
 /// owns channel consumption/production. Shared by the data-driven engine
 /// and the static-plan engine so both execute byte-for-byte the same
-/// work-function semantics. Execution is the slot-resolved interpreter
-/// over the filter's `Vec<Cell>` storage — no name hashing, no per-block
-/// scope maps (see [`streamlin_graph::lower`]).
+/// work-function semantics. Execution defaults to the linear bytecode
+/// tier ([`streamlin_graph::bytecode`]) over the filter's `Vec<Cell>`
+/// storage — no recursion, no `Box` chasing on the firing path — with
+/// the slot-resolved tree-walker ([`streamlin_graph::lower`]) kept as
+/// the differential reference (`STREAMLIN_NO_BYTECODE`).
 pub(crate) fn run_work_phase<T: Tally>(
     interp: &mut InterpState,
     window: &[f64],
@@ -720,8 +723,12 @@ pub(crate) fn run_work_phase<T: Tally>(
             printed,
             ops,
         };
-        let mut engine = SlotInterp::new(&mut host, FIRING_FUEL);
-        match engine.exec_work(&mut store, &code.body) {
+        let flow = if interp.use_bytecode {
+            bytecode::exec(&code.code, &mut store, &mut host, FIRING_FUEL)
+        } else {
+            SlotInterp::new(&mut host, FIRING_FUEL).exec_work(&mut store, &code.body)
+        };
+        match flow {
             Ok(Flow::Normal) | Ok(Flow::Return) => {}
             Err(e) => {
                 return Err(RunError::Eval(format!(
@@ -741,8 +748,12 @@ pub(crate) fn run_work_phase<T: Tally>(
             printed,
             ops,
         };
-        let mut engine = SlotInterp::new(&mut host, FIRING_FUEL);
-        match engine.exec_work(&mut store, &code.body) {
+        let flow = if interp.use_bytecode {
+            bytecode::exec(&code.code, &mut store, &mut host, FIRING_FUEL)
+        } else {
+            SlotInterp::new(&mut host, FIRING_FUEL).exec_work(&mut store, &code.body)
+        };
+        match flow {
             Ok(Flow::Normal) | Ok(Flow::Return) => {}
             Err(e) => {
                 return Err(RunError::Eval(format!(

@@ -47,6 +47,25 @@ fn cert_elision_enabled() -> bool {
     CERT_ELISION.load(Ordering::Relaxed) && std::env::var_os("STREAMLIN_NO_CERT").is_none()
 }
 
+/// Process-wide switch for the linear bytecode execution tier (default
+/// on; the `STREAMLIN_NO_BYTECODE` environment variable or
+/// [`set_bytecode_tier`] turns it off, dropping interpreted firings back
+/// to the tree-walking reference). Read once per [`InterpState`]
+/// construction, so a node never changes tier mid-run.
+static BYTECODE_TIER: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the bytecode tier for subsequently built
+/// interpreter nodes. The differential suites and benchmarks use this to
+/// compare against the tree-walker in-process; outputs, prints and
+/// operation tallies are bit-identical either way.
+pub fn set_bytecode_tier(on: bool) {
+    BYTECODE_TIER.store(on, Ordering::Relaxed);
+}
+
+fn bytecode_enabled() -> bool {
+    BYTECODE_TIER.load(Ordering::Relaxed) && std::env::var_os("STREAMLIN_NO_BYTECODE").is_none()
+}
+
 /// Mutable interpreter state of an original filter instance. Storage is
 /// slot-resolved (see [`streamlin_graph::lower`]): persistent cells live
 /// in a `Vec` ordered by the lowered filter's global-slot table, and the
@@ -72,6 +91,10 @@ pub struct InterpState {
     pub work_certified: bool,
     /// Same for the first-firing phase.
     pub init_certified: bool,
+    /// Firings execute the compiled bytecode (`lowered.*.code`) instead
+    /// of tree-walking the resolved body. Sampled once at construction
+    /// from [`set_bytecode_tier`] / `STREAMLIN_NO_BYTECODE`.
+    pub use_bytecode: bool,
 }
 
 impl InterpState {
@@ -104,6 +127,7 @@ impl InterpState {
             globals,
             frame,
             first: true,
+            use_bytecode: bytecode_enabled(),
         }
     }
 }

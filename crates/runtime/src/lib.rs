@@ -105,15 +105,16 @@ pub mod telemetry;
 
 pub use engine::{Engine, RunError};
 pub use fission::{fiss_bottleneck, fissability, Fission, FissionInfo};
-pub use flat::set_cert_elision;
+pub use flat::{set_bytecode_tier, set_cert_elision};
 pub use linear_exec::MatMulStrategy;
 pub use measure::{
     profile, profile_fission, profile_mode, profile_recorded, profile_sched, profile_supervised,
     profile_threads, ExecMode, Profile, Scheduler, Supervision,
 };
 pub use parallel::{
-    resolve_quantum, run_pipeline, run_pipeline_probed, run_pipeline_quantized,
-    run_pipeline_supervised, PipelineOutcome, PipelineSession, CYCLE_QUANTUM,
+    parse_quantum, resolve_quantum, resolve_quantum_checked, run_pipeline, run_pipeline_probed,
+    run_pipeline_quantized, run_pipeline_supervised, PipelineOutcome, PipelineSession,
+    CYCLE_QUANTUM,
 };
 pub use partition::{partition, Partition};
 pub use plan::{ExecPlan, PlanEngine, PlanError};

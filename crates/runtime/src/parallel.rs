@@ -87,18 +87,62 @@ use crate::ring::{Backoff, RingSet, SharedRings};
 /// ones (at the cost of restricting fission's cycle expansion to 1).
 pub const CYCLE_QUANTUM: u64 = 4;
 
+/// Parses a `STREAMLIN_CYCLE_QUANTUM` value: a positive integer.
+///
+/// # Errors
+///
+/// A human-readable description of why the value is unusable.
+pub fn parse_quantum(raw: &str) -> Result<u64, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(0) => Err("STREAMLIN_CYCLE_QUANTUM must be >= 1, got `0`".into()),
+        Ok(q) => Ok(q),
+        Err(_) => Err(format!(
+            "STREAMLIN_CYCLE_QUANTUM must be a positive integer, got `{}`",
+            raw.trim()
+        )),
+    }
+}
+
+/// Resolves the effective cycle quantum for a run, rejecting a bad
+/// environment override: a nonzero `explicit` request wins, else
+/// `STREAMLIN_CYCLE_QUANTUM` (which must parse to a positive integer),
+/// else [`CYCLE_QUANTUM`].
+///
+/// # Errors
+///
+/// When `STREAMLIN_CYCLE_QUANTUM` is set but unusable (not unicode, not
+/// a positive integer) and no explicit quantum overrides it. Callers
+/// with a structured failure channel (the daemon's `open`) surface
+/// this; [`resolve_quantum`] instead warns once and falls back.
+pub fn resolve_quantum_checked(explicit: u64) -> Result<u64, String> {
+    if explicit != 0 {
+        return Ok(explicit);
+    }
+    match std::env::var("STREAMLIN_CYCLE_QUANTUM") {
+        Err(std::env::VarError::NotPresent) => Ok(CYCLE_QUANTUM),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("STREAMLIN_CYCLE_QUANTUM is not valid unicode".into())
+        }
+        Ok(raw) => parse_quantum(&raw),
+    }
+}
+
 /// Resolves the effective cycle quantum for a run: a nonzero `explicit`
 /// request wins, else `STREAMLIN_CYCLE_QUANTUM` (when it parses to a
-/// positive integer), else [`CYCLE_QUANTUM`].
+/// positive integer), else [`CYCLE_QUANTUM`]. An invalid environment
+/// value is **not** silently swallowed: the first one encountered warns
+/// on stderr (once per process) before falling back to the default.
 pub fn resolve_quantum(explicit: u64) -> u64 {
-    if explicit != 0 {
-        return explicit;
+    match resolve_quantum_checked(explicit) {
+        Ok(q) => q,
+        Err(why) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("warning: ignoring invalid quantum override: {why}");
+            });
+            CYCLE_QUANTUM
+        }
     }
-    std::env::var("STREAMLIN_CYCLE_QUANTUM")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .filter(|&q| q >= 1)
-        .unwrap_or(CYCLE_QUANTUM)
 }
 
 /// Outcome of a pipeline run: the merged view a profiler needs.
@@ -1580,5 +1624,26 @@ mod tests {
         assert_eq!(out.printed, clean.printed);
         assert_eq!(out.ops, clean.ops);
         assert_eq!(out.firings, clean.firings);
+    }
+
+    #[test]
+    fn quantum_values_parse_or_explain() {
+        assert_eq!(parse_quantum("8"), Ok(8));
+        assert_eq!(parse_quantum("  1\n"), Ok(1));
+        for bad in ["0", "-3", "4.5", "four", ""] {
+            let why = parse_quantum(bad).unwrap_err();
+            assert!(
+                why.contains("STREAMLIN_CYCLE_QUANTUM"),
+                "error should name the variable: {why}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_quantum_bypasses_environment() {
+        // Explicit requests never consult the environment, so this is
+        // deterministic regardless of the test runner's env.
+        assert_eq!(resolve_quantum_checked(7), Ok(7));
+        assert_eq!(resolve_quantum(7), 7);
     }
 }

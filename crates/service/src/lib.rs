@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use streamlin_runtime::{pool, resolve_quantum};
+use streamlin_runtime::{pool, resolve_quantum_checked};
 use streamlin_support::json::Json;
 use streamlin_support::InjectFaults;
 
@@ -198,11 +198,17 @@ impl Service {
                 }
             },
         };
-        let quantum = resolve_quantum(if req.quantum != 0 {
+        // Checked resolution: an invalid STREAMLIN_CYCLE_QUANTUM in the
+        // daemon's environment is a structured refusal, not a silent
+        // fallback the client can't see.
+        let quantum = match resolve_quantum_checked(if req.quantum != 0 {
             req.quantum
         } else {
             self.opts.quantum
-        });
+        }) {
+            Ok(q) => q,
+            Err(why) => return err_response("bad_request", &why, vec![]),
+        };
         let matmul = req.matmul.unwrap_or_else(|| req.mode.default_strategy());
         let key = PlanKey {
             src_hash: fnv1a64(req.program.as_bytes()),
@@ -361,7 +367,9 @@ impl Service {
                     ("id".to_string(), Json::Str(id.into())),
                     (
                         "values".to_string(),
-                        Json::arr(out.values.into_iter().map(Json::Num)),
+                        // Sentinel-encoded: JSON would turn NaN/Inf
+                        // samples into `null` (see `proto::encode_sample`).
+                        Json::arr(out.values.into_iter().map(proto::encode_sample)),
                     ),
                     ("delivered".to_string(), Json::Num(delivered as f64)),
                 ];

@@ -5,7 +5,12 @@
 //! workspace carries no serialization dependency). Values travel as JSON
 //! numbers printed with Rust's shortest-round-trip `{}` formatting, so a
 //! finite `f64` parsed back from the wire is **bit-identical** to the
-//! engine's output — the service equivalence suite leans on this.
+//! engine's output — the service equivalence suite leans on this. JSON
+//! has no spelling for non-finite numbers (the writer would degrade
+//! them to `null`), so samples that overflow or divide to NaN travel as
+//! the string sentinels `"inf"`/`"-inf"`/`"nan"` instead
+//! ([`encode_sample`]/[`decode_sample`]), keeping every program
+//! observable through the service.
 //!
 //! Requests (`op` selects the verb; unknown fields are ignored):
 //!
@@ -149,6 +154,38 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Encodes one output sample for the wire: finite values as JSON
+/// numbers (shortest-round-trip, bit-identical on parse-back),
+/// non-finite values as the string sentinels `"inf"`/`"-inf"`/`"nan"`
+/// — the JSON writer would otherwise flatten them to `null`, silently
+/// corrupting any program whose arithmetic overflows.
+pub fn encode_sample(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else if v.is_nan() {
+        Json::Str("nan".into())
+    } else if v > 0.0 {
+        Json::Str("inf".into())
+    } else {
+        Json::Str("-inf".into())
+    }
+}
+
+/// Decodes one wire sample produced by [`encode_sample`]. `None` for
+/// anything that is neither a number nor a recognized sentinel.
+pub fn decode_sample(v: &Json) -> Option<f64> {
+    match v {
+        Json::Num(n) => Some(*n),
+        Json::Str(s) => match s.as_str() {
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
+            _ => None,
+        },
+        _ => None,
     }
 }
 

@@ -98,7 +98,7 @@ fn usage() -> ! {
          \x20                [--fission auto|off|<w>] [-n <outputs>] [--emit-graph]\n\
          \x20                [--metrics] [--trace-out <file>] [--quiet]\n\
          \x20                [--watchdog-ms <n>] [--fault-inject <seed>:<spec>[,<spec>...]]\n\
-         \x20                [--quantum <n>] [--lint] [--deny-lints]"
+         \x20                [--quantum <n>] [--no-bytecode] [--lint] [--deny-lints]"
     );
     std::process::exit(2);
 }
@@ -199,6 +199,7 @@ fn parse_args() -> Args {
                     .filter(|&q| q >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--no-bytecode" => streamlin::runtime::set_bytecode_tier(false),
             "--lint" => args.lint = true,
             "--deny-lints" => {
                 args.lint = true;

@@ -17,7 +17,11 @@
 //! * and the pipeline executor once more under **supervision with a
 //!   seeded injected worker panic** — the run must complete (on the
 //!   pipeline, or via the watchdog-guarded single-threaded fallback)
-//!   with the same bits.
+//!   with the same bits,
+//! * plus a **bytecode ablation**: the single-threaded static plan run
+//!   again with the bytecode tier disabled (`STREAMLIN_NO_BYTECODE`
+//!   semantics via `set_bytecode_tier(false)`), pinning the flattened
+//!   instruction dispatch against the tree-walking reference.
 //!
 //! The differential property: all of them print **bit-identical**
 //! outputs, and — within the cycle-quantized pipeline family, where the
@@ -41,7 +45,7 @@ use streamlin::runtime::fission::Fission;
 use streamlin::runtime::measure::{
     profile_fission, profile_mode, profile_supervised, ExecMode, Scheduler, Supervision,
 };
-use streamlin::runtime::MatMulStrategy;
+use streamlin::runtime::{set_bytecode_tier, MatMulStrategy};
 use streamlin::support::InjectFaults;
 
 /// FNV-1a over the rendered program: a deterministic per-case fault seed,
@@ -342,6 +346,26 @@ fn check_spec(spec: &Spec) -> bool {
         )
         .unwrap_or_else(|e| panic!("{label} static: {e}\n{src}"));
         assert_bits_equal(label, &dynamic.outputs, &static1.outputs);
+
+        // The bytecode ablation family: the same plan with interpreted
+        // work functions forced back onto the tree-walker must print the
+        // same bits. (Restore the tier before unwrapping so an engine
+        // error can't leave it disabled for concurrent tests.)
+        set_bytecode_tier(false);
+        let treewalk = profile_mode(
+            &opt,
+            outputs,
+            MatMulStrategy::Unrolled,
+            Scheduler::Static,
+            ExecMode::Measured,
+        );
+        set_bytecode_tier(true);
+        let treewalk = treewalk.unwrap_or_else(|e| panic!("{label} tree-walk: {e}\n{src}"));
+        assert_bits_equal(label, &dynamic.outputs, &treewalk.outputs);
+        assert_eq!(
+            static1.ops, treewalk.ops,
+            "{label}: tallies differ with bytecode disabled\n{src}"
+        );
 
         // The cycle-quantized pipeline family: tallies and firing counts
         // must match across fission widths, including width 1.

@@ -10,6 +10,11 @@
 //! tally is a no-op) must produce bit-identical values, and a
 //! program-level check pins `Measured` vs `Fast` outputs across the full
 //! engines.
+//!
+//! The **bytecode tier** ([`streamlin::graph::bytecode`]) is a third
+//! compared family: the compiled form of every work phase (including its
+//! fused dot-product loops) runs the same firings and must match the
+//! tree-walkers on every dimension — values, pops, tallies, state.
 
 use std::collections::HashMap;
 
@@ -169,6 +174,45 @@ fn run_slot_based(inst: &FilterInst, input: &[f64], count: bool) -> RunResult {
     }
 }
 
+/// Runs `FIRINGS` firings through the compiled bytecode tier.
+fn run_bytecode(inst: &FilterInst, input: &[f64], count: bool) -> RunResult {
+    let lowered = &inst.lowered;
+    let mut globals: Vec<Cell> = lowered
+        .globals
+        .iter()
+        .map(|n| inst.state[n].clone())
+        .collect();
+    let mut frame = vec![
+        Cell::Scalar(streamlin::lang::ast::DataType::Int, Value::Int(0));
+        lowered.frame_slots()
+    ];
+    let mut host = TapeHost {
+        input: input.to_vec(),
+        count,
+        ..TapeHost::default()
+    };
+    for k in 0..FIRINGS {
+        let code = match (&lowered.init_work, k) {
+            (Some(iw), 0) => iw,
+            _ => &lowered.work,
+        };
+        let mut store = SlotStore {
+            globals: &mut globals,
+            frame: &mut frame,
+        };
+        streamlin::graph::bytecode::exec(&code.code, &mut store, &mut host, FIRING_FUEL)
+            .unwrap_or_else(|e| panic!("{} (bytecode): {}", inst.name, e.message));
+    }
+    let state = lowered.globals.iter().cloned().zip(globals).collect();
+    RunResult {
+        popped: host.cursor,
+        pushed: host.pushed,
+        printed: host.printed,
+        tallies: [host.adds, host.muls, host.divs, host.others],
+        state,
+    }
+}
+
 fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
 }
@@ -227,6 +271,43 @@ fn check_benchmark(bench: &Benchmark) {
             slot_uncounted.tallies,
             [0, 0, 0, 0],
             "{ctx}: no-count tallied"
+        );
+
+        // The bytecode tier agrees with the tree-walkers on every
+        // dimension, in both tally monomorphizations.
+        let byte_counted = run_bytecode(inst, &input, true);
+        let byte_uncounted = run_bytecode(inst, &input, false);
+        assert_eq!(
+            bits(&byte_counted.pushed),
+            bits(&slot_counted.pushed),
+            "{ctx}: bytecode pushed values diverge"
+        );
+        assert_eq!(
+            bits(&byte_counted.printed),
+            bits(&slot_counted.printed),
+            "{ctx}: bytecode printed values diverge"
+        );
+        assert_eq!(
+            byte_counted.popped, slot_counted.popped,
+            "{ctx}: bytecode pop counts diverge"
+        );
+        assert_eq!(
+            byte_counted.tallies, slot_counted.tallies,
+            "{ctx}: bytecode operation tallies diverge"
+        );
+        assert_eq!(
+            byte_counted.state, slot_counted.state,
+            "{ctx}: bytecode final filter state diverges"
+        );
+        assert_eq!(
+            bits(&byte_uncounted.pushed),
+            bits(&byte_counted.pushed),
+            "{ctx}: counting changed bytecode pushed values"
+        );
+        assert_eq!(
+            byte_uncounted.tallies,
+            [0, 0, 0, 0],
+            "{ctx}: bytecode no-count tallied"
         );
     }
 }

@@ -1,0 +1,119 @@
+//! Pins the handling of `STREAMLIN_CYCLE_QUANTUM` overrides: an invalid
+//! value must never be silently swallowed — the CLI warns (once) and
+//! falls back to the default, the daemon refuses the `open` with a
+//! structured `bad_request` — while explicit quantum knobs always win
+//! without consulting the environment.
+//!
+//! Every test passes the variable to a subprocess via `Command::env`,
+//! so nothing here mutates this process's environment (the suites can
+//! run in parallel).
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+use streamlin_support::json::{self, Json};
+
+const PROGRAM: &str = "void->void pipeline Main { add S(); add K(); } \
+     void->float filter S { work push 1 { push(1.0); } } \
+     float->void filter K { work pop 1 { println(pop()); } }";
+
+fn streamlinc(quantum_env: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_streamlinc"))
+        .args(["assets/fir.str", "-n", "8", "--threads", "2", "--quiet"])
+        .env("STREAMLIN_CYCLE_QUANTUM", quantum_env)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn cli_warns_once_and_falls_back_on_invalid_quantum_env() {
+    let out = streamlinc("banana");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::str::from_utf8(&out.stdout).unwrap().lines().count(),
+        8,
+        "run must still produce its outputs"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr
+            .lines()
+            .filter(|l| l.contains("ignoring invalid quantum override"))
+            .count(),
+        1,
+        "exactly one warning expected, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("STREAMLIN_CYCLE_QUANTUM"),
+        "warning should name the variable: {stderr}"
+    );
+}
+
+#[test]
+fn cli_is_silent_on_valid_quantum_env() {
+    let out = streamlinc("8");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("quantum"),
+        "no warning for a valid value: {stderr}"
+    );
+}
+
+#[test]
+fn daemon_refuses_open_under_invalid_quantum_env() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_streamlind"))
+        .args(["--workers", "2"])
+        .env("STREAMLIN_CYCLE_QUANTUM", "0")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn streamlind");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let mut roundtrip = |req: String| -> Json {
+        writeln!(stdin, "{req}").expect("write request");
+        let line = lines.next().expect("daemon answered").expect("read line");
+        json::parse(&line).expect("response parses")
+    };
+
+    // Without an explicit quantum the bad environment value is a
+    // structured refusal naming the variable.
+    let open = roundtrip(format!(
+        "{{\"op\":\"open\",\"id\":\"a\",\"program\":\"{PROGRAM}\"}}"
+    ));
+    assert_eq!(open.get("ok"), Some(&Json::Bool(false)), "{open:?}");
+    assert_eq!(
+        open.get("error").and_then(Json::as_str),
+        Some("bad_request"),
+        "{open:?}"
+    );
+    assert!(
+        open.get("detail")
+            .and_then(Json::as_str)
+            .is_some_and(|d| d.contains("STREAMLIN_CYCLE_QUANTUM")),
+        "detail should name the variable: {open:?}"
+    );
+
+    // An explicit per-stream quantum never consults the environment.
+    let open = roundtrip(format!(
+        "{{\"op\":\"open\",\"id\":\"a\",\"program\":\"{PROGRAM}\",\"quantum\":4}}"
+    ));
+    assert_eq!(open.get("ok"), Some(&Json::Bool(true)), "{open:?}");
+    let read = roundtrip("{\"op\":\"read\",\"id\":\"a\",\"n\":4}".to_string());
+    assert_eq!(read.get("ok"), Some(&Json::Bool(true)), "{read:?}");
+
+    let bye = roundtrip("{\"op\":\"shutdown\"}".to_string());
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    drop(stdin);
+    child.wait().expect("daemon exits");
+}

@@ -111,6 +111,77 @@ fn reference(
     prof.outputs
 }
 
+/// Non-finite samples must survive the wire. JSON has no spelling for
+/// `inf`/`-inf`/`nan` — the writer degrades them to `null` — so the
+/// protocol carries them as string sentinels (`proto::encode_sample`).
+/// This pins the full round trip: a program whose arithmetic produces
+/// every non-finite class, driven through the daemon, decodes back to
+/// the one-shot profile (bit-identical for everything representable;
+/// NaN compared by class, since the sentinel does not preserve payload
+/// bits).
+#[test]
+fn non_finite_samples_survive_the_wire() {
+    let program = "void->void pipeline Main { add S(); add K(); } \
+         void->float filter S { int n; work push 1 { \
+             float zero = 0; \
+             if (n == 0) { push(1.0 / zero); } \
+             if (n == 1) { push((0 - 1.0) / zero); } \
+             if (n == 2) { push(sqrt(0 - 1.0)); } \
+             if (n == 3) { push(2.5); } \
+             n = (n + 1) % 4; } } \
+         float->void filter K { work pop 1 { println(pop()); } }";
+    let n = 8;
+
+    // One-shot reference through the same selection the daemon runs.
+    let parsed = streamlin::lang::parse(program).expect("parses");
+    let graph = streamlin::graph::elaborate(&parsed).expect("elaborates");
+    let analysis = analyze_graph(&graph);
+    let opt = select(
+        &graph,
+        &analysis,
+        &CostModel::default(),
+        &SelectOptions::default(),
+    )
+    .expect("selects")
+    .opt;
+    let want = profile_mode(
+        &opt,
+        n,
+        ExecMode::Fast.default_strategy(),
+        Scheduler::Auto,
+        ExecMode::Fast,
+    )
+    .expect("profiles")
+    .outputs;
+    assert!(
+        want.iter().any(|v| v.is_infinite()) && want.iter().any(|v| v.is_nan()),
+        "the program must actually produce non-finite samples: {want:?}"
+    );
+
+    let svc = roomy();
+    request_ok(
+        &svc,
+        &open_line("nf", program, &[("mode", Json::Str("fast".into()))]),
+    );
+    let resp = request_ok(
+        &svc,
+        &format!("{{\"op\":\"read\",\"id\":\"nf\",\"n\":{n}}}"),
+    );
+    let values = resp.get("values").and_then(Json::as_arr).expect("values");
+    assert_eq!(values.len(), n);
+    let got: Vec<f64> = values
+        .iter()
+        .map(|v| streamlin::service::proto::decode_sample(v).expect("decodable sample"))
+        .collect();
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        if w.is_nan() {
+            assert!(g.is_nan(), "value {i}: expected NaN, got {g}");
+        } else {
+            assert_eq!(g.to_bits(), w.to_bits(), "value {i} differs ({g} vs {w})");
+        }
+    }
+}
+
 /// All nine paper benchmarks, single stream each, read in uneven batches
 /// — bit-identical to the one-shot profiler — then reopened to pin the
 /// plan-cache-hit rerun on every program (including DToA's feedback

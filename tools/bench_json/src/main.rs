@@ -356,6 +356,28 @@ fn main() {
                     );
                     rows.push(row);
                 }
+                // Bytecode-tier ablation: the interpreter rows again with
+                // the linear bytecode tier disabled (every firing
+                // tree-walks the resolved body), so the trajectory
+                // records the dispatch-loop win alongside the
+                // `interp-nocert` checked-access rows.
+                for (i, mode) in [ExecMode::Measured, ExecMode::Fast].into_iter().enumerate() {
+                    streamlin_runtime::set_bytecode_tier(false);
+                    let mut row = measure(bench, config, mode, outputs, 1, Fission::Off);
+                    streamlin_runtime::set_bytecode_tier(true);
+                    row.benchmark = label.to_string();
+                    row.config = "interp-nobytecode";
+                    eprintln!(
+                        "{:>12} {:>9} {:>8} {:>8} t1: {:>12.0} items/sec ({:.2}x vs bytecode)",
+                        row.benchmark,
+                        row.config,
+                        row.sched,
+                        row.mode,
+                        row.items_per_sec,
+                        row.items_per_sec / pair[i]
+                    );
+                    rows.push(row);
+                }
             }
             // The threads dimension: the pipeline executor in Fast mode
             // (the production path the speedup criterion reads), against
